@@ -1,0 +1,54 @@
+// Figure 8 — long-context summarization (GovReport-like, MPT-storywriter
+// stand-in): ROUGE-2 at 10%..50% KV cache for H2O vs Keyformer against the
+// full-attention baseline. The paper's point: Keyformer holds the 99% line
+// at 50% cache where H2O falls short.
+#include "bench_common.h"
+
+using namespace kf;
+
+int main(int argc, char** argv) {
+  bench::Options opt = bench::parse_options(argc, argv);
+  if (!opt.quick && opt.samples > 4) opt.samples = 4;  // long docs are slow
+
+  model::ModelConfig cfg = model::ModelConfig::mpt_storywriter_like();
+  model::Transformer m(cfg);
+  // The paper evaluates 8k-token documents on a 65k-context model; at our
+  // ~20x scale-down that maps to ~1k-token reports.
+  const auto samples =
+      bench::long_report_set(opt, opt.quick ? 512 : 1024);
+
+  eval::EvalConfig ec;
+  ec.max_new_tokens = opt.gen_tokens;
+  auto full = bench::make_policy(kv::PolicyKind::kFull, opt.seed);
+  const auto outputs = eval::generate_outputs(m, samples, *full, ec);
+  const auto full_res =
+      eval::evaluate_policy_on_task(m, samples, *full, ec, &outputs);
+
+  Table t(
+      "Fig 8: long-context summarization (GovReport-like, "
+      "MPT-storywriter-like) — ROUGE-2 fidelity vs KV cache");
+  t.header({"kv_cache", "h2o", "keyformer", "keyformer>=0.99?"});
+  for (const double ratio : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+    std::vector<std::string> row{bench::pct(ratio)};
+    double kf_fid = 0.0;
+    for (const auto kind : {kv::PolicyKind::kH2O, kv::PolicyKind::kKeyformer}) {
+      auto policy = bench::make_policy(kind, opt.seed);
+      eval::EvalConfig rc = ec;
+      rc.cache_ratio = ratio;
+      const auto res =
+          eval::evaluate_policy_on_task(m, samples, *policy, rc, &outputs);
+      row.push_back(Table::num(res.fid_rouge2, 3));
+      if (kind == kv::PolicyKind::kKeyformer) kf_fid = res.fid_rouge2;
+    }
+    row.push_back(kf_fid >= 0.99 ? "yes" : "no");
+    t.row(row);
+  }
+  t.print(std::cout);
+  bench::maybe_write_csv(opt, t, "fig08_long_context");
+
+  std::cout << "Full-attention reference ROUGE-1 on planted facts: "
+            << Table::num(full_res.ref_rouge1, 3) << "\n";
+  std::cout << "Paper shape check: Keyformer stays at or above H2O at "
+               "most long-context budgets.\n";
+  return 0;
+}

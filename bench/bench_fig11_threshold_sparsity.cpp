@@ -1,0 +1,59 @@
+// Figure 11 (appendix A.3) — attention sparsity per layer as the
+// threshold (fraction of the row maximum) sweeps 0%..5%, MPT-like model.
+#include "bench_common.h"
+
+using namespace kf;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  model::ModelConfig cfg = model::ModelConfig::mpt_like();
+  model::Transformer m(cfg);
+  const auto samples = bench::summarization_set(opt);
+
+  const std::vector<double> thresholds{0.0,    0.0001, 0.0005, 0.001,
+                                       0.005,  0.01,   0.03,   0.05};
+  // sparsity[threshold][layer]
+  std::vector<std::vector<double>> sparsity(
+      thresholds.size(), std::vector<double>(cfg.n_layers, 0.0));
+  std::vector<std::size_t> rows(cfg.n_layers, 0);
+
+  m.set_observer([&](const model::AttentionObservation& obs) {
+    const auto& attn = *obs.attn;
+    for (std::size_t h = 0; h < cfg.n_heads; ++h) {
+      const std::size_t block = h * attn.n_q * attn.key_len;
+      for (std::size_t ti = 0; ti < thresholds.size(); ++ti) {
+        sparsity[ti][obs.layer] += eval::mean_causal_sparsity(
+            {attn.probs.data() + block, attn.n_q * attn.key_len}, attn.n_q,
+            attn.key_len, attn.key_len - attn.n_q, thresholds[ti]);
+      }
+      ++rows[obs.layer];
+    }
+  });
+  auto full = bench::make_policy(kv::PolicyKind::kFull, opt.seed);
+  eval::EvalConfig ec;
+  ec.max_new_tokens = opt.gen_tokens / 2;
+  (void)eval::generate_outputs(m, samples, *full, ec);
+  m.set_observer({});
+
+  Table t("Fig 11: attention sparsity (%) vs threshold (MPT-like)");
+  {
+    std::vector<std::string> hdr{"threshold"};
+    for (std::size_t l = 0; l < cfg.n_layers; ++l) {
+      hdr.push_back("layer" + std::to_string(l));
+    }
+    t.header(hdr);
+  }
+  for (std::size_t ti = 0; ti < thresholds.size(); ++ti) {
+    std::vector<std::string> row{Table::num(100.0 * thresholds[ti], 2) + "%"};
+    for (std::size_t l = 0; l < cfg.n_layers; ++l) {
+      row.push_back(Table::num(100.0 * sparsity[ti][l] / rows[l], 1));
+    }
+    t.row(row);
+  }
+  t.print(std::cout);
+  bench::maybe_write_csv(opt, t, "fig11_threshold_sparsity");
+
+  std::cout << "Paper shape check: sparsity rises monotonically with the "
+               "threshold, from ~50-60% toward 90%+ at 5% of the max.\n";
+  return 0;
+}

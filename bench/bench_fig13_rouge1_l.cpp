@@ -1,0 +1,50 @@
+// Figure 13 (appendix A.5) — the ROUGE-1 and ROUGE-L versions of the
+// Fig 7 summarization sweep (MLPerf requires all three ROUGE variants to
+// stay within 99% of baseline).
+#include "bench_common.h"
+
+using namespace kf;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  const auto samples = bench::summarization_set(opt);
+
+  for (const model::ModelConfig& cfg : bench::bench_models()) {
+    model::Transformer m(cfg);
+    eval::EvalConfig ec;
+    ec.max_new_tokens = opt.gen_tokens;
+    auto full = bench::make_policy(kv::PolicyKind::kFull, opt.seed);
+    const auto outputs = eval::generate_outputs(m, samples, *full, ec);
+
+    Table t("Fig 13 [" + cfg.name +
+            "]: ROUGE-1 / ROUGE-L fidelity vs KV cache");
+    t.header({"kv_cache", "window_R1", "h2o_R1", "keyformer_R1",
+              "window_RL", "h2o_RL", "keyformer_RL"});
+
+    const std::vector<double> ratios =
+        opt.quick ? std::vector<double>{0.3, 0.5, 0.7}
+                  : std::vector<double>{0.2, 0.3, 0.4, 0.5,
+                                        0.6, 0.7, 0.8, 0.9};
+    for (const double ratio : ratios) {
+      std::vector<std::string> r1_cells, rl_cells;
+      for (const auto kind : bench::paper_policies()) {
+        auto policy = bench::make_policy(kind, opt.seed);
+        eval::EvalConfig rc = ec;
+        rc.cache_ratio = ratio;
+        const auto res =
+            eval::evaluate_policy_on_task(m, samples, *policy, rc, &outputs);
+        r1_cells.push_back(Table::num(res.fid_rouge1, 3));
+        rl_cells.push_back(Table::num(res.fid_rougeL, 3));
+      }
+      std::vector<std::string> row{bench::pct(ratio)};
+      row.insert(row.end(), r1_cells.begin(), r1_cells.end());
+      row.insert(row.end(), rl_cells.begin(), rl_cells.end());
+      t.row(row);
+    }
+    t.print(std::cout);
+    bench::maybe_write_csv(opt, t, "fig13_" + cfg.name);
+  }
+  std::cout << "Paper shape check: ROUGE-1 and ROUGE-L rank the methods "
+               "the same way ROUGE-2 does (Fig 7).\n";
+  return 0;
+}

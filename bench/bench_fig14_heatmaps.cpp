@@ -1,0 +1,68 @@
+// Figures 14/15 (appendix A.6) — attention heat maps per (layer, head)
+// for the GPT-J-like (RoPE) and MPT-like (ALiBi) models. The x-axis is the
+// original token position (bucketed); each row is one head's decode-phase
+// attention profile, rendered as ASCII art; the full matrix goes to CSV
+// with --csv.
+#include <fstream>
+
+#include "bench_common.h"
+
+using namespace kf;
+
+namespace {
+
+void render(const bench::Options& opt, const model::ModelConfig& cfg,
+            const std::string& tag) {
+  model::Transformer m(cfg);
+  data::SummarizationConfig dc;
+  dc.seed = opt.seed;
+  dc.doc_len = 320;
+  const auto sample = data::make_summarization_sample(dc, 0);
+
+  eval::HeatmapRecorder rec(cfg.n_layers, cfg.n_heads, 48);
+  rec.set_sequence_length(sample.prompt.size() + opt.gen_tokens);
+  m.set_observer(
+      [&](const model::AttentionObservation& obs) { rec.record(obs); });
+
+  auto policy = bench::make_policy(kv::PolicyKind::kFull, opt.seed);
+  model::GenerationConfig g;
+  g.max_new_tokens = opt.gen_tokens;
+  g.banned_tokens = {data::kBos, data::kEos, data::kSep, data::kPad};
+  model::generate(m, sample.prompt, *policy, g);
+  m.set_observer({});
+
+  std::cout << "== Fig 14/15 [" << tag << " / " << cfg.name
+            << "]: decode-phase attention per (layer, head) ==\n";
+  std::cout << "(x: original position buckets over the sequence; ramp "
+               "' .:-=+*#%@'; ALiBi heads 0.. have steep slopes)\n";
+  for (std::size_t l = 0; l < cfg.n_layers; ++l) {
+    for (std::size_t h = 0; h < cfg.n_heads; ++h) {
+      std::cout << "L" << l << ",H" << h << " |" << rec.ascii_art(l, h)
+                << "|\n";
+    }
+  }
+  std::cout << '\n';
+
+  if (!opt.csv_dir.empty()) {
+    const std::string path = opt.csv_dir + "/fig14_" + tag + ".csv";
+    std::ofstream out(path);
+    if (out) {
+      out << rec.to_csv();
+      std::cout << "(csv written to " << path << ")\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  render(opt, model::ModelConfig::gptj_like(), "gptj_rope");
+  render(opt, model::ModelConfig::mpt_like(), "mpt_alibi");
+  std::cout << "Paper shape check: RoPE heads show scattered content "
+               "hotspots with no single pattern; ALiBi low-index heads "
+               "concentrate near the recent edge while high-index heads "
+               "reach back — which is why attention sinks alone "
+               "(StreamingLLM) underperform on MPT.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Micro-kernel benchmarks (google-benchmark): the primitive costs behind
+// the analytical model — attention step, plain softmax vs Gumbel softmax
+// (Keyformer's score overhead, Fig 10), cache compaction, matmul.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "keyformer/keyformer.h"
+
+namespace {
+
+using namespace kf;
+
+void BM_Matmul(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> a(n * n, 1.0F), b(n * n, 0.5F), c(n * n);
+  for (auto _ : state) {
+    matmul(a, b, c, n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Softmax(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> x(n), out(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = static_cast<float>(i % 17);
+  for (auto _ : state) {
+    softmax(x, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Softmax)->Arg(512)->Arg(2048)->Arg(8192);
+
+void BM_GumbelSoftmaxScore(benchmark::State& state) {
+  // Keyformer's per-head score increment over a cache row — the overhead
+  // Fig 10 charges against the Gumbel softmax.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> logits(n);
+  std::vector<std::size_t> positions(n);
+  std::iota(positions.begin(), positions.end(), 0);
+  for (std::size_t i = 0; i < n; ++i) logits[i] = static_cast<float>(i % 13);
+  std::vector<double> out(n);
+  const kv::ScoreFunction fn{kv::ScoreFunctionConfig{}};
+  std::size_t t = 0;
+  for (auto _ : state) {
+    fn.increments(logits, positions, 0, 0, t++ % 64, 64, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_GumbelSoftmaxScore)->Arg(512)->Arg(2048)->Arg(8192);
+
+void BM_AttentionDecodeStep(benchmark::State& state) {
+  const std::size_t ctx = static_cast<std::size_t>(state.range(0));
+  model::ModelConfig cfg = model::ModelConfig::mpt_like();
+  const model::ModelWeights w = model::build_weights(cfg);
+  kv::KvCache cache(cfg.n_heads, cfg.d_head(), ctx + 8);
+  Rng rng(1);
+  std::vector<float> row(cache.row_width());
+  for (std::size_t i = 0; i < ctx; ++i) {
+    for (float& v : row) v = static_cast<float>(rng.normal());
+    cache.append(row, row, i);
+  }
+  Tensor x({1, cfg.d_model});
+  for (float& v : x.span()) v = static_cast<float>(rng.normal());
+  std::size_t pos = ctx;
+  for (auto _ : state) {
+    const std::size_t positions[1] = {pos++};
+    auto r = model::attention_forward(cfg, w.layers[0], x, {positions, 1},
+                                      cache);
+    benchmark::DoNotOptimize(r.context.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ctx));
+}
+BENCHMARK(BM_AttentionDecodeStep)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_CacheCompaction(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  model::ModelConfig cfg = model::ModelConfig::mpt_like();
+  std::vector<float> row(cfg.d_model, 1.0F);
+  std::vector<std::size_t> keep;
+  for (std::size_t i = 0; i < n; i += 2) keep.push_back(i);
+  for (auto _ : state) {
+    state.PauseTiming();
+    kv::KvCache cache(cfg.n_heads, cfg.d_head(), n);
+    for (std::size_t i = 0; i < n; ++i) cache.append(row, row, i);
+    state.ResumeTiming();
+    cache.compact(keep);
+    benchmark::DoNotOptimize(cache.size());
+  }
+}
+BENCHMARK(BM_CacheCompaction)->Arg(1024)->Arg(4096);
+
+void BM_TopKSelection(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> scores(n);
+  Rng rng(2);
+  for (auto& s : scores) s = rng.uniform();
+  for (auto _ : state) {
+    auto keep = kv::keep_topk_plus_recent(scores, n, n - n / 10, n / 2);
+    benchmark::DoNotOptimize(keep.data());
+  }
+}
+BENCHMARK(BM_TopKSelection)->Arg(1024)->Arg(4096)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Table 2 — few-shot accuracy on the lm-eval-harness-like synthetic tasks
+// (COPA / OpenBookQA / Winogrande / PIQA), 0-shot and 5-shot, for
+// Cerebras-like and MPT-like models: Full vs H2O vs Keyformer at 50% KV
+// cache.
+#include "bench_common.h"
+
+using namespace kf;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  const std::size_t n_questions = opt.quick ? 16 : 40;
+
+  Table t("Table 2: few-shot accuracy (%) — H2O and Keyformer at 50% cache");
+  t.header({"task", "model", "shots", "full", "h2o", "keyformer"});
+
+  const std::vector<model::ModelConfig> models = {
+      model::ModelConfig::cerebras_like(), model::ModelConfig::mpt_like()};
+  const std::vector<data::McqTaskKind> tasks = {
+      data::McqTaskKind::kCopa, data::McqTaskKind::kOpenBookQa,
+      data::McqTaskKind::kWinogrande, data::McqTaskKind::kPiqa};
+
+  for (const auto task : tasks) {
+    for (const model::ModelConfig& cfg : models) {
+      model::Transformer m(cfg);
+      for (const std::size_t shots : {0u, 5u}) {
+        data::McqConfig mc;
+        mc.kind = task;
+        mc.n_shots = shots;
+        mc.seed = opt.seed;
+        const auto samples = data::make_mcq_set(mc, n_questions);
+
+        std::vector<std::string> row{to_string(task), cfg.name,
+                                     std::to_string(shots) + "-shot"};
+        for (const auto kind :
+             {kv::PolicyKind::kFull, kv::PolicyKind::kH2O,
+              kv::PolicyKind::kKeyformer}) {
+          auto policy = bench::make_policy(kind, opt.seed);
+          eval::EvalConfig ec;
+          ec.cache_ratio = kind == kv::PolicyKind::kFull ? 1.0 : 0.5;
+          const double acc = eval::mcq_accuracy(m, samples, *policy, ec);
+          row.push_back(Table::num(100.0 * acc, 1));
+        }
+        t.row(row);
+      }
+    }
+  }
+  t.print(std::cout);
+  bench::maybe_write_csv(opt, t, "table2_fewshot");
+
+  std::cout << "Paper shape check: at 50% cache both eviction methods "
+               "track full attention within a few points, and Keyformer "
+               "ties or beats H2O on most cells. (Divergence from the "
+               "paper: our synthetic shots lengthen the prompt without "
+               "adding model knowledge, so 5-shot does not reliably lift "
+               "accuracy the way it does for pretrained 7B models — see "
+               "EXPERIMENTS.md.)\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Table 3 — the method ablation at 60% KV cache on the MPT-like model:
+//   Full / Window / H2O / StreamingLLM baselines,
+//   Keyformer with per-layer vs shared score functions,
+//   Keyformer with original vs new positional information.
+#include "bench_common.h"
+
+using namespace kf;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  model::Transformer m(model::ModelConfig::mpt_like());
+  const auto samples = bench::summarization_set(opt);
+
+  eval::EvalConfig ec;
+  ec.max_new_tokens = opt.gen_tokens;
+  auto full = bench::make_policy(kv::PolicyKind::kFull, opt.seed);
+  const auto outputs = eval::generate_outputs(m, samples, *full, ec);
+  const auto full_res =
+      eval::evaluate_policy_on_task(m, samples, *full, ec, &outputs);
+
+  Table t(
+      "Table 3: ROUGE comparison at 60% KV cache (MPT-like, "
+      "CNN/DailyMail-like summarization; fidelity F1 to full attention)");
+  t.header({"method", "score_fn", "pos_info", "fid_R1", "fid_R2", "fid_RL",
+            "ref_R1"});
+  t.row({"full", "-", "org", Table::num(1.0, 3), Table::num(1.0, 3),
+         Table::num(1.0, 3), Table::num(full_res.ref_rouge1, 3)});
+
+  const auto eval_policy = [&](kv::EvictionPolicy& policy,
+                               model::PositionMode mode) {
+    m.set_position_mode(mode);
+    eval::EvalConfig rc = ec;
+    rc.cache_ratio = 0.6;
+    const auto res =
+        eval::evaluate_policy_on_task(m, samples, policy, rc, &outputs);
+    m.set_position_mode(model::PositionMode::kOriginal);
+    return res;
+  };
+
+  {
+    auto policy = bench::make_policy(kv::PolicyKind::kWindow, opt.seed);
+    const auto r = eval_policy(*policy, model::PositionMode::kOriginal);
+    t.row({"window", "-", "org", Table::num(r.fid_rouge1, 3),
+           Table::num(r.fid_rouge2, 3), Table::num(r.fid_rougeL, 3),
+           Table::num(r.ref_rouge1, 3)});
+  }
+  {
+    auto policy = bench::make_policy(kv::PolicyKind::kH2O, opt.seed);
+    const auto r = eval_policy(*policy, model::PositionMode::kOriginal);
+    t.row({"h2o", "per-layer", "org", Table::num(r.fid_rouge1, 3),
+           Table::num(r.fid_rouge2, 3), Table::num(r.fid_rougeL, 3),
+           Table::num(r.ref_rouge1, 3)});
+  }
+  {
+    auto policy = bench::make_policy(kv::PolicyKind::kStreamingLLM, opt.seed);
+    const auto r = eval_policy(*policy, model::PositionMode::kOriginal);
+    t.row({"streaming_llm", "-", "org", Table::num(r.fid_rouge1, 3),
+           Table::num(r.fid_rouge2, 3), Table::num(r.fid_rougeL, 3),
+           Table::num(r.ref_rouge1, 3)});
+  }
+  {
+    auto policy = bench::make_policy(kv::PolicyKind::kKeyformer, opt.seed);
+    const auto r = eval_policy(*policy, model::PositionMode::kNew);
+    t.row({"keyformer (new pos)", "per-layer", "new",
+           Table::num(r.fid_rouge1, 3), Table::num(r.fid_rouge2, 3),
+           Table::num(r.fid_rougeL, 3), Table::num(r.ref_rouge1, 3)});
+  }
+  {
+    auto policy = bench::make_policy(kv::PolicyKind::kKeyformer, opt.seed);
+    const auto r = eval_policy(*policy, model::PositionMode::kOriginal);
+    t.row({"keyformer (org pos)", "per-layer", "org",
+           Table::num(r.fid_rouge1, 3), Table::num(r.fid_rouge2, 3),
+           Table::num(r.fid_rougeL, 3), Table::num(r.ref_rouge1, 3)});
+  }
+  {
+    kv::PolicyConfig pc;
+    pc.kind = kv::PolicyKind::kKeyformer;
+    pc.keyformer.scope = kv::ScoreScope::kShared;
+    pc.keyformer.score.seed = opt.seed;
+    auto policy = kv::make_policy(pc);
+    const auto r = eval_policy(*policy, model::PositionMode::kOriginal);
+    t.row({"keyformer (org pos)", "shared", "org",
+           Table::num(r.fid_rouge1, 3), Table::num(r.fid_rouge2, 3),
+           Table::num(r.fid_rougeL, 3), Table::num(r.ref_rouge1, 3)});
+  }
+
+  t.print(std::cout);
+  bench::maybe_write_csv(opt, t, "table3_ablation");
+
+  std::cout << "Paper shape check: original positions clearly beat "
+               "re-indexed (new) positions, and every score-based method "
+               "dominates the recency-only baselines (window, "
+               "StreamingLLM). At this generous 60% budget on the ALiBi "
+               "family the H2O / per-layer / shared margins are small — "
+               "Keyformer's advantage shows in the budget sweeps of "
+               "Fig 7/8 (see EXPERIMENTS.md for the measured ordering).\n";
+  return 0;
+}

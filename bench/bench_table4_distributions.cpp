@@ -1,0 +1,50 @@
+// Table 4 — which logit-adjustment distribution identifies key tokens
+// best: Gumbel vs Gaussian (same mean/std) vs constant (Gumbel mean) vs
+// none (H2O-style), at 60% KV cache on all three model families.
+#include "bench_common.h"
+
+using namespace kf;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+
+  Table t(
+      "Table 4: ROUGE-2 fidelity with different logit adjustments "
+      "(60% KV cache; Gaussian matches the Gumbel's mean and variance)");
+  t.header({"model", "gumbel", "gaussian", "constant", "none"});
+
+  for (const model::ModelConfig& cfg : bench::bench_models()) {
+    model::Transformer m(cfg);
+    const auto samples = bench::summarization_set(opt);
+    eval::EvalConfig ec;
+    ec.max_new_tokens = opt.gen_tokens;
+    auto full = bench::make_policy(kv::PolicyKind::kFull, opt.seed);
+    const auto outputs = eval::generate_outputs(m, samples, *full, ec);
+
+    std::vector<std::string> row{cfg.name};
+    for (const auto adjustment :
+         {kv::LogitAdjustment::kGumbel, kv::LogitAdjustment::kGaussian,
+          kv::LogitAdjustment::kConstant, kv::LogitAdjustment::kNone}) {
+      kv::PolicyConfig pc;
+      pc.kind = kv::PolicyKind::kKeyformer;
+      pc.keyformer.score.adjustment = adjustment;
+      pc.keyformer.score.seed = opt.seed;
+      auto policy = kv::make_policy(pc);
+      eval::EvalConfig rc = ec;
+      rc.cache_ratio = 0.6;
+      const auto res =
+          eval::evaluate_policy_on_task(m, samples, *policy, rc, &outputs);
+      row.push_back(Table::num(res.fid_rouge2, 3));
+    }
+    t.row(row);
+  }
+  t.print(std::cout);
+  bench::maybe_write_csv(opt, t, "table4_distributions");
+
+  std::cout << "Paper shape check: the skewed Gumbel adjustment leads on "
+               "the RoPE and learned-position families; the constant shift "
+               "cancels in the softmax and lands exactly on the "
+               "no-adjustment score. (Divergence: the ALiBi family prefers "
+               "the un-noised score at this budget — see EXPERIMENTS.md.)\n";
+  return 0;
+}

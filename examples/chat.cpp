@@ -1,0 +1,69 @@
+// Multi-turn conversation under a fixed KV budget: the cache stays at a
+// constant size while the dialogue grows — the long-conversation serving
+// scenario that motivates inference-time cache reduction (SODA task).
+//
+//   ./examples/chat [n_turns]    (default 6)
+#include <cstdlib>
+#include <iostream>
+
+#include "keyformer/keyformer.h"
+
+using namespace kf;
+
+int main(int argc, char** argv) {
+  const std::size_t n_turns = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                       : 6;
+
+  model::ModelConfig cfg = model::ModelConfig::mpt_like();  // chat flavor
+  model::Transformer model(cfg);
+  data::DialogueConfig dc;
+  dc.n_turns = 2;  // seed conversation
+
+  Table t("conversation under a fixed 128-token KV budget (keyformer)");
+  t.header({"turn", "history_tokens", "cache_tokens", "peak_cache",
+            "reply_preview"});
+
+  // Build the conversation incrementally: each turn appends the model's
+  // own reply plus a fresh user turn, and the WHOLE history is re-served
+  // under the same static budget.
+  std::vector<data::Token> history =
+      data::make_dialogue_sample(dc, 7).prompt;
+
+  auto policy = kv::make_policy(kv::PolicyKind::kKeyformer);
+  for (std::size_t turn = 0; turn < n_turns; ++turn) {
+    model::GenerationConfig g;
+    g.max_new_tokens = 24;
+    g.banned_tokens = {data::kBos, data::kEos, data::kPad};
+    // Fixed absolute budget: expressed as a ratio of this turn's history.
+    const double ratio =
+        std::min(1.0, 128.0 / static_cast<double>(history.size()));
+    g.cache_ratio = ratio;
+    const auto r = model::generate(model, history, *policy, g);
+
+    std::string preview;
+    for (std::size_t i = 0; i < std::min<std::size_t>(6, r.tokens.size());
+         ++i) {
+      preview += std::to_string(r.tokens[i]) + " ";
+    }
+    t.row({Table::num(static_cast<long long>(turn + 1)),
+           Table::num(static_cast<long long>(history.size())),
+           Table::num(static_cast<long long>(r.final_cache_sizes[0])),
+           Table::num(static_cast<long long>(r.peak_cache_tokens)),
+           preview + "..."});
+
+    // Append the reply and a new user turn to the history.
+    history.insert(history.end(), r.tokens.begin(), r.tokens.end());
+    history.push_back(data::kSep);
+    data::DialogueConfig next;
+    next.n_turns = 1;
+    next.seed = 100 + turn;
+    const auto user = data::make_dialogue_sample(next, turn).prompt;
+    history.insert(history.end(), user.begin() + 1, user.end());
+  }
+  t.print(std::cout);
+
+  std::cout << "Note how history grows every turn while the served cache "
+               "stays pinned near 128 tokens — the memory profile that "
+               "enables larger batch sizes in Table 1.\n";
+  return 0;
+}

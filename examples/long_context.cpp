@@ -1,0 +1,83 @@
+// Long-context summarization (the Fig 8 scenario): a GovReport-like
+// document, MPT-storywriter-like model, comparing H2O and Keyformer at an
+// aggressive 30% budget — plus a per-section retention report showing
+// *which parts of the document* each policy kept.
+//
+//   ./examples/long_context [doc_len]   (default 768)
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "keyformer/keyformer.h"
+
+using namespace kf;
+
+namespace {
+
+/// Fraction of cached tokens per document decile, layer 0.
+std::vector<double> cache_histogram(const model::Transformer& m,
+                                    std::size_t doc_len) {
+  std::vector<double> deciles(10, 0.0);
+  const auto pos = m.cache(0).original_positions();
+  for (const std::size_t p : pos) {
+    if (p < doc_len) {
+      deciles[std::min<std::size_t>(9, p * 10 / doc_len)] += 1.0;
+    }
+  }
+  const double total = static_cast<double>(pos.size());
+  for (double& d : deciles) d /= total;
+  return deciles;
+}
+
+std::string bar(double frac) {
+  const int n = static_cast<int>(frac * 50);
+  return std::string(static_cast<std::size_t>(std::max(0, n)), '#');
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t doc_len =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 768;
+
+  model::Transformer model(model::ModelConfig::mpt_storywriter_like());
+  data::LongReportConfig lc;
+  lc.doc_len = doc_len;
+  const auto sample = data::make_long_report_sample(lc, 0);
+  std::cout << "document: " << sample.prompt.size() << " tokens, "
+            << lc.n_sections << " sections, "
+            << sample.reference.size() << " reference facts\n\n";
+
+  model::GenerationConfig g;
+  g.max_new_tokens = 32;
+  g.banned_tokens = {data::kBos, data::kEos, data::kSep, data::kPad};
+
+  auto full = kv::make_policy(kv::PolicyKind::kFull);
+  const auto full_run = model::generate(model, sample.prompt, *full, g);
+
+  for (const auto kind : {kv::PolicyKind::kH2O, kv::PolicyKind::kKeyformer}) {
+    auto policy = kv::make_policy(kind);
+    g.cache_ratio = 0.3;
+    const auto r = model::generate(model, sample.prompt, *policy, g);
+    const auto fid = eval::rouge_all(r.tokens, full_run.tokens);
+    const auto ref = eval::rouge_all(r.tokens, sample.reference);
+
+    std::cout << "[" << to_string(kind) << " @30% cache]  fid R2 "
+              << Table::num(fid.r2.f1, 3) << ", ref R1 "
+              << Table::num(ref.r1.f1, 3) << ", cache "
+              << r.final_cache_sizes[0] << " tokens\n";
+    std::cout << "  kept tokens by document decile:\n";
+    const auto hist = cache_histogram(model, sample.prompt.size());
+    for (std::size_t d = 0; d < hist.size(); ++d) {
+      std::cout << "   " << d * 10 << "-" << (d + 1) * 10 << "% |"
+                << bar(hist[d]) << "\n";
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "Reading guide: H2O's keep-set leans on the early document "
+               "(accumulated-attention bias); Keyformer spreads retention "
+               "across the mid-document sections where this corpus plants "
+               "its facts, plus the recent window at the end.\n";
+  return 0;
+}

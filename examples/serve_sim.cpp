@@ -1,0 +1,59 @@
+// Serving simulator: sweep batch size and sequence length on the
+// A100/MPT-7B cost model to find the throughput/OOM frontier for full
+// attention vs Keyformer — the capacity-planning view behind Table 1's
+// "bigger batch" row.
+//
+//   ./examples/serve_sim
+#include <iostream>
+
+#include "keyformer/keyformer.h"
+
+using namespace kf;
+
+int main() {
+  const perf::CostModel cm(perf::DeviceSpec::a100_80gb(),
+                           perf::ModelSpec::mpt_7b());
+
+  Table t("serving frontier: tokens/s by (sequence, batch); OOM = does not fit");
+  t.header({"sequence", "batch", "full_attention", "keyformer_50%",
+            "keyformer_gain"});
+
+  for (const std::size_t len : {1024u, 2048u, 4096u}) {
+    for (const std::size_t batch : {1u, 2u, 4u, 8u}) {
+      perf::WorkloadSpec full;
+      full.prompt_len = len;
+      full.gen_len = len;
+      full.batch = batch;
+      const auto cf = cm.run(full);
+
+      perf::WorkloadSpec kfw = full;
+      kfw.cache_mode = perf::CacheMode::kStaticPrompt;
+      kfw.cache_ratio = 0.5;
+      kfw.policy_cost = perf::PolicyCost::kGumbelTopK;
+      const auto ck = cm.run(kfw);
+
+      const std::string full_cell =
+          cf.oom ? "OOM" : Table::num(cf.throughput_tokens_per_s, 1);
+      const std::string kf_cell =
+          ck.oom ? "OOM" : Table::num(ck.throughput_tokens_per_s, 1);
+      std::string gain = "-";
+      if (!ck.oom && cf.oom) gain = "fits where full OOMs";
+      else if (!ck.oom && !cf.oom) {
+        gain = Table::num(
+                   ck.throughput_tokens_per_s / cf.throughput_tokens_per_s,
+                   2) +
+               "x";
+      }
+      t.row({std::to_string(len) + "+" + std::to_string(len),
+             Table::num(static_cast<long long>(batch)), full_cell, kf_cell,
+             gain});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "Capacity planning view: halving the KV cache both speeds "
+               "up each sequence and roughly doubles the batch size that "
+               "fits in HBM — the two compounding wins behind the paper's "
+               "2.4x throughput claim.\n";
+  return 0;
+}

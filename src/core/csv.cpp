@@ -1,0 +1,63 @@
+#include "core/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/table.h"
+
+namespace kf {
+
+namespace {
+
+std::string escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (i > 0) os << ',';
+      os << escape(r[i]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_string();
+  return static_cast<bool>(out);
+}
+
+CsvWriter CsvWriter::from_table(const Table& table) {
+  CsvWriter csv(table.header_row());
+  for (const auto& r : table.rows()) {
+    csv.add_row(r);
+  }
+  return csv;
+}
+
+}  // namespace kf

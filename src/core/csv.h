@@ -1,0 +1,37 @@
+// Tiny CSV writer so bench binaries can persist the series they print
+// (plotting-friendly output for EXPERIMENTS.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace kf {
+
+class Table;
+
+/// Accumulates rows and writes an RFC-4180-ish CSV file (quotes cells
+/// containing separators or quotes).
+class CsvWriter {
+ public:
+  /// Sets the header row.
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a row; ragged rows are allowed.
+  void add_row(std::vector<std::string> cells);
+
+  /// Serializes all rows.
+  std::string to_string() const;
+
+  /// Writes to `path`. Returns false (and leaves no partial file
+  /// guarantee) on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  /// Builds a CSV from an existing Table (header + rows).
+  static CsvWriter from_table(const Table& table);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kf

@@ -1,0 +1,78 @@
+#include "core/numerics.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace kf {
+
+float max_value(std::span<const float> x) {
+  assert(!x.empty());
+  float m = x[0];
+  for (const float v : x) m = v > m ? v : m;
+  return m;
+}
+
+double logsumexp(std::span<const float> x) {
+  const float m = max_value(x);
+  double acc = 0.0;
+  for (const float v : x) acc += std::exp(static_cast<double>(v - m));
+  return static_cast<double>(m) + std::log(acc);
+}
+
+void softmax(std::span<const float> x, std::span<float> out) {
+  assert(x.size() == out.size() && !x.empty());
+  const float m = max_value(x);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = std::exp(static_cast<double>(x[i] - m));
+    out[i] = static_cast<float>(e);
+    sum += e;
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (float& v : out) v *= inv;
+}
+
+void softmax_temperature(std::span<const float> x, std::span<float> out,
+                         double tau) {
+  assert(tau > 0.0 && x.size() == out.size() && !x.empty());
+  const float m = max_value(x);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = std::exp(static_cast<double>(x[i] - m) / tau);
+    out[i] = static_cast<float>(e);
+    sum += e;
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (float& v : out) v *= inv;
+}
+
+void log_softmax(std::span<const float> x, std::span<float> out) {
+  assert(x.size() == out.size() && !x.empty());
+  const double lse = logsumexp(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = static_cast<float>(static_cast<double>(x[i]) - lse);
+  }
+}
+
+double entropy(std::span<const float> p) {
+  double h = 0.0;
+  for (const float v : p) {
+    if (v > 0.0F) h -= static_cast<double>(v) * std::log(static_cast<double>(v));
+  }
+  return h;
+}
+
+double kl_divergence(std::span<const float> p, std::span<const float> q,
+                     double eps) {
+  assert(p.size() == q.size());
+  double kl = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] <= 0.0F) continue;
+    const double pi = p[i];
+    const double qi = q[i] > eps ? q[i] : eps;
+    kl += pi * std::log(pi / qi);
+  }
+  return kl;
+}
+
+}  // namespace kf

@@ -1,0 +1,34 @@
+// Numerically stable softmax-family primitives shared by the attention
+// kernel, the eviction-score functions, and the evaluation metrics.
+#pragma once
+
+#include <span>
+
+namespace kf {
+
+/// max(x). Requires non-empty input.
+float max_value(std::span<const float> x);
+
+/// log(sum_i exp(x_i)) computed stably. Requires non-empty input.
+double logsumexp(std::span<const float> x);
+
+/// out_i = exp(x_i - max) / sum_j exp(x_j - max). `x` and `out` may alias.
+void softmax(std::span<const float> x, std::span<float> out);
+
+/// Softmax with temperature: softmax(x / tau). Requires tau > 0.
+void softmax_temperature(std::span<const float> x, std::span<float> out,
+                         double tau);
+
+/// out_i = x_i - logsumexp(x) (log-probabilities).
+void log_softmax(std::span<const float> x, std::span<float> out);
+
+/// Shannon entropy of a probability vector (natural log). Zero entries are
+/// skipped. Requires p to sum approximately to 1 for a meaningful value.
+double entropy(std::span<const float> p);
+
+/// KL(p || q) with natural log; entries where p_i == 0 contribute 0, and
+/// q is floored at `eps` to avoid division by zero.
+double kl_divergence(std::span<const float> p, std::span<const float> q,
+                     double eps = 1e-12);
+
+}  // namespace kf

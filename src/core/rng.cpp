@@ -1,0 +1,115 @@
+#include "core/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace kf {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  // Mix b into a with an avalanche step so that (a, b) and (b, a) differ.
+  std::uint64_t x = a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+namespace {
+
+/// Convert a 64-bit value to a double in [0, 1) using the top 53 bits.
+double to_unit_double(std::uint64_t v) noexcept {
+  return static_cast<double>(v >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept : state_(seed) {
+  // Burn one step so that seeds 0 and 1 do not share early outputs.
+  (void)splitmix64(state_);
+}
+
+std::uint64_t Rng::u64() noexcept { return splitmix64(state_); }
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) noexcept {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = n * ((~0ULL) / n);
+  std::uint64_t v = u64();
+  while (v >= limit) v = u64();
+  return v % n;
+}
+
+double Rng::uniform() noexcept { return to_unit_double(u64()); }
+
+double Rng::uniform_open() noexcept {
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return u;
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  const double u1 = uniform_open();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+double Rng::gumbel() noexcept { return -std::log(-std::log(uniform_open())); }
+
+double Rng::gumbel(double mu, double beta) noexcept {
+  return mu + beta * gumbel();
+}
+
+Rng Rng::fork(std::uint64_t tag) noexcept {
+  Rng child(hash_combine(state_, tag));
+  return child;
+}
+
+namespace {
+
+std::uint64_t fold_key(std::initializer_list<std::uint64_t> key) noexcept {
+  std::uint64_t acc = 0x8C12E6A7B4F3D591ULL;
+  for (const std::uint64_t k : key) acc = hash_combine(acc, k);
+  return acc;
+}
+
+}  // namespace
+
+double stateless_uniform(std::initializer_list<std::uint64_t> key) noexcept {
+  std::uint64_t s = fold_key(key);
+  double u = to_unit_double(splitmix64(s));
+  while (u <= 0.0 || u >= 1.0) u = to_unit_double(splitmix64(s));
+  return u;
+}
+
+double stateless_gumbel(std::initializer_list<std::uint64_t> key) noexcept {
+  return -std::log(-std::log(stateless_uniform(key)));
+}
+
+double stateless_normal(std::initializer_list<std::uint64_t> key) noexcept {
+  std::uint64_t s = fold_key(key);
+  double u1 = to_unit_double(splitmix64(s));
+  while (u1 <= 0.0) u1 = to_unit_double(splitmix64(s));
+  const double u2 = to_unit_double(splitmix64(s));
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace kf

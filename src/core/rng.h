@@ -1,0 +1,78 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Two entry points:
+//   - kf::Rng: a sequential SplitMix64-based generator with uniform, normal
+//     (Box-Muller) and Gumbel(0,1) samplers.
+//   - kf::stateless_*: counter-based stateless samplers keyed by a tuple of
+//     identifiers (seed, layer, head, position). These give every KV-cache
+//     slot a fixed noise realization that is independent of evaluation
+//     order, which is what Algorithm 1's "Initialize zeta <- Gumbel"
+//     requires (the noise is drawn once per slot and reused every step).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+
+namespace kf {
+
+/// Euler-Mascheroni constant: mean of the standard Gumbel distribution.
+inline constexpr double kGumbelMean = 0.57721566490153286;
+/// Standard deviation of the standard Gumbel distribution (pi/sqrt(6)).
+inline constexpr double kGumbelStddev = 1.28254983016186409;
+
+/// SplitMix64 step: maps any 64-bit state to a well-mixed 64-bit output.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Order-independent-free hash combine used to derive stateless streams.
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// Sequential deterministic generator (not thread-safe; create one per
+/// thread or derive independent child streams with `fork`).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t u64() noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_u64(std::uint64_t n) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in (0, 1) — never returns exactly 0 (safe for log()).
+  double uniform_open() noexcept;
+
+  /// Standard normal via Box-Muller.
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Standard Gumbel(0, 1): -log(-log(U)).
+  double gumbel() noexcept;
+
+  /// Gumbel with location mu and scale beta.
+  double gumbel(double mu, double beta) noexcept;
+
+  /// Derive an independent child generator; deterministic in (state, tag).
+  Rng fork(std::uint64_t tag) noexcept;
+
+ private:
+  std::uint64_t state_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Stateless uniform in (0, 1) keyed by a list of identifiers.
+double stateless_uniform(std::initializer_list<std::uint64_t> key) noexcept;
+
+/// Stateless standard Gumbel keyed by a list of identifiers. Used for the
+/// per-slot noise zeta_i in the Keyformer score function.
+double stateless_gumbel(std::initializer_list<std::uint64_t> key) noexcept;
+
+/// Stateless standard normal keyed by a list of identifiers.
+double stateless_normal(std::initializer_list<std::uint64_t> key) noexcept;
+
+}  // namespace kf

@@ -1,0 +1,65 @@
+#include "core/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace kf {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+Table& Table::header(std::vector<std::string> cols) {
+  header_ = std::move(cols);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::num(long long v) { return std::to_string(v); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths;
+  const auto grow = [&](const std::vector<std::string>& r) {
+    if (r.size() > widths.size()) widths.resize(r.size(), 0);
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      widths[i] = std::max(widths[i], r[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  std::ostringstream os;
+  if (!title_.empty()) {
+    os << "== " << title_ << " ==\n";
+  }
+  const auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < r.size() ? r[i] : std::string{};
+      os << std::left << std::setw(static_cast<int>(widths[i])) << cell;
+      if (i + 1 < widths.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (const std::size_t w : widths) total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_string() << '\n'; }
+
+}  // namespace kf

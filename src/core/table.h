@@ -1,0 +1,50 @@
+// Aligned plain-text table printer used by every bench binary to emit the
+// rows/series of the corresponding paper table or figure.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace kf {
+
+/// Builds a column-aligned text table. Cells are strings; numeric helpers
+/// format with a fixed precision.
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  /// Sets the header row.
+  Table& header(std::vector<std::string> cols);
+
+  /// Appends a data row (ragged rows are padded with empty cells).
+  Table& row(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` decimal places.
+  static std::string num(double v, int precision = 3);
+
+  /// Formats an integer.
+  static std::string num(long long v);
+
+  /// Renders the table.
+  std::string to_string() const;
+
+  /// Prints to the stream followed by a blank line.
+  void print(std::ostream& os) const;
+
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+  const std::vector<std::string>& header_row() const noexcept {
+    return header_;
+  }
+  const std::string& title() const noexcept { return title_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kf

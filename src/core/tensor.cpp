@@ -1,0 +1,199 @@
+#include "core/tensor.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/threadpool.h"
+
+namespace kf {
+
+namespace {
+
+std::size_t shape_size(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (const std::size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::initializer_list<std::size_t> shape)
+    : Tensor(std::vector<std::size_t>(shape)) {}
+
+Tensor::Tensor(const std::vector<std::size_t>& shape)
+    : shape_(shape), data_(shape_size(shape), 0.0F) {
+  if (shape_.size() > 4) {
+    throw std::invalid_argument("Tensor supports at most 4 dimensions");
+  }
+}
+
+float& Tensor::at(std::size_t i, std::size_t j) {
+  assert(rank() == 2 && i < shape_[0] && j < shape_[1]);
+  return data_[i * shape_[1] + j];
+}
+
+float Tensor::at(std::size_t i, std::size_t j) const {
+  assert(rank() == 2 && i < shape_[0] && j < shape_[1]);
+  return data_[i * shape_[1] + j];
+}
+
+std::span<float> Tensor::row(std::size_t i) {
+  assert(rank() == 2 && i < shape_[0]);
+  return {data_.data() + i * shape_[1], shape_[1]};
+}
+
+std::span<const float> Tensor::row(std::size_t i) const {
+  assert(rank() == 2 && i < shape_[0]);
+  return {data_.data() + i * shape_[1], shape_[1]};
+}
+
+void Tensor::fill(float v) noexcept {
+  for (float& x : data_) x = v;
+}
+
+void Tensor::reshape(const std::vector<std::size_t>& shape) {
+  if (shape_size(shape) != data_.size()) {
+    throw std::invalid_argument("reshape must preserve element count");
+  }
+  shape_ = shape;
+}
+
+namespace {
+
+// Inner kernel for one row-block of C = A * B.
+void matmul_rows(const float* a, const float* b, float* c, std::size_t m0,
+                 std::size_t m1, std::size_t k, std::size_t n) {
+  constexpr std::size_t kBlockK = 64;
+  for (std::size_t i = m0; i < m1; ++i) {
+    float* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0F;
+    for (std::size_t kb = 0; kb < k; kb += kBlockK) {
+      const std::size_t ke = std::min(k, kb + kBlockK);
+      for (std::size_t kk = kb; kk < ke; ++kk) {
+        const float aik = a[i * k + kk];
+        const float* brow = b + kk * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void matmul(std::span<const float> a, std::span<const float> b,
+            std::span<float> c, std::size_t m, std::size_t k, std::size_t n) {
+  assert(a.size() >= m * k && b.size() >= k * n && c.size() >= m * n);
+  const std::size_t work = m * k * n;
+  if (work > (1u << 18) && m > 1) {
+    ThreadPool::global().parallel_for(
+        m,
+        [&](std::size_t r0, std::size_t r1) {
+          matmul_rows(a.data(), b.data(), c.data(), r0, r1, k, n);
+        },
+        /*grain=*/4);
+  } else {
+    matmul_rows(a.data(), b.data(), c.data(), 0, m, k, n);
+  }
+}
+
+void matmul_transposed_b(std::span<const float> a, std::span<const float> b,
+                         std::span<float> c, std::size_t m, std::size_t k,
+                         std::size_t n) {
+  assert(a.size() >= m * k && b.size() >= n * k && c.size() >= m * n);
+  const auto kernel = [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* arow = a.data() + i * k;
+      float* crow = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* brow = b.data() + j * k;
+        float acc = 0.0F;
+        for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        crow[j] = acc;
+      }
+    }
+  };
+  const std::size_t work = m * k * n;
+  if (work > (1u << 18) && m > 1) {
+    ThreadPool::global().parallel_for(m, kernel, /*grain=*/4);
+  } else {
+    kernel(0, m);
+  }
+}
+
+void matvec(std::span<const float> a, std::span<const float> x,
+            std::span<float> y, std::size_t n, std::size_t k) {
+  assert(a.size() >= n * k && x.size() >= k && y.size() >= n);
+  const auto kernel = [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* arow = a.data() + i * k;
+      float acc = 0.0F;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * x[kk];
+      y[i] = acc;
+    }
+  };
+  if (n * k > (1u << 18)) {
+    ThreadPool::global().parallel_for(n, kernel, /*grain=*/16);
+  } else {
+    kernel(0, n);
+  }
+}
+
+void vecmat(std::span<const float> x, std::span<const float> a,
+            std::span<float> y, std::size_t n, std::size_t k) {
+  assert(a.size() >= n * k && x.size() >= n && y.size() >= k);
+  for (std::size_t j = 0; j < k; ++j) y[j] = 0.0F;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float xi = x[i];
+    if (xi == 0.0F) continue;
+    const float* arow = a.data() + i * k;
+    for (std::size_t j = 0; j < k; ++j) y[j] += xi * arow[j];
+  }
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  float acc = 0.0F;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void add_inplace(std::span<float> y, std::span<const float> x) {
+  assert(y.size() == x.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += x[i];
+}
+
+void scale_inplace(std::span<float> y, float s) {
+  for (float& v : y) v *= s;
+}
+
+void gelu_inplace(std::span<float> y) {
+  constexpr float kSqrt2OverPi = 0.7978845608028654F;
+  for (float& v : y) {
+    const float c = v + 0.044715F * v * v * v;
+    v = 0.5F * v * (1.0F + std::tanh(kSqrt2OverPi * c));
+  }
+}
+
+void layer_norm(std::span<const float> x, std::span<const float> gamma,
+                std::span<const float> beta, std::span<float> out, float eps) {
+  assert(x.size() == out.size() && gamma.size() == x.size() &&
+         beta.size() == x.size());
+  const std::size_t n = x.size();
+  double mean = 0.0;
+  for (const float v : x) mean += v;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (const float v : x) {
+    const double d = v - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(n);
+  const float inv = 1.0F / std::sqrt(static_cast<float>(var) + eps);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = (x[i] - static_cast<float>(mean)) * inv * gamma[i] + beta[i];
+  }
+}
+
+}  // namespace kf

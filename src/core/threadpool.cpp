@@ -1,0 +1,83 @@
+#include "core/threadpool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace kf {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t max_chunks = std::max<std::size_t>(1, (n + grain - 1) / grain);
+  const std::size_t num_chunks = std::min(workers_.size() * 2, max_chunks);
+  if (num_chunks <= 1 || workers_.size() <= 1) {
+    fn(0, n);
+    return;
+  }
+
+  std::atomic<std::size_t> remaining(num_chunks);
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const std::size_t begin = c * chunk;
+      const std::size_t end = std::min(n, begin + chunk);
+      tasks_.push([&, begin, end] {
+        if (begin < end) fn(begin, end);
+        if (remaining.fetch_sub(1) == 1) {
+          const std::lock_guard<std::mutex> done_lock(done_mutex);
+          done_cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace kf

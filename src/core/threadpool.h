@@ -1,0 +1,52 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// The pool is used by the tensor kernels (matmul, attention) to keep the
+// CPU reproduction fast enough for the full benchmark sweep. Work items
+// are deterministic functions of their index range, so parallel execution
+// does not affect results.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace kf {
+
+/// A fixed pool of worker threads executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs fn(begin, end) over [0, n) split into roughly even chunks across
+  /// the pool, blocking until all chunks finish. Falls back to a direct
+  /// call when n is small or the pool has a single worker.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn,
+                    std::size_t grain = 1);
+
+  /// Process-wide shared pool (created on first use).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace kf

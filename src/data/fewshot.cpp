@@ -1,0 +1,138 @@
+#include "data/fewshot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/rng.h"
+
+namespace kf::data {
+
+std::string to_string(McqTaskKind kind) {
+  switch (kind) {
+    case McqTaskKind::kCopa: return "copa";
+    case McqTaskKind::kPiqa: return "piqa";
+    case McqTaskKind::kOpenBookQa: return "openbookqa";
+    case McqTaskKind::kWinogrande: return "winogrande";
+  }
+  return "unknown";
+}
+
+std::size_t n_options(McqTaskKind kind) {
+  return kind == McqTaskKind::kOpenBookQa ? 4 : 2;
+}
+
+namespace {
+
+Token zipf_filler(const TokenClasses& classes, Rng& rng) {
+  const double u = rng.uniform();
+  const std::size_t idx = static_cast<std::size_t>(
+      std::pow(u, 1.2) * static_cast<double>(classes.n_filler()));
+  return classes.filler_begin +
+         static_cast<Token>(std::min(idx, classes.n_filler() - 1));
+}
+
+/// Emits a passage of `len` tokens that plants `answer` `repeats` times and
+/// each wrong option at most once.
+void emit_passage(std::vector<Token>& out, std::size_t len, Token answer,
+                  std::size_t repeats, const std::vector<Token>& wrong,
+                  const TokenClasses& classes, Rng& rng) {
+  std::vector<Token> body(len, -1);
+  const auto place = [&](Token tok, std::size_t count) {
+    for (std::size_t c = 0; c < count; ++c) {
+      for (int attempts = 0; attempts < 16; ++attempts) {
+        const std::size_t p = rng.uniform_u64(len);
+        if (body[p] < 0) {
+          body[p] = tok;
+          break;
+        }
+      }
+    }
+  };
+  place(answer, repeats);
+  for (const Token wtok : wrong) place(wtok, 1);
+  for (Token& t : body) {
+    if (t < 0) t = zipf_filler(classes, rng);
+  }
+  out.insert(out.end(), body.begin(), body.end());
+}
+
+/// Task flavor tweaks: passage size and how strongly the answer is planted.
+void task_shape(McqTaskKind kind, std::size_t& passage_len,
+                std::size_t& answer_repeats) {
+  switch (kind) {
+    case McqTaskKind::kCopa:
+      break;  // defaults
+    case McqTaskKind::kPiqa:
+      passage_len = passage_len * 5 / 4;
+      break;
+    case McqTaskKind::kOpenBookQa:
+      answer_repeats += 1;  // 4 options need a clearer signal
+      break;
+    case McqTaskKind::kWinogrande:
+      passage_len = passage_len * 3 / 4;
+      answer_repeats = std::max<std::size_t>(2, answer_repeats - 1);
+      break;
+  }
+}
+
+}  // namespace
+
+McqSample make_mcq_sample(const McqConfig& cfg, std::size_t index) {
+  const TokenClasses classes(cfg.vocab_size);
+  Rng rng(hash_combine(cfg.seed,
+                       hash_combine(0x3C9 + index,
+                                    static_cast<std::uint64_t>(cfg.kind))));
+  std::size_t passage_len = cfg.passage_len;
+  std::size_t answer_repeats = cfg.answer_repeats;
+  task_shape(cfg.kind, passage_len, answer_repeats);
+
+  const std::size_t k = n_options(cfg.kind);
+  // Draw k distinct option tokens from the fact pool.
+  std::vector<Token> pool(classes.n_fact());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    pool[i] = classes.fact_begin + static_cast<Token>(i);
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + rng.uniform_u64(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+  }
+  McqSample s;
+  s.options.assign(pool.begin(), pool.begin() + static_cast<long>(k));
+  s.correct = rng.uniform_u64(k);
+
+  s.prompt.push_back(kBos);
+  // Shots: independent mini passages with their own answers drawn from the
+  // same option inventory; each ends with <sep> answer <sep>.
+  for (std::size_t shot = 0; shot < cfg.n_shots; ++shot) {
+    const Token shot_answer =
+        s.options[rng.uniform_u64(s.options.size())];
+    emit_passage(s.prompt, passage_len / 3, shot_answer,
+                 std::max<std::size_t>(2, answer_repeats - 1), {}, classes,
+                 rng);
+    s.prompt.push_back(kSep);
+    s.prompt.push_back(shot_answer);
+    s.prompt.push_back(kSep);
+  }
+
+  std::vector<Token> wrong;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (i != s.correct) wrong.push_back(s.options[i]);
+  }
+  emit_passage(s.prompt, passage_len, s.options[s.correct], answer_repeats,
+               wrong, classes, rng);
+  // Answer cue: the scorer decodes one step on a trailing <sep>.
+  return s;
+}
+
+std::vector<McqSample> make_mcq_set(const McqConfig& cfg,
+                                    std::size_t n_samples) {
+  std::vector<McqSample> out;
+  out.reserve(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    out.push_back(make_mcq_sample(cfg, i));
+  }
+  return out;
+}
+
+}  // namespace kf::data

@@ -1,0 +1,52 @@
+// Synthetic few-shot multiple-choice tasks standing in for the paper's
+// lm-eval-harness suite (COPA, PIQA, OpenBookQA, Winogrande — Table 2).
+//
+// Mechanism: a passage plants the correct option token several times while
+// wrong options stay (almost) absent. A model that still *sees* the
+// relevant passage tokens after cache eviction assigns the correct option
+// a higher next-token log-probability at the answer cue. Shots are
+// independent mini-examples whose answers are drawn from the same option
+// inventory, so more shots add more supporting occurrences on average —
+// the 0-shot -> 5-shot accuracy lift of Table 2.
+//
+// Scoring protocol (see eval/experiment.h): prefill the prompt under the
+// eviction policy, then decode one step on the answer cue <sep> and
+// compare the options' log-probabilities against the *reduced* cache.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/vocab.h"
+
+namespace kf::data {
+
+enum class McqTaskKind { kCopa, kPiqa, kOpenBookQa, kWinogrande };
+
+std::string to_string(McqTaskKind kind);
+
+/// Options per question (COPA/PIQA/Winogrande: 2; OpenBookQA: 4).
+std::size_t n_options(McqTaskKind kind);
+
+struct McqSample {
+  std::vector<Token> prompt;   ///< shots + passage + answer cue
+  std::vector<Token> options;  ///< candidate answer tokens
+  std::size_t correct = 0;     ///< index into options
+};
+
+struct McqConfig {
+  McqTaskKind kind = McqTaskKind::kCopa;
+  std::size_t n_shots = 0;
+  std::size_t passage_len = 160;
+  std::size_t answer_repeats = 4;  ///< plants of the correct token
+  std::size_t vocab_size = 512;
+  std::uint64_t seed = 42;
+};
+
+McqSample make_mcq_sample(const McqConfig& cfg, std::size_t index);
+
+std::vector<McqSample> make_mcq_set(const McqConfig& cfg,
+                                    std::size_t n_samples);
+
+}  // namespace kf::data

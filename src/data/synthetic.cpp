@@ -1,0 +1,281 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/rng.h"
+
+namespace kf::data {
+
+namespace {
+
+/// Power-law ("Zipf-ish") filler token: low filler ids are much more
+/// frequent, mimicking natural-language unigram statistics.
+Token zipf_filler(const TokenClasses& classes, Rng& rng) {
+  const double u = rng.uniform();
+  const std::size_t idx = static_cast<std::size_t>(
+      std::pow(u, 1.2) * static_cast<double>(classes.n_filler()));
+  return classes.filler_begin +
+         static_cast<Token>(std::min(idx, classes.n_filler() - 1));
+}
+
+/// Picks `count` distinct positions uniformly from [begin, end).
+std::vector<std::size_t> pick_positions(std::size_t begin, std::size_t end,
+                                        std::size_t count, Rng& rng) {
+  assert(end >= begin);
+  std::vector<std::size_t> all(end - begin);
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = begin + i;
+  count = std::min(count, all.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + rng.uniform_u64(all.size() - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(count);
+  return all;
+}
+
+/// Picks `count` distinct fact tokens.
+std::vector<Token> pick_facts(const TokenClasses& classes, std::size_t count,
+                              Rng& rng) {
+  std::vector<Token> pool(classes.n_fact());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    pool[i] = classes.fact_begin + static_cast<Token>(i);
+  }
+  count = std::min(count, pool.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + rng.uniform_u64(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(count);
+  return pool;
+}
+
+/// Orders `facts` by their first appearance in `doc`.
+std::vector<Token> reference_in_order(const std::vector<Token>& doc,
+                                      const std::vector<Token>& facts) {
+  std::vector<Token> ref;
+  ref.reserve(facts.size());
+  for (const Token t : doc) {
+    if (std::find(facts.begin(), facts.end(), t) != facts.end() &&
+        std::find(ref.begin(), ref.end(), t) == ref.end()) {
+      ref.push_back(t);
+    }
+  }
+  return ref;
+}
+
+/// Records every position of `doc` holding one of `facts`.
+std::vector<std::size_t> positions_of(const std::vector<Token>& doc,
+                                      const std::vector<Token>& facts) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < doc.size(); ++i) {
+    if (std::find(facts.begin(), facts.end(), doc[i]) != facts.end()) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Sample make_summarization_sample(const SummarizationConfig& cfg,
+                                 std::size_t index) {
+  if (cfg.doc_len < 32) {
+    throw std::invalid_argument("doc_len too small");
+  }
+  const TokenClasses classes(cfg.vocab_size);
+  Rng rng(hash_combine(cfg.seed, 0xD0C5 + index));
+
+  std::vector<Token> doc(cfg.doc_len, -1);
+  doc[0] = kBos;
+
+  // Draw facts and distractors from the same salient pool, disjoint. The
+  // distractors are the "heavy hitters that are not key tokens": salient
+  // tokens repeated heavily near the start of the document that soak up
+  // accumulated attention (the f_theta(acc attn) bias of Section 2.3.2)
+  // without carrying reference content.
+  std::vector<Token> pool =
+      pick_facts(classes, cfg.n_facts + cfg.n_distractors, rng);
+  const std::vector<Token> facts(pool.begin(),
+                                 pool.begin() + static_cast<long>(std::min(
+                                     cfg.n_facts, pool.size())));
+  const std::vector<Token> distractors(
+      pool.begin() + static_cast<long>(facts.size()), pool.end());
+
+  // Early heavy distractors: first ~35% of the document.
+  const std::size_t early_end =
+      std::max<std::size_t>(2, (cfg.doc_len * 35) / 100);
+  for (const Token tok : distractors) {
+    const auto slots =
+        pick_positions(1, early_end, cfg.distractor_repeats, rng);
+    for (const std::size_t p : slots) {
+      if (doc[p] < 0) doc[p] = tok;
+    }
+  }
+
+  // Facts: middle 35%..92% — outside the distractor zone and outside a
+  // typical trailing recent window.
+  const std::size_t fact_begin_pos = early_end;
+  const std::size_t fact_end_pos =
+      std::max(fact_begin_pos + 1, (cfg.doc_len * 92) / 100);
+  for (const Token f : facts) {
+    auto slots =
+        pick_positions(fact_begin_pos, fact_end_pos, cfg.fact_repeats * 3,
+                       rng);
+    std::size_t placed = 0;
+    for (const std::size_t p : slots) {
+      if (placed == cfg.fact_repeats) break;
+      if (doc[p] < 0) {
+        doc[p] = f;
+        ++placed;
+      }
+    }
+  }
+
+  // Filler everywhere else.
+  for (std::size_t i = 1; i < doc.size(); ++i) {
+    if (doc[i] < 0) doc[i] = zipf_filler(classes, rng);
+  }
+
+  Sample s;
+  s.prompt = std::move(doc);
+  // Ask for the summary: a separator cue at the end of the prompt.
+  s.prompt.push_back(kSep);
+  s.reference = reference_in_order(s.prompt, facts);
+  s.fact_positions = positions_of(s.prompt, facts);
+  return s;
+}
+
+std::vector<Sample> make_summarization_set(const SummarizationConfig& cfg,
+                                           std::size_t n_samples) {
+  std::vector<Sample> out;
+  out.reserve(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    out.push_back(make_summarization_sample(cfg, i));
+  }
+  return out;
+}
+
+Sample make_dialogue_sample(const DialogueConfig& cfg, std::size_t index) {
+  const TokenClasses classes(cfg.vocab_size);
+  Rng rng(hash_combine(cfg.seed, 0xD1A1 + index));
+
+  Sample s;
+  s.prompt.push_back(kBos);
+  std::vector<Token> early_topics;
+  for (std::size_t turn = 0; turn < cfg.n_turns; ++turn) {
+    s.prompt.push_back(kSep);
+    const std::vector<Token> topics =
+        pick_facts(classes, cfg.topics_per_turn, rng);
+    const bool early_half = turn < cfg.n_turns / 2;
+    std::vector<Token> body(cfg.turn_len, -1);
+    // Each topic token appears twice inside its turn.
+    for (const Token t : topics) {
+      const auto slots = pick_positions(0, cfg.turn_len, 2, rng);
+      for (const std::size_t p : slots) {
+        if (body[p] < 0) body[p] = t;
+      }
+      if (early_half) early_topics.push_back(t);
+    }
+    for (Token& t : body) {
+      if (t < 0) t = zipf_filler(classes, rng);
+    }
+    s.prompt.insert(s.prompt.end(), body.begin(), body.end());
+  }
+  s.prompt.push_back(kSep);
+  // Long-range recall: a good continuation revisits the early topics.
+  s.reference = early_topics;
+  s.fact_positions = positions_of(s.prompt, early_topics);
+  return s;
+}
+
+std::vector<Sample> make_dialogue_set(const DialogueConfig& cfg,
+                                      std::size_t n_samples) {
+  std::vector<Sample> out;
+  out.reserve(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    out.push_back(make_dialogue_sample(cfg, i));
+  }
+  return out;
+}
+
+Sample make_long_report_sample(const LongReportConfig& cfg,
+                               std::size_t index) {
+  const TokenClasses classes(cfg.vocab_size);
+  Rng rng(hash_combine(cfg.seed, 0x60F7 + index));
+
+  const std::size_t section_len = cfg.doc_len / cfg.n_sections;
+  std::vector<Token> doc;
+  doc.reserve(cfg.doc_len + cfg.n_sections + 2);
+  doc.push_back(kBos);
+
+  std::vector<Token> all_facts;
+  for (std::size_t sec = 0; sec < cfg.n_sections; ++sec) {
+    doc.push_back(kSep);  // section boundary
+    std::vector<Token> body(section_len, -1);
+    const std::vector<Token> facts =
+        pick_facts(classes, cfg.facts_per_section, rng);
+    for (const Token f : facts) {
+      if (std::find(all_facts.begin(), all_facts.end(), f) ==
+          all_facts.end()) {
+        all_facts.push_back(f);
+      }
+      auto slots = pick_positions(0, section_len, cfg.fact_repeats * 2, rng);
+      std::size_t placed = 0;
+      for (const std::size_t p : slots) {
+        if (placed == cfg.fact_repeats) break;
+        if (body[p] < 0) {
+          body[p] = f;
+          ++placed;
+        }
+      }
+    }
+    // Heavy distractors live in the opening section only.
+    if (sec == 0) {
+      for (std::size_t d = 0; d < cfg.n_distractors; ++d) {
+        const Token tok = zipf_filler(classes, rng);
+        const auto slots =
+            pick_positions(0, section_len, cfg.distractor_repeats, rng);
+        for (const std::size_t p : slots) {
+          if (body[p] < 0) body[p] = tok;
+        }
+      }
+    }
+    for (Token& t : body) {
+      if (t < 0) t = zipf_filler(classes, rng);
+    }
+    doc.insert(doc.end(), body.begin(), body.end());
+  }
+  doc.push_back(kSep);
+
+  Sample s;
+  s.prompt = std::move(doc);
+  s.reference = all_facts;
+  s.fact_positions = positions_of(s.prompt, all_facts);
+  return s;
+}
+
+std::vector<Sample> make_long_report_set(const LongReportConfig& cfg,
+                                         std::size_t n_samples) {
+  std::vector<Sample> out;
+  out.reserve(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    out.push_back(make_long_report_sample(cfg, i));
+  }
+  return out;
+}
+
+std::vector<Token> make_padded_prompt(std::size_t len, std::size_t vocab_size,
+                                      std::uint64_t seed) {
+  const TokenClasses classes(vocab_size);
+  Rng rng(hash_combine(seed, 0xBADD));
+  std::vector<Token> out;
+  out.reserve(len);
+  out.push_back(kBos);
+  while (out.size() < len) out.push_back(zipf_filler(classes, rng));
+  return out;
+}
+
+}  // namespace kf::data

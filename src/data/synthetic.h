@@ -1,0 +1,95 @@
+// Synthetic corpora standing in for the paper's datasets.
+//
+// The eviction study depends on three corpus phenomena, which the
+// generators control explicitly:
+//
+//   1. A minority of tokens carry the information (the planted *facts*,
+//      repeated a few times across the document) — the "key tokens" whose
+//      attention mass Fig 3b measures. References are built from them.
+//   2. Key facts sit *outside* any recent window (spread across the whole
+//      document), which is why window attention collapses (Fig 3c).
+//   3. Early *distractor* tokens repeat heavily near the start. They soak
+//      up accumulated-attention mass during the long prompt phase — the
+//      bias that misleads f_theta(acc attn)/H2O (Sections 2.3.2-2.3.3) and
+//      that Keyformer's regularized score resists.
+//
+// Three generators mirror the paper's three task datasets:
+//   - make_summarization_set : CNN/DailyMail-like documents
+//   - make_dialogue_set      : SODA-like multi-turn conversations
+//   - make_long_report_set   : GovReport-like long documents (Fig 8)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/vocab.h"
+
+namespace kf::data {
+
+/// One evaluation sample: a tokenized document/prompt and its reference.
+struct Sample {
+  std::vector<Token> prompt;
+  std::vector<Token> reference;
+  /// Prompt positions holding fact (reference) tokens — used by the
+  /// diagnostics and property tests to measure fact retention in caches.
+  std::vector<std::size_t> fact_positions;
+};
+
+struct SummarizationConfig {
+  std::size_t doc_len = 320;
+  std::size_t n_facts = 12;
+  std::size_t fact_repeats = 3;   ///< occurrences of each fact token
+  /// Salient-but-irrelevant tokens repeated heavily near the start: the
+  /// accumulated-attention "heavy hitters" that are not key tokens.
+  std::size_t n_distractors = 4;
+  std::size_t distractor_repeats = 20;
+  std::size_t vocab_size = 512;
+  std::uint64_t seed = 42;
+};
+
+/// Deterministic CNN/DailyMail-like sample #index.
+Sample make_summarization_sample(const SummarizationConfig& cfg,
+                                 std::size_t index);
+
+std::vector<Sample> make_summarization_set(const SummarizationConfig& cfg,
+                                           std::size_t n_samples);
+
+struct DialogueConfig {
+  std::size_t n_turns = 8;
+  std::size_t turn_len = 48;
+  std::size_t topics_per_turn = 2;  ///< facts introduced per turn
+  std::size_t vocab_size = 512;
+  std::uint64_t seed = 42;
+};
+
+/// SODA-like conversation: turns separated by <sep>; the reference is the
+/// set of topic tokens from the *early* turns (long-range recall).
+Sample make_dialogue_sample(const DialogueConfig& cfg, std::size_t index);
+
+std::vector<Sample> make_dialogue_set(const DialogueConfig& cfg,
+                                      std::size_t n_samples);
+
+struct LongReportConfig {
+  std::size_t doc_len = 1536;
+  std::size_t n_sections = 6;
+  std::size_t facts_per_section = 3;
+  std::size_t fact_repeats = 3;
+  std::size_t n_distractors = 4;
+  std::size_t distractor_repeats = 32;
+  std::size_t vocab_size = 512;
+  std::uint64_t seed = 42;
+};
+
+/// GovReport-like long document with per-section facts.
+Sample make_long_report_sample(const LongReportConfig& cfg,
+                               std::size_t index);
+
+std::vector<Sample> make_long_report_set(const LongReportConfig& cfg,
+                                         std::size_t n_samples);
+
+/// Synthetic perf-eval prompt (Section 4.2: "all prompts were padded with
+/// synthetic text"): `len` filler tokens after <bos>.
+std::vector<Token> make_padded_prompt(std::size_t len, std::size_t vocab_size,
+                                      std::uint64_t seed);
+
+}  // namespace kf::data

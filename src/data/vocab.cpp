@@ -1,0 +1,82 @@
+#include "data/vocab.h"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace kf::data {
+
+TokenClasses::TokenClasses(std::size_t vocab) : vocab_size(vocab) {
+  if (vocab < 64) {
+    throw std::invalid_argument("TokenClasses requires vocab_size >= 64");
+  }
+  // Reserve a quarter of the vocabulary (capped) for fact tokens.
+  const std::size_t facts = std::min<std::size_t>(vocab / 4, 128);
+  fact_begin = kFirstContentToken;
+  fact_end = static_cast<Token>(kFirstContentToken + facts);
+  filler_begin = fact_end;
+}
+
+WordVocab::WordVocab() {
+  words_ = {"<bos>", "<eos>", "<sep>", "<pad>"};
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    ids_.emplace(words_[i], static_cast<Token>(i));
+  }
+}
+
+Token WordVocab::add(std::string_view word) {
+  const std::string key(word);
+  const auto it = ids_.find(key);
+  if (it != ids_.end()) return it->second;
+  const Token id = static_cast<Token>(words_.size());
+  words_.push_back(key);
+  ids_.emplace(key, id);
+  return id;
+}
+
+Token WordVocab::lookup(std::string_view word) const {
+  const auto it = ids_.find(std::string(word));
+  return it == ids_.end() ? -1 : it->second;
+}
+
+std::string WordVocab::word(Token id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= words_.size()) {
+    return "<unk-" + std::to_string(id) + ">";
+  }
+  return words_[static_cast<std::size_t>(id)];
+}
+
+std::vector<Token> tokenize_words(WordVocab& vocab, std::string_view text) {
+  std::vector<Token> out;
+  std::string word;
+  const auto flush = [&] {
+    if (word.empty()) return;
+    while (!word.empty() && std::ispunct(static_cast<unsigned char>(
+                                word.back()))) {
+      word.pop_back();
+    }
+    if (!word.empty()) out.push_back(vocab.add(word));
+    word.clear();
+  };
+  for (const char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      flush();
+    } else {
+      word.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  flush();
+  return out;
+}
+
+std::string detokenize(const WordVocab& vocab,
+                       std::span<const Token> tokens) {
+  std::string out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += vocab.word(tokens[i]);
+  }
+  return out;
+}
+
+}  // namespace kf::data

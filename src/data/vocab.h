@@ -1,0 +1,86 @@
+// Token-space conventions for the synthetic corpora plus a small word-level
+// tokenizer used by the runnable examples.
+//
+// The paper's datasets (CNN/DailyMail, GovReport, SODA) are external
+// downloads; the reproduction generates synthetic stand-ins directly in
+// token space (see synthetic.h for how they preserve the phenomena the
+// eviction study depends on). Token ids are partitioned into classes so
+// generators and metrics can reason about token roles.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace kf::data {
+
+using Token = std::int32_t;
+
+/// Reserved special tokens.
+inline constexpr Token kBos = 0;
+inline constexpr Token kEos = 1;
+inline constexpr Token kSep = 2;
+inline constexpr Token kPad = 3;
+inline constexpr Token kFirstContentToken = 4;
+
+/// Partition of the content-token range used by the generators.
+struct TokenClasses {
+  std::size_t vocab_size = 512;
+  /// Fact tokens: the salient, information-carrying ids a reference
+  /// summary is built from ([fact_begin, fact_end)).
+  Token fact_begin = kFirstContentToken;
+  Token fact_end = 132;
+  /// Everything above fact_end is filler (Zipf-distributed background).
+  Token filler_begin = 132;
+
+  explicit TokenClasses(std::size_t vocab = 512);
+
+  bool is_fact(Token t) const noexcept {
+    return t >= fact_begin && t < fact_end;
+  }
+  bool is_filler(Token t) const noexcept {
+    return t >= filler_begin &&
+           t < static_cast<Token>(vocab_size);
+  }
+  std::size_t n_fact() const noexcept {
+    return static_cast<std::size_t>(fact_end - fact_begin);
+  }
+  std::size_t n_filler() const noexcept {
+    return vocab_size - static_cast<std::size_t>(filler_begin);
+  }
+};
+
+/// Bidirectional word <-> id map built incrementally (examples only; the
+/// benches work in token space).
+class WordVocab {
+ public:
+  /// Reserves the special ids and their printable names.
+  WordVocab();
+
+  /// Id of `word`, inserting it if new.
+  Token add(std::string_view word);
+
+  /// Id of `word` or -1 when absent.
+  Token lookup(std::string_view word) const;
+
+  /// Word for an id ("<unk-N>" when out of range).
+  std::string word(Token id) const;
+
+  std::size_t size() const noexcept { return words_.size(); }
+
+ private:
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, Token> ids_;
+};
+
+/// Splits on whitespace, lowercases, strips trailing punctuation, and maps
+/// through `vocab` (inserting new words).
+std::vector<Token> tokenize_words(WordVocab& vocab, std::string_view text);
+
+/// Joins tokens back into a space-separated string.
+std::string detokenize(const WordVocab& vocab, std::span<const Token> tokens);
+
+}  // namespace kf::data

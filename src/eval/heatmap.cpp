@@ -1,0 +1,92 @@
+#include "eval/heatmap.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace kf::eval {
+
+HeatmapRecorder::HeatmapRecorder(std::size_t n_layers, std::size_t n_heads,
+                                 std::size_t n_buckets)
+    : n_layers_(n_layers),
+      n_heads_(n_heads),
+      n_buckets_(std::max<std::size_t>(1, n_buckets)),
+      mass_(n_layers * n_heads, std::vector<double>(n_buckets_, 0.0)),
+      rows_recorded_(n_layers * n_heads, 0) {}
+
+void HeatmapRecorder::set_sequence_length(std::size_t len) {
+  seq_len_ = std::max<std::size_t>(1, len);
+}
+
+void HeatmapRecorder::record(const model::AttentionObservation& obs) {
+  if (obs.is_prompt || obs.layer >= n_layers_ || obs.attn == nullptr) return;
+  const auto& attn = *obs.attn;
+  const std::size_t key_len = attn.key_len;
+  for (std::size_t h = 0; h < std::min(n_heads_, attn.probs.dim(0)); ++h) {
+    auto& buckets = mass_[obs.layer * n_heads_ + h];
+    const float* row =
+        attn.probs.data() + (h * attn.n_q + (attn.n_q - 1)) * key_len;
+    for (std::size_t i = 0; i < key_len; ++i) {
+      const std::size_t pos = obs.key_positions[i];
+      const std::size_t b =
+          std::min(n_buckets_ - 1, pos * n_buckets_ / seq_len_);
+      buckets[b] += static_cast<double>(row[i]);
+    }
+    ++rows_recorded_[obs.layer * n_heads_ + h];
+  }
+}
+
+double HeatmapRecorder::bucket_mass(std::size_t layer, std::size_t head,
+                                    std::size_t bucket) const {
+  const auto& buckets = mass_.at(layer * n_heads_ + head);
+  const std::size_t rows = rows_recorded_.at(layer * n_heads_ + head);
+  if (rows == 0) return 0.0;
+  return buckets.at(bucket) / static_cast<double>(rows);
+}
+
+std::string HeatmapRecorder::to_csv() const {
+  std::ostringstream os;
+  os << "layer,head";
+  for (std::size_t b = 0; b < n_buckets_; ++b) os << ",b" << b;
+  os << '\n';
+  for (std::size_t l = 0; l < n_layers_; ++l) {
+    for (std::size_t h = 0; h < n_heads_; ++h) {
+      os << l << ',' << h;
+      for (std::size_t b = 0; b < n_buckets_; ++b) {
+        os << ',' << bucket_mass(l, h, b);
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string HeatmapRecorder::ascii_art(std::size_t layer,
+                                       std::size_t head) const {
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  double max_mass = 0.0;
+  for (std::size_t b = 0; b < n_buckets_; ++b) {
+    max_mass = std::max(max_mass, bucket_mass(layer, head, b));
+  }
+  std::string out;
+  out.reserve(n_buckets_);
+  for (std::size_t b = 0; b < n_buckets_; ++b) {
+    if (max_mass <= 0.0) {
+      out += ' ';
+      continue;
+    }
+    const double frac = bucket_mass(layer, head, b) / max_mass;
+    const std::size_t idx = std::min<std::size_t>(
+        9, static_cast<std::size_t>(frac * 9.999));
+    out += kRamp[idx];
+  }
+  return out;
+}
+
+void HeatmapRecorder::reset() {
+  for (auto& buckets : mass_) {
+    std::fill(buckets.begin(), buckets.end(), 0.0);
+  }
+  std::fill(rows_recorded_.begin(), rows_recorded_.end(), 0);
+}
+
+}  // namespace kf::eval

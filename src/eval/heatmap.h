@@ -1,0 +1,55 @@
+// Attention heat-map recording (Figs 14 and 15): per (layer, head),
+// accumulate the decode-phase attention each original key position
+// receives, bucketed so long sequences stay compact, and render as CSV or
+// coarse ASCII art.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/transformer.h"
+
+namespace kf::eval {
+
+/// Collects attention rows during generation via Transformer's observer.
+class HeatmapRecorder {
+ public:
+  HeatmapRecorder(std::size_t n_layers, std::size_t n_heads,
+                  std::size_t n_buckets = 32);
+
+  /// Observer entry point; install with
+  ///   model.set_observer([&](const auto& obs) { rec.record(obs); });
+  void record(const model::AttentionObservation& obs);
+
+  /// Sets the sequence length used to map positions to buckets. Must be
+  /// called before record().
+  void set_sequence_length(std::size_t len);
+
+  /// Mean attention received by bucket b at (layer, head), averaged over
+  /// recorded decode rows.
+  double bucket_mass(std::size_t layer, std::size_t head,
+                     std::size_t bucket) const;
+
+  std::size_t n_layers() const noexcept { return n_layers_; }
+  std::size_t n_heads() const noexcept { return n_heads_; }
+  std::size_t n_buckets() const noexcept { return n_buckets_; }
+
+  /// One CSV row per (layer, head): layer,head,b0,...,b{n-1}.
+  std::string to_csv() const;
+
+  /// Coarse ASCII rendering (" .:-=+*#%@" ramp) of one (layer, head).
+  std::string ascii_art(std::size_t layer, std::size_t head) const;
+
+  void reset();
+
+ private:
+  std::size_t n_layers_;
+  std::size_t n_heads_;
+  std::size_t n_buckets_;
+  std::size_t seq_len_ = 1;
+  std::vector<std::vector<double>> mass_;   // [layer*heads][buckets]
+  std::vector<std::size_t> rows_recorded_;  // [layer*heads]
+};
+
+}  // namespace kf::eval

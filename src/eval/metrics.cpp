@@ -1,0 +1,88 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace kf::eval {
+
+double attention_sparsity(std::span<const float> row, double threshold_frac,
+                          std::size_t valid_len) {
+  valid_len = std::min(valid_len, row.size());
+  if (valid_len == 0) return 0.0;
+  float row_max = 0.0F;
+  for (std::size_t i = 0; i < valid_len; ++i) {
+    row_max = std::max(row_max, row[i]);
+  }
+  // At threshold 0 count effectively-zero entries (fp32 underflow scale).
+  const double cut = threshold_frac > 0.0
+                         ? threshold_frac * static_cast<double>(row_max)
+                         : 1e-7;
+  std::size_t sparse = 0;
+  for (std::size_t i = 0; i < valid_len; ++i) {
+    if (static_cast<double>(row[i]) <= cut) ++sparse;
+  }
+  return static_cast<double>(sparse) / static_cast<double>(valid_len);
+}
+
+double mean_causal_sparsity(std::span<const float> probs, std::size_t n_q,
+                            std::size_t key_len, std::size_t q_offset,
+                            double threshold_frac) {
+  if (n_q == 0) return 0.0;
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t q = 0; q < n_q; ++q) {
+    const std::size_t valid = std::min(key_len, q_offset + q + 1);
+    if (valid < 2) continue;  // single-entry rows are trivially dense
+    total += attention_sparsity(probs.subspan(q * key_len, key_len),
+                                threshold_frac, valid);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+std::vector<double> attention_mass_cdf(
+    std::span<const double> per_token_mass) {
+  std::vector<double> sorted(per_token_mass.begin(), per_token_mass.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  double total = 0.0;
+  for (const double v : sorted) total += v;
+  std::vector<double> out;
+  out.reserve(9);
+  if (sorted.empty() || total <= 0.0) {
+    out.assign(9, 0.0);
+    return out;
+  }
+  std::vector<double> prefix(sorted.size() + 1, 0.0);
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    prefix[i + 1] = prefix[i] + sorted[i];
+  }
+  for (int pct = 10; pct <= 90; pct += 10) {
+    const std::size_t k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(
+               static_cast<double>(sorted.size()) * pct / 100.0)));
+    out.push_back(prefix[std::min(k, sorted.size())] / total);
+  }
+  return out;
+}
+
+std::vector<float> renormalized_subset(std::span<const float> full_probs,
+                                       std::span<const std::size_t> keep) {
+  double sum = 0.0;
+  for (const std::size_t i : keep) {
+    assert(i < full_probs.size());
+    sum += static_cast<double>(full_probs[i]);
+  }
+  std::vector<float> out;
+  out.reserve(keep.size());
+  if (sum <= 0.0) {
+    out.assign(keep.size(), 0.0F);
+    return out;
+  }
+  for (const std::size_t i : keep) {
+    out.push_back(static_cast<float>(full_probs[i] / sum));
+  }
+  return out;
+}
+
+}  // namespace kf::eval

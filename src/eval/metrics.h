@@ -1,0 +1,34 @@
+// Attention-distribution metrics backing Figs 3a/3b/4/11 and the entropy
+// argument of Section 3.2 (Eq. 8).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace kf::eval {
+
+/// Fraction of the first `valid_len` entries of an attention row whose
+/// probability is at most `threshold_frac * row_max` (Fig 11's threshold
+/// sweep; threshold 0 counts effectively-zero entries).
+double attention_sparsity(std::span<const float> row, double threshold_frac,
+                          std::size_t valid_len);
+
+/// Mean sparsity across all causal rows of one [n_q, key_len] probability
+/// block where query q may attend keys [0, q_offset + q].
+double mean_causal_sparsity(std::span<const float> probs, std::size_t n_q,
+                            std::size_t key_len, std::size_t q_offset,
+                            double threshold_frac);
+
+/// Fig 3b: sorts per-token attention mass descending and returns the
+/// cumulative fraction of total mass captured by the top x% of tokens for
+/// x = 10, 20, ..., 90 (vector of 9 values in [0, 1]).
+std::vector<double> attention_mass_cdf(std::span<const double> per_token_mass);
+
+/// Fig 4: given a full-attention probability row and the keep-indices of a
+/// reduced cache, returns the renormalized distribution over the kept
+/// entries (what softmax produces once the discarded logits are gone).
+std::vector<float> renormalized_subset(std::span<const float> full_probs,
+                                       std::span<const std::size_t> keep);
+
+}  // namespace kf::eval

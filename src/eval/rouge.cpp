@@ -1,0 +1,85 @@
+#include "eval/rouge.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace kf::eval {
+
+namespace {
+
+RougeScore from_counts(double matches, double cand_total, double ref_total) {
+  RougeScore s;
+  if (cand_total > 0.0) s.precision = matches / cand_total;
+  if (ref_total > 0.0) s.recall = matches / ref_total;
+  if (s.precision + s.recall > 0.0) {
+    s.f1 = 2.0 * s.precision * s.recall / (s.precision + s.recall);
+  }
+  return s;
+}
+
+}  // namespace
+
+RougeScore rouge_n(std::span<const Token> candidate,
+                   std::span<const Token> reference, std::size_t n) {
+  if (n == 0 || candidate.size() < n || reference.size() < n) {
+    return {};
+  }
+  using Ngram = std::vector<Token>;
+  std::map<Ngram, std::size_t> ref_counts;
+  for (std::size_t i = 0; i + n <= reference.size(); ++i) {
+    Ngram g(reference.begin() + static_cast<long>(i),
+            reference.begin() + static_cast<long>(i + n));
+    ++ref_counts[g];
+  }
+  std::map<Ngram, std::size_t> cand_counts;
+  for (std::size_t i = 0; i + n <= candidate.size(); ++i) {
+    Ngram g(candidate.begin() + static_cast<long>(i),
+            candidate.begin() + static_cast<long>(i + n));
+    ++cand_counts[g];
+  }
+  double matches = 0.0;
+  for (const auto& [gram, count] : cand_counts) {
+    const auto it = ref_counts.find(gram);
+    if (it != ref_counts.end()) {
+      matches += static_cast<double>(std::min(count, it->second));
+    }
+  }
+  const double cand_total =
+      static_cast<double>(candidate.size() - n + 1);
+  const double ref_total = static_cast<double>(reference.size() - n + 1);
+  return from_counts(matches, cand_total, ref_total);
+}
+
+RougeScore rouge_l(std::span<const Token> candidate,
+                   std::span<const Token> reference) {
+  if (candidate.empty() || reference.empty()) return {};
+  const std::size_t m = candidate.size();
+  const std::size_t n = reference.size();
+  // Rolling-row LCS.
+  std::vector<std::size_t> prev(n + 1, 0);
+  std::vector<std::size_t> curr(n + 1, 0);
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      if (candidate[i - 1] == reference[j - 1]) {
+        curr[j] = prev[j - 1] + 1;
+      } else {
+        curr[j] = std::max(prev[j], curr[j - 1]);
+      }
+    }
+    std::swap(prev, curr);
+  }
+  const double lcs = static_cast<double>(prev[n]);
+  return from_counts(lcs, static_cast<double>(m), static_cast<double>(n));
+}
+
+RougeSuite rouge_all(std::span<const Token> candidate,
+                     std::span<const Token> reference) {
+  RougeSuite s;
+  s.r1 = rouge_n(candidate, reference, 1);
+  s.r2 = rouge_n(candidate, reference, 2);
+  s.rl = rouge_l(candidate, reference);
+  return s;
+}
+
+}  // namespace kf::eval

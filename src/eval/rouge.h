@@ -1,0 +1,36 @@
+// ROUGE-1 / ROUGE-2 / ROUGE-L (Lin, 2004) over token-id sequences — the
+// paper's text-quality metric (MLPerf requires 99-99.9% of the full-
+// attention ROUGE scores for summarization).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace kf::eval {
+
+using Token = std::int32_t;
+
+struct RougeScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// ROUGE-N with clipped n-gram counts. Empty candidate or reference (or a
+/// reference shorter than n) yields all-zero scores.
+RougeScore rouge_n(std::span<const Token> candidate,
+                   std::span<const Token> reference, std::size_t n);
+
+/// ROUGE-L via longest common subsequence (F-measure with beta = 1).
+RougeScore rouge_l(std::span<const Token> candidate,
+                   std::span<const Token> reference);
+
+struct RougeSuite {
+  RougeScore r1, r2, rl;
+};
+
+/// Computes ROUGE-1, ROUGE-2 and ROUGE-L at once.
+RougeSuite rouge_all(std::span<const Token> candidate,
+                     std::span<const Token> reference);
+
+}  // namespace kf::eval

@@ -1,0 +1,128 @@
+#include "kvcache/kv_cache.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace kf::kv {
+
+KvCache::KvCache(std::size_t n_heads, std::size_t d_head,
+                 std::size_t capacity_hint)
+    : n_heads_(n_heads), d_head_(d_head), scores_(n_heads) {
+  if (n_heads == 0 || d_head == 0) {
+    throw std::invalid_argument("KvCache requires n_heads > 0 and d_head > 0");
+  }
+  if (capacity_hint > 0) {
+    keys_.reserve(capacity_hint * row_width());
+    values_.reserve(capacity_hint * row_width());
+    positions_.reserve(capacity_hint);
+    for (auto& s : scores_) s.reserve(capacity_hint);
+  }
+}
+
+void KvCache::append(std::span<const float> k_row,
+                     std::span<const float> v_row, std::size_t original_pos) {
+  if (k_row.size() != row_width() || v_row.size() != row_width()) {
+    throw std::invalid_argument("KvCache::append: row width mismatch");
+  }
+  if (!positions_.empty() && original_pos <= positions_.back()) {
+    throw std::invalid_argument(
+        "KvCache::append: original positions must be strictly increasing");
+  }
+  keys_.insert(keys_.end(), k_row.begin(), k_row.end());
+  values_.insert(values_.end(), v_row.begin(), v_row.end());
+  positions_.push_back(original_pos);
+  for (auto& s : scores_) s.push_back(0.0);
+}
+
+std::span<const float> KvCache::key(std::size_t idx) const {
+  assert(idx < size());
+  return {keys_.data() + idx * row_width(), row_width()};
+}
+
+std::span<const float> KvCache::value(std::size_t idx) const {
+  assert(idx < size());
+  return {values_.data() + idx * row_width(), row_width()};
+}
+
+std::span<const float> KvCache::key_head(std::size_t idx,
+                                         std::size_t head) const {
+  assert(idx < size() && head < n_heads_);
+  return {keys_.data() + idx * row_width() + head * d_head_, d_head_};
+}
+
+std::span<const float> KvCache::value_head(std::size_t idx,
+                                           std::size_t head) const {
+  assert(idx < size() && head < n_heads_);
+  return {values_.data() + idx * row_width() + head * d_head_, d_head_};
+}
+
+std::size_t KvCache::original_position(std::size_t idx) const {
+  assert(idx < size());
+  return positions_[idx];
+}
+
+std::span<double> KvCache::scores(std::size_t head) {
+  assert(head < n_heads_);
+  return scores_[head];
+}
+
+std::span<const double> KvCache::scores(std::size_t head) const {
+  assert(head < n_heads_);
+  return scores_[head];
+}
+
+void KvCache::add_score(std::size_t head, std::size_t idx, double v) {
+  assert(head < n_heads_ && idx < size());
+  scores_[head][idx] += v;
+}
+
+void KvCache::damp_scores(double factor) {
+  for (auto& per_head : scores_) {
+    for (double& s : per_head) s *= factor;
+  }
+}
+
+double KvCache::total_score(std::size_t idx) const {
+  assert(idx < size());
+  double total = 0.0;
+  for (const auto& per_head : scores_) total += per_head[idx];
+  return total;
+}
+
+void KvCache::compact(std::span<const std::size_t> keep) {
+  const std::size_t w = row_width();
+  std::size_t out = 0;
+  std::size_t prev = 0;
+  for (const std::size_t idx : keep) {
+    if (idx >= size()) {
+      throw std::out_of_range("KvCache::compact: keep index out of range");
+    }
+    if (out > 0 && idx <= prev) {
+      throw std::invalid_argument(
+          "KvCache::compact: keep indices must be strictly ascending");
+    }
+    if (idx != out) {
+      for (std::size_t j = 0; j < w; ++j) {
+        keys_[out * w + j] = keys_[idx * w + j];
+        values_[out * w + j] = values_[idx * w + j];
+      }
+      positions_[out] = positions_[idx];
+      for (auto& per_head : scores_) per_head[out] = per_head[idx];
+    }
+    prev = idx;
+    ++out;
+  }
+  keys_.resize(out * w);
+  values_.resize(out * w);
+  positions_.resize(out);
+  for (auto& per_head : scores_) per_head.resize(out);
+}
+
+void KvCache::clear() {
+  keys_.clear();
+  values_.clear();
+  positions_.clear();
+  for (auto& per_head : scores_) per_head.clear();
+}
+
+}  // namespace kf::kv

@@ -1,0 +1,88 @@
+// Per-layer Key/Value cache with the bookkeeping the paper's eviction
+// policies need:
+//   - K and V rows per cached token (row = all heads concatenated),
+//   - the *original* sequence position of every cached token (Table 3's
+//     "Org Pos" mode and the recency ordering both rely on it),
+//   - per-head accumulated score-function values f_theta that survive
+//     compaction (Sections 3.3.2 and 2.3.1).
+//
+// The cache is always ordered by ascending original position; appends carry
+// strictly increasing positions and compaction preserves order. "Recent w
+// tokens" is therefore always the last w rows.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace kf::kv {
+
+/// KV store for one decoder layer.
+class KvCache {
+ public:
+  /// n_heads/d_head describe row layout; capacity_hint preallocates.
+  KvCache(std::size_t n_heads, std::size_t d_head,
+          std::size_t capacity_hint = 0);
+
+  std::size_t n_heads() const noexcept { return n_heads_; }
+  std::size_t d_head() const noexcept { return d_head_; }
+
+  /// Width of one K or V row (= n_heads * d_head).
+  std::size_t row_width() const noexcept { return n_heads_ * d_head_; }
+
+  /// Number of cached tokens.
+  std::size_t size() const noexcept { return positions_.size(); }
+
+  bool empty() const noexcept { return positions_.empty(); }
+
+  /// Appends one token's K and V rows (each row_width() floats) with its
+  /// original sequence position. Positions must be strictly increasing.
+  void append(std::span<const float> k_row, std::span<const float> v_row,
+              std::size_t original_pos);
+
+  /// Full K row of cached token idx.
+  std::span<const float> key(std::size_t idx) const;
+  /// Full V row of cached token idx.
+  std::span<const float> value(std::size_t idx) const;
+  /// Per-head slices.
+  std::span<const float> key_head(std::size_t idx, std::size_t head) const;
+  std::span<const float> value_head(std::size_t idx, std::size_t head) const;
+
+  /// Original sequence position of cached token idx.
+  std::size_t original_position(std::size_t idx) const;
+  /// All original positions, ascending.
+  std::span<const std::size_t> original_positions() const noexcept {
+    return positions_;
+  }
+
+  /// Accumulated score-function values for one head (length == size()).
+  std::span<double> scores(std::size_t head);
+  std::span<const double> scores(std::size_t head) const;
+
+  /// Adds v to head's score at idx.
+  void add_score(std::size_t head, std::size_t idx, double v);
+
+  /// Multiplies every score of every head by factor (damping, Fig 5).
+  void damp_scores(double factor);
+
+  /// Sum of per-head scores at idx (head-aggregated ranking value).
+  double total_score(std::size_t idx) const;
+
+  /// Keeps exactly the rows in `keep` (indices into the current layout,
+  /// strictly ascending); drops everything else. Scores and positions
+  /// are gathered along with K/V rows.
+  void compact(std::span<const std::size_t> keep);
+
+  /// Removes all tokens and scores.
+  void clear();
+
+ private:
+  std::size_t n_heads_;
+  std::size_t d_head_;
+  std::vector<float> keys_;    // [size, row_width]
+  std::vector<float> values_;  // [size, row_width]
+  std::vector<std::size_t> positions_;
+  std::vector<std::vector<double>> scores_;  // [n_heads][size]
+};
+
+}  // namespace kf::kv

@@ -1,0 +1,12 @@
+#include "kvcache/policies/full.h"
+
+namespace kf::kv {
+
+void FullAttentionPolicy::observe(const PolicyContext& ctx) {
+  // Intentionally empty: full attention keeps every token. The context is
+  // still received so that instrumentation (heatmaps, sparsity stats) can
+  // wrap this policy without special cases.
+  (void)ctx;
+}
+
+}  // namespace kf::kv

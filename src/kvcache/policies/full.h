@@ -1,0 +1,15 @@
+// Full attention: the gold-standard baseline. Nothing is ever evicted
+// (Fig 2a); the KV cache grows with the sequence.
+#pragma once
+
+#include "kvcache/policy.h"
+
+namespace kf::kv {
+
+class FullAttentionPolicy final : public EvictionPolicy {
+ public:
+  std::string name() const override { return "full"; }
+  void observe(const PolicyContext& ctx) override;
+};
+
+}  // namespace kf::kv

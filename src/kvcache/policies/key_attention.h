@@ -1,0 +1,22 @@
+// "Key Attention" from Fig 3c: rank purely by accumulated attention score
+// and keep the global top-k — *without* a guaranteed recent window. The
+// paper uses this to show that key tokens alone (like recency alone) are
+// insufficient, motivating the mixed approach.
+#pragma once
+
+#include "kvcache/policy.h"
+
+namespace kf::kv {
+
+class KeyAttentionPolicy final : public EvictionPolicy {
+ public:
+  std::string name() const override { return "key_attention"; }
+  void observe(const PolicyContext& ctx) override;
+};
+
+/// Shared helper: adds the post-softmax attention probabilities of every
+/// query row in `ctx` to the per-head accumulated scores of the cache.
+/// This is the f_theta(acc attn) accumulation used by H2O and KeyAttention.
+void accumulate_attention_probs(const PolicyContext& ctx);
+
+}  // namespace kf::kv

@@ -1,0 +1,74 @@
+#include "kvcache/policies/keyformer.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kf::kv {
+
+KeyformerPolicy::KeyformerPolicy(KeyformerConfig config)
+    : config_(config), score_fn_(config.score) {}
+
+void KeyformerPolicy::begin_sequence(const SequenceInfo& info) {
+  EvictionPolicy::begin_sequence(info);
+  shared_scores_.assign(
+      config_.scope == ScoreScope::kShared
+          ? info.prompt_len + info.total_steps + 1
+          : 0,
+      0.0);
+}
+
+void KeyformerPolicy::accumulate(const PolicyContext& ctx) {
+  KvCache& cache = *ctx.cache;
+  assert(ctx.key_len == cache.size());
+  const auto positions = cache.original_positions();
+  increments_.resize(ctx.key_len);
+
+  if (config_.score.damping < 1.0) cache.damp_scores(config_.score.damping);
+
+  for (std::size_t h = 0; h < ctx.n_heads; ++h) {
+    const float* base = ctx.logits.data() + h * ctx.n_queries * ctx.key_len;
+    for (std::size_t q = 0; q < ctx.n_queries; ++q) {
+      const std::span<const float> row(base + q * ctx.key_len, ctx.key_len);
+      score_fn_.increments(row, positions, ctx.layer, h, ctx.decode_step,
+                           ctx.total_steps, increments_);
+      if (config_.scope == ScoreScope::kPerLayer) {
+        const auto scores = cache.scores(h);
+        for (std::size_t i = 0; i < ctx.key_len; ++i) {
+          scores[i] += increments_[i];
+        }
+      } else {
+        for (std::size_t i = 0; i < ctx.key_len; ++i) {
+          const std::size_t pos = positions[i];
+          if (pos < shared_scores_.size()) shared_scores_[pos] += increments_[i];
+        }
+      }
+    }
+  }
+}
+
+void KeyformerPolicy::observe(const PolicyContext& ctx) {
+  accumulate(ctx);
+  KvCache& cache = *ctx.cache;
+  if (!over_budget(cache)) return;
+
+  const std::size_t n = cache.size();
+  const std::size_t k = budget_.max_tokens;
+  const std::size_t w = std::min(budget_.recent_window, k);
+  const std::size_t prefix = n - std::min(w, n);
+
+  std::vector<double> ranking;
+  if (config_.scope == ScoreScope::kPerLayer) {
+    ranking = head_aggregated_scores(cache);
+  } else {
+    ranking.resize(n, 0.0);
+    const auto positions = cache.original_positions();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t pos = positions[i];
+      ranking[i] = pos < shared_scores_.size() ? shared_scores_[pos] : 0.0;
+    }
+  }
+  const auto keep = keep_topk_plus_recent(ranking, n, prefix, k - w);
+  cache.compact(keep);
+}
+
+}  // namespace kf::kv

@@ -1,0 +1,60 @@
+// Keyformer (Algorithm 1) — the paper's contribution.
+//
+// Per decoding step and per head, the score function adds
+//   f(i) += softmax over cache of ((x_i + zeta_i) / tau)
+// where zeta_i is frozen Gumbel noise per cache slot (configurable to
+// Gaussian / constant / none for the Table 4 ablation) and tau follows the
+// linear schedule tau_init -> tau_end over the generation (Eq. 10).
+//
+// Keep-set: the w most recent tokens plus the top-(k-w) tokens of the
+// accumulated score over the older prefix.
+//
+// Accumulation modes (Section 4.4.1, Table 3):
+//   - kPerLayer (paper default/winner): f_theta lives in each layer's
+//     cache, per head; heads are aggregated only for ranking.
+//   - kShared: one global f_theta indexed by original token position,
+//     accumulated across every layer and head.
+#pragma once
+
+#include <vector>
+
+#include "kvcache/policy.h"
+#include "kvcache/score_function.h"
+
+namespace kf::kv {
+
+/// Where the accumulated score function lives.
+enum class ScoreScope { kPerLayer, kShared };
+
+struct KeyformerConfig {
+  ScoreFunctionConfig score;
+  ScoreScope scope = ScoreScope::kPerLayer;
+};
+
+class KeyformerPolicy final : public EvictionPolicy {
+ public:
+  explicit KeyformerPolicy(KeyformerConfig config = {});
+
+  std::string name() const override { return "keyformer"; }
+
+  void begin_sequence(const SequenceInfo& info) override;
+  void observe(const PolicyContext& ctx) override;
+
+  const KeyformerConfig& config() const noexcept { return config_; }
+
+  /// Shared-mode accumulated scores indexed by original position
+  /// (empty in per-layer mode). Exposed for tests and analysis benches.
+  std::span<const double> shared_scores() const noexcept {
+    return shared_scores_;
+  }
+
+ private:
+  void accumulate(const PolicyContext& ctx);
+
+  KeyformerConfig config_;
+  ScoreFunction score_fn_;
+  std::vector<double> shared_scores_;  // indexed by original position
+  std::vector<double> increments_;     // scratch, one cache row
+};
+
+}  // namespace kf::kv

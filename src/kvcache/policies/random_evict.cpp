@@ -1,0 +1,35 @@
+#include "kvcache/policies/random_evict.h"
+
+#include <algorithm>
+
+namespace kf::kv {
+
+void RandomEvictPolicy::begin_sequence(const SequenceInfo& info) {
+  EvictionPolicy::begin_sequence(info);
+  rng_ = Rng(hash_combine(seed_, info.prompt_len));
+}
+
+void RandomEvictPolicy::observe(const PolicyContext& ctx) {
+  KvCache& cache = *ctx.cache;
+  if (!over_budget(cache)) return;
+
+  const std::size_t n = cache.size();
+  const std::size_t k = budget_.max_tokens;
+  const std::size_t w = std::min(budget_.recent_window, k);
+  const std::size_t prefix = n - std::min(w, n);
+  const std::size_t keep_from_prefix = k - w;
+
+  // Partial Fisher-Yates over the prefix indices.
+  std::vector<std::size_t> idx(prefix);
+  for (std::size_t i = 0; i < prefix; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < std::min(keep_from_prefix, prefix); ++i) {
+    const std::size_t j = i + rng_.uniform_u64(prefix - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(std::min(keep_from_prefix, prefix));
+  std::sort(idx.begin(), idx.end());
+  for (std::size_t i = prefix; i < n; ++i) idx.push_back(i);
+  cache.compact(idx);
+}
+
+}  // namespace kf::kv

@@ -1,0 +1,37 @@
+#include "kvcache/policies/streaming_llm.h"
+
+#include <algorithm>
+
+namespace kf::kv {
+
+void StreamingLlmPolicy::observe(const PolicyContext& ctx) {
+  KvCache& cache = *ctx.cache;
+  if (!over_budget(cache)) return;
+
+  const std::size_t n = cache.size();
+  const std::size_t k = budget_.max_tokens;
+
+  std::vector<std::size_t> keep;
+  keep.reserve(k);
+  // Sinks are identified by *original* position < n_sinks so they stay
+  // pinned even after many compactions.
+  std::size_t sinks_kept = 0;
+  for (std::size_t i = 0; i < n && sinks_kept < std::min(n_sinks_, k); ++i) {
+    if (cache.original_position(i) < n_sinks_) {
+      keep.push_back(i);
+      ++sinks_kept;
+    } else {
+      break;  // positions ascend, no more sinks possible
+    }
+  }
+  const std::size_t recent = k - sinks_kept;
+  const std::size_t first_recent = n - std::min(recent, n);
+  for (std::size_t i = std::max(first_recent, sinks_kept); i < n; ++i) {
+    keep.push_back(i);
+  }
+  // Deduplicate the corner case where sinks overlap the recent range.
+  keep.erase(std::unique(keep.begin(), keep.end()), keep.end());
+  cache.compact(keep);
+}
+
+}  // namespace kf::kv

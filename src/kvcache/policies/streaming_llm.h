@@ -1,0 +1,24 @@
+// StreamingLLM (Xiao et al., 2023) — the "attention sinks" comparison of
+// Section 4.4.5 / Table 3: keep the first `n_sinks` tokens of the original
+// sequence (default 4) plus the most recent k - n_sinks tokens.
+#pragma once
+
+#include "kvcache/policy.h"
+
+namespace kf::kv {
+
+class StreamingLlmPolicy final : public EvictionPolicy {
+ public:
+  explicit StreamingLlmPolicy(std::size_t n_sinks = 4) : n_sinks_(n_sinks) {}
+
+  std::string name() const override { return "streaming_llm"; }
+
+  void observe(const PolicyContext& ctx) override;
+
+  std::size_t n_sinks() const noexcept { return n_sinks_; }
+
+ private:
+  std::size_t n_sinks_;
+};
+
+}  // namespace kf::kv

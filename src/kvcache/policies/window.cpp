@@ -1,0 +1,41 @@
+#include "kvcache/policies/window.h"
+
+#include <algorithm>
+
+namespace kf::kv {
+
+void WindowPolicy::observe(const PolicyContext& ctx) {
+  KvCache& cache = *ctx.cache;
+  if (!over_budget(cache)) return;
+
+  const std::size_t n = cache.size();
+  const std::size_t k = budget_.max_tokens;
+  std::vector<std::size_t> keep;
+  keep.reserve(k);
+
+  const std::size_t stride = dilation_ + 1;
+  // Walk backwards from the newest token with the dilation stride.
+  std::size_t collected = 0;
+  for (std::size_t back = 0; collected < k && back < n; back += stride) {
+    keep.push_back(n - 1 - back);
+    ++collected;
+  }
+  // If the strided walk ran off the front before filling the budget (only
+  // possible with dilation > 0), fill with the newest unclaimed tokens.
+  if (collected < k) {
+    std::vector<bool> taken(n, false);
+    for (const std::size_t idx : keep) taken[idx] = true;
+    for (std::size_t back = 0; collected < k && back < n; ++back) {
+      const std::size_t idx = n - 1 - back;
+      if (!taken[idx]) {
+        keep.push_back(idx);
+        taken[idx] = true;
+        ++collected;
+      }
+    }
+  }
+  std::sort(keep.begin(), keep.end());
+  cache.compact(keep);
+}
+
+}  // namespace kf::kv

@@ -1,0 +1,29 @@
+// Window attention (Fig 2b) and dilated window attention (Fig 2c).
+//
+// Window: keep the most recent k tokens. Dilated: starting from the newest
+// token, keep every (dilation+1)-th token walking backwards until k tokens
+// are collected — the fixed-stride sparse pattern of Child et al. (2019).
+#pragma once
+
+#include "kvcache/policy.h"
+
+namespace kf::kv {
+
+class WindowPolicy final : public EvictionPolicy {
+ public:
+  /// dilation == 0 reproduces plain sliding-window attention.
+  explicit WindowPolicy(std::size_t dilation = 0) : dilation_(dilation) {}
+
+  std::string name() const override {
+    return dilation_ == 0 ? "window" : "dilated_window";
+  }
+
+  void observe(const PolicyContext& ctx) override;
+
+  std::size_t dilation() const noexcept { return dilation_; }
+
+ private:
+  std::size_t dilation_;
+};
+
+}  // namespace kf::kv

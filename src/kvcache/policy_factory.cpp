@@ -1,0 +1,68 @@
+#include "kvcache/policy_factory.h"
+
+#include <stdexcept>
+
+#include "kvcache/policies/full.h"
+#include "kvcache/policies/h2o.h"
+#include "kvcache/policies/key_attention.h"
+#include "kvcache/policies/random_evict.h"
+#include "kvcache/policies/streaming_llm.h"
+#include "kvcache/policies/window.h"
+
+namespace kf::kv {
+
+std::string to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFull: return "full";
+    case PolicyKind::kWindow: return "window";
+    case PolicyKind::kDilatedWindow: return "dilated_window";
+    case PolicyKind::kRandom: return "random";
+    case PolicyKind::kKeyAttention: return "key_attention";
+    case PolicyKind::kH2O: return "h2o";
+    case PolicyKind::kStreamingLLM: return "streaming_llm";
+    case PolicyKind::kKeyformer: return "keyformer";
+  }
+  return "unknown";
+}
+
+PolicyKind parse_policy_kind(const std::string& name) {
+  if (name == "full") return PolicyKind::kFull;
+  if (name == "window") return PolicyKind::kWindow;
+  if (name == "dilated_window") return PolicyKind::kDilatedWindow;
+  if (name == "random") return PolicyKind::kRandom;
+  if (name == "key_attention") return PolicyKind::kKeyAttention;
+  if (name == "h2o") return PolicyKind::kH2O;
+  if (name == "streaming_llm") return PolicyKind::kStreamingLLM;
+  if (name == "keyformer") return PolicyKind::kKeyformer;
+  throw std::invalid_argument("unknown policy kind: " + name);
+}
+
+std::unique_ptr<EvictionPolicy> make_policy(const PolicyConfig& config) {
+  switch (config.kind) {
+    case PolicyKind::kFull:
+      return std::make_unique<FullAttentionPolicy>();
+    case PolicyKind::kWindow:
+      return std::make_unique<WindowPolicy>(0);
+    case PolicyKind::kDilatedWindow:
+      return std::make_unique<WindowPolicy>(config.dilation);
+    case PolicyKind::kRandom:
+      return std::make_unique<RandomEvictPolicy>(config.seed);
+    case PolicyKind::kKeyAttention:
+      return std::make_unique<KeyAttentionPolicy>();
+    case PolicyKind::kH2O:
+      return std::make_unique<H2OPolicy>(config.h2o_damping);
+    case PolicyKind::kStreamingLLM:
+      return std::make_unique<StreamingLlmPolicy>(config.n_sinks);
+    case PolicyKind::kKeyformer:
+      return std::make_unique<KeyformerPolicy>(config.keyformer);
+  }
+  throw std::invalid_argument("unhandled policy kind");
+}
+
+std::unique_ptr<EvictionPolicy> make_policy(PolicyKind kind) {
+  PolicyConfig config;
+  config.kind = kind;
+  return make_policy(config);
+}
+
+}  // namespace kf::kv

@@ -1,0 +1,49 @@
+// Constructs eviction policies from a declarative config — the single
+// entry point used by examples, benches, and the experiment harness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "kvcache/policies/keyformer.h"
+#include "kvcache/policy.h"
+
+namespace kf::kv {
+
+enum class PolicyKind {
+  kFull,
+  kWindow,
+  kDilatedWindow,
+  kRandom,
+  kKeyAttention,
+  kH2O,
+  kStreamingLLM,
+  kKeyformer,
+};
+
+std::string to_string(PolicyKind kind);
+
+/// Parses "full", "window", "dilated_window", "random", "key_attention",
+/// "h2o", "streaming_llm", or "keyformer". Throws std::invalid_argument on
+/// unknown names.
+PolicyKind parse_policy_kind(const std::string& name);
+
+/// Declarative policy description.
+struct PolicyConfig {
+  PolicyKind kind = PolicyKind::kKeyformer;
+  std::size_t dilation = 1;        ///< dilated window stride - 1
+  std::size_t n_sinks = 4;         ///< StreamingLLM attention sinks
+  double h2o_damping = 1.0;        ///< Fig 5 damping (H2O only)
+  KeyformerConfig keyformer;       ///< Keyformer score configuration
+  std::uint64_t seed = 42;         ///< random policy seed
+};
+
+/// Builds the policy. The returned object carries no budget yet; callers
+/// set it per sequence via set_budget(make_budget(...)).
+std::unique_ptr<EvictionPolicy> make_policy(const PolicyConfig& config);
+
+/// Convenience: default-configured policy of the given kind.
+std::unique_ptr<EvictionPolicy> make_policy(PolicyKind kind);
+
+}  // namespace kf::kv

@@ -1,0 +1,101 @@
+#include "kvcache/score_function.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/rng.h"
+
+namespace kf::kv {
+
+std::string to_string(LogitAdjustment a) {
+  switch (a) {
+    case LogitAdjustment::kNone: return "none";
+    case LogitAdjustment::kConstant: return "constant";
+    case LogitAdjustment::kGaussian: return "gaussian";
+    case LogitAdjustment::kGumbel: return "gumbel";
+  }
+  return "unknown";
+}
+
+double TemperatureSchedule::at(std::size_t t, std::size_t total_steps) const {
+  if (!dynamic || total_steps == 0) return tau_init;
+  const double delta = (tau_end - tau_init) / static_cast<double>(total_steps);
+  return tau_init + static_cast<double>(t) * delta;
+}
+
+ScoreFunction::ScoreFunction(ScoreFunctionConfig config)
+    : config_(config) {
+  if (config_.temperature.tau_init <= 0.0 ||
+      config_.temperature.tau_end <= 0.0) {
+    throw std::invalid_argument("temperature must be positive");
+  }
+  if (config_.damping <= 0.0 || config_.damping > 1.0) {
+    throw std::invalid_argument("damping must be in (0, 1]");
+  }
+}
+
+double ScoreFunction::noise(std::size_t layer, std::size_t head,
+                            std::size_t original_pos) const {
+  if (config_.adjustment == LogitAdjustment::kNone) return 0.0;
+  if (config_.adjustment == LogitAdjustment::kConstant) {
+    return config_.noise_scale * config_.constant;
+  }
+  const std::uint64_t key = (static_cast<std::uint64_t>(layer) << 48) |
+                            (static_cast<std::uint64_t>(head) << 40) |
+                            static_cast<std::uint64_t>(original_pos);
+  const auto it = noise_cache_.find(key);
+  if (it != noise_cache_.end()) return it->second;
+  const double value = compute_noise(layer, head, original_pos);
+  noise_cache_.emplace(key, value);
+  return value;
+}
+
+double ScoreFunction::compute_noise(std::size_t layer, std::size_t head,
+                                    std::size_t original_pos) const {
+  switch (config_.adjustment) {
+    case LogitAdjustment::kNone:
+      return 0.0;
+    case LogitAdjustment::kConstant:
+      return config_.noise_scale * config_.constant;
+    case LogitAdjustment::kGaussian:
+      return config_.noise_scale *
+             (config_.gaussian_mean +
+              config_.gaussian_stddev *
+                  stateless_normal({config_.seed, 0xA5A5ULL, layer, head,
+                                    original_pos}));
+    case LogitAdjustment::kGumbel:
+      return config_.noise_scale *
+             stateless_gumbel(
+                 {config_.seed, 0x6B6BULL, layer, head, original_pos});
+  }
+  return 0.0;
+}
+
+void ScoreFunction::increments(std::span<const float> logits,
+                               std::span<const std::size_t> positions,
+                               std::size_t layer, std::size_t head,
+                               std::size_t t, std::size_t total_steps,
+                               std::span<double> out) const {
+  assert(logits.size() == positions.size() && out.size() == logits.size());
+  if (logits.empty()) return;
+  const double tau = config_.temperature.at(t, total_steps);
+
+  // Stable softmax of (x + zeta) / tau in double precision.
+  double max_y = -1e300;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const double y =
+        static_cast<double>(logits[i]) + noise(layer, head, positions[i]);
+    out[i] = y;
+    max_y = y > max_y ? y : max_y;
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::exp((out[i] - max_y) / tau);
+    sum += out[i];
+  }
+  const double inv = 1.0 / sum;
+  for (double& v : out) v *= inv;
+}
+
+}  // namespace kf::kv

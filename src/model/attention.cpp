@@ -1,0 +1,171 @@
+#include "model/attention.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/numerics.h"
+#include "core/threadpool.h"
+#include "model/positional.h"
+
+namespace kf::model {
+
+namespace {
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+/// Effective position of cache slot i under the configured mode.
+std::size_t key_position(const ModelConfig& cfg, const kv::KvCache& cache,
+                         std::size_t i) {
+  return cfg.position_mode == PositionMode::kOriginal
+             ? cache.original_position(i)
+             : i;
+}
+
+}  // namespace
+
+AttentionResult attention_forward(const ModelConfig& cfg,
+                                  const LayerWeights& w, const Tensor& x,
+                                  std::span<const std::size_t> q_positions,
+                                  kv::KvCache& cache) {
+  const std::size_t n_q = x.dim(0);
+  const std::size_t d = cfg.d_model;
+  const std::size_t h_count = cfg.n_heads;
+  const std::size_t dh = cfg.d_head();
+  assert(x.dim(1) == d && q_positions.size() == n_q);
+
+  // Project Q, K, V for all new rows at once.
+  Tensor q({n_q, d});
+  Tensor k({n_q, d});
+  Tensor v({n_q, d});
+  matmul(x.span(), w.wq.span(), q.span(), n_q, d, d);
+  matmul(x.span(), w.wk.span(), k.span(), n_q, d, d);
+  matmul(x.span(), w.wv.span(), v.span(), n_q, d, d);
+
+  for (std::size_t i = 0; i < n_q; ++i) {
+    cache.append(k.row(i), v.row(i), q_positions[i]);
+  }
+
+  const std::size_t key_len = cache.size();
+  AttentionResult out;
+  out.n_q = n_q;
+  out.key_len = key_len;
+  out.context = Tensor({n_q, d});
+  out.logits = Tensor({h_count, n_q, key_len});
+  out.probs = Tensor({h_count, n_q, key_len});
+
+  const bool use_rope = cfg.positional == PositionalKind::kRoPE;
+  const bool use_alibi = cfg.positional == PositionalKind::kALiBi;
+  const float inv_sqrt_dh = 1.0F / std::sqrt(static_cast<float>(dh));
+
+  // Effective key positions (fixed for this call).
+  std::vector<std::size_t> key_pos(key_len);
+  for (std::size_t i = 0; i < key_len; ++i) {
+    key_pos[i] = key_position(cfg, cache, i);
+  }
+  // Effective query positions. Queries occupy the trailing n_q cache slots.
+  std::vector<std::size_t> q_eff(n_q);
+  for (std::size_t qi = 0; qi < n_q; ++qi) {
+    q_eff[qi] = cfg.position_mode == PositionMode::kOriginal
+                    ? q_positions[qi]
+                    : key_len - n_q + qi;
+  }
+
+  // Pre-rotate keys per head once (RoPE), since positions are fixed here.
+  std::vector<float> rotated_keys;  // [h, key_len, dh] when RoPE
+  if (use_rope) {
+    rotated_keys.resize(h_count * key_len * dh);
+    ThreadPool::global().parallel_for(
+        key_len,
+        [&](std::size_t i0, std::size_t i1) {
+          for (std::size_t i = i0; i < i1; ++i) {
+            for (std::size_t h = 0; h < h_count; ++h) {
+              const auto src = cache.key_head(i, h);
+              float* dst = rotated_keys.data() + (h * key_len + i) * dh;
+              for (std::size_t j = 0; j < dh; ++j) dst[j] = src[j];
+              rope_rotate({dst, dh}, key_pos[i], cfg.rope_base);
+            }
+          }
+        },
+        /*grain=*/16);
+  }
+
+  // ALiBi slopes per head.
+  std::vector<double> slopes(h_count, 0.0);
+  if (use_alibi) {
+    for (std::size_t h = 0; h < h_count; ++h) {
+      slopes[h] = alibi_slope(h, h_count);
+    }
+  }
+
+  float* logits_base = out.logits.data();
+  float* probs_base = out.probs.data();
+  float* ctx_base = out.context.data();
+
+  ThreadPool::global().parallel_for(
+      n_q,
+      [&](std::size_t q0, std::size_t q1) {
+        std::vector<float> q_head(dh);
+        std::vector<float> ctx_head(dh);
+        for (std::size_t qi = q0; qi < q1; ++qi) {
+          const std::size_t q_orig = q_positions[qi];
+          for (std::size_t h = 0; h < h_count; ++h) {
+            // Query head vector, rotated if RoPE.
+            const float* q_src = q.data() + qi * d + h * dh;
+            for (std::size_t j = 0; j < dh; ++j) q_head[j] = q_src[j];
+            if (use_rope) {
+              rope_rotate({q_head.data(), dh}, q_eff[qi], cfg.rope_base);
+            }
+
+            float* lrow = logits_base + (h * n_q + qi) * key_len;
+            for (std::size_t i = 0; i < key_len; ++i) {
+              // Causality on original order.
+              if (cache.original_position(i) > q_orig) {
+                lrow[i] = kNegInf;
+                continue;
+              }
+              const float* k_vec =
+                  use_rope ? rotated_keys.data() + (h * key_len + i) * dh
+                           : cache.key_head(i, h).data();
+              float acc = 0.0F;
+              for (std::size_t j = 0; j < dh; ++j) acc += q_head[j] * k_vec[j];
+              acc *= inv_sqrt_dh;
+              if (use_alibi) {
+                acc += static_cast<float>(
+                    -slopes[h] *
+                    static_cast<double>(q_eff[qi] >= key_pos[i]
+                                            ? q_eff[qi] - key_pos[i]
+                                            : 0));
+              }
+              lrow[i] = acc;
+            }
+
+            // Softmax (masked -inf entries become exactly 0).
+            float* prow = probs_base + (h * n_q + qi) * key_len;
+            softmax({lrow, key_len}, {prow, key_len});
+
+            // Context for this head.
+            for (std::size_t j = 0; j < dh; ++j) ctx_head[j] = 0.0F;
+            for (std::size_t i = 0; i < key_len; ++i) {
+              const float p = prow[i];
+              if (p == 0.0F) continue;
+              const auto v_vec = cache.value_head(i, h);
+              for (std::size_t j = 0; j < dh; ++j) {
+                ctx_head[j] += p * v_vec[j];
+              }
+            }
+            float* ctx_dst = ctx_base + qi * d + h * dh;
+            for (std::size_t j = 0; j < dh; ++j) ctx_dst[j] = ctx_head[j];
+          }
+        }
+      },
+      /*grain=*/4);
+
+  // Output projection (in place over a copy).
+  Tensor merged = out.context;
+  matmul(merged.span(), w.wo.span(), out.context.span(), n_q, d, d);
+  return out;
+}
+
+}  // namespace kf::model

@@ -1,0 +1,41 @@
+// Multi-head causal self-attention over a KvCache.
+//
+// The kernel exposes both the scaled unnormalized logits x_i = QK^T/sqrt(d)
+// and the post-softmax probabilities for every (head, query, key) — the two
+// arrays every score function in the paper consumes (H2O accumulates the
+// probabilities, Keyformer regularizes the logits).
+//
+// Positioning: keys are cached *unrotated*; RoPE rotation / ALiBi bias is
+// applied at attention time from either the token's original position
+// (PositionMode::kOriginal) or its current slot index in the compacted
+// cache (PositionMode::kNew) — the Table 3 ablation. Causal masking always
+// uses original order.
+#pragma once
+
+#include <span>
+
+#include "core/tensor.h"
+#include "kvcache/kv_cache.h"
+#include "model/config.h"
+#include "model/weights.h"
+
+namespace kf::model {
+
+/// Attention internals for one layer invocation.
+struct AttentionResult {
+  Tensor context;  ///< [n_q, d_model] — heads merged and projected by W_o
+  Tensor logits;   ///< [n_heads, n_q, key_len]; masked entries = -inf
+  Tensor probs;    ///< [n_heads, n_q, key_len]; masked entries = 0
+  std::size_t n_q = 0;
+  std::size_t key_len = 0;
+};
+
+/// Projects `x` (n_q rows that continue the sequence) to Q/K/V, appends the
+/// new K/V rows to `cache` at `q_positions` (strictly increasing original
+/// positions), then attends each query against the full cache.
+AttentionResult attention_forward(const ModelConfig& cfg,
+                                  const LayerWeights& w, const Tensor& x,
+                                  std::span<const std::size_t> q_positions,
+                                  kv::KvCache& cache);
+
+}  // namespace kf::model

@@ -1,0 +1,88 @@
+#include "model/config.h"
+
+#include <stdexcept>
+
+namespace kf::model {
+
+std::string to_string(PositionalKind kind) {
+  switch (kind) {
+    case PositionalKind::kRoPE: return "rope";
+    case PositionalKind::kALiBi: return "alibi";
+    case PositionalKind::kLearned: return "learned";
+  }
+  return "unknown";
+}
+
+std::string to_string(PositionMode mode) {
+  switch (mode) {
+    case PositionMode::kOriginal: return "org_pos";
+    case PositionMode::kNew: return "new_pos";
+  }
+  return "unknown";
+}
+
+void ModelConfig::validate() const {
+  if (vocab_size < 8) throw std::invalid_argument("vocab_size too small");
+  if (d_model == 0 || n_heads == 0 || n_layers == 0 || d_ff == 0) {
+    throw std::invalid_argument("model dimensions must be positive");
+  }
+  if (d_model % n_heads != 0) {
+    throw std::invalid_argument("d_model must be divisible by n_heads");
+  }
+  if (positional == PositionalKind::kRoPE && d_head() % 2 != 0) {
+    throw std::invalid_argument("RoPE requires an even head dimension");
+  }
+  if (max_seq_len == 0) throw std::invalid_argument("max_seq_len must be > 0");
+  if (content_logit_scale <= 0.0) {
+    throw std::invalid_argument("content_logit_scale must be positive");
+  }
+}
+
+ModelConfig ModelConfig::gptj_like() {
+  ModelConfig c;
+  c.name = "gptj-like";
+  c.positional = PositionalKind::kRoPE;
+  c.vocab_size = 512;
+  c.d_model = 128;
+  c.n_layers = 4;
+  c.n_heads = 4;
+  c.d_ff = 256;
+  c.weight_seed = 1001;
+  return c;
+}
+
+ModelConfig ModelConfig::cerebras_like() {
+  ModelConfig c;
+  c.name = "cerebras-like";
+  c.positional = PositionalKind::kLearned;
+  c.vocab_size = 512;
+  c.d_model = 128;
+  c.n_layers = 4;
+  c.n_heads = 4;
+  c.d_ff = 256;
+  c.weight_seed = 2002;
+  return c;
+}
+
+ModelConfig ModelConfig::mpt_like() {
+  ModelConfig c;
+  c.name = "mpt-like";
+  c.positional = PositionalKind::kALiBi;
+  c.vocab_size = 512;
+  c.d_model = 128;
+  c.n_layers = 4;
+  c.n_heads = 8;
+  c.d_ff = 256;
+  c.weight_seed = 3003;
+  return c;
+}
+
+ModelConfig ModelConfig::mpt_storywriter_like() {
+  ModelConfig c = mpt_like();
+  c.name = "mpt-storywriter-like";
+  c.max_seq_len = 65536;
+  c.weight_seed = 3004;
+  return c;
+}
+
+}  // namespace kf::model

@@ -1,0 +1,59 @@
+// Autoregressive generation loop wiring the transformer, a KV-cache
+// eviction policy, and the paper's budget semantics together — the main
+// user-facing entry point for text generation experiments.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kvcache/policy.h"
+#include "model/transformer.h"
+
+namespace kf::model {
+
+struct GenerationConfig {
+  std::size_t max_new_tokens = 64;
+  /// KV-cache budget as a fraction of prompt length; >= 1.0 disables
+  /// eviction (full attention). The paper sweeps 0.1 .. 0.9.
+  double cache_ratio = 1.0;
+  /// Recent-window fraction of the budget (paper's best range: 0.2-0.3).
+  double recent_ratio = 0.3;
+  /// Penalty subtracted from the logits of recently generated tokens;
+  /// 0 disables. Keeps the synthetic models from degenerate single-token
+  /// loops, applied identically across policies.
+  float repetition_penalty = 2.0F;
+  /// How many trailing generated tokens the penalty covers; 0 = all.
+  std::size_t repetition_window = 0;
+  /// Token ids never emitted (e.g. specials such as <bos>/<sep>).
+  std::vector<Token> banned_tokens;
+  /// Stop token; -1 disables early stopping.
+  Token eos_token = -1;
+};
+
+struct GenerationResult {
+  std::vector<Token> tokens;  ///< generated tokens (prompt excluded)
+  std::size_t prompt_len = 0;
+  kv::CacheBudget budget;
+  /// Cache length per layer after generation (budget invariant checks).
+  std::vector<std::size_t> final_cache_sizes;
+  /// Peak cache length observed across layers (== prompt during prefill
+  /// attention, then budget k + 1 transiently at each decode step).
+  std::size_t peak_cache_tokens = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Greedy generation under `policy`. Resets the model's caches, derives the
+/// budget from `cfg.cache_ratio`, runs prefill + max_new_tokens decode
+/// steps (or until eos). Deterministic.
+GenerationResult generate(Transformer& model, std::span<const Token> prompt,
+                          kv::EvictionPolicy& policy,
+                          const GenerationConfig& cfg);
+
+/// Argmax with an optional repetition penalty over `recent` token ids and
+/// a hard ban list.
+Token select_greedy(std::span<const float> logits,
+                    std::span<const Token> recent, float penalty,
+                    std::span<const Token> banned = {});
+
+}  // namespace kf::model

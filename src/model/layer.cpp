@@ -1,0 +1,50 @@
+#include "model/layer.h"
+
+#include <cassert>
+
+namespace kf::model {
+
+AttentionResult decoder_attention(const ModelConfig& cfg,
+                                  const LayerWeights& w, Tensor& x,
+                                  std::span<const std::size_t> positions,
+                                  kv::KvCache& cache) {
+  const std::size_t n_q = x.dim(0);
+  const std::size_t d = cfg.d_model;
+  assert(x.dim(1) == d);
+
+  Tensor normed({n_q, d});
+  for (std::size_t i = 0; i < n_q; ++i) {
+    layer_norm(x.row(i), w.ln1_gamma.span(), w.ln1_beta.span(),
+               normed.row(i));
+  }
+  AttentionResult attn =
+      attention_forward(cfg, w, normed, positions, cache);
+  add_inplace(x.span(), attn.context.span());
+  return attn;
+}
+
+void decoder_mlp(const ModelConfig& cfg, const LayerWeights& w, Tensor& x) {
+  const std::size_t n_q = x.dim(0);
+  const std::size_t d = cfg.d_model;
+  const std::size_t f = cfg.d_ff;
+
+  Tensor normed({n_q, d});
+  for (std::size_t i = 0; i < n_q; ++i) {
+    layer_norm(x.row(i), w.ln2_gamma.span(), w.ln2_beta.span(),
+               normed.row(i));
+  }
+  Tensor hidden({n_q, f});
+  matmul(normed.span(), w.w_ff1.span(), hidden.span(), n_q, d, f);
+  for (std::size_t i = 0; i < n_q; ++i) {
+    add_inplace(hidden.row(i), w.b_ff1.span());
+  }
+  gelu_inplace(hidden.span());
+  Tensor out({n_q, d});
+  matmul(hidden.span(), w.w_ff2.span(), out.span(), n_q, f, d);
+  for (std::size_t i = 0; i < n_q; ++i) {
+    add_inplace(out.row(i), w.b_ff2.span());
+  }
+  add_inplace(x.span(), out.span());
+}
+
+}  // namespace kf::model

@@ -1,0 +1,27 @@
+// Pre-LayerNorm decoder-layer blocks:
+//   x += W_o * Attention(LN1(x))     (attention block, returns internals)
+//   x += W2 * GELU(W1 * LN2(x) + b1) + b2
+#pragma once
+
+#include <span>
+
+#include "core/tensor.h"
+#include "kvcache/kv_cache.h"
+#include "model/attention.h"
+#include "model/config.h"
+#include "model/weights.h"
+
+namespace kf::model {
+
+/// Runs the attention block over `x` ([n_q, d_model] residual-stream rows),
+/// updating `x` in place and returning the attention internals for score
+/// functions / instrumentation.
+AttentionResult decoder_attention(const ModelConfig& cfg,
+                                  const LayerWeights& w, Tensor& x,
+                                  std::span<const std::size_t> positions,
+                                  kv::KvCache& cache);
+
+/// Runs the MLP block over `x` in place.
+void decoder_mlp(const ModelConfig& cfg, const LayerWeights& w, Tensor& x);
+
+}  // namespace kf::model

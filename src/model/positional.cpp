@@ -1,0 +1,60 @@
+#include "model/positional.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace kf::model {
+
+void rope_rotate(std::span<float> vec, std::size_t pos, double base) {
+  assert(vec.size() % 2 == 0);
+  const std::size_t d = vec.size();
+  const double p = static_cast<double>(pos);
+  for (std::size_t i = 0; i < d; i += 2) {
+    const double freq =
+        std::pow(base, -static_cast<double>(i) / static_cast<double>(d));
+    const double theta = p * freq;
+    const double c = std::cos(theta);
+    const double s = std::sin(theta);
+    const double x0 = vec[i];
+    const double x1 = vec[i + 1];
+    vec[i] = static_cast<float>(x0 * c - x1 * s);
+    vec[i + 1] = static_cast<float>(x0 * s + x1 * c);
+  }
+}
+
+namespace {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+double slope_for_power_of_two(std::size_t head, std::size_t n_heads) {
+  // 2^(-8 (head+1) / n_heads)
+  const double exponent =
+      -8.0 * static_cast<double>(head + 1) / static_cast<double>(n_heads);
+  return std::pow(2.0, exponent);
+}
+
+}  // namespace
+
+double alibi_slope(std::size_t head, std::size_t n_heads) {
+  assert(head < n_heads);
+  if (is_power_of_two(n_heads)) {
+    return slope_for_power_of_two(head, n_heads);
+  }
+  // Standard ALiBi fallback: take the slopes for the next power of two
+  // below n_heads, then interleave slopes of the doubled set.
+  std::size_t lower = 1;
+  while (lower * 2 <= n_heads) lower *= 2;
+  if (head < lower) return slope_for_power_of_two(head, lower);
+  const std::size_t j = head - lower;
+  return slope_for_power_of_two(2 * j, 2 * lower);
+}
+
+double alibi_bias(std::size_t head, std::size_t n_heads, std::size_t q_pos,
+                  std::size_t k_pos) {
+  const double distance = q_pos >= k_pos
+                              ? static_cast<double>(q_pos - k_pos)
+                              : -static_cast<double>(k_pos - q_pos);
+  return -alibi_slope(head, n_heads) * distance;
+}
+
+}  // namespace kf::model

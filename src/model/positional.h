@@ -1,0 +1,37 @@
+// The three positional-encoding algorithms of the evaluated model families.
+//
+//   RoPE (Su et al., 2022; GPT-J): rotates consecutive (even, odd) pairs of
+//   the query/key head vector by pos * base^(-2i/d_head). Keys are stored
+//   *unrotated* in the KV cache and rotated at attention time so that both
+//   Table 3 position modes (original vs new index) can be realized.
+//
+//   ALiBi (Press et al., 2021; MPT): adds -slope_h * (q_pos - k_pos) to the
+//   attention logit; slopes form a geometric sequence per head.
+//
+//   Learned (Cerebras-GPT): a trainable absolute position embedding added
+//   to the token embedding at the input; it travels with the token through
+//   the cache, so eviction cannot change it (noted in DESIGN.md).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "model/config.h"
+
+namespace kf::model {
+
+/// Rotates `vec` (length d_head, even) in place by RoPE at position `pos`.
+void rope_rotate(std::span<float> vec, std::size_t pos, double base);
+
+/// ALiBi slope for `head` of `n_heads`. For n_heads a power of two this is
+/// 2^(-8 (head+1) / n_heads); otherwise the standard interpolation over the
+/// nearest powers of two is used.
+double alibi_slope(std::size_t head, std::size_t n_heads);
+
+/// ALiBi additive bias for a (query position, key position) pair.
+/// Causal use guarantees k_pos <= q_pos; the bias is 0 at distance 0 and
+/// decreases linearly with distance.
+double alibi_bias(std::size_t head, std::size_t n_heads, std::size_t q_pos,
+                  std::size_t k_pos);
+
+}  // namespace kf::model

@@ -1,0 +1,143 @@
+#include "model/transformer.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "model/layer.h"
+
+namespace kf::model {
+
+Transformer::Transformer(ModelConfig cfg)
+    : cfg_(std::move(cfg)), weights_(build_weights(cfg_)) {
+  caches_.reserve(cfg_.n_layers);
+  for (std::size_t l = 0; l < cfg_.n_layers; ++l) {
+    caches_.emplace_back(cfg_.n_heads, cfg_.d_head(), /*capacity_hint=*/256);
+  }
+}
+
+std::size_t Transformer::cache_size(std::size_t layer) const {
+  return caches_.at(layer).size();
+}
+
+std::size_t Transformer::total_cache_tokens() const {
+  std::size_t total = 0;
+  for (const auto& c : caches_) total += c.size();
+  return total;
+}
+
+kv::KvCache& Transformer::cache(std::size_t layer) {
+  return caches_.at(layer);
+}
+
+const kv::KvCache& Transformer::cache(std::size_t layer) const {
+  return caches_.at(layer);
+}
+
+void Transformer::reset() {
+  for (auto& c : caches_) c.clear();
+}
+
+void Transformer::set_observer(AttentionObserver observer) {
+  observer_ = std::move(observer);
+}
+
+Tensor Transformer::embed(std::span<const Token> tokens,
+                          std::size_t first_pos) const {
+  Tensor x({tokens.size(), cfg_.d_model});
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token t = tokens[i];
+    if (t < 0 || static_cast<std::size_t>(t) >= cfg_.vocab_size) {
+      throw std::out_of_range("token id outside vocabulary");
+    }
+    const auto src = weights_.embedding.row(static_cast<std::size_t>(t));
+    auto dst = x.row(i);
+    for (std::size_t j = 0; j < cfg_.d_model; ++j) dst[j] = src[j];
+    if (cfg_.positional == PositionalKind::kLearned) {
+      const std::size_t pos = first_pos + i;
+      if (pos < weights_.pos_embedding.dim(0)) {
+        add_inplace(dst, weights_.pos_embedding.row(pos));
+      }
+    }
+  }
+  return x;
+}
+
+Tensor Transformer::forward(Tensor x,
+                            std::span<const std::size_t> positions,
+                            bool is_prompt, std::size_t t,
+                            std::size_t total_steps,
+                            kv::EvictionPolicy& policy) {
+  const std::size_t n_q = x.dim(0);
+  for (std::size_t layer = 0; layer < cfg_.n_layers; ++layer) {
+    kv::KvCache& cache = caches_[layer];
+    AttentionResult attn =
+        decoder_attention(cfg_, weights_.layers[layer], x, positions, cache);
+
+    if (observer_) {
+      AttentionObservation obs;
+      obs.layer = layer;
+      obs.attn = &attn;
+      obs.key_positions = cache.original_positions();
+      obs.is_prompt = is_prompt;
+      obs.decode_step = t;
+      observer_(obs);
+    }
+
+    kv::PolicyContext ctx;
+    ctx.layer = layer;
+    ctx.n_heads = cfg_.n_heads;
+    ctx.n_queries = n_q;
+    ctx.key_len = attn.key_len;
+    ctx.logits = attn.logits.span();
+    ctx.probs = attn.probs.span();
+    ctx.is_prompt = is_prompt;
+    ctx.decode_step = t;
+    ctx.total_steps = total_steps;
+    ctx.cache = &cache;
+    policy.observe(ctx);
+
+    decoder_mlp(cfg_, weights_.layers[layer], x);
+  }
+
+  // Final LayerNorm + tied LM head.
+  Tensor logits({n_q, cfg_.vocab_size});
+  Tensor normed({cfg_.d_model});
+  for (std::size_t i = 0; i < n_q; ++i) {
+    layer_norm(x.row(i), weights_.final_gamma.span(),
+               weights_.final_beta.span(), normed.span());
+    matvec(weights_.lm_head.span(), normed.span(), logits.row(i),
+           cfg_.vocab_size, cfg_.d_model);
+  }
+  return logits;
+}
+
+Tensor Transformer::prefill(std::span<const Token> prompt,
+                            kv::EvictionPolicy& policy,
+                            std::size_t total_steps) {
+  if (prompt.empty()) {
+    throw std::invalid_argument("prefill requires a non-empty prompt");
+  }
+  if (!caches_.front().empty()) {
+    throw std::logic_error("prefill called on a non-empty cache; reset()");
+  }
+  std::vector<std::size_t> positions(prompt.size());
+  for (std::size_t i = 0; i < prompt.size(); ++i) positions[i] = i;
+  Tensor x = embed(prompt, /*first_pos=*/0);
+  return forward(std::move(x), positions, /*is_prompt=*/true, /*t=*/0,
+                 total_steps, policy);
+}
+
+std::vector<float> Transformer::decode(Token token, std::size_t position,
+                                       std::size_t t,
+                                       std::size_t total_steps,
+                                       kv::EvictionPolicy& policy) {
+  const Token toks[1] = {token};
+  const std::size_t positions[1] = {position};
+  Tensor x = embed({toks, 1}, position);
+  Tensor logits = forward(std::move(x), {positions, 1}, /*is_prompt=*/false,
+                          t, total_steps, policy);
+  const auto row = logits.row(0);
+  return std::vector<float>(row.begin(), row.end());
+}
+
+}  // namespace kf::model

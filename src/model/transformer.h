@@ -1,0 +1,93 @@
+// The decoder-only transformer with per-layer KV caches and eviction-policy
+// integration — the inference engine of the reproduction.
+//
+// Inference follows the paper's two phases (Section 2.1):
+//   prefill(prompt)  — processes the whole prompt, populating every layer's
+//                      cache and letting the policy reduce it to budget k;
+//   decode(token)    — one autoregressive step against the reduced cache
+//                      (appends 1 token, the policy evicts 1 to keep k).
+//
+// After every layer's attention the active EvictionPolicy observes the
+// scaled logits and probabilities and may compact that layer's cache.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/tensor.h"
+#include "kvcache/kv_cache.h"
+#include "kvcache/policy.h"
+#include "model/attention.h"
+#include "model/config.h"
+#include "model/weights.h"
+
+namespace kf::model {
+
+using Token = std::int32_t;
+
+/// Attention internals delivered to an instrumentation observer (sparsity
+/// stats, heat maps). Valid only during the callback.
+struct AttentionObservation {
+  std::size_t layer = 0;
+  const AttentionResult* attn = nullptr;
+  std::span<const std::size_t> key_positions;  ///< original positions
+  bool is_prompt = false;
+  std::size_t decode_step = 0;
+};
+
+using AttentionObserver = std::function<void(const AttentionObservation&)>;
+
+class Transformer {
+ public:
+  /// Builds deterministic weights for `cfg` (see weights.h).
+  explicit Transformer(ModelConfig cfg);
+
+  const ModelConfig& config() const noexcept { return cfg_; }
+  const ModelWeights& weights() const noexcept { return weights_; }
+
+  /// Current cache length of one layer.
+  std::size_t cache_size(std::size_t layer) const;
+  /// Sum of cache lengths across layers.
+  std::size_t total_cache_tokens() const;
+  kv::KvCache& cache(std::size_t layer);
+  const kv::KvCache& cache(std::size_t layer) const;
+
+  /// Clears all layer caches (start of a new sequence).
+  void reset();
+
+  /// Installs an attention observer (pass nullptr-equivalent {} to clear).
+  void set_observer(AttentionObserver observer);
+
+  /// Switches the position mode (Table 3 org-pos vs new-pos ablation).
+  void set_position_mode(PositionMode mode) { cfg_.position_mode = mode; }
+
+  /// Prompt phase. Returns LM logits for every prompt position,
+  /// shape [prompt_len, vocab]. `total_steps` is T in Algorithm 1.
+  Tensor prefill(std::span<const Token> prompt, kv::EvictionPolicy& policy,
+                 std::size_t total_steps);
+
+  /// One decode step: feeds `token` at sequence position `position`
+  /// (original coordinates), decode step `t` (1-based). Returns the LM
+  /// logits predicting the next token.
+  std::vector<float> decode(Token token, std::size_t position, std::size_t t,
+                            std::size_t total_steps,
+                            kv::EvictionPolicy& policy);
+
+ private:
+  /// Shared layer stack walk. `x` holds embedded rows; returns LM logits
+  /// for every row.
+  Tensor forward(Tensor x, std::span<const std::size_t> positions,
+                 bool is_prompt, std::size_t t, std::size_t total_steps,
+                 kv::EvictionPolicy& policy);
+
+  Tensor embed(std::span<const Token> tokens, std::size_t first_pos) const;
+
+  ModelConfig cfg_;
+  ModelWeights weights_;
+  std::vector<kv::KvCache> caches_;
+  AttentionObserver observer_;
+};
+
+}  // namespace kf::model

@@ -1,0 +1,145 @@
+#include "perf/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace kf::perf {
+
+std::string to_string(CacheMode mode) {
+  switch (mode) {
+    case CacheMode::kFull: return "full";
+    case CacheMode::kStaticPrompt: return "static_prompt";
+    case CacheMode::kGrowingFraction: return "growing_fraction";
+  }
+  return "unknown";
+}
+
+CostModel::CostModel(DeviceSpec device, ModelSpec model, CostParams params)
+    : device_(device), model_(model), params_(params) {
+  if (params_.kv_effective_bandwidth <= 0.0 ||
+      params_.weight_bw_efficiency <= 0.0) {
+    throw std::invalid_argument("cost model bandwidths must be positive");
+  }
+}
+
+std::size_t CostModel::context_at_step(const WorkloadSpec& w,
+                                       std::size_t t) const {
+  switch (w.cache_mode) {
+    case CacheMode::kFull:
+      return w.prompt_len + t;
+    case CacheMode::kStaticPrompt:
+      return std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::ceil(w.cache_ratio *
+                           static_cast<double>(w.prompt_len))));
+    case CacheMode::kGrowingFraction:
+      return std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::ceil(w.cache_ratio *
+                           static_cast<double>(w.prompt_len + t))));
+  }
+  return w.prompt_len + t;
+}
+
+StepCost CostModel::decode_step(std::size_t context,
+                                const WorkloadSpec& w) const {
+  StepCost s;
+  s.weight_time =
+      model_.model_bytes() /
+      (device_.hbm_bandwidth * params_.weight_bw_efficiency);
+  s.kv_bytes = static_cast<double>(context) * model_.kv_bytes_per_token() *
+               static_cast<double>(w.batch) * static_cast<double>(w.beams);
+  s.kv_time = s.kv_bytes / params_.kv_effective_bandwidth;
+  s.fixed_time = params_.per_step_overhead_s;
+
+  const double ctx_tokens = static_cast<double>(context) *
+                            static_cast<double>(w.batch) *
+                            static_cast<double>(w.beams);
+  switch (w.policy_cost) {
+    case PolicyCost::kNone:
+      break;
+    case PolicyCost::kTopK:
+      s.score_time = ctx_tokens * params_.topk_cost_per_token_s;
+      break;
+    case PolicyCost::kGumbelTopK:
+      s.score_time =
+          ctx_tokens * (params_.topk_cost_per_token_s +
+                        static_cast<double>(model_.n_layers) *
+                            params_.score_cost_per_token_layer_s);
+      break;
+  }
+  return s;
+}
+
+double CostModel::prefill_seconds(const WorkloadSpec& w) const {
+  // Dense GEMMs: ~2 * params FLOPs per token, compute-bound.
+  const double tokens = static_cast<double>(w.prompt_len) *
+                        static_cast<double>(w.batch) *
+                        static_cast<double>(w.beams);
+  const double gemm_flops =
+      2.0 * static_cast<double>(model_.n_params) * tokens;
+  // Attention score + context matmuls: 4 * c^2 * d per layer.
+  const double c = static_cast<double>(w.prompt_len);
+  const double attn_flops = 4.0 * c * c *
+                            static_cast<double>(model_.d_model) *
+                            static_cast<double>(model_.n_layers) *
+                            static_cast<double>(w.batch) *
+                            static_cast<double>(w.beams);
+  const double compute =
+      (gemm_flops + attn_flops) / device_.effective_flops();
+  // KV write traffic for the prompt.
+  const double kv_write =
+      tokens * model_.kv_bytes_per_token() / device_.effective_bandwidth();
+  return compute + kv_write;
+}
+
+double CostModel::kv_peak_bytes(const WorkloadSpec& w) const {
+  // The prompt is fully cached before any eviction (prefill peak), and the
+  // decode-phase cache may grow beyond it in kFull/kGrowingFraction modes.
+  const double per_tok = model_.kv_bytes_per_token() *
+                         static_cast<double>(w.batch) *
+                         static_cast<double>(w.beams);
+  const double prefill_peak = static_cast<double>(w.prompt_len) * per_tok;
+  const double last_ctx = static_cast<double>(
+      context_at_step(w, w.gen_len > 0 ? w.gen_len - 1 : 0));
+  return std::max(prefill_peak, last_ctx * per_tok);
+}
+
+InferenceCost CostModel::run(const WorkloadSpec& w) const {
+  if (w.cache_ratio <= 0.0 || w.cache_ratio > 1.0) {
+    throw std::invalid_argument("cache_ratio must be in (0, 1]");
+  }
+  InferenceCost out;
+  out.prefill_seconds = prefill_seconds(w);
+  for (std::size_t t = 0; t < w.gen_len; ++t) {
+    const StepCost s = decode_step(context_at_step(w, t), w);
+    out.decode_seconds += s.total();
+    out.kv_movement_seconds += s.kv_time;
+    out.score_seconds += s.score_time;
+  }
+  out.total_seconds = out.prefill_seconds + out.decode_seconds;
+  out.other_seconds =
+      out.total_seconds - out.kv_movement_seconds - out.score_seconds;
+  out.throughput_tokens_per_s =
+      static_cast<double>(w.batch) * static_cast<double>(w.gen_len) /
+      out.total_seconds;
+
+  out.model_bytes = model_.model_bytes();
+  out.kv_cache_peak_bytes = kv_peak_bytes(w);
+  // Attention scratch during prefill: one [heads, c, c] fp16 score matrix
+  // per layer materialized transiently (eager attention).
+  const double c = static_cast<double>(w.prompt_len);
+  const double attn_scratch = static_cast<double>(model_.n_heads) * c * c *
+                              static_cast<double>(model_.bytes_per_value) *
+                              static_cast<double>(w.batch) *
+                              static_cast<double>(w.beams);
+  out.peak_memory_bytes =
+      out.model_bytes +
+      out.kv_cache_peak_bytes * (1.0 + params_.beam_reorder_copy_fraction) +
+      attn_scratch + params_.fixed_workspace_bytes;
+  out.oom = out.peak_memory_bytes > device_.hbm_bytes;
+  return out;
+}
+
+}  // namespace kf::perf

@@ -1,0 +1,29 @@
+#include "perf/device.h"
+
+namespace kf::perf {
+
+DeviceSpec DeviceSpec::a100_80gb() { return DeviceSpec{}; }
+
+ModelSpec ModelSpec::mpt_7b() { return ModelSpec{}; }
+
+ModelSpec ModelSpec::gptj_6b() {
+  ModelSpec m;
+  m.name = "gpt-j-6b";
+  m.n_params = 6'053'381'344;
+  m.n_layers = 28;
+  m.d_model = 4096;
+  m.n_heads = 16;
+  return m;
+}
+
+ModelSpec ModelSpec::cerebras_6_7b() {
+  ModelSpec m;
+  m.name = "cerebras-gpt-6.7b";
+  m.n_params = 6'658'404'352;
+  m.n_layers = 32;
+  m.d_model = 4096;
+  m.n_heads = 32;
+  return m;
+}
+
+}  // namespace kf::perf

@@ -1,0 +1,60 @@
+// Hardware and model descriptions for the analytical performance model.
+//
+// The paper's system numbers (Fig 1, 9, 10; Table 1) come from MPT-7B on an
+// NVIDIA A100-80GB at batch 1, beam 4. Those artifacts are hardware-gated
+// here, so `kf::perf` models the first-order physics the paper itself
+// appeals to: token generation is memory-bandwidth-bound, dominated by
+// moving weights and the KV cache from HBM (Section 4.2).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace kf::perf {
+
+/// Accelerator description.
+struct DeviceSpec {
+  std::string name = "a100-80gb";
+  double hbm_bytes = 80e9;            ///< capacity
+  double hbm_bandwidth = 2.039e12;    ///< peak B/s (A100 80GB SXM)
+  double mem_efficiency = 0.62;       ///< achievable fraction of peak BW
+  double flops = 312e12;              ///< fp16 tensor-core peak FLOP/s
+  double flop_efficiency = 0.35;      ///< achievable fraction on GEMV-ish work
+  double kernel_overhead_s = 4.5e-6;  ///< fixed per-kernel launch cost
+
+  double effective_bandwidth() const noexcept {
+    return hbm_bandwidth * mem_efficiency;
+  }
+  double effective_flops() const noexcept { return flops * flop_efficiency; }
+
+  static DeviceSpec a100_80gb();
+};
+
+/// Model description for the cost model (decoupled from kf::model's tiny
+/// executable configs — these are the paper-scale shapes).
+struct ModelSpec {
+  std::string name = "mpt-7b";
+  std::size_t n_params = 6'649'286'656;  ///< ~6.6B
+  std::size_t n_layers = 32;
+  std::size_t d_model = 4096;
+  std::size_t n_heads = 32;
+  std::size_t bytes_per_value = 2;  ///< fp16
+
+  /// Bytes of one token's K+V entries across all layers.
+  double kv_bytes_per_token() const noexcept {
+    return 2.0 * static_cast<double>(n_layers) *
+           static_cast<double>(d_model) *
+           static_cast<double>(bytes_per_value);
+  }
+  /// Bytes of the weights.
+  double model_bytes() const noexcept {
+    return static_cast<double>(n_params) *
+           static_cast<double>(bytes_per_value);
+  }
+
+  static ModelSpec mpt_7b();
+  static ModelSpec gptj_6b();
+  static ModelSpec cerebras_6_7b();
+};
+
+}  // namespace kf::perf

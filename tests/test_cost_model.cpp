@@ -1,0 +1,195 @@
+#include "perf/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace kf::perf {
+namespace {
+
+CostModel default_model() {
+  return CostModel(DeviceSpec::a100_80gb(), ModelSpec::mpt_7b());
+}
+
+WorkloadSpec workload(std::size_t len, double ratio = 1.0,
+                      CacheMode mode = CacheMode::kFull,
+                      std::size_t batch = 1) {
+  WorkloadSpec w;
+  w.prompt_len = len;
+  w.gen_len = len;
+  w.batch = batch;
+  w.cache_ratio = ratio;
+  w.cache_mode = mode;
+  return w;
+}
+
+TEST(CostModel, CalibratedToPaperTable1FullAttention) {
+  // Paper Table 1 (MPT-7B, A100, batch 1, beam 4): 24.9 / 15.0 / 8.3
+  // tokens/s for 1024+1024 / 2048+2048 / 4096+4096 full attention.
+  const CostModel m = default_model();
+  const double t1 = m.run(workload(1024)).throughput_tokens_per_s;
+  const double t2 = m.run(workload(2048)).throughput_tokens_per_s;
+  const double t4 = m.run(workload(4096)).throughput_tokens_per_s;
+  EXPECT_NEAR(t1, 24.9, 2.5);
+  EXPECT_NEAR(t2, 15.0, 1.5);
+  EXPECT_NEAR(t4, 8.3, 1.0);
+}
+
+TEST(CostModel, ThroughputFallsWithSequenceLength) {
+  const CostModel m = default_model();
+  double prev = 1e18;
+  for (const std::size_t len : {512u, 1024u, 2048u, 4096u, 8192u}) {
+    const double t = m.run(workload(len)).throughput_tokens_per_s;
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CostModel, ReducedCacheIsFaster) {
+  const CostModel m = default_model();
+  const double full = m.run(workload(4096)).throughput_tokens_per_s;
+  const double half =
+      m.run(workload(4096, 0.5, CacheMode::kStaticPrompt))
+          .throughput_tokens_per_s;
+  EXPECT_GT(half, 1.5 * full);
+  EXPECT_LT(half, 3.5 * full);
+}
+
+TEST(CostModel, SpeedupGrowsWithSequenceLength) {
+  // Fig 9 shape: the 50%-cache speedup increases with sequence length.
+  const CostModel m = default_model();
+  double prev_speedup = 0.0;
+  for (const std::size_t len : {1024u, 2048u, 4096u}) {
+    const double full = m.run(workload(len)).total_seconds;
+    const double reduced =
+        m.run(workload(len, 0.5, CacheMode::kStaticPrompt)).total_seconds;
+    const double speedup = full / reduced;
+    EXPECT_GT(speedup, prev_speedup);
+    prev_speedup = speedup;
+  }
+  EXPECT_GT(prev_speedup, 1.8);
+}
+
+TEST(CostModel, ContextEvolutionPerMode) {
+  const CostModel m = default_model();
+  WorkloadSpec w = workload(1000, 0.5, CacheMode::kFull);
+  EXPECT_EQ(m.context_at_step(w, 0), 1000u);
+  EXPECT_EQ(m.context_at_step(w, 500), 1500u);
+  w.cache_mode = CacheMode::kStaticPrompt;
+  EXPECT_EQ(m.context_at_step(w, 0), 500u);
+  EXPECT_EQ(m.context_at_step(w, 500), 500u);
+  w.cache_mode = CacheMode::kGrowingFraction;
+  EXPECT_EQ(m.context_at_step(w, 0), 500u);
+  EXPECT_EQ(m.context_at_step(w, 1000), 1000u);
+}
+
+TEST(CostModel, KvBytesLinearInContextAndBeams) {
+  const CostModel m = default_model();
+  WorkloadSpec w = workload(1024);
+  const StepCost a = m.decode_step(1000, w);
+  const StepCost b = m.decode_step(2000, w);
+  EXPECT_NEAR(b.kv_bytes, 2.0 * a.kv_bytes, 1.0);
+  w.beams = 8;
+  const StepCost c = m.decode_step(1000, w);
+  EXPECT_NEAR(c.kv_bytes, 2.0 * a.kv_bytes, 1.0);
+}
+
+TEST(CostModel, ScoreOverheadOrdering) {
+  const CostModel m = default_model();
+  WorkloadSpec none = workload(2048);
+  WorkloadSpec topk = none;
+  topk.policy_cost = PolicyCost::kTopK;
+  WorkloadSpec gumbel = none;
+  gumbel.policy_cost = PolicyCost::kGumbelTopK;
+  const double c0 = m.decode_step(2048, none).score_time;
+  const double c1 = m.decode_step(2048, topk).score_time;
+  const double c2 = m.decode_step(2048, gumbel).score_time;
+  EXPECT_EQ(c0, 0.0);
+  EXPECT_GT(c1, 0.0);
+  EXPECT_GT(c2, c1);
+}
+
+TEST(CostModel, GumbelOverheadIsSmallFraction) {
+  // Fig 10: the score-function overhead is visible but small relative to
+  // the attention/KV time it saves.
+  const CostModel m = default_model();
+  WorkloadSpec w = workload(4096, 0.5, CacheMode::kStaticPrompt);
+  w.policy_cost = PolicyCost::kGumbelTopK;
+  const StepCost s = m.decode_step(2048, w);
+  EXPECT_LT(s.score_time, 0.2 * s.kv_time);
+}
+
+TEST(CostModel, Table1OomPattern) {
+  // 4096+4096 at batch 2: full attention and H2O(90%, growing) OOM on the
+  // 80 GB device; Keyformer at 50% static fits.
+  const CostModel m = default_model();
+  EXPECT_TRUE(m.run(workload(4096, 1.0, CacheMode::kFull, 2)).oom);
+  EXPECT_TRUE(
+      m.run(workload(4096, 0.9, CacheMode::kGrowingFraction, 2)).oom);
+  EXPECT_FALSE(
+      m.run(workload(4096, 0.5, CacheMode::kStaticPrompt, 2)).oom);
+}
+
+TEST(CostModel, Batch1NeverOomsAtPaperSizes) {
+  const CostModel m = default_model();
+  for (const std::size_t len : {1024u, 2048u, 4096u}) {
+    EXPECT_FALSE(m.run(workload(len)).oom) << len;
+  }
+}
+
+TEST(CostModel, KvCacheExceedsModelSizeBeyond8k) {
+  // Fig 1b: with beam 4, the KV cache passes the 13.3 GB model size around
+  // a sequence length of 8k.
+  const CostModel m = default_model();
+  const InferenceCost at2k = m.run(workload(1024));  // seq 2k
+  EXPECT_LT(at2k.kv_cache_peak_bytes, at2k.model_bytes);
+  const InferenceCost at8k = m.run(workload(4096));  // seq 8k
+  EXPECT_GT(at8k.kv_cache_peak_bytes, at8k.model_bytes);
+}
+
+TEST(CostModel, KvMovementShareGrowsWithContext) {
+  // Fig 1a: the KV-movement share of decode time rises with sequence len.
+  const CostModel m = default_model();
+  const InferenceCost small = m.run(workload(256));
+  const InferenceCost large = m.run(workload(4096));
+  const double share_small =
+      small.kv_movement_seconds / small.total_seconds;
+  const double share_large =
+      large.kv_movement_seconds / large.total_seconds;
+  EXPECT_GT(share_large, share_small);
+  EXPECT_GT(share_large, 0.4);
+}
+
+TEST(CostModel, LatencyGrowsSuperlinearly) {
+  // Fig 1a: 16x longer sequences cost far more than 16x the latency.
+  const CostModel m = default_model();
+  const double t512 = m.run(workload(256)).total_seconds;   // seq 512
+  const double t8k = m.run(workload(4096)).total_seconds;   // seq 8k
+  EXPECT_GT(t8k / t512, 25.0);
+}
+
+TEST(CostModel, RejectsBadRatio) {
+  const CostModel m = default_model();
+  WorkloadSpec w = workload(128, 0.0);
+  EXPECT_THROW(m.run(w), std::invalid_argument);
+  w.cache_ratio = 1.5;
+  EXPECT_THROW(m.run(w), std::invalid_argument);
+}
+
+TEST(CostModel, PrefillScalesWithPromptLength) {
+  const CostModel m = default_model();
+  const double p1 = m.prefill_seconds(workload(1024));
+  const double p2 = m.prefill_seconds(workload(2048));
+  EXPECT_GT(p2, 1.8 * p1);
+}
+
+TEST(ModelSpecs, PaperScaleParameters) {
+  EXPECT_NEAR(static_cast<double>(ModelSpec::mpt_7b().n_params), 6.65e9,
+              0.1e9);
+  EXPECT_NEAR(static_cast<double>(ModelSpec::gptj_6b().n_params), 6.05e9,
+              0.1e9);
+  EXPECT_NEAR(ModelSpec::mpt_7b().model_bytes(), 13.3e9, 0.2e9);
+  // 2 tensors * 32 layers * 4096 dim * 2 bytes = 512 KiB per token.
+  EXPECT_NEAR(ModelSpec::mpt_7b().kv_bytes_per_token(), 524288.0, 1.0);
+}
+
+}  // namespace
+}  // namespace kf::perf

@@ -1,0 +1,108 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "data/fewshot.h"
+#include "data/synthetic.h"
+#include "kvcache/policy_factory.h"
+
+namespace kf::eval {
+namespace {
+
+model::ModelConfig small_config() {
+  model::ModelConfig cfg = model::ModelConfig::gptj_like();
+  cfg.d_model = 64;
+  cfg.n_layers = 2;
+  cfg.n_heads = 4;
+  cfg.d_ff = 128;
+  return cfg;
+}
+
+TEST(Experiment, GenerateOutputsOnePerSample) {
+  model::Transformer m(small_config());
+  data::SummarizationConfig dc;
+  dc.doc_len = 120;
+  const auto samples = data::make_summarization_set(dc, 3);
+  auto policy = kv::make_policy(kv::PolicyKind::kFull);
+  EvalConfig ec;
+  ec.max_new_tokens = 8;
+  const auto outputs = generate_outputs(m, samples, *policy, ec);
+  ASSERT_EQ(outputs.size(), 3u);
+  for (const auto& o : outputs) EXPECT_EQ(o.size(), 8u);
+}
+
+TEST(Experiment, ResultFieldsPopulated) {
+  model::Transformer m(small_config());
+  data::SummarizationConfig dc;
+  dc.doc_len = 120;
+  const auto samples = data::make_summarization_set(dc, 2);
+  auto policy = kv::make_policy(kv::PolicyKind::kKeyformer);
+  EvalConfig ec;
+  ec.max_new_tokens = 8;
+  ec.cache_ratio = 0.5;
+  const auto res = evaluate_policy_on_task(m, samples, *policy, ec);
+  EXPECT_EQ(res.policy, "keyformer");
+  EXPECT_EQ(res.n_samples, 2u);
+  EXPECT_DOUBLE_EQ(res.cache_ratio, 0.5);
+  EXPECT_GE(res.ref_rouge1, 0.0);
+  EXPECT_LE(res.ref_rouge1, 1.0);
+  EXPECT_GT(res.mean_wall_seconds, 0.0);
+  // No fidelity reference passed -> fidelity stays zero.
+  EXPECT_DOUBLE_EQ(res.fid_rouge1, 0.0);
+}
+
+TEST(Experiment, SpecialTokensBannedByDefault) {
+  model::Transformer m(small_config());
+  data::SummarizationConfig dc;
+  dc.doc_len = 120;
+  const auto samples = data::make_summarization_set(dc, 1);
+  auto policy = kv::make_policy(kv::PolicyKind::kFull);
+  EvalConfig ec;
+  ec.max_new_tokens = 12;
+  const auto outputs = generate_outputs(m, samples, *policy, ec);
+  for (const Token t : outputs[0]) {
+    EXPECT_GE(t, data::kFirstContentToken);
+  }
+}
+
+TEST(Experiment, McqFullAttentionBeatsChance) {
+  model::Transformer m(small_config());
+  data::McqConfig mc;
+  mc.kind = data::McqTaskKind::kCopa;
+  const auto samples = data::make_mcq_set(mc, 24);
+  auto policy = kv::make_policy(kv::PolicyKind::kFull);
+  EvalConfig ec;
+  const double acc = mcq_accuracy(m, samples, *policy, ec);
+  EXPECT_GT(acc, 0.6);  // chance = 0.5
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(Experiment, McqAccuracyDeterministic) {
+  model::Transformer m(small_config());
+  data::McqConfig mc;
+  const auto samples = data::make_mcq_set(mc, 8);
+  auto policy = kv::make_policy(kv::PolicyKind::kKeyformer);
+  EvalConfig ec;
+  ec.cache_ratio = 0.5;
+  const double a = mcq_accuracy(m, samples, *policy, ec);
+  const double b = mcq_accuracy(m, samples, *policy, ec);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Experiment, McqSevereEvictionHurts) {
+  model::Transformer m(small_config());
+  data::McqConfig mc;
+  mc.kind = data::McqTaskKind::kOpenBookQa;
+  const auto samples = data::make_mcq_set(mc, 24);
+  EvalConfig full_cfg;
+  auto full = kv::make_policy(kv::PolicyKind::kFull);
+  const double full_acc = mcq_accuracy(m, samples, *full, full_cfg);
+  EvalConfig tiny_cfg;
+  tiny_cfg.cache_ratio = 0.1;
+  auto window = kv::make_policy(kv::PolicyKind::kWindow);
+  const double window_acc = mcq_accuracy(m, samples, *window, tiny_cfg);
+  EXPECT_LE(window_acc, full_acc);
+}
+
+}  // namespace
+}  // namespace kf::eval

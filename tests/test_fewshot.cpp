@@ -1,0 +1,118 @@
+#include "data/fewshot.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace kf::data {
+namespace {
+
+TEST(Mcq, OptionCountsPerTask) {
+  EXPECT_EQ(n_options(McqTaskKind::kCopa), 2u);
+  EXPECT_EQ(n_options(McqTaskKind::kPiqa), 2u);
+  EXPECT_EQ(n_options(McqTaskKind::kOpenBookQa), 4u);
+  EXPECT_EQ(n_options(McqTaskKind::kWinogrande), 2u);
+}
+
+TEST(Mcq, Names) {
+  EXPECT_EQ(to_string(McqTaskKind::kCopa), "copa");
+  EXPECT_EQ(to_string(McqTaskKind::kOpenBookQa), "openbookqa");
+}
+
+TEST(Mcq, Deterministic) {
+  McqConfig cfg;
+  const McqSample a = make_mcq_sample(cfg, 0);
+  const McqSample b = make_mcq_sample(cfg, 0);
+  EXPECT_EQ(a.prompt, b.prompt);
+  EXPECT_EQ(a.options, b.options);
+  EXPECT_EQ(a.correct, b.correct);
+}
+
+TEST(Mcq, OptionsDistinctAndSalient) {
+  McqConfig cfg;
+  cfg.kind = McqTaskKind::kOpenBookQa;
+  const TokenClasses classes(cfg.vocab_size);
+  const McqSample s = make_mcq_sample(cfg, 1);
+  ASSERT_EQ(s.options.size(), 4u);
+  const std::set<Token> uniq(s.options.begin(), s.options.end());
+  EXPECT_EQ(uniq.size(), 4u);
+  for (const Token t : s.options) EXPECT_TRUE(classes.is_fact(t));
+  EXPECT_LT(s.correct, s.options.size());
+}
+
+TEST(Mcq, AnswerPlantedMoreThanWrongOptions) {
+  McqConfig cfg;
+  const McqSample s = make_mcq_sample(cfg, 2);
+  const auto count = [&](Token t) {
+    return std::count(s.prompt.begin(), s.prompt.end(), t);
+  };
+  const Token answer = s.options[s.correct];
+  for (std::size_t i = 0; i < s.options.size(); ++i) {
+    if (i == s.correct) continue;
+    EXPECT_GT(count(answer), count(s.options[i]));
+  }
+  EXPECT_GE(count(answer), 3);
+}
+
+TEST(Mcq, ShotsLengthenPrompt) {
+  McqConfig zero;
+  McqConfig five;
+  five.n_shots = 5;
+  const McqSample a = make_mcq_sample(zero, 3);
+  const McqSample b = make_mcq_sample(five, 3);
+  EXPECT_GT(b.prompt.size(), a.prompt.size() + 100);
+}
+
+TEST(Mcq, ShotsEndWithSepAnswerSep) {
+  McqConfig cfg;
+  cfg.n_shots = 2;
+  const McqSample s = make_mcq_sample(cfg, 4);
+  // Shot answers are bracketed by <sep> tokens somewhere in the prompt.
+  bool found = false;
+  for (std::size_t i = 2; i < s.prompt.size() && !found; ++i) {
+    found = s.prompt[i] == kSep && s.prompt[i - 2] == kSep &&
+            s.prompt[i - 1] >= kFirstContentToken;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Mcq, SetHasVariedAnswers) {
+  McqConfig cfg;
+  cfg.kind = McqTaskKind::kOpenBookQa;
+  const auto set = make_mcq_set(cfg, 24);
+  ASSERT_EQ(set.size(), 24u);
+  std::set<std::size_t> answers;
+  for (const auto& s : set) answers.insert(s.correct);
+  EXPECT_GT(answers.size(), 1u);
+}
+
+class AllTaskKinds : public ::testing::TestWithParam<McqTaskKind> {};
+
+TEST_P(AllTaskKinds, SamplesAreWellFormed) {
+  McqConfig cfg;
+  cfg.kind = GetParam();
+  cfg.n_shots = 1;
+  const auto set = make_mcq_set(cfg, 4);
+  for (const auto& s : set) {
+    EXPECT_EQ(s.options.size(), n_options(cfg.kind));
+    EXPECT_LT(s.correct, s.options.size());
+    EXPECT_EQ(s.prompt.front(), kBos);
+    for (const Token t : s.prompt) {
+      EXPECT_GE(t, 0);
+      EXPECT_LT(t, static_cast<Token>(cfg.vocab_size));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tasks, AllTaskKinds,
+                         ::testing::Values(McqTaskKind::kCopa,
+                                           McqTaskKind::kPiqa,
+                                           McqTaskKind::kOpenBookQa,
+                                           McqTaskKind::kWinogrande),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace kf::data

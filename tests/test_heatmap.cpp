@@ -1,0 +1,87 @@
+#include "eval/heatmap.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "kvcache/policy_factory.h"
+#include "model/generator.h"
+
+namespace kf::eval {
+namespace {
+
+model::ModelConfig tiny_config() {
+  model::ModelConfig cfg;
+  cfg.vocab_size = 64;
+  cfg.d_model = 16;
+  cfg.n_layers = 2;
+  cfg.n_heads = 2;
+  cfg.d_ff = 32;
+  cfg.max_seq_len = 256;
+  return cfg;
+}
+
+TEST(Heatmap, RecordsDecodeRowsOnly) {
+  model::Transformer m(tiny_config());
+  HeatmapRecorder rec(2, 2, 8);
+  rec.set_sequence_length(40);
+  m.set_observer([&](const model::AttentionObservation& obs) {
+    rec.record(obs);
+  });
+  auto policy = kf::kv::make_policy(kf::kv::PolicyKind::kFull);
+  model::GenerationConfig gcfg;
+  gcfg.max_new_tokens = 6;
+  std::vector<model::Token> prompt(20);
+  for (std::size_t i = 0; i < prompt.size(); ++i) {
+    prompt[i] = static_cast<model::Token>(i % 60);
+  }
+  model::generate(m, prompt, *policy, gcfg);
+
+  // Some attention mass must have been recorded for every (layer, head).
+  for (std::size_t l = 0; l < 2; ++l) {
+    for (std::size_t h = 0; h < 2; ++h) {
+      double total = 0.0;
+      for (std::size_t b = 0; b < 8; ++b) total += rec.bucket_mass(l, h, b);
+      EXPECT_GT(total, 0.5) << "layer " << l << " head " << h;
+      EXPECT_LE(total, 1.5);
+    }
+  }
+}
+
+TEST(Heatmap, CsvHasOneRowPerLayerHead) {
+  HeatmapRecorder rec(3, 4, 5);
+  const std::string csv = rec.to_csv();
+  std::size_t lines = 0;
+  for (const char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 1u + 3u * 4u);
+}
+
+TEST(Heatmap, AsciiArtHasBucketWidth) {
+  HeatmapRecorder rec(1, 1, 16);
+  EXPECT_EQ(rec.ascii_art(0, 0).size(), 16u);
+}
+
+TEST(Heatmap, ResetClears) {
+  model::Transformer m(tiny_config());
+  HeatmapRecorder rec(2, 2, 4);
+  rec.set_sequence_length(30);
+  m.set_observer([&](const model::AttentionObservation& obs) {
+    rec.record(obs);
+  });
+  auto policy = kf::kv::make_policy(kf::kv::PolicyKind::kFull);
+  model::GenerationConfig gcfg;
+  gcfg.max_new_tokens = 4;
+  std::vector<model::Token> prompt(10, 5);
+  for (std::size_t i = 0; i < prompt.size(); ++i) {
+    prompt[i] = static_cast<model::Token>(4 + i);
+  }
+  model::generate(m, prompt, *policy, gcfg);
+  rec.reset();
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(rec.bucket_mass(0, 0, b), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace kf::eval

@@ -1,0 +1,155 @@
+#include "kvcache/kv_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace kf::kv {
+namespace {
+
+std::vector<float> row_of(std::size_t width, float value) {
+  return std::vector<float>(width, value);
+}
+
+TEST(KvCache, StartsEmpty) {
+  KvCache c(2, 4);
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.row_width(), 8u);
+}
+
+TEST(KvCache, RejectsZeroDims) {
+  EXPECT_THROW(KvCache(0, 4), std::invalid_argument);
+  EXPECT_THROW(KvCache(2, 0), std::invalid_argument);
+}
+
+TEST(KvCache, AppendAndRead) {
+  KvCache c(2, 3);
+  c.append(row_of(6, 1.0F), row_of(6, 2.0F), 0);
+  c.append(row_of(6, 3.0F), row_of(6, 4.0F), 1);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.key(0)[0], 1.0F);
+  EXPECT_EQ(c.value(1)[5], 4.0F);
+  EXPECT_EQ(c.original_position(1), 1u);
+}
+
+TEST(KvCache, HeadSlices) {
+  KvCache c(2, 2);
+  std::vector<float> k{1, 2, 3, 4};
+  std::vector<float> v{5, 6, 7, 8};
+  c.append(k, v, 0);
+  EXPECT_EQ(c.key_head(0, 0)[0], 1.0F);
+  EXPECT_EQ(c.key_head(0, 1)[0], 3.0F);
+  EXPECT_EQ(c.value_head(0, 1)[1], 8.0F);
+}
+
+TEST(KvCache, RejectsWrongRowWidth) {
+  KvCache c(2, 3);
+  EXPECT_THROW(c.append(row_of(5, 0.0F), row_of(6, 0.0F), 0),
+               std::invalid_argument);
+}
+
+TEST(KvCache, RejectsNonIncreasingPositions) {
+  KvCache c(1, 2);
+  c.append(row_of(2, 0.0F), row_of(2, 0.0F), 5);
+  EXPECT_THROW(c.append(row_of(2, 0.0F), row_of(2, 0.0F), 5),
+               std::invalid_argument);
+  EXPECT_THROW(c.append(row_of(2, 0.0F), row_of(2, 0.0F), 3),
+               std::invalid_argument);
+}
+
+TEST(KvCache, ScoresTrackAppends) {
+  KvCache c(2, 2);
+  c.append(row_of(4, 0.0F), row_of(4, 0.0F), 0);
+  c.append(row_of(4, 0.0F), row_of(4, 0.0F), 1);
+  EXPECT_EQ(c.scores(0).size(), 2u);
+  c.add_score(0, 1, 2.5);
+  c.add_score(1, 1, 1.5);
+  EXPECT_DOUBLE_EQ(c.scores(0)[1], 2.5);
+  EXPECT_DOUBLE_EQ(c.total_score(1), 4.0);
+  EXPECT_DOUBLE_EQ(c.total_score(0), 0.0);
+}
+
+TEST(KvCache, DampScoresScalesAllHeads) {
+  KvCache c(2, 2);
+  c.append(row_of(4, 0.0F), row_of(4, 0.0F), 0);
+  c.add_score(0, 0, 4.0);
+  c.add_score(1, 0, 2.0);
+  c.damp_scores(0.5);
+  EXPECT_DOUBLE_EQ(c.total_score(0), 3.0);
+}
+
+TEST(KvCache, CompactKeepsSelectedRows) {
+  KvCache c(1, 2);
+  for (std::size_t i = 0; i < 5; ++i) {
+    c.append(row_of(2, static_cast<float>(i)), row_of(2, 10.0F + i), i);
+    c.add_score(0, i, static_cast<double>(i));
+  }
+  const std::vector<std::size_t> keep{0, 2, 4};
+  c.compact(keep);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.key(0)[0], 0.0F);
+  EXPECT_EQ(c.key(1)[0], 2.0F);
+  EXPECT_EQ(c.key(2)[0], 4.0F);
+  EXPECT_EQ(c.value(1)[0], 12.0F);
+  EXPECT_EQ(c.original_position(2), 4u);
+  EXPECT_DOUBLE_EQ(c.scores(0)[1], 2.0);
+}
+
+TEST(KvCache, CompactPreservesOrderInvariant) {
+  KvCache c(1, 1);
+  for (std::size_t i = 0; i < 8; ++i) {
+    c.append(row_of(1, 0.0F), row_of(1, 0.0F), i * 3);
+  }
+  c.compact(std::vector<std::size_t>{1, 3, 6});
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    EXPECT_LT(c.original_position(i - 1), c.original_position(i));
+  }
+}
+
+TEST(KvCache, CompactRejectsBadIndices) {
+  KvCache c(1, 1);
+  c.append(row_of(1, 0.0F), row_of(1, 0.0F), 0);
+  EXPECT_THROW(c.compact(std::vector<std::size_t>{1}), std::out_of_range);
+  c.append(row_of(1, 0.0F), row_of(1, 0.0F), 1);
+  EXPECT_THROW(c.compact(std::vector<std::size_t>{1, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(c.compact(std::vector<std::size_t>{0, 0}),
+               std::invalid_argument);
+}
+
+TEST(KvCache, CompactToEmpty) {
+  KvCache c(1, 1);
+  c.append(row_of(1, 0.0F), row_of(1, 0.0F), 0);
+  c.compact({});
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(KvCache, AppendAfterCompactKeepsPositionInvariant) {
+  KvCache c(1, 1);
+  for (std::size_t i = 0; i < 4; ++i) {
+    c.append(row_of(1, 0.0F), row_of(1, 0.0F), i);
+  }
+  c.compact(std::vector<std::size_t>{0, 1});
+  c.append(row_of(1, 9.0F), row_of(1, 9.0F), 10);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.original_position(2), 10u);
+  // A position lower than the tail is rejected even after compaction.
+  EXPECT_THROW(c.append(row_of(1, 0.0F), row_of(1, 0.0F), 2),
+               std::invalid_argument);
+}
+
+TEST(KvCache, ClearResetsEverything) {
+  KvCache c(2, 2);
+  c.append(row_of(4, 1.0F), row_of(4, 1.0F), 0);
+  c.add_score(0, 0, 1.0);
+  c.clear();
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.scores(0).size(), 0u);
+  // Usable again from position 0.
+  c.append(row_of(4, 1.0F), row_of(4, 1.0F), 0);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+}  // namespace
+}  // namespace kf::kv

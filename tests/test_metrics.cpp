@@ -1,0 +1,118 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace kf::eval {
+namespace {
+
+TEST(Sparsity, AllEqualRowIsDense) {
+  const std::vector<float> row{0.25F, 0.25F, 0.25F, 0.25F};
+  EXPECT_DOUBLE_EQ(attention_sparsity(row, 0.5, 4), 0.0);
+}
+
+TEST(Sparsity, ZeroThresholdCountsZeros) {
+  const std::vector<float> row{0.5F, 0.0F, 0.5F, 0.0F};
+  EXPECT_DOUBLE_EQ(attention_sparsity(row, 0.0, 4), 0.5);
+}
+
+TEST(Sparsity, ThresholdFractionOfMax) {
+  const std::vector<float> row{1.0F, 0.04F, 0.5F, 0.04F};
+  // threshold 5% of max (=0.05): two entries below.
+  EXPECT_DOUBLE_EQ(attention_sparsity(row, 0.05, 4), 0.5);
+}
+
+TEST(Sparsity, ValidLenRestrictsDenominator) {
+  const std::vector<float> row{1.0F, 0.0F, 0.0F, 0.0F};
+  EXPECT_DOUBLE_EQ(attention_sparsity(row, 0.0, 2), 0.5);
+}
+
+TEST(Sparsity, MonotoneInThreshold) {
+  const std::vector<float> row{1.0F, 0.3F, 0.1F, 0.02F, 0.005F};
+  double prev = -1.0;
+  for (const double t : {0.0, 0.01, 0.05, 0.2, 0.5}) {
+    const double s = attention_sparsity(row, t, 5);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+TEST(MeanCausalSparsity, SkipsTrivialRows) {
+  // 2 queries over key_len 2 with offset 0: row 0 has 1 valid entry
+  // (skipped), row 1 has 2.
+  const std::vector<float> probs{1.0F, 0.0F, 0.5F, 0.5F};
+  const double s = mean_causal_sparsity(probs, 2, 2, 0, 0.0);
+  EXPECT_DOUBLE_EQ(s, 0.0);  // row 1 is dense
+}
+
+TEST(MassCdf, ReturnsNineMonotoneFractions) {
+  std::vector<double> mass(100);
+  for (std::size_t i = 0; i < mass.size(); ++i) {
+    mass[i] = static_cast<double>(i);
+  }
+  const auto cdf = attention_mass_cdf(mass);
+  ASSERT_EQ(cdf.size(), 9u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i], cdf[i - 1]);
+  }
+  EXPECT_GT(cdf[0], 0.0);
+  EXPECT_LE(cdf[8], 1.0);
+}
+
+TEST(MassCdf, ConcentratedMassSaturatesEarly) {
+  std::vector<double> mass(100, 0.001);
+  mass[0] = 100.0;
+  const auto cdf = attention_mass_cdf(mass);
+  EXPECT_GT(cdf[0], 0.99);  // top 10% holds nearly everything
+}
+
+TEST(MassCdf, UniformMassIsLinear) {
+  const std::vector<double> mass(50, 1.0);
+  const auto cdf = attention_mass_cdf(mass);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_NEAR(cdf[static_cast<std::size_t>(i)], 0.1 * (i + 1), 0.03);
+  }
+}
+
+TEST(MassCdf, EmptyInputIsZeros) {
+  const auto cdf = attention_mass_cdf({});
+  for (const double v : cdf) EXPECT_EQ(v, 0.0);
+}
+
+TEST(RenormalizedSubset, SumsToOne) {
+  const std::vector<float> full{0.1F, 0.2F, 0.3F, 0.4F};
+  const std::vector<std::size_t> keep{1, 3};
+  const auto sub = renormalized_subset(full, keep);
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_NEAR(sub[0] + sub[1], 1.0F, 1e-6F);
+  EXPECT_NEAR(sub[0], 0.2F / 0.6F, 1e-6F);
+}
+
+TEST(RenormalizedSubset, PreservesRelativeOrder) {
+  const std::vector<float> full{0.05F, 0.5F, 0.15F, 0.3F};
+  const std::vector<std::size_t> keep{0, 1, 3};
+  const auto sub = renormalized_subset(full, keep);
+  EXPECT_GT(sub[1], sub[2]);
+  EXPECT_GT(sub[2], sub[0]);
+}
+
+TEST(RenormalizedSubset, AmplifiesKeptProbabilities) {
+  // The Fig 4 effect: surviving entries absorb the discarded mass.
+  const std::vector<float> full{0.121F, 0.111F, 0.059F, 0.273F,
+                                0.197F, 0.143F, 0.029F, 0.066F};
+  const std::vector<std::size_t> keep{3, 4, 5, 7};
+  const auto sub = renormalized_subset(full, keep);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    EXPECT_GT(sub[i], full[keep[i]]);
+  }
+}
+
+TEST(RenormalizedSubset, HandlesZeroMass) {
+  const std::vector<float> full{0.0F, 0.0F};
+  const auto sub = renormalized_subset(full, std::vector<std::size_t>{0});
+  EXPECT_EQ(sub[0], 0.0F);
+}
+
+}  // namespace
+}  // namespace kf::eval

@@ -1,0 +1,501 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/numerics.h"
+#include "kvcache/policies/full.h"
+#include "kvcache/policies/h2o.h"
+#include "kvcache/policies/key_attention.h"
+#include "kvcache/policies/keyformer.h"
+#include "kvcache/policies/random_evict.h"
+#include "kvcache/policies/streaming_llm.h"
+#include "kvcache/policies/window.h"
+#include "kvcache/policy.h"
+#include "kvcache/policy_factory.h"
+
+namespace kf::kv {
+namespace {
+
+/// Test fixture state: a cache of `n` tokens plus one decode-style
+/// attention snapshot (one query row per head) with configurable "hot"
+/// positions that receive high logits.
+struct Scenario {
+  static constexpr std::size_t kHeads = 2;
+  static constexpr std::size_t kDHead = 2;
+
+  KvCache cache{kHeads, kDHead};
+  std::vector<float> logits;
+  std::vector<float> probs;
+
+  explicit Scenario(std::size_t n, std::vector<std::size_t> hot = {}) {
+    std::vector<float> row(kHeads * kDHead, 0.0F);
+    for (std::size_t i = 0; i < n; ++i) {
+      row[0] = static_cast<float>(i);
+      cache.append(row, row, i);
+    }
+    logits.assign(kHeads * n, 0.0F);
+    probs.assign(kHeads * n, 0.0F);
+    for (std::size_t h = 0; h < kHeads; ++h) {
+      for (const std::size_t p : hot) {
+        logits[h * n + p] = 4.0F;
+      }
+      softmax({logits.data() + h * n, n}, {probs.data() + h * n, n});
+    }
+  }
+
+  PolicyContext ctx(std::size_t decode_step = 1,
+                    std::size_t total_steps = 8) {
+    PolicyContext c;
+    c.layer = 0;
+    c.n_heads = kHeads;
+    c.n_queries = 1;
+    c.key_len = cache.size();
+    c.logits = logits;
+    c.probs = probs;
+    c.is_prompt = false;
+    c.decode_step = decode_step;
+    c.total_steps = total_steps;
+    c.cache = &cache;
+    return c;
+  }
+};
+
+SequenceInfo seq_info(std::size_t prompt_len, std::size_t steps = 8) {
+  SequenceInfo s;
+  s.prompt_len = prompt_len;
+  s.total_steps = steps;
+  s.n_layers = 1;
+  s.n_heads = Scenario::kHeads;
+  return s;
+}
+
+// ---------------------------------------------------------------- budgets
+
+TEST(MakeBudget, FullWhenRatioOutOfRange) {
+  EXPECT_EQ(make_budget(100, 1.0).max_tokens, 0u);
+  EXPECT_EQ(make_budget(100, 0.0).max_tokens, 0u);
+  EXPECT_EQ(make_budget(100, 1.5).max_tokens, 0u);
+}
+
+TEST(MakeBudget, RatioAndRecentWindow) {
+  const CacheBudget b = make_budget(100, 0.5, 0.3);
+  EXPECT_EQ(b.max_tokens, 50u);
+  EXPECT_EQ(b.recent_window, 15u);
+}
+
+TEST(MakeBudget, FlooredAtFour) {
+  const CacheBudget b = make_budget(10, 0.1);
+  EXPECT_EQ(b.max_tokens, 4u);
+  EXPECT_GE(b.recent_window, 1u);
+  EXPECT_LT(b.recent_window, b.max_tokens);
+}
+
+TEST(MakeBudget, NeverExceedsPrompt) {
+  const CacheBudget b = make_budget(3, 0.9);
+  EXPECT_LE(b.max_tokens, 3u);
+}
+
+// ------------------------------------------------------- selection helper
+
+TEST(KeepTopK, SelectsHighestWithRecentSuffix) {
+  const std::vector<double> scores{5.0, 1.0, 3.0, 2.0};
+  const auto keep = keep_topk_plus_recent(scores, 6, 4, 2);
+  // Top-2 of prefix {0,2} plus suffix {4,5}.
+  EXPECT_EQ(keep, (std::vector<std::size_t>{0, 2, 4, 5}));
+}
+
+TEST(KeepTopK, TieBreakPrefersLowerIndex) {
+  const std::vector<double> scores{1.0, 1.0, 1.0};
+  const auto keep = keep_topk_plus_recent(scores, 3, 3, 2);
+  EXPECT_EQ(keep, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(KeepTopK, ClampsKeepCount) {
+  const std::vector<double> scores{1.0, 2.0};
+  const auto keep = keep_topk_plus_recent(scores, 2, 2, 10);
+  EXPECT_EQ(keep.size(), 2u);
+}
+
+TEST(KeepTopK, OutputSortedAscending) {
+  const std::vector<double> scores{0.1, 9.0, 0.2, 8.0, 0.3};
+  const auto keep = keep_topk_plus_recent(scores, 7, 5, 3);
+  EXPECT_TRUE(std::is_sorted(keep.begin(), keep.end()));
+}
+
+// ----------------------------------------------------------------- full
+
+TEST(FullPolicy, NeverEvicts) {
+  Scenario s(32);
+  FullAttentionPolicy policy;
+  policy.set_budget(CacheBudget{});  // unlimited
+  policy.begin_sequence(seq_info(32));
+  policy.observe(s.ctx());
+  EXPECT_EQ(s.cache.size(), 32u);
+}
+
+// --------------------------------------------------------------- window
+
+TEST(WindowPolicy, KeepsMostRecentTokens) {
+  Scenario s(20);
+  WindowPolicy policy;
+  policy.set_budget(make_budget(20, 0.5));
+  policy.begin_sequence(seq_info(20));
+  policy.observe(s.ctx());
+  ASSERT_EQ(s.cache.size(), 10u);
+  EXPECT_EQ(s.cache.original_position(0), 10u);
+  EXPECT_EQ(s.cache.original_position(9), 19u);
+}
+
+TEST(WindowPolicy, NoOpUnderBudget) {
+  Scenario s(4);
+  WindowPolicy policy;
+  policy.set_budget(make_budget(20, 0.5));
+  policy.observe(s.ctx());
+  EXPECT_EQ(s.cache.size(), 4u);
+}
+
+TEST(WindowPolicy, DilatedPatternStride2) {
+  Scenario s(10);
+  WindowPolicy policy(/*dilation=*/1);
+  CacheBudget b;
+  b.max_tokens = 4;
+  b.recent_window = 1;
+  policy.set_budget(b);
+  policy.observe(s.ctx());
+  ASSERT_EQ(s.cache.size(), 4u);
+  // Walk back from 9 with stride 2: 9, 7, 5, 3.
+  EXPECT_EQ(s.cache.original_position(0), 3u);
+  EXPECT_EQ(s.cache.original_position(1), 5u);
+  EXPECT_EQ(s.cache.original_position(2), 7u);
+  EXPECT_EQ(s.cache.original_position(3), 9u);
+}
+
+TEST(WindowPolicy, DilatedFillsWhenWalkRunsOut) {
+  Scenario s(5);
+  WindowPolicy policy(/*dilation=*/3);
+  CacheBudget b;
+  b.max_tokens = 4;
+  b.recent_window = 1;
+  policy.set_budget(b);
+  policy.observe(s.ctx());
+  EXPECT_EQ(s.cache.size(), 4u);
+}
+
+// ---------------------------------------------------------- streaming llm
+
+TEST(StreamingLlm, KeepsSinksAndRecent) {
+  Scenario s(30);
+  StreamingLlmPolicy policy(4);
+  CacheBudget b;
+  b.max_tokens = 10;
+  b.recent_window = 6;
+  policy.set_budget(b);
+  policy.observe(s.ctx());
+  ASSERT_EQ(s.cache.size(), 10u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(s.cache.original_position(i), i);
+  }
+  EXPECT_EQ(s.cache.original_position(9), 29u);
+}
+
+TEST(StreamingLlm, SinksSurviveRepeatedEviction) {
+  Scenario s(30);
+  StreamingLlmPolicy policy(4);
+  CacheBudget b;
+  b.max_tokens = 8;
+  policy.set_budget(b);
+  policy.observe(s.ctx());
+  // Append more tokens and evict again.
+  std::vector<float> row(Scenario::kHeads * Scenario::kDHead, 0.0F);
+  for (std::size_t p = 30; p < 35; ++p) s.cache.append(row, row, p);
+  Scenario fresh(1);  // reuse ctx shape via a fresh scenario is awkward;
+  PolicyContext c = s.ctx();
+  c.key_len = s.cache.size();
+  // logits/probs spans are stale but StreamingLLM ignores them.
+  policy.observe(c);
+  ASSERT_EQ(s.cache.size(), 8u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(s.cache.original_position(i), i);
+  }
+  EXPECT_EQ(s.cache.original_position(7), 34u);
+}
+
+// ----------------------------------------------------------------- random
+
+TEST(RandomEvict, RespectsBudgetAndRecentWindow) {
+  Scenario s(40);
+  RandomEvictPolicy policy(7);
+  policy.set_budget(make_budget(40, 0.5, 0.25));
+  policy.begin_sequence(seq_info(40));
+  policy.observe(s.ctx());
+  ASSERT_EQ(s.cache.size(), 20u);
+  // Last 5 (recent window) must be the trailing original positions.
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(s.cache.original_position(19 - i), 39 - i);
+  }
+}
+
+TEST(RandomEvict, DeterministicPerSeed) {
+  Scenario a(40), b(40), c(40);
+  RandomEvictPolicy p1(7), p2(7), p3(8);
+  for (auto* p : {&p1, &p2, &p3}) {
+    p->set_budget(make_budget(40, 0.5));
+    p->begin_sequence(seq_info(40));
+  }
+  p1.observe(a.ctx());
+  p2.observe(b.ctx());
+  p3.observe(c.ctx());
+  std::vector<std::size_t> pa(a.cache.original_positions().begin(),
+                              a.cache.original_positions().end());
+  std::vector<std::size_t> pb(b.cache.original_positions().begin(),
+                              b.cache.original_positions().end());
+  std::vector<std::size_t> pc(c.cache.original_positions().begin(),
+                              c.cache.original_positions().end());
+  EXPECT_EQ(pa, pb);
+  EXPECT_NE(pa, pc);
+}
+
+// -------------------------------------------------------------------- h2o
+
+TEST(H2O, AccumulatesAttentionProbs) {
+  Scenario s(8, /*hot=*/{2});
+  H2OPolicy policy;
+  policy.set_budget(CacheBudget{});  // no eviction yet
+  policy.observe(s.ctx());
+  EXPECT_GT(s.cache.total_score(2), s.cache.total_score(3));
+}
+
+TEST(H2O, KeepsHeavyHitterPlusRecent) {
+  Scenario s(20, /*hot=*/{3});
+  H2OPolicy policy;
+  CacheBudget b;
+  b.max_tokens = 6;
+  b.recent_window = 4;
+  policy.set_budget(b);
+  policy.observe(s.ctx());
+  ASSERT_EQ(s.cache.size(), 6u);
+  // The heavy hitter survives outside the recent window.
+  const auto pos = s.cache.original_positions();
+  EXPECT_NE(std::find(pos.begin(), pos.end(), 3u), pos.end());
+  // Recent 4 kept.
+  EXPECT_EQ(s.cache.original_position(5), 19u);
+  EXPECT_EQ(s.cache.original_position(2), 16u);
+}
+
+TEST(H2O, RejectsBadDamping) {
+  EXPECT_THROW(H2OPolicy(0.0), std::invalid_argument);
+  EXPECT_THROW(H2OPolicy(1.2), std::invalid_argument);
+}
+
+TEST(H2O, DampingDecaysOldScores) {
+  Scenario s(8, {1});
+  H2OPolicy damped(0.5);
+  damped.set_budget(CacheBudget{});
+  damped.observe(s.ctx());
+  const double first = s.cache.total_score(1);
+  // Second observation: old score halves before the new increment lands.
+  damped.observe(s.ctx());
+  const double second = s.cache.total_score(1);
+  EXPECT_LT(second, 2.0 * first);
+  EXPECT_NEAR(second, 1.5 * first, 1e-9);
+}
+
+// ----------------------------------------------------------- key attention
+
+TEST(KeyAttention, PureTopKNoRecentGuarantee) {
+  Scenario s(20, /*hot=*/{0, 1, 2, 3, 4, 5});
+  KeyAttentionPolicy policy;
+  CacheBudget b;
+  b.max_tokens = 6;
+  b.recent_window = 3;  // ignored by key attention
+  policy.set_budget(b);
+  policy.observe(s.ctx());
+  ASSERT_EQ(s.cache.size(), 6u);
+  // All kept tokens are the hot ones; the most recent token is gone.
+  EXPECT_EQ(s.cache.original_position(5), 5u);
+}
+
+// -------------------------------------------------------------- keyformer
+
+KeyformerConfig quiet_keyformer() {
+  KeyformerConfig cfg;
+  cfg.score.noise_scale = 0.0;
+  cfg.score.temperature.dynamic = false;
+  return cfg;
+}
+
+TEST(Keyformer, BudgetRespectedAndRecentKept) {
+  Scenario s(24, {5});
+  KeyformerPolicy policy;
+  CacheBudget b;
+  b.max_tokens = 8;
+  b.recent_window = 3;
+  policy.set_budget(b);
+  policy.begin_sequence(seq_info(24));
+  policy.observe(s.ctx());
+  ASSERT_EQ(s.cache.size(), 8u);
+  EXPECT_EQ(s.cache.original_position(7), 23u);
+  EXPECT_EQ(s.cache.original_position(5), 21u);
+}
+
+TEST(Keyformer, NoNoiseStaticTauMatchesH2OKeepSet) {
+  // With zero noise and tau == 1 the Keyformer score reduces exactly to
+  // accumulated attention, so the keep set must match H2O's.
+  Scenario a(30, {2, 7, 11});
+  Scenario b(30, {2, 7, 11});
+  KeyformerPolicy kf(quiet_keyformer());
+  H2OPolicy h2o;
+  CacheBudget budget;
+  budget.max_tokens = 10;
+  budget.recent_window = 3;
+  kf.set_budget(budget);
+  h2o.set_budget(budget);
+  kf.begin_sequence(seq_info(30));
+  h2o.begin_sequence(seq_info(30));
+  kf.observe(a.ctx());
+  h2o.observe(b.ctx());
+  const auto pa = a.cache.original_positions();
+  const auto pb = b.cache.original_positions();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], pb[i]);
+}
+
+TEST(Keyformer, HotTokenSurvives) {
+  Scenario s(30, {4});
+  KeyformerPolicy policy(quiet_keyformer());
+  CacheBudget b;
+  b.max_tokens = 8;
+  b.recent_window = 4;
+  policy.set_budget(b);
+  policy.begin_sequence(seq_info(30));
+  policy.observe(s.ctx());
+  const auto pos = s.cache.original_positions();
+  EXPECT_NE(std::find(pos.begin(), pos.end(), 4u), pos.end());
+}
+
+TEST(Keyformer, SharedScopeAccumulatesByPosition) {
+  Scenario s(16, {3});
+  KeyformerConfig cfg = quiet_keyformer();
+  cfg.scope = ScoreScope::kShared;
+  KeyformerPolicy policy(cfg);
+  policy.set_budget(CacheBudget{});
+  policy.begin_sequence(seq_info(16, 8));
+  policy.observe(s.ctx());
+  const auto shared = policy.shared_scores();
+  ASSERT_GE(shared.size(), 16u);
+  EXPECT_GT(shared[3], shared[5]);
+  // Per-layer cache scores stay untouched in shared mode.
+  EXPECT_DOUBLE_EQ(s.cache.total_score(3), 0.0);
+}
+
+TEST(Keyformer, SharedScopeSurvivesCompaction) {
+  // Shared scores are indexed by original position, so compaction must not
+  // disturb them.
+  Scenario s(16, {3});
+  KeyformerConfig cfg = quiet_keyformer();
+  cfg.scope = ScoreScope::kShared;
+  KeyformerPolicy policy(cfg);
+  CacheBudget b;
+  b.max_tokens = 6;
+  b.recent_window = 2;
+  policy.set_budget(b);
+  policy.begin_sequence(seq_info(16, 8));
+  policy.observe(s.ctx());
+  const auto pos = s.cache.original_positions();
+  EXPECT_NE(std::find(pos.begin(), pos.end(), 3u), pos.end());
+}
+
+TEST(Keyformer, NoiseChangesSelectionSomewhere) {
+  // With flat logits, selection is driven by the frozen noise; two seeds
+  // should eventually disagree.
+  Scenario a(40), b(40);
+  KeyformerConfig c1;
+  c1.score.seed = 1;
+  c1.score.noise_scale = 1.0;
+  KeyformerConfig c2;
+  c2.score.seed = 2;
+  c2.score.noise_scale = 1.0;
+  KeyformerPolicy p1(c1), p2(c2);
+  CacheBudget budget;
+  budget.max_tokens = 10;
+  budget.recent_window = 3;
+  p1.set_budget(budget);
+  p2.set_budget(budget);
+  p1.begin_sequence(seq_info(40));
+  p2.begin_sequence(seq_info(40));
+  p1.observe(a.ctx());
+  p2.observe(b.ctx());
+  const auto pa = a.cache.original_positions();
+  const auto pb = b.cache.original_positions();
+  bool differs = pa.size() != pb.size();
+  for (std::size_t i = 0; !differs && i < pa.size(); ++i) {
+    differs = pa[i] != pb[i];
+  }
+  EXPECT_TRUE(differs);
+}
+
+// ---------------------------------------------------------------- factory
+
+TEST(PolicyFactory, RoundTripNames) {
+  for (const auto kind :
+       {PolicyKind::kFull, PolicyKind::kWindow, PolicyKind::kDilatedWindow,
+        PolicyKind::kRandom, PolicyKind::kKeyAttention, PolicyKind::kH2O,
+        PolicyKind::kStreamingLLM, PolicyKind::kKeyformer}) {
+    EXPECT_EQ(parse_policy_kind(to_string(kind)), kind);
+  }
+}
+
+TEST(PolicyFactory, UnknownNameThrows) {
+  EXPECT_THROW(parse_policy_kind("bogus"), std::invalid_argument);
+}
+
+TEST(PolicyFactory, ProducesCorrectPolicyNames) {
+  EXPECT_EQ(make_policy(PolicyKind::kFull)->name(), "full");
+  EXPECT_EQ(make_policy(PolicyKind::kWindow)->name(), "window");
+  EXPECT_EQ(make_policy(PolicyKind::kDilatedWindow)->name(),
+            "dilated_window");
+  EXPECT_EQ(make_policy(PolicyKind::kKeyformer)->name(), "keyformer");
+  EXPECT_EQ(make_policy(PolicyKind::kStreamingLLM)->name(),
+            "streaming_llm");
+}
+
+// -------------------------------------------- parameterized budget sweep
+
+class BudgetInvariantTest
+    : public ::testing::TestWithParam<std::tuple<PolicyKind, double>> {};
+
+TEST_P(BudgetInvariantTest, CacheEndsExactlyAtBudget) {
+  const auto [kind, ratio] = GetParam();
+  PolicyConfig config;
+  config.kind = kind;
+  auto policy = make_policy(config);
+  const std::size_t n = 64;
+  Scenario s(n, {5, 9, 13});
+  const CacheBudget b = make_budget(n, ratio);
+  policy->set_budget(b);
+  policy->begin_sequence(seq_info(n));
+  policy->observe(s.ctx());
+  EXPECT_EQ(s.cache.size(), b.max_tokens);
+  // Original-position order preserved.
+  const auto pos = s.cache.original_positions();
+  EXPECT_TRUE(std::is_sorted(pos.begin(), pos.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPoliciesAllBudgets, BudgetInvariantTest,
+    ::testing::Combine(
+        ::testing::Values(PolicyKind::kWindow, PolicyKind::kDilatedWindow,
+                          PolicyKind::kRandom, PolicyKind::kKeyAttention,
+                          PolicyKind::kH2O, PolicyKind::kStreamingLLM,
+                          PolicyKind::kKeyformer),
+        ::testing::Values(0.2, 0.3, 0.5, 0.7, 0.9)),
+    [](const auto& info) {
+      return to_string(std::get<0>(info.param)) + "_r" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+}  // namespace
+}  // namespace kf::kv

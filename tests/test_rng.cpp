@@ -1,0 +1,169 @@
+#include "core/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace kf {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.u64(), b.u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.u64() == b.u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformOpenNeverZero) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(rng.uniform_open(), 0.0);
+  }
+}
+
+TEST(Rng, UniformU64Bounded) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform_u64(17), 17u);
+  }
+}
+
+TEST(Rng, UniformU64CoversRange) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_u64(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, GumbelMoments) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gumbel();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, kGumbelMean, 0.02);
+  EXPECT_NEAR(std::sqrt(var), kGumbelStddev, 0.03);
+}
+
+TEST(Rng, GumbelIsRightSkewed) {
+  Rng rng(17);
+  const int n = 100000;
+  double m3 = 0.0;
+  std::vector<double> xs(n);
+  double mean = 0.0;
+  for (auto& x : xs) {
+    x = rng.gumbel();
+    mean += x;
+  }
+  mean /= n;
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= n;
+  for (const double x : xs) m3 += std::pow(x - mean, 3);
+  m3 /= n;
+  const double skew = m3 / std::pow(var, 1.5);
+  // Standard Gumbel skewness is ~1.14.
+  EXPECT_GT(skew, 0.9);
+  EXPECT_LT(skew, 1.4);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(21);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1.u64() == c2.u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(StatelessRng, DeterministicInKey) {
+  const double a = stateless_gumbel({1, 2, 3});
+  const double b = stateless_gumbel({1, 2, 3});
+  EXPECT_EQ(a, b);
+}
+
+TEST(StatelessRng, OrderSensitive) {
+  EXPECT_NE(stateless_gumbel({1, 2}), stateless_gumbel({2, 1}));
+}
+
+TEST(StatelessRng, GumbelMatchesDistribution) {
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += stateless_gumbel({99, static_cast<std::uint64_t>(i)});
+  }
+  EXPECT_NEAR(sum / n, kGumbelMean, 0.02);
+}
+
+TEST(StatelessRng, NormalMatchesDistribution) {
+  const int n = 100000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = stateless_normal({7, static_cast<std::uint64_t>(i)});
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(StatelessRng, UniformInOpenInterval) {
+  for (int i = 0; i < 1000; ++i) {
+    const double u = stateless_uniform({static_cast<std::uint64_t>(i)});
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(HashCombine, AsymmetricAndStable) {
+  EXPECT_EQ(hash_combine(1, 2), hash_combine(1, 2));
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+  EXPECT_NE(hash_combine(0, 0), 0u);
+}
+
+}  // namespace
+}  // namespace kf

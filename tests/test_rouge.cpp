@@ -1,0 +1,125 @@
+#include "eval/rouge.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace kf::eval {
+namespace {
+
+using Tokens = std::vector<Token>;
+
+TEST(RougeN, IdenticalSequencesScoreOne) {
+  const Tokens t{1, 2, 3, 4};
+  const RougeScore r1 = rouge_n(t, t, 1);
+  const RougeScore r2 = rouge_n(t, t, 2);
+  EXPECT_DOUBLE_EQ(r1.f1, 1.0);
+  EXPECT_DOUBLE_EQ(r2.f1, 1.0);
+}
+
+TEST(RougeN, DisjointSequencesScoreZero) {
+  const Tokens a{1, 2, 3};
+  const Tokens b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(rouge_n(a, b, 1).f1, 0.0);
+  EXPECT_DOUBLE_EQ(rouge_n(a, b, 2).f1, 0.0);
+}
+
+TEST(RougeN, KnownUnigramValues) {
+  // candidate: {1,2,3,4}; reference: {1,2,5,6,7}. Matches = 2.
+  const Tokens cand{1, 2, 3, 4};
+  const Tokens ref{1, 2, 5, 6, 7};
+  const RougeScore r = rouge_n(cand, ref, 1);
+  EXPECT_NEAR(r.precision, 2.0 / 4.0, 1e-12);
+  EXPECT_NEAR(r.recall, 2.0 / 5.0, 1e-12);
+  EXPECT_NEAR(r.f1, 2.0 * 0.5 * 0.4 / 0.9, 1e-12);
+}
+
+TEST(RougeN, ClippedCounts) {
+  // Candidate repeats a token more often than the reference contains it.
+  const Tokens cand{1, 1, 1, 1};
+  const Tokens ref{1, 2};
+  const RougeScore r = rouge_n(cand, ref, 1);
+  EXPECT_NEAR(r.precision, 1.0 / 4.0, 1e-12);
+  EXPECT_NEAR(r.recall, 1.0 / 2.0, 1e-12);
+}
+
+TEST(RougeN, BigramsRequireAdjacency) {
+  const Tokens cand{1, 2, 9, 3, 4};
+  const Tokens ref{1, 2, 3, 4};
+  const RougeScore r = rouge_n(cand, ref, 2);
+  // Candidate bigrams: (1,2),(2,9),(9,3),(3,4); ref: (1,2),(2,3),(3,4).
+  EXPECT_NEAR(r.precision, 2.0 / 4.0, 1e-12);
+  EXPECT_NEAR(r.recall, 2.0 / 3.0, 1e-12);
+}
+
+TEST(RougeN, EmptyOrShortInputs) {
+  const Tokens t{1, 2};
+  EXPECT_DOUBLE_EQ(rouge_n({}, t, 1).f1, 0.0);
+  EXPECT_DOUBLE_EQ(rouge_n(t, {}, 1).f1, 0.0);
+  EXPECT_DOUBLE_EQ(rouge_n(Tokens{1}, t, 2).f1, 0.0);
+  EXPECT_DOUBLE_EQ(rouge_n(t, t, 0).f1, 0.0);
+}
+
+TEST(RougeL, IdenticalSequencesScoreOne) {
+  const Tokens t{5, 6, 7};
+  EXPECT_DOUBLE_EQ(rouge_l(t, t).f1, 1.0);
+}
+
+TEST(RougeL, SubsequenceNotSubstring) {
+  // LCS of {1,9,2,8,3} and {1,2,3} is {1,2,3} (length 3) despite gaps.
+  const Tokens cand{1, 9, 2, 8, 3};
+  const Tokens ref{1, 2, 3};
+  const RougeScore r = rouge_l(cand, ref);
+  EXPECT_NEAR(r.recall, 1.0, 1e-12);
+  EXPECT_NEAR(r.precision, 3.0 / 5.0, 1e-12);
+}
+
+TEST(RougeL, OrderMatters) {
+  const Tokens cand{3, 2, 1};
+  const Tokens ref{1, 2, 3};
+  const RougeScore r = rouge_l(cand, ref);
+  EXPECT_NEAR(r.recall, 1.0 / 3.0, 1e-12);  // LCS length 1
+}
+
+TEST(RougeL, EmptyInputs) {
+  const Tokens t{1};
+  EXPECT_DOUBLE_EQ(rouge_l({}, t).f1, 0.0);
+  EXPECT_DOUBLE_EQ(rouge_l(t, {}).f1, 0.0);
+}
+
+TEST(RougeAll, ConsistentWithIndividualScores) {
+  const Tokens cand{1, 2, 3, 9};
+  const Tokens ref{1, 2, 3};
+  const RougeSuite s = rouge_all(cand, ref);
+  EXPECT_DOUBLE_EQ(s.r1.f1, rouge_n(cand, ref, 1).f1);
+  EXPECT_DOUBLE_EQ(s.r2.f1, rouge_n(cand, ref, 2).f1);
+  EXPECT_DOUBLE_EQ(s.rl.f1, rouge_l(cand, ref).f1);
+}
+
+TEST(Rouge, ScoresBoundedInUnitInterval) {
+  const Tokens cand{1, 1, 2, 3, 4, 4, 5};
+  const Tokens ref{2, 3, 3, 6};
+  for (const RougeScore& r :
+       {rouge_n(cand, ref, 1), rouge_n(cand, ref, 2), rouge_l(cand, ref)}) {
+    EXPECT_GE(r.precision, 0.0);
+    EXPECT_LE(r.precision, 1.0);
+    EXPECT_GE(r.recall, 0.0);
+    EXPECT_LE(r.recall, 1.0);
+    EXPECT_GE(r.f1, 0.0);
+    EXPECT_LE(r.f1, 1.0);
+  }
+}
+
+TEST(Rouge, SymmetryOfF1) {
+  // Swapping candidate and reference swaps precision/recall, keeps F1.
+  const Tokens a{1, 2, 3, 4, 5};
+  const Tokens b{3, 4, 5, 6};
+  const RougeScore ab = rouge_n(a, b, 1);
+  const RougeScore ba = rouge_n(b, a, 1);
+  EXPECT_DOUBLE_EQ(ab.precision, ba.recall);
+  EXPECT_DOUBLE_EQ(ab.recall, ba.precision);
+  EXPECT_NEAR(ab.f1, ba.f1, 1e-12);
+}
+
+}  // namespace
+}  // namespace kf::eval

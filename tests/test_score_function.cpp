@@ -1,0 +1,193 @@
+#include "kvcache/score_function.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "core/numerics.h"
+
+namespace kf::kv {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+std::vector<std::size_t> iota_positions(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), 0);
+  return p;
+}
+
+TEST(TemperatureSchedule, LinearRamp) {
+  TemperatureSchedule s;  // 1 -> 2
+  EXPECT_DOUBLE_EQ(s.at(0, 10), 1.0);
+  EXPECT_DOUBLE_EQ(s.at(5, 10), 1.5);
+  EXPECT_DOUBLE_EQ(s.at(10, 10), 2.0);
+}
+
+TEST(TemperatureSchedule, StaticModeIgnoresStep) {
+  TemperatureSchedule s;
+  s.dynamic = false;
+  s.tau_init = 1.7;
+  EXPECT_DOUBLE_EQ(s.at(9, 10), 1.7);
+}
+
+TEST(TemperatureSchedule, ZeroTotalStepsFallsBackToInit) {
+  TemperatureSchedule s;
+  EXPECT_DOUBLE_EQ(s.at(3, 0), 1.0);
+}
+
+TEST(ScoreFunction, RejectsBadConfig) {
+  ScoreFunctionConfig bad;
+  bad.temperature.tau_init = 0.0;
+  EXPECT_THROW(ScoreFunction{bad}, std::invalid_argument);
+  ScoreFunctionConfig bad2;
+  bad2.damping = 0.0;
+  EXPECT_THROW(ScoreFunction{bad2}, std::invalid_argument);
+  ScoreFunctionConfig bad3;
+  bad3.damping = 1.5;
+  EXPECT_THROW(ScoreFunction{bad3}, std::invalid_argument);
+}
+
+TEST(ScoreFunction, NoneAdjustmentIsExactSoftmax) {
+  ScoreFunctionConfig cfg;
+  cfg.adjustment = LogitAdjustment::kNone;
+  const ScoreFunction fn(cfg);
+  std::vector<float> logits{0.5F, 1.5F, -0.5F};
+  std::vector<float> expected(3);
+  softmax(logits, expected);
+  std::vector<double> out(3);
+  fn.increments(logits, iota_positions(3), 0, 0, 0, 10, out);
+  // ScoreFunction accumulates in double; softmax() is float — compare at
+  // float precision.
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(out[i], expected[i], 1e-6);
+}
+
+TEST(ScoreFunction, IncrementsSumToOne) {
+  for (const auto adj :
+       {LogitAdjustment::kNone, LogitAdjustment::kConstant,
+        LogitAdjustment::kGaussian, LogitAdjustment::kGumbel}) {
+    ScoreFunctionConfig cfg;
+    cfg.adjustment = adj;
+    const ScoreFunction fn(cfg);
+    std::vector<float> logits{0.2F, -1.0F, 2.0F, 0.0F};
+    std::vector<double> out(4);
+    fn.increments(logits, iota_positions(4), 1, 2, 3, 16, out);
+    double sum = 0.0;
+    for (const double v : out) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9) << to_string(adj);
+  }
+}
+
+TEST(ScoreFunction, MaskedLogitsGetZeroIncrement) {
+  ScoreFunctionConfig cfg;
+  const ScoreFunction fn(cfg);
+  std::vector<float> logits{1.0F, -kInf, 0.0F};
+  std::vector<double> out(3);
+  fn.increments(logits, iota_positions(3), 0, 0, 0, 8, out);
+  EXPECT_EQ(out[1], 0.0);
+  EXPECT_GT(out[0], out[2]);
+}
+
+TEST(ScoreFunction, NoiseFrozenPerSlot) {
+  ScoreFunctionConfig cfg;
+  const ScoreFunction fn(cfg);
+  EXPECT_DOUBLE_EQ(fn.noise(1, 2, 3), fn.noise(1, 2, 3));
+  EXPECT_NE(fn.noise(1, 2, 3), fn.noise(1, 2, 4));
+  EXPECT_NE(fn.noise(0, 2, 3), fn.noise(1, 2, 3));
+  EXPECT_NE(fn.noise(1, 0, 3), fn.noise(1, 2, 3));
+}
+
+TEST(ScoreFunction, NoiseSeedChangesRealization) {
+  ScoreFunctionConfig a;
+  ScoreFunctionConfig b;
+  b.seed = 43;
+  EXPECT_NE(ScoreFunction(a).noise(0, 0, 0), ScoreFunction(b).noise(0, 0, 0));
+}
+
+TEST(ScoreFunction, ConstantAdjustmentCancelsInSoftmax) {
+  // Adding the same constant to every logit must not change the result.
+  ScoreFunctionConfig cfg;
+  cfg.adjustment = LogitAdjustment::kConstant;
+  const ScoreFunction fn(cfg);
+  ScoreFunctionConfig none_cfg;
+  none_cfg.adjustment = LogitAdjustment::kNone;
+  const ScoreFunction none_fn(none_cfg);
+  std::vector<float> logits{0.1F, 0.9F, -0.3F};
+  std::vector<double> a(3), b(3);
+  fn.increments(logits, iota_positions(3), 0, 0, 0, 4, a);
+  none_fn.increments(logits, iota_positions(3), 0, 0, 0, 4, b);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
+}
+
+TEST(ScoreFunction, GumbelNoiseScaleControlsPerturbation) {
+  std::vector<float> logits{0.0F, 0.1F, 0.2F, 0.3F, 0.4F};
+  ScoreFunctionConfig weak;
+  weak.noise_scale = 0.01;
+  ScoreFunctionConfig strong;
+  strong.noise_scale = 3.0;
+  std::vector<double> none(5), w(5), s(5);
+  ScoreFunctionConfig none_cfg;
+  none_cfg.adjustment = LogitAdjustment::kNone;
+  ScoreFunction(none_cfg).increments(logits, iota_positions(5), 0, 0, 0, 4,
+                                     none);
+  ScoreFunction(weak).increments(logits, iota_positions(5), 0, 0, 0, 4, w);
+  ScoreFunction(strong).increments(logits, iota_positions(5), 0, 0, 0, 4, s);
+  double weak_dev = 0.0, strong_dev = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    weak_dev += std::abs(w[i] - none[i]);
+    strong_dev += std::abs(s[i] - none[i]);
+  }
+  EXPECT_LT(weak_dev, strong_dev);
+  EXPECT_LT(weak_dev, 0.05);
+}
+
+TEST(ScoreFunction, HigherTauFlattensIncrements) {
+  // Eq. 8-style check: expected increments under Gumbel adjustment with a
+  // growing tau have higher entropy than the plain softmax.
+  std::vector<float> logits{2.0F, 0.0F, -1.0F, 0.5F};
+  ScoreFunctionConfig cfg;  // dynamic 1 -> 2
+  const ScoreFunction fn(cfg);
+  std::vector<double> early(4), late(4);
+  fn.increments(logits, iota_positions(4), 0, 0, /*t=*/0, 10, early);
+  fn.increments(logits, iota_positions(4), 0, 0, /*t=*/10, 10, late);
+  std::vector<float> fe(early.begin(), early.end());
+  std::vector<float> fl(late.begin(), late.end());
+  EXPECT_GT(entropy(fl), entropy(fe));
+}
+
+TEST(ScoreFunction, GumbelExpectedEntropyExceedsPlainSoftmax) {
+  // H(E[z_gumbel]) > H(E[z]) (Eq. 8), averaged over many heads.
+  std::vector<float> logits{3.0F, 1.0F, 0.0F, -1.0F, 0.5F, 0.2F};
+  ScoreFunctionConfig cfg;
+  cfg.noise_scale = 1.0;
+  const ScoreFunction fn(cfg);
+  ScoreFunctionConfig none_cfg;
+  none_cfg.adjustment = LogitAdjustment::kNone;
+  const ScoreFunction base(none_cfg);
+
+  std::vector<double> mean_gumbel(6, 0.0), plain(6);
+  std::vector<double> tmp(6);
+  const int trials = 2000;
+  for (int trial = 0; trial < trials; ++trial) {
+    fn.increments(logits, iota_positions(6), 0,
+                  static_cast<std::size_t>(trial), 0, 4, tmp);
+    for (int i = 0; i < 6; ++i) mean_gumbel[i] += tmp[i] / trials;
+  }
+  base.increments(logits, iota_positions(6), 0, 0, 0, 4, plain);
+  std::vector<float> g(mean_gumbel.begin(), mean_gumbel.end());
+  std::vector<float> p(plain.begin(), plain.end());
+  EXPECT_GT(entropy(g), entropy(p));
+}
+
+TEST(ToString, AllAdjustments) {
+  EXPECT_EQ(to_string(LogitAdjustment::kNone), "none");
+  EXPECT_EQ(to_string(LogitAdjustment::kConstant), "constant");
+  EXPECT_EQ(to_string(LogitAdjustment::kGaussian), "gaussian");
+  EXPECT_EQ(to_string(LogitAdjustment::kGumbel), "gumbel");
+}
+
+}  // namespace
+}  // namespace kf::kv

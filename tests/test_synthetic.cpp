@@ -1,0 +1,195 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/vocab.h"
+
+namespace kf::data {
+namespace {
+
+TEST(TokenClasses, PartitionIsConsistent) {
+  const TokenClasses c(512);
+  EXPECT_EQ(c.fact_begin, kFirstContentToken);
+  EXPECT_EQ(c.fact_end, c.filler_begin);
+  EXPECT_EQ(c.n_fact(), 128u);
+  EXPECT_TRUE(c.is_fact(10));
+  EXPECT_FALSE(c.is_fact(200));
+  EXPECT_TRUE(c.is_filler(200));
+  EXPECT_FALSE(c.is_filler(511 + 1));
+}
+
+TEST(TokenClasses, RejectsTinyVocab) {
+  EXPECT_THROW(TokenClasses(16), std::invalid_argument);
+}
+
+TEST(Summarization, DeterministicPerIndex) {
+  const SummarizationConfig cfg;
+  const Sample a = make_summarization_sample(cfg, 3);
+  const Sample b = make_summarization_sample(cfg, 3);
+  EXPECT_EQ(a.prompt, b.prompt);
+  EXPECT_EQ(a.reference, b.reference);
+  const Sample c = make_summarization_sample(cfg, 4);
+  EXPECT_NE(a.prompt, c.prompt);
+}
+
+TEST(Summarization, ShapeAndTokenValidity) {
+  SummarizationConfig cfg;
+  cfg.doc_len = 200;
+  const Sample s = make_summarization_sample(cfg, 0);
+  EXPECT_EQ(s.prompt.size(), 201u);  // doc + <sep> cue
+  EXPECT_EQ(s.prompt.front(), kBos);
+  EXPECT_EQ(s.prompt.back(), kSep);
+  for (const Token t : s.prompt) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, static_cast<Token>(cfg.vocab_size));
+  }
+}
+
+TEST(Summarization, ReferenceIsFactTokensInOrder) {
+  const SummarizationConfig cfg;
+  const TokenClasses classes(cfg.vocab_size);
+  const Sample s = make_summarization_sample(cfg, 1);
+  EXPECT_EQ(s.reference.size(), cfg.n_facts);
+  for (const Token t : s.reference) {
+    EXPECT_TRUE(classes.is_fact(t));
+  }
+  // Ordered by first appearance; all distinct.
+  const std::set<Token> uniq(s.reference.begin(), s.reference.end());
+  EXPECT_EQ(uniq.size(), s.reference.size());
+}
+
+TEST(Summarization, FactPositionsPointAtFacts) {
+  const SummarizationConfig cfg;
+  const Sample s = make_summarization_sample(cfg, 2);
+  EXPECT_GE(s.fact_positions.size(), cfg.n_facts);
+  for (const std::size_t p : s.fact_positions) {
+    ASSERT_LT(p, s.prompt.size());
+    EXPECT_NE(std::find(s.reference.begin(), s.reference.end(), s.prompt[p]),
+              s.reference.end());
+  }
+}
+
+TEST(Summarization, FactsAvoidTheEarlyDistractorZone) {
+  SummarizationConfig cfg;
+  cfg.doc_len = 300;
+  const Sample s = make_summarization_sample(cfg, 5);
+  const std::size_t early_end = (cfg.doc_len * 35) / 100;
+  for (const std::size_t p : s.fact_positions) {
+    EXPECT_GE(p, early_end);
+  }
+}
+
+TEST(Summarization, DistractorsRepeatHeavilyEarly) {
+  SummarizationConfig cfg;
+  cfg.doc_len = 320;
+  const Sample s = make_summarization_sample(cfg, 7);
+  const TokenClasses classes(cfg.vocab_size);
+  const std::size_t early_end = (cfg.doc_len * 35) / 100;
+  // Count salient-range tokens in the early zone that are not references.
+  std::size_t distractor_occurrences = 0;
+  for (std::size_t i = 1; i < early_end; ++i) {
+    const Token t = s.prompt[i];
+    if (classes.is_fact(t) &&
+        std::find(s.reference.begin(), s.reference.end(), t) ==
+            s.reference.end()) {
+      ++distractor_occurrences;
+    }
+  }
+  EXPECT_GE(distractor_occurrences, cfg.n_distractors * 10);
+}
+
+TEST(Summarization, SetProducesRequestedCount) {
+  const auto set = make_summarization_set(SummarizationConfig{}, 5);
+  EXPECT_EQ(set.size(), 5u);
+}
+
+TEST(Summarization, RejectsTinyDoc) {
+  SummarizationConfig cfg;
+  cfg.doc_len = 8;
+  EXPECT_THROW(make_summarization_sample(cfg, 0), std::invalid_argument);
+}
+
+TEST(Dialogue, StructureAndReference) {
+  DialogueConfig cfg;
+  const Sample s = make_dialogue_sample(cfg, 0);
+  EXPECT_EQ(s.prompt.front(), kBos);
+  EXPECT_EQ(s.prompt.back(), kSep);
+  const std::size_t seps = static_cast<std::size_t>(
+      std::count(s.prompt.begin(), s.prompt.end(), kSep));
+  EXPECT_EQ(seps, cfg.n_turns + 1);
+  // Early-turn topics form the reference.
+  EXPECT_EQ(s.reference.size(), (cfg.n_turns / 2) * cfg.topics_per_turn);
+}
+
+TEST(Dialogue, ReferenceTopicsAppearTwicePerTurn) {
+  DialogueConfig cfg;
+  const Sample s = make_dialogue_sample(cfg, 1);
+  for (const Token topic : s.reference) {
+    const auto count =
+        std::count(s.prompt.begin(), s.prompt.end(), topic);
+    EXPECT_GE(count, 2);
+  }
+}
+
+TEST(LongReport, SectionsAndLength) {
+  LongReportConfig cfg;
+  cfg.doc_len = 600;
+  cfg.n_sections = 4;
+  const Sample s = make_long_report_sample(cfg, 0);
+  const std::size_t seps = static_cast<std::size_t>(
+      std::count(s.prompt.begin(), s.prompt.end(), kSep));
+  EXPECT_EQ(seps, cfg.n_sections + 1);
+  EXPECT_GE(s.prompt.size(), cfg.doc_len);
+}
+
+TEST(LongReport, FactsSpreadAcrossSections) {
+  LongReportConfig cfg;
+  cfg.doc_len = 900;
+  cfg.n_sections = 6;
+  const Sample s = make_long_report_sample(cfg, 2);
+  // Fact positions must span at least half the document.
+  ASSERT_FALSE(s.fact_positions.empty());
+  const std::size_t span =
+      s.fact_positions.back() - s.fact_positions.front();
+  EXPECT_GT(span, s.prompt.size() / 2);
+}
+
+TEST(PaddedPrompt, LengthAndBos) {
+  const auto p = make_padded_prompt(128, 512, 1);
+  EXPECT_EQ(p.size(), 128u);
+  EXPECT_EQ(p[0], kBos);
+  const TokenClasses classes(512);
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    EXPECT_TRUE(classes.is_filler(p[i]));
+  }
+}
+
+TEST(WordVocab, RoundTrip) {
+  WordVocab v;
+  const Token hello = v.add("hello");
+  EXPECT_EQ(v.lookup("hello"), hello);
+  EXPECT_EQ(v.word(hello), "hello");
+  EXPECT_EQ(v.add("hello"), hello);
+  EXPECT_EQ(v.lookup("missing"), -1);
+}
+
+TEST(WordVocab, SpecialsPreRegistered) {
+  const WordVocab v;
+  EXPECT_EQ(v.word(kBos), "<bos>");
+  EXPECT_EQ(v.word(kSep), "<sep>");
+  EXPECT_EQ(v.size(), 4u);
+}
+
+TEST(Tokenizer, LowercasesAndStripsPunctuation) {
+  WordVocab v;
+  const auto toks = tokenize_words(v, "Hello, World! hello");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0], toks[2]);
+  EXPECT_EQ(detokenize(v, toks), "hello world hello");
+}
+
+}  // namespace
+}  // namespace kf::data

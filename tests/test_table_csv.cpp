@@ -1,0 +1,93 @@
+#include "core/csv.h"
+#include "core/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace kf {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("Demo");
+  t.header({"name", "value"});
+  t.row({"alpha", Table::num(1.5, 2)});
+  t.row({"beta", Table::num(12LL)});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  EXPECT_NE(s.find("12"), std::string::npos);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t;
+  t.header({"a", "long-header"});
+  t.row({"xxxxxx", "y"});
+  std::istringstream is(t.to_string());
+  std::string header_line, sep, row_line;
+  std::getline(is, header_line);
+  std::getline(is, sep);
+  std::getline(is, row_line);
+  // Second column starts at the same offset in both lines.
+  EXPECT_EQ(header_line.find("long-header"), row_line.find("y"));
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 3), "3.142");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(-42LL), "-42");
+}
+
+TEST(Table, RaggedRowsPadded) {
+  Table t;
+  t.header({"a", "b", "c"});
+  t.row({"only-one"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(Csv, BasicRoundtrip) {
+  CsvWriter csv({"x", "y"});
+  csv.add_row({"1", "2"});
+  csv.add_row({"3", "4"});
+  EXPECT_EQ(csv.to_string(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  CsvWriter csv({"text"});
+  csv.add_row({"hello, world"});
+  csv.add_row({"say \"hi\""});
+  const std::string s = csv.to_string();
+  EXPECT_NE(s.find("\"hello, world\""), std::string::npos);
+  EXPECT_NE(s.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Csv, FromTableCopiesEverything) {
+  Table t;
+  t.header({"h1", "h2"});
+  t.row({"a", "b"});
+  const CsvWriter csv = CsvWriter::from_table(t);
+  EXPECT_EQ(csv.to_string(), "h1,h2\na,b\n");
+}
+
+TEST(Csv, WritesFile) {
+  const std::string path = ::testing::TempDir() + "/kf_csv_test.csv";
+  CsvWriter csv({"col"});
+  csv.add_row({"v"});
+  ASSERT_TRUE(csv.write_file(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "col\nv\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, WriteFileFailsOnBadPath) {
+  CsvWriter csv({"col"});
+  EXPECT_FALSE(csv.write_file("/nonexistent-dir-xyz/file.csv"));
+}
+
+}  // namespace
+}  // namespace kf

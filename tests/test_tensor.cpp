@@ -1,0 +1,183 @@
+#include "core/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace kf {
+namespace {
+
+TEST(Tensor, ShapeAndZeroInit) {
+  Tensor t({3, 4});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.dim(0), 3u);
+  EXPECT_EQ(t.dim(1), 4u);
+  EXPECT_EQ(t.size(), 12u);
+  for (const float v : t.span()) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(Tensor, AtAndRow) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 5.0F;
+  EXPECT_EQ(t.row(1)[2], 5.0F);
+  EXPECT_EQ(t.at(0, 0), 0.0F);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  t.at(0, 5) = 3.0F;
+  t.reshape({3, 4});
+  EXPECT_EQ(t.dim(0), 3u);
+  EXPECT_EQ(t.at(1, 1), 3.0F);  // same flat index 5
+}
+
+TEST(Tensor, ReshapeRejectsSizeChange) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, RejectsRank5) {
+  EXPECT_THROW(Tensor({1, 1, 1, 1, 1}), std::invalid_argument);
+}
+
+TEST(Matmul, MatchesNaiveReference) {
+  Rng rng(1);
+  const std::size_t m = 13, k = 17, n = 11;
+  std::vector<float> a(m * k), b(k * n), c(m * n), ref(m * n);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  matmul(a, b, c, m, k, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a[i * k + kk]) * b[kk * n + j];
+      }
+      ref[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  for (std::size_t i = 0; i < m * n; ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-4F) << "at " << i;
+  }
+}
+
+TEST(Matmul, LargeProblemUsesThreadsConsistently) {
+  // Big enough to trigger the threaded path; must equal the naive result.
+  Rng rng(2);
+  const std::size_t m = 64, k = 96, n = 80;
+  std::vector<float> a(m * k), b(k * n), c(m * n);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  matmul(a, b, c, m, k, n);
+  // Spot-check a few entries against naive computation.
+  for (const std::size_t idx : {std::size_t{0}, m * n / 2, m * n - 1}) {
+    const std::size_t i = idx / n, j = idx % n;
+    double acc = 0.0;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      acc += static_cast<double>(a[i * k + kk]) * b[kk * n + j];
+    }
+    EXPECT_NEAR(c[idx], acc, 1e-3);
+  }
+}
+
+TEST(MatmulTransposedB, MatchesMatmul) {
+  Rng rng(3);
+  const std::size_t m = 9, k = 15, n = 7;
+  std::vector<float> a(m * k), b(n * k), bt(k * n), c1(m * n), c2(m * n);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) bt[j * n + i] = b[i * k + j];
+  }
+  matmul_transposed_b(a, b, c1, m, k, n);
+  matmul(a, bt, c2, m, k, n);
+  for (std::size_t i = 0; i < m * n; ++i) EXPECT_NEAR(c1[i], c2[i], 1e-4F);
+}
+
+TEST(Matvec, MatchesNaive) {
+  Rng rng(4);
+  const std::size_t n = 21, k = 33;
+  std::vector<float> a(n * k), x(k), y(n);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  matvec(a, x, y, n, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      acc += static_cast<double>(a[i * k + j]) * x[j];
+    }
+    EXPECT_NEAR(y[i], acc, 1e-4);
+  }
+}
+
+TEST(Vecmat, MatchesNaive) {
+  Rng rng(5);
+  const std::size_t n = 12, k = 8;
+  std::vector<float> a(n * k), x(n), y(k);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  vecmat(x, a, y, n, k);
+  for (std::size_t j = 0; j < k; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += static_cast<double>(x[i]) * a[i * k + j];
+    }
+    EXPECT_NEAR(y[j], acc, 1e-4);
+  }
+}
+
+TEST(Dot, Basic) {
+  std::vector<float> a{1, 2, 3};
+  std::vector<float> b{4, 5, 6};
+  EXPECT_FLOAT_EQ(dot(a, b), 32.0F);
+}
+
+TEST(AddScale, InPlace) {
+  std::vector<float> y{1, 2};
+  std::vector<float> x{3, 4};
+  add_inplace(y, x);
+  EXPECT_FLOAT_EQ(y[0], 4.0F);
+  scale_inplace(y, 0.5F);
+  EXPECT_FLOAT_EQ(y[1], 3.0F);
+}
+
+TEST(Gelu, KnownValues) {
+  std::vector<float> y{0.0F, 1.0F, -1.0F, 3.0F};
+  gelu_inplace(y);
+  EXPECT_NEAR(y[0], 0.0F, 1e-6F);
+  EXPECT_NEAR(y[1], 0.8412F, 1e-3F);
+  EXPECT_NEAR(y[2], -0.1588F, 1e-3F);
+  EXPECT_NEAR(y[3], 2.9964F, 1e-3F);
+}
+
+TEST(LayerNorm, NormalizesToUnitVariance) {
+  Rng rng(6);
+  const std::size_t d = 64;
+  std::vector<float> x(d), gamma(d, 1.0F), beta(d, 0.0F), out(d);
+  for (auto& v : x) v = static_cast<float>(rng.normal(3.0, 2.0));
+  layer_norm(x, gamma, beta, out);
+  double mean = 0.0, var = 0.0;
+  for (const float v : out) mean += v;
+  mean /= d;
+  for (const float v : out) var += (v - mean) * (v - mean);
+  var /= d;
+  EXPECT_NEAR(mean, 0.0, 1e-4);
+  EXPECT_NEAR(var, 1.0, 1e-2);
+}
+
+TEST(LayerNorm, GammaBetaApplied) {
+  std::vector<float> x{1.0F, -1.0F};
+  std::vector<float> gamma{2.0F, 2.0F};
+  std::vector<float> beta{1.0F, 1.0F};
+  std::vector<float> out(2);
+  layer_norm(x, gamma, beta, out);
+  EXPECT_NEAR(out[0], 3.0F, 1e-3F);
+  EXPECT_NEAR(out[1], -1.0F, 1e-3F);
+}
+
+}  // namespace
+}  // namespace kf

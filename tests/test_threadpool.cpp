@@ -1,0 +1,76 @@
+#include "core/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace kf {
+namespace {
+
+TEST(ThreadPool, CoversFullRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, HandlesEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleElement) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for(1, [&](std::size_t b, std::size_t e) {
+    count += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, GrainLimitsChunking) {
+  ThreadPool pool(8);
+  std::atomic<int> chunks{0};
+  pool.parallel_for(
+      10, [&](std::size_t, std::size_t) { chunks.fetch_add(1); },
+      /*grain=*/10);
+  EXPECT_EQ(chunks.load(), 1);
+}
+
+TEST(ThreadPool, SumMatchesSequential) {
+  ThreadPool pool(6);
+  std::vector<long long> values(4096);
+  std::iota(values.begin(), values.end(), 1);
+  std::atomic<long long> total{0};
+  pool.parallel_for(values.size(), [&](std::size_t b, std::size_t e) {
+    long long local = 0;
+    for (std::size_t i = b; i < e; ++i) local += values[i];
+    total.fetch_add(local);
+  });
+  EXPECT_EQ(total.load(), 4096LL * 4097 / 2);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(100, [&](std::size_t b, std::size_t e) {
+      count += static_cast<int>(e - b);
+    });
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ThreadPool, GlobalIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+}  // namespace
+}  // namespace kf
