@@ -1,5 +1,6 @@
 #include "kvcache/kv_cache.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -102,10 +103,10 @@ void KvCache::compact(std::span<const std::size_t> keep) {
           "KvCache::compact: keep indices must be strictly ascending");
     }
     if (idx != out) {
-      for (std::size_t j = 0; j < w; ++j) {
-        keys_[out * w + j] = keys_[idx * w + j];
-        values_[out * w + j] = values_[idx * w + j];
-      }
+      // idx > out, so source and destination rows never overlap; copy the
+      // whole d_model-wide row contiguously (decode-loop hot path).
+      std::copy_n(keys_.data() + idx * w, w, keys_.data() + out * w);
+      std::copy_n(values_.data() + idx * w, w, values_.data() + out * w);
       positions_[out] = positions_[idx];
       for (auto& per_head : scores_) per_head[out] = per_head[idx];
     }

@@ -20,6 +20,10 @@ std::string to_string(LogitAdjustment a) {
 
 double TemperatureSchedule::at(std::size_t t, std::size_t total_steps) const {
   if (!dynamic || total_steps == 0) return tau_init;
+  // Eq. 10 anneals tau from tau_init to tau_end over T steps; steps past T
+  // (e.g. generation overrunning the planned length) hold at tau_end rather
+  // than extrapolating.
+  if (t >= total_steps) return tau_end;
   const double delta = (tau_end - tau_init) / static_cast<double>(total_steps);
   return tau_init + static_cast<double>(t) * delta;
 }
@@ -35,15 +39,20 @@ ScoreFunction::ScoreFunction(ScoreFunctionConfig config)
   }
 }
 
+std::size_t ScoreFunction::NoiseKeyHash::operator()(
+    const NoiseKey& k) const noexcept {
+  std::uint64_t h = hash_combine(k.layer, k.head);
+  h = hash_combine(h, k.original_pos);
+  return static_cast<std::size_t>(h);
+}
+
 double ScoreFunction::noise(std::size_t layer, std::size_t head,
                             std::size_t original_pos) const {
   if (config_.adjustment == LogitAdjustment::kNone) return 0.0;
   if (config_.adjustment == LogitAdjustment::kConstant) {
     return config_.noise_scale * config_.constant;
   }
-  const std::uint64_t key = (static_cast<std::uint64_t>(layer) << 48) |
-                            (static_cast<std::uint64_t>(head) << 40) |
-                            static_cast<std::uint64_t>(original_pos);
+  const NoiseKey key{layer, head, original_pos};
   const auto it = noise_cache_.find(key);
   if (it != noise_cache_.end()) return it->second;
   const double value = compute_noise(layer, head, original_pos);

@@ -97,11 +97,25 @@ class ScoreFunction {
                   std::span<double> out) const;
 
  private:
+  /// Memoization key for one cache slot. A packed-uint64 key
+  /// ((layer<<48)|(head<<40)|pos) would silently collide once
+  /// original_pos >= 2^40 or head >= 256 — both reachable in long-context
+  /// sweeps — so the fields are kept whole.
+  struct NoiseKey {
+    std::size_t layer;
+    std::size_t head;
+    std::size_t original_pos;
+    bool operator==(const NoiseKey&) const noexcept = default;
+  };
+  struct NoiseKeyHash {
+    std::size_t operator()(const NoiseKey& k) const noexcept;
+  };
+
   ScoreFunctionConfig config_;
   /// Frozen noise realizations are pure functions of (layer, head,
   /// position); memoized because they are re-read every decoding step.
   /// Policies are driven from a single thread, so no locking is needed.
-  mutable std::unordered_map<std::uint64_t, double> noise_cache_;
+  mutable std::unordered_map<NoiseKey, double, NoiseKeyHash> noise_cache_;
 };
 
 }  // namespace kf::kv

@@ -39,6 +39,18 @@ TEST(TemperatureSchedule, ZeroTotalStepsFallsBackToInit) {
   EXPECT_DOUBLE_EQ(s.at(3, 0), 1.0);
 }
 
+TEST(TemperatureSchedule, ClampsAtTauEndPastTotalSteps) {
+  // Eq. 10 anneals tau_init -> tau_end over T steps; overrunning T must
+  // hold tau at tau_end, never extrapolate beyond it.
+  TemperatureSchedule s;  // 1 -> 2
+  EXPECT_DOUBLE_EQ(s.at(11, 10), 2.0);
+  EXPECT_DOUBLE_EQ(s.at(1000, 10), 2.0);
+  TemperatureSchedule down;
+  down.tau_init = 2.0;
+  down.tau_end = 0.5;
+  EXPECT_DOUBLE_EQ(down.at(99, 10), 0.5);
+}
+
 TEST(ScoreFunction, RejectsBadConfig) {
   ScoreFunctionConfig bad;
   bad.temperature.tau_init = 0.0;
@@ -98,6 +110,24 @@ TEST(ScoreFunction, NoiseFrozenPerSlot) {
   EXPECT_NE(fn.noise(1, 2, 3), fn.noise(1, 2, 4));
   EXPECT_NE(fn.noise(0, 2, 3), fn.noise(1, 2, 3));
   EXPECT_NE(fn.noise(1, 0, 3), fn.noise(1, 2, 3));
+}
+
+TEST(ScoreFunction, NoiseCacheKeysDoNotCollide) {
+  // Regression: the memo key was once packed as (layer<<48)|(head<<40)|pos,
+  // so (head=0, pos=2^40) aliased (head=1, pos=0) and (head=256, pos=0)
+  // aliased (layer+1, head=0, pos=0). Distinct slots must keep distinct
+  // frozen realizations even at long-context positions and wide head counts.
+  ScoreFunctionConfig cfg;
+  const ScoreFunction fn(cfg);
+  const std::size_t big_pos = std::size_t{1} << 40;
+  // Memoized re-reads must return the slot's own frozen value even after
+  // an aliasing key has been cached in between.
+  const double first = fn.noise(0, 0, big_pos);
+  const double alias = fn.noise(0, 1, 0);
+  EXPECT_NE(first, alias);
+  EXPECT_DOUBLE_EQ(fn.noise(0, 0, big_pos), first);
+  EXPECT_DOUBLE_EQ(fn.noise(0, 1, 0), alias);
+  EXPECT_NE(fn.noise(0, 256, 0), fn.noise(1, 0, 0));
 }
 
 TEST(ScoreFunction, NoiseSeedChangesRealization) {
