@@ -1,0 +1,211 @@
+// Decode fast-path throughput bench: tokens/s and a per-step latency
+// breakdown (project / attend / score / evict / other) for the RoPE +
+// Keyformer configuration on a long-context preset.
+//
+// Three execution paths are measured over the *same* token stream:
+//   general_prechange — general blocked attention, keys stored raw and
+//                       re-rotated every step (the pre-fast-path decode
+//                       loop, kept as the baseline the speedup claim is
+//                       made against);
+//   general_prerot    — general path reading append-time-rotated keys
+//                       (isolates how much of the win is the rotation
+//                       contract alone);
+//   fast              — the fused single-query kernel (attention_decode)
+//                       on head-major pre-rotated keys.
+// The bench also cross-checks parity: max |LM-logit delta| of each path
+// versus general_prechange, which must stay within float rounding.
+//
+//   ./bench/bench_decode_throughput [--quick] [--gen N] [--seed S]
+//                                   [--csv DIR]
+//
+// --csv DIR additionally writes decode_throughput.csv and
+// decode_throughput.json into DIR (the CI perf-trajectory artifact).
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/timing.h"
+
+using namespace kf;
+
+namespace {
+
+struct PathResult {
+  std::string name;
+  double tokens_per_s = 0.0;
+  double ms_per_token = 0.0;
+  double project_ms = 0.0;  // per token
+  double attend_ms = 0.0;
+  double score_ms = 0.0;
+  double evict_ms = 0.0;
+  double other_ms = 0.0;
+  double prefill_seconds = 0.0;
+  double max_logit_delta = 0.0;  // vs baseline path
+  std::vector<std::vector<float>> step_logits;
+};
+
+struct BenchSetup {
+  std::size_t prompt_len = 0;
+  std::size_t gen_tokens = 0;
+  std::uint64_t seed = 0;
+};
+
+PathResult run_path(const std::string& name, bool fast_path,
+                    bool append_rotation, const BenchSetup& s) {
+  model::ModelConfig cfg = model::ModelConfig::gptj_like();
+  cfg.max_seq_len = 8192;
+  cfg.decode_fast_path = fast_path;
+  cfg.rope_append_time_rotation = append_rotation;
+  model::Transformer m(cfg);
+
+  // Deterministic prompt and decode token stream shared by every path so
+  // outputs are comparable step for step.
+  Rng rng(s.seed);
+  std::vector<model::Token> prompt(s.prompt_len);
+  for (auto& t : prompt) {
+    t = static_cast<model::Token>(rng.uniform_u64(cfg.vocab_size));
+  }
+  std::vector<model::Token> feed(s.gen_tokens);
+  for (auto& t : feed) {
+    t = static_cast<model::Token>(rng.uniform_u64(cfg.vocab_size));
+  }
+
+  auto policy = bench::make_policy(kv::PolicyKind::kKeyformer, s.seed);
+  policy->set_budget(kv::make_budget(s.prompt_len, /*cache_ratio=*/0.5));
+  kv::SequenceInfo info;
+  info.prompt_len = s.prompt_len;
+  info.total_steps = s.gen_tokens;
+  info.n_layers = cfg.n_layers;
+  info.n_heads = cfg.n_heads;
+  policy->begin_sequence(info);
+
+  m.reset();
+  PathResult r;
+  r.name = name;
+  double t0 = now_seconds();
+  m.prefill(prompt, *policy, s.gen_tokens);
+  r.prefill_seconds = now_seconds() - t0;
+
+  model::AttentionTimings attn;
+  kv::PolicyTimings pol;
+  m.set_attention_timings(&attn);
+  policy->set_timing_sink(&pol);
+
+  t0 = now_seconds();
+  for (std::size_t t = 1; t <= s.gen_tokens; ++t) {
+    const std::size_t position = s.prompt_len + t - 1;
+    r.step_logits.push_back(
+        m.decode(feed[t - 1], position, t, s.gen_tokens, *policy));
+  }
+  const double decode_seconds = now_seconds() - t0;
+  m.set_attention_timings(nullptr);
+  policy->set_timing_sink(nullptr);
+
+  const double n = static_cast<double>(s.gen_tokens);
+  r.tokens_per_s = n / decode_seconds;
+  r.ms_per_token = 1e3 * decode_seconds / n;
+  r.project_ms = 1e3 * attn.project_seconds / n;
+  r.attend_ms = 1e3 * attn.attend_seconds / n;
+  r.score_ms = 1e3 * pol.score_seconds / n;
+  r.evict_ms = 1e3 * pol.evict_seconds / n;
+  r.other_ms = r.ms_per_token - r.project_ms - r.attend_ms - r.score_ms -
+               r.evict_ms;
+  return r;
+}
+
+double max_delta(const PathResult& a, const PathResult& b) {
+  double d = 0.0;
+  for (std::size_t t = 0; t < a.step_logits.size(); ++t) {
+    for (std::size_t i = 0; i < a.step_logits[t].size(); ++i) {
+      d = std::max(d, static_cast<double>(std::abs(a.step_logits[t][i] -
+                                                   b.step_logits[t][i])));
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  bool gen_given = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gen") == 0) gen_given = true;
+  }
+  BenchSetup s;
+  s.seed = opt.seed;
+  // Long-context preset; --quick shrinks it to smoke-test size. An
+  // explicit --gen is honored verbatim (post parse_options, which halves
+  // it under --quick like every other bench).
+  s.prompt_len = opt.quick ? 256 : 1024;
+  s.gen_tokens = gen_given ? opt.gen_tokens : (opt.quick ? 32 : 128);
+  if (s.gen_tokens == 0) {
+    std::cerr << "error: --gen must be positive\n";
+    return 1;
+  }
+
+  std::cout << "decode throughput (gptj-like RoPE, keyformer @ 50% cache, "
+            << "prompt " << s.prompt_len << ", gen " << s.gen_tokens
+            << ")\n";
+
+  std::vector<PathResult> results;
+  results.push_back(run_path("general_prechange", /*fast=*/false,
+                             /*append_rotation=*/false, s));
+  results.push_back(run_path("general_prerot", /*fast=*/false,
+                             /*append_rotation=*/true, s));
+  results.push_back(run_path("fast", /*fast=*/true,
+                             /*append_rotation=*/true, s));
+  for (auto& r : results) r.max_logit_delta = max_delta(results.front(), r);
+
+  const double base_tps = results.front().tokens_per_s;
+  Table t("decode fast path: tokens/s and per-step latency breakdown");
+  t.header({"path", "tok_per_s", "speedup", "ms_per_tok", "project_ms",
+            "attend_ms", "score_ms", "evict_ms", "other_ms",
+            "max_logit_delta"});
+  for (const auto& r : results) {
+    t.row({r.name, Table::num(r.tokens_per_s, 1),
+           Table::num(r.tokens_per_s / base_tps, 2) + "x",
+           Table::num(r.ms_per_token, 3), Table::num(r.project_ms, 3),
+           Table::num(r.attend_ms, 3), Table::num(r.score_ms, 3),
+           Table::num(r.evict_ms, 3), Table::num(r.other_ms, 3),
+           Table::num(r.max_logit_delta, 7)});
+  }
+  t.print(std::cout);
+  bench::maybe_write_csv(opt, t, "decode_throughput");
+
+  if (!opt.csv_dir.empty()) {
+    const std::string path = opt.csv_dir + "/decode_throughput.json";
+    std::ofstream out(path);
+    if (out) {
+      out << "{\n  \"prompt_len\": " << s.prompt_len
+          << ",\n  \"gen_tokens\": " << s.gen_tokens << ",\n  \"paths\": [";
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& r = results[i];
+        out << (i > 0 ? "," : "") << "\n    {\"name\": \"" << r.name
+            << "\", \"tokens_per_s\": " << r.tokens_per_s
+            << ", \"speedup\": " << r.tokens_per_s / base_tps
+            << ", \"ms_per_token\": " << r.ms_per_token
+            << ", \"project_ms\": " << r.project_ms
+            << ", \"attend_ms\": " << r.attend_ms
+            << ", \"score_ms\": " << r.score_ms
+            << ", \"evict_ms\": " << r.evict_ms
+            << ", \"other_ms\": " << r.other_ms
+            << ", \"max_logit_delta\": " << r.max_logit_delta << "}";
+      }
+      out << "\n  ]\n}\n";
+      std::cout << "(json written to " << path << ")\n";
+    } else {
+      std::cerr << "warning: could not write " << path << '\n';
+    }
+  }
+
+  const double speedup = results.back().tokens_per_s / base_tps;
+  std::cout << "fast path speedup vs pre-change general path: "
+            << Table::num(speedup, 2) << "x; max logit delta "
+            << Table::num(results.back().max_logit_delta, 7) << '\n';
+  return 0;
+}

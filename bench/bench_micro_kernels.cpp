@@ -24,6 +24,45 @@ void BM_Matmul(benchmark::State& state) {
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
 
+void BM_Matvec(benchmark::State& state) {
+  // The decode fast path's dot-product shape: [key_len, d_head] keys
+  // against one rotated query head.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = 32;
+  std::vector<float> a(n * k, 0.5F), x(k, 1.0F), y(n);
+  for (auto _ : state) {
+    matvec(a, x, y, n, k);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * k));
+}
+BENCHMARK(BM_Matvec)->Arg(512)->Arg(2048)->Arg(8192);
+
+void BM_VecMat(benchmark::State& state) {
+  // Row-vector times matrix: decode-path QKV/output projection shape.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> a(n * n, 0.5F), x(n, 1.0F), y(n);
+  for (auto _ : state) {
+    vecmat(x, a, y, n, n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_VecMat)->Arg(128)->Arg(256)->Arg(1024);
+
+void BM_Dot(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> a(n, 0.5F), b(n, 0.25F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dot(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Dot)->Arg(64)->Arg(512)->Arg(4096);
+
 void BM_Softmax(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   std::vector<float> x(n), out(n);

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace kf {
 
@@ -22,6 +23,14 @@ double logsumexp(std::span<const float> x) {
 void softmax(std::span<const float> x, std::span<float> out) {
   assert(x.size() == out.size() && !x.empty());
   const float m = max_value(x);
+  // Every entry masked to -inf: there is no distribution to normalize
+  // (and -inf - -inf below would be NaN). Return the all-zero row
+  // (matching the "masked entries are 0" convention) instead of fanning
+  // NaN out through the caller.
+  if (m == -std::numeric_limits<float>::infinity()) {
+    for (float& v : out) v = 0.0F;
+    return;
+  }
   double sum = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) {
     const double e = std::exp(static_cast<double>(x[i] - m));
@@ -36,6 +45,10 @@ void softmax_temperature(std::span<const float> x, std::span<float> out,
                          double tau) {
   assert(tau > 0.0 && x.size() == out.size() && !x.empty());
   const float m = max_value(x);
+  if (m == -std::numeric_limits<float>::infinity()) {
+    for (float& v : out) v = 0.0F;  // all--inf row, see softmax()
+    return;
+  }
   double sum = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) {
     const double e = std::exp(static_cast<double>(x[i] - m) / tau);

@@ -143,20 +143,46 @@ void matvec(std::span<const float> a, std::span<const float> x,
 void vecmat(std::span<const float> x, std::span<const float> a,
             std::span<float> y, std::size_t n, std::size_t k) {
   assert(a.size() >= n * k && x.size() >= n && y.size() >= k);
-  for (std::size_t j = 0; j < k; ++j) y[j] = 0.0F;
-  for (std::size_t i = 0; i < n; ++i) {
-    const float xi = x[i];
-    if (xi == 0.0F) continue;
-    const float* arow = a.data() + i * k;
-    for (std::size_t j = 0; j < k; ++j) y[j] += xi * arow[j];
+  // Each chunk owns a column range [j0, j1): it walks every row but only
+  // touches its own slice of y, so chunks are independent and the row
+  // slices it reads stay contiguous.
+  const auto kernel = [&](std::size_t j0, std::size_t j1) {
+    for (std::size_t j = j0; j < j1; ++j) y[j] = 0.0F;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float xi = x[i];
+      if (xi == 0.0F) continue;
+      const float* arow = a.data() + i * k;
+      for (std::size_t j = j0; j < j1; ++j) y[j] += xi * arow[j];
+    }
+  };
+  if (n * k > (1u << 18) && k > 1) {
+    ThreadPool::global().parallel_for(k, kernel, /*grain=*/64);
+  } else {
+    kernel(0, k);
   }
 }
 
 float dot(std::span<const float> a, std::span<const float> b) {
   assert(a.size() == b.size());
-  float acc = 0.0F;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  const std::size_t n = a.size();
+  // Four independent accumulators break the loop-carried dependence so the
+  // compiler can keep several FMA lanes in flight.
+  float acc0 = 0.0F, acc1 = 0.0F, acc2 = 0.0F, acc3 = 0.0F;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  float acc = (acc0 + acc1) + (acc2 + acc3);
+  for (; i < n; ++i) acc += a[i] * b[i];
   return acc;
+}
+
+void axpy(float a, std::span<const float> x, std::span<float> y) {
+  assert(y.size() == x.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += a * x[i];
 }
 
 void add_inplace(std::span<float> y, std::span<const float> x) {

@@ -5,14 +5,30 @@
 
 namespace kf {
 
+namespace {
+
+// Set while a pool worker executes a task. A parallel_for issued from a
+// worker must run inline: enqueuing chunks and blocking on done_cv would
+// occupy a worker slot while waiting for other workers — with nested
+// kernels (e.g. attention calling matvec) every worker can end up blocked
+// waiting for chunks nobody is free to run.
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this] { worker_entry(); });
   }
+}
+
+void ThreadPool::worker_entry() {
+  t_in_pool_worker = true;  // a worker thread is a worker for its lifetime
+  worker_loop();
 }
 
 ThreadPool::~ThreadPool() {
@@ -42,6 +58,10 @@ void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
     std::size_t grain) {
   if (n == 0) return;
+  if (t_in_pool_worker) {  // nested call from a worker: run inline
+    fn(0, n);
+    return;
+  }
   grain = std::max<std::size_t>(1, grain);
   const std::size_t max_chunks = std::max<std::size_t>(1, (n + grain - 1) / grain);
   const std::size_t num_chunks = std::min(workers_.size() * 2, max_chunks);

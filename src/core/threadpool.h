@@ -31,7 +31,10 @@ class ThreadPool {
 
   /// Runs fn(begin, end) over [0, n) split into roughly even chunks across
   /// the pool, blocking until all chunks finish. Falls back to a direct
-  /// call when n is small or the pool has a single worker.
+  /// call when n is small or the pool has a single worker. Calls made from
+  /// inside a pool worker (nested kernels) run inline rather than
+  /// enqueueing — blocking a worker slot on nested chunks can deadlock the
+  /// pool once every worker is waiting.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& fn,
                     std::size_t grain = 1);
@@ -40,6 +43,7 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  void worker_entry();  ///< marks the thread as a pool worker, then loops
   void worker_loop();
 
   std::vector<std::thread> workers_;

@@ -1,0 +1,16 @@
+// Shared wall-clock helper for the perf-instrumentation sinks
+// (AttentionTimings, PolicyTimings) and the throughput benches.
+#pragma once
+
+#include <chrono>
+
+namespace kf {
+
+/// Seconds on a monotonic clock; only differences are meaningful.
+inline double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace kf

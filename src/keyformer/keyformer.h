@@ -16,6 +16,7 @@
 #include "core/table.h"
 #include "core/tensor.h"
 #include "core/threadpool.h"
+#include "core/timing.h"
 #include "data/fewshot.h"
 #include "data/synthetic.h"
 #include "data/vocab.h"

@@ -13,11 +13,28 @@ KvCache::KvCache(std::size_t n_heads, std::size_t d_head,
     throw std::invalid_argument("KvCache requires n_heads > 0 and d_head > 0");
   }
   if (capacity_hint > 0) {
-    keys_.reserve(capacity_hint * row_width());
-    values_.reserve(capacity_hint * row_width());
+    ensure_capacity(capacity_hint);
     positions_.reserve(capacity_hint);
     for (auto& s : scores_) s.reserve(capacity_hint);
   }
+}
+
+void KvCache::ensure_capacity(std::size_t need) {
+  if (need <= capacity_) return;
+  const std::size_t new_cap =
+      std::max({need, capacity_ * 2, std::size_t{16}});
+  std::vector<float> new_keys(n_heads_ * new_cap * d_head_);
+  std::vector<float> new_values(n_heads_ * new_cap * d_head_);
+  const std::size_t live = size() * d_head_;
+  for (std::size_t h = 0; h < n_heads_; ++h) {
+    std::copy_n(keys_.data() + h * capacity_ * d_head_, live,
+                new_keys.data() + h * new_cap * d_head_);
+    std::copy_n(values_.data() + h * capacity_ * d_head_, live,
+                new_values.data() + h * new_cap * d_head_);
+  }
+  keys_ = std::move(new_keys);
+  values_ = std::move(new_values);
+  capacity_ = new_cap;
 }
 
 void KvCache::append(std::span<const float> k_row,
@@ -29,32 +46,57 @@ void KvCache::append(std::span<const float> k_row,
     throw std::invalid_argument(
         "KvCache::append: original positions must be strictly increasing");
   }
-  keys_.insert(keys_.end(), k_row.begin(), k_row.end());
-  values_.insert(values_.end(), v_row.begin(), v_row.end());
+  const std::size_t t = size();
+  ensure_capacity(t + 1);
+  for (std::size_t h = 0; h < n_heads_; ++h) {
+    const std::size_t dst = (h * capacity_ + t) * d_head_;
+    std::copy_n(k_row.data() + h * d_head_, d_head_, keys_.data() + dst);
+    std::copy_n(v_row.data() + h * d_head_, d_head_, values_.data() + dst);
+  }
   positions_.push_back(original_pos);
   for (auto& s : scores_) s.push_back(0.0);
 }
 
-std::span<const float> KvCache::key(std::size_t idx) const {
+std::vector<float> KvCache::key_row(std::size_t idx) const {
   assert(idx < size());
-  return {keys_.data() + idx * row_width(), row_width()};
+  std::vector<float> row(row_width());
+  for (std::size_t h = 0; h < n_heads_; ++h) {
+    std::copy_n(keys_.data() + (h * capacity_ + idx) * d_head_, d_head_,
+                row.data() + h * d_head_);
+  }
+  return row;
 }
 
-std::span<const float> KvCache::value(std::size_t idx) const {
+std::vector<float> KvCache::value_row(std::size_t idx) const {
   assert(idx < size());
-  return {values_.data() + idx * row_width(), row_width()};
+  std::vector<float> row(row_width());
+  for (std::size_t h = 0; h < n_heads_; ++h) {
+    std::copy_n(values_.data() + (h * capacity_ + idx) * d_head_, d_head_,
+                row.data() + h * d_head_);
+  }
+  return row;
 }
 
 std::span<const float> KvCache::key_head(std::size_t idx,
                                          std::size_t head) const {
   assert(idx < size() && head < n_heads_);
-  return {keys_.data() + idx * row_width() + head * d_head_, d_head_};
+  return {keys_.data() + (head * capacity_ + idx) * d_head_, d_head_};
 }
 
 std::span<const float> KvCache::value_head(std::size_t idx,
                                            std::size_t head) const {
   assert(idx < size() && head < n_heads_);
-  return {values_.data() + idx * row_width() + head * d_head_, d_head_};
+  return {values_.data() + (head * capacity_ + idx) * d_head_, d_head_};
+}
+
+std::span<const float> KvCache::keys_head(std::size_t head) const {
+  assert(head < n_heads_);
+  return {keys_.data() + head * capacity_ * d_head_, size() * d_head_};
+}
+
+std::span<const float> KvCache::values_head(std::size_t head) const {
+  assert(head < n_heads_);
+  return {values_.data() + head * capacity_ * d_head_, size() * d_head_};
 }
 
 std::size_t KvCache::original_position(std::size_t idx) const {
@@ -91,37 +133,48 @@ double KvCache::total_score(std::size_t idx) const {
 }
 
 void KvCache::compact(std::span<const std::size_t> keep) {
-  const std::size_t w = row_width();
-  std::size_t out = 0;
+  // Validate once; the per-head gather below can then move rows without
+  // re-checking.
   std::size_t prev = 0;
-  for (const std::size_t idx : keep) {
+  for (std::size_t j = 0; j < keep.size(); ++j) {
+    const std::size_t idx = keep[j];
     if (idx >= size()) {
       throw std::out_of_range("KvCache::compact: keep index out of range");
     }
-    if (out > 0 && idx <= prev) {
+    if (j > 0 && idx <= prev) {
       throw std::invalid_argument(
           "KvCache::compact: keep indices must be strictly ascending");
     }
+    prev = idx;
+  }
+  // Head-major gather: within each head's contiguous segment, move the kept
+  // d_head-wide rows forward. Source index >= destination index always, so
+  // rows never overlap.
+  for (std::size_t h = 0; h < n_heads_; ++h) {
+    float* kbase = keys_.data() + h * capacity_ * d_head_;
+    float* vbase = values_.data() + h * capacity_ * d_head_;
+    std::size_t out = 0;
+    for (const std::size_t idx : keep) {
+      if (idx != out) {
+        std::copy_n(kbase + idx * d_head_, d_head_, kbase + out * d_head_);
+        std::copy_n(vbase + idx * d_head_, d_head_, vbase + out * d_head_);
+      }
+      ++out;
+    }
+  }
+  std::size_t out = 0;
+  for (const std::size_t idx : keep) {
     if (idx != out) {
-      // idx > out, so source and destination rows never overlap; copy the
-      // whole d_model-wide row contiguously (decode-loop hot path).
-      std::copy_n(keys_.data() + idx * w, w, keys_.data() + out * w);
-      std::copy_n(values_.data() + idx * w, w, values_.data() + out * w);
       positions_[out] = positions_[idx];
       for (auto& per_head : scores_) per_head[out] = per_head[idx];
     }
-    prev = idx;
     ++out;
   }
-  keys_.resize(out * w);
-  values_.resize(out * w);
   positions_.resize(out);
   for (auto& per_head : scores_) per_head.resize(out);
 }
 
 void KvCache::clear() {
-  keys_.clear();
-  values_.clear();
   positions_.clear();
   for (auto& per_head : scores_) per_head.clear();
 }

@@ -1,10 +1,24 @@
 // Per-layer Key/Value cache with the bookkeeping the paper's eviction
 // policies need:
-//   - K and V rows per cached token (row = all heads concatenated),
+//   - K and V vectors per cached token and head,
 //   - the *original* sequence position of every cached token (Table 3's
 //     "Org Pos" mode and the recency ordering both rely on it),
 //   - per-head accumulated score-function values f_theta that survive
 //     compaction (Sections 3.3.2 and 2.3.1).
+//
+// Storage is *head-major*: each head owns one contiguous segment of
+// [capacity, d_head] rows, so the decode hot path (per-head dot products,
+// weighted-value accumulation, score scans, compaction) streams over
+// contiguous memory instead of striding through token-major rows.
+// `keys_head(h)` / `values_head(h)` expose a head's live segment as a
+// [size, d_head] row-major span that can be fed straight into matvec.
+//
+// Rotation contract: the cache stores whatever the attention layer appends.
+// Under RoPE with PositionMode::kOriginal the attention layer appends keys
+// *pre-rotated* by their (immutable) original position, so no per-step
+// re-rotation is needed; under PositionMode::kNew effective positions change
+// with compaction, so keys are stored unrotated and rotated at attention
+// time (see model/attention.h).
 //
 // The cache is always ordered by ascending original position; appends carry
 // strictly increasing positions and compaction preserves order. "Recent w
@@ -27,7 +41,7 @@ class KvCache {
   std::size_t n_heads() const noexcept { return n_heads_; }
   std::size_t d_head() const noexcept { return d_head_; }
 
-  /// Width of one K or V row (= n_heads * d_head).
+  /// Width of one full K or V token row (= n_heads * d_head).
   std::size_t row_width() const noexcept { return n_heads_ * d_head_; }
 
   /// Number of cached tokens.
@@ -35,18 +49,27 @@ class KvCache {
 
   bool empty() const noexcept { return positions_.empty(); }
 
-  /// Appends one token's K and V rows (each row_width() floats) with its
-  /// original sequence position. Positions must be strictly increasing.
+  /// Appends one token's K and V rows (each row_width() floats, head-
+  /// concatenated token-major order) with its original sequence position.
+  /// Positions must be strictly increasing. The row is scattered into the
+  /// per-head segments.
   void append(std::span<const float> k_row, std::span<const float> v_row,
               std::size_t original_pos);
 
-  /// Full K row of cached token idx.
-  std::span<const float> key(std::size_t idx) const;
-  /// Full V row of cached token idx.
-  std::span<const float> value(std::size_t idx) const;
-  /// Per-head slices.
+  /// Full K row of cached token idx, gathered back to token-major
+  /// (head-concatenated) order. Copies; intended for tests/diagnostics.
+  std::vector<float> key_row(std::size_t idx) const;
+  /// Full V row of cached token idx (token-major gather; copies).
+  std::vector<float> value_row(std::size_t idx) const;
+
+  /// Per-head, per-token slices (d_head contiguous floats).
   std::span<const float> key_head(std::size_t idx, std::size_t head) const;
   std::span<const float> value_head(std::size_t idx, std::size_t head) const;
+
+  /// One head's whole live K segment: [size, d_head] row-major, contiguous.
+  std::span<const float> keys_head(std::size_t head) const;
+  /// One head's whole live V segment: [size, d_head] row-major, contiguous.
+  std::span<const float> values_head(std::size_t head) const;
 
   /// Original sequence position of cached token idx.
   std::size_t original_position(std::size_t idx) const;
@@ -73,14 +96,19 @@ class KvCache {
   /// are gathered along with K/V rows.
   void compact(std::span<const std::size_t> keep);
 
-  /// Removes all tokens and scores.
+  /// Removes all tokens and scores (capacity is retained).
   void clear();
 
  private:
+  /// Grows the per-head segments to hold at least `need` tokens.
+  void ensure_capacity(std::size_t need);
+
   std::size_t n_heads_;
   std::size_t d_head_;
-  std::vector<float> keys_;    // [size, row_width]
-  std::vector<float> values_;  // [size, row_width]
+  std::size_t capacity_ = 0;  ///< tokens per head segment
+  /// Head-major: head h's token t lives at (h * capacity_ + t) * d_head_.
+  std::vector<float> keys_;
+  std::vector<float> values_;
   std::vector<std::size_t> positions_;
   std::vector<std::vector<double>> scores_;  // [n_heads][size]
 };

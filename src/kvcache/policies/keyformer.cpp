@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/timing.h"
+
 namespace kf::kv {
 
 KeyformerPolicy::KeyformerPolicy(KeyformerConfig config)
@@ -10,6 +12,9 @@ KeyformerPolicy::KeyformerPolicy(KeyformerConfig config)
 
 void KeyformerPolicy::begin_sequence(const SequenceInfo& info) {
   EvictionPolicy::begin_sequence(info);
+  // Bound memo memory to one sequence: in a long-lived server the noise
+  // tables would otherwise accumulate every sequence's positions forever.
+  score_fn_.reset_noise();
   shared_scores_.assign(
       config_.scope == ScoreScope::kShared
           ? info.prompt_len + info.total_steps + 1
@@ -47,7 +52,12 @@ void KeyformerPolicy::accumulate(const PolicyContext& ctx) {
 }
 
 void KeyformerPolicy::observe(const PolicyContext& ctx) {
+  double t0 = timings_sink_ != nullptr ? now_seconds() : 0.0;
   accumulate(ctx);
+  if (timings_sink_ != nullptr) {
+    timings_sink_->score_seconds += now_seconds() - t0;
+    t0 = now_seconds();
+  }
   KvCache& cache = *ctx.cache;
   if (!over_budget(cache)) return;
 
@@ -69,6 +79,9 @@ void KeyformerPolicy::observe(const PolicyContext& ctx) {
   }
   const auto keep = keep_topk_plus_recent(ranking, n, prefix, k - w);
   cache.compact(keep);
+  if (timings_sink_ != nullptr) {
+    timings_sink_->evict_seconds += now_seconds() - t0;
+  }
 }
 
 }  // namespace kf::kv

@@ -60,6 +60,15 @@ struct SequenceInfo {
   std::size_t n_heads = 0;
 };
 
+/// Wall-clock accumulator for the per-step policy-cost breakdown
+/// (bench_decode_throughput): score accumulation vs keep-set selection +
+/// compaction. Policies that don't distinguish phases may attribute all
+/// their observe() time to evict_seconds.
+struct PolicyTimings {
+  double score_seconds = 0.0;
+  double evict_seconds = 0.0;
+};
+
 /// Base class for all eviction policies.
 class EvictionPolicy {
  public:
@@ -78,7 +87,12 @@ class EvictionPolicy {
   /// Observes one layer's attention output; may compact ctx.cache.
   virtual void observe(const PolicyContext& ctx) = 0;
 
+  /// Installs a timing sink (nullptr disables). Instrumented policies
+  /// (Keyformer, H2O) split observe() time into score vs evict phases.
+  void set_timing_sink(PolicyTimings* sink) { timings_sink_ = sink; }
+
  protected:
+  PolicyTimings* timings_sink_ = nullptr;
   /// True when the cache is over budget and eviction applies.
   bool over_budget(const KvCache& cache) const {
     return budget_.max_tokens > 0 && cache.size() > budget_.max_tokens;

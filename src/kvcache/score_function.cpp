@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "core/rng.h"
@@ -39,11 +40,16 @@ ScoreFunction::ScoreFunction(ScoreFunctionConfig config)
   }
 }
 
-std::size_t ScoreFunction::NoiseKeyHash::operator()(
-    const NoiseKey& k) const noexcept {
-  std::uint64_t h = hash_combine(k.layer, k.head);
-  h = hash_combine(h, k.original_pos);
-  return static_cast<std::size_t>(h);
+std::vector<double>& ScoreFunction::noise_table(
+    std::size_t layer, std::size_t head, std::size_t min_positions) const {
+  if (noise_tables_.size() <= layer) noise_tables_.resize(layer + 1);
+  auto& heads = noise_tables_[layer];
+  if (heads.size() <= head) heads.resize(head + 1);
+  auto& table = heads[head];
+  if (table.size() < min_positions) {
+    table.resize(min_positions, std::numeric_limits<double>::quiet_NaN());
+  }
+  return table;
 }
 
 double ScoreFunction::noise(std::size_t layer, std::size_t head,
@@ -52,13 +58,19 @@ double ScoreFunction::noise(std::size_t layer, std::size_t head,
   if (config_.adjustment == LogitAdjustment::kConstant) {
     return config_.noise_scale * config_.constant;
   }
-  const NoiseKey key{layer, head, original_pos};
-  const auto it = noise_cache_.find(key);
-  if (it != noise_cache_.end()) return it->second;
-  const double value = compute_noise(layer, head, original_pos);
-  noise_cache_.emplace(key, value);
-  return value;
+  if (layer >= kMaxTableLayers || head >= kMaxTableHeads ||
+      original_pos >= kMaxTablePositions) {
+    // Outside the memo bounds: recompute the stateless draw (identical
+    // value every call, just uncached).
+    return compute_noise(layer, head, original_pos);
+  }
+  auto& table = noise_table(layer, head, original_pos + 1);
+  double& slot = table[original_pos];
+  if (std::isnan(slot)) slot = compute_noise(layer, head, original_pos);
+  return slot;
 }
+
+void ScoreFunction::reset_noise() { noise_tables_.clear(); }
 
 double ScoreFunction::compute_noise(std::size_t layer, std::size_t head,
                                     std::size_t original_pos) const {
@@ -90,11 +102,40 @@ void ScoreFunction::increments(std::span<const float> logits,
   if (logits.empty()) return;
   const double tau = config_.temperature.at(t, total_steps);
 
+  const bool stochastic = config_.adjustment == LogitAdjustment::kGaussian ||
+                          config_.adjustment == LogitAdjustment::kGumbel;
+  // Hot path: one table covering the largest position turns every per-slot
+  // noise read into a flat array access. Cache positions ascend in
+  // practice, but the table is sized from the actual maximum so an
+  // unsorted span can never index past the end. Slots beyond the memo
+  // bound fall back to the (identical) direct computation.
+  std::vector<double>* table = nullptr;
+  if (stochastic && layer < kMaxTableLayers && head < kMaxTableHeads) {
+    std::size_t max_pos = 0;
+    for (const std::size_t p : positions) max_pos = p > max_pos ? p : max_pos;
+    if (max_pos < kMaxTablePositions) {
+      table = &noise_table(layer, head, max_pos + 1);
+    }
+  }
+  const double constant_noise =
+      config_.adjustment == LogitAdjustment::kConstant
+          ? config_.noise_scale * config_.constant
+          : 0.0;
+
   // Stable softmax of (x + zeta) / tau in double precision.
   double max_y = -1e300;
   for (std::size_t i = 0; i < logits.size(); ++i) {
-    const double y =
-        static_cast<double>(logits[i]) + noise(layer, head, positions[i]);
+    double z = constant_noise;
+    if (stochastic) {
+      if (table != nullptr) {
+        double& slot = (*table)[positions[i]];
+        if (std::isnan(slot)) slot = compute_noise(layer, head, positions[i]);
+        z = slot;
+      } else {
+        z = noise(layer, head, positions[i]);
+      }
+    }
+    const double y = static_cast<double>(logits[i]) + z;
     out[i] = y;
     max_y = y > max_y ? y : max_y;
   }
@@ -102,6 +143,10 @@ void ScoreFunction::increments(std::span<const float> logits,
   for (std::size_t i = 0; i < out.size(); ++i) {
     out[i] = std::exp((out[i] - max_y) / tau);
     sum += out[i];
+  }
+  if (sum == 0.0) {  // fully masked row: no distribution, emit zeros
+    for (double& v : out) v = 0.0;
+    return;
   }
   const double inv = 1.0 / sum;
   for (double& v : out) v *= inv;

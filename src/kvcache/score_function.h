@@ -21,7 +21,6 @@
 #include <cstdint>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace kf::kv {
@@ -78,9 +77,21 @@ class ScoreFunction {
   double noise(std::size_t layer, std::size_t head,
                std::size_t original_pos) const;
 
+  /// Drops every memoized noise table. Policies call this at sequence
+  /// start so memo memory stays bounded by one sequence's positions
+  /// instead of growing across every sequence a long-lived process serves.
+  /// Values are pure functions of (seed, layer, head, position), so
+  /// resetting never changes results.
+  void reset_noise();
+
  private:
   double compute_noise(std::size_t layer, std::size_t head,
                        std::size_t original_pos) const;
+
+  /// Flat memo row for (layer, head), grown to cover at least
+  /// `min_positions` entries (new entries hold the NaN sentinel).
+  std::vector<double>& noise_table(std::size_t layer, std::size_t head,
+                                   std::size_t min_positions) const;
 
  public:
 
@@ -97,25 +108,23 @@ class ScoreFunction {
                   std::span<double> out) const;
 
  private:
-  /// Memoization key for one cache slot. A packed-uint64 key
-  /// ((layer<<48)|(head<<40)|pos) would silently collide once
-  /// original_pos >= 2^40 or head >= 256 — both reachable in long-context
-  /// sweeps — so the fields are kept whole.
-  struct NoiseKey {
-    std::size_t layer;
-    std::size_t head;
-    std::size_t original_pos;
-    bool operator==(const NoiseKey&) const noexcept = default;
-  };
-  struct NoiseKeyHash {
-    std::size_t operator()(const NoiseKey& k) const noexcept;
-  };
+  /// Memoization bounds: slots addressed beyond these limits (huge
+  /// positions, exotic head/layer indices) skip the memo and recompute the
+  /// stateless draw directly — same value every time, just not cached —
+  /// so flat indexing can never be tricked into allocating per-key.
+  static constexpr std::size_t kMaxTableLayers = 1024;
+  static constexpr std::size_t kMaxTableHeads = 512;
+  static constexpr std::size_t kMaxTablePositions = std::size_t{1} << 22;
 
   ScoreFunctionConfig config_;
   /// Frozen noise realizations are pure functions of (layer, head,
   /// position); memoized because they are re-read every decoding step.
-  /// Policies are driven from a single thread, so no locking is needed.
-  mutable std::unordered_map<NoiseKey, double, NoiseKeyHash> noise_cache_;
+  /// Layout: one flat vector<double> per (layer, head), indexed by original
+  /// position — an O(1) array read on the hot path where the old
+  /// unordered_map paid a hash + probe per (layer, head, position) read.
+  /// NaN marks a not-yet-drawn slot. Policies are driven from a single
+  /// thread, so no locking is needed.
+  mutable std::vector<std::vector<std::vector<double>>> noise_tables_;
 };
 
 }  // namespace kf::kv

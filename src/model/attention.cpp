@@ -7,6 +7,7 @@
 
 #include "core/numerics.h"
 #include "core/threadpool.h"
+#include "core/timing.h"
 #include "model/positional.h"
 
 namespace kf::model {
@@ -23,12 +24,34 @@ std::size_t key_position(const ModelConfig& cfg, const kv::KvCache& cache,
              : i;
 }
 
+/// Appends freshly projected K/V rows, rotating each key head slice by its
+/// (immutable) original position first when the storage contract calls for
+/// pre-rotated keys. Mutates `k` in place.
+void append_projected(const ModelConfig& cfg, Tensor& k, const Tensor& v,
+                      std::span<const std::size_t> q_positions,
+                      kv::KvCache& cache) {
+  const std::size_t n_q = k.dim(0);
+  const std::size_t d = cfg.d_model;
+  const std::size_t dh = cfg.d_head();
+  if (keys_stored_rotated(cfg)) {
+    for (std::size_t i = 0; i < n_q; ++i) {
+      float* row = k.data() + i * d;
+      for (std::size_t h = 0; h < cfg.n_heads; ++h) {
+        rope_rotate({row + h * dh, dh}, q_positions[i], cfg.rope_base);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n_q; ++i) {
+    cache.append(k.row(i), v.row(i), q_positions[i]);
+  }
+}
+
 }  // namespace
 
-AttentionResult attention_forward(const ModelConfig& cfg,
-                                  const LayerWeights& w, const Tensor& x,
-                                  std::span<const std::size_t> q_positions,
-                                  kv::KvCache& cache) {
+AttentionResult attention_forward_general(
+    const ModelConfig& cfg, const LayerWeights& w, const Tensor& x,
+    std::span<const std::size_t> q_positions, kv::KvCache& cache,
+    AttentionTimings* timings) {
   const std::size_t n_q = x.dim(0);
   const std::size_t d = cfg.d_model;
   const std::size_t h_count = cfg.n_heads;
@@ -36,16 +59,16 @@ AttentionResult attention_forward(const ModelConfig& cfg,
   assert(x.dim(1) == d && q_positions.size() == n_q);
 
   // Project Q, K, V for all new rows at once.
+  double t0 = timings != nullptr ? now_seconds() : 0.0;
   Tensor q({n_q, d});
   Tensor k({n_q, d});
   Tensor v({n_q, d});
   matmul(x.span(), w.wq.span(), q.span(), n_q, d, d);
   matmul(x.span(), w.wk.span(), k.span(), n_q, d, d);
   matmul(x.span(), w.wv.span(), v.span(), n_q, d, d);
+  if (timings != nullptr) timings->project_seconds += now_seconds() - t0;
 
-  for (std::size_t i = 0; i < n_q; ++i) {
-    cache.append(k.row(i), v.row(i), q_positions[i]);
-  }
+  append_projected(cfg, k, v, q_positions, cache);
 
   const std::size_t key_len = cache.size();
   AttentionResult out;
@@ -57,7 +80,10 @@ AttentionResult attention_forward(const ModelConfig& cfg,
 
   const bool use_rope = cfg.positional == PositionalKind::kRoPE;
   const bool use_alibi = cfg.positional == PositionalKind::kALiBi;
+  const bool stored_rotated = keys_stored_rotated(cfg);
   const float inv_sqrt_dh = 1.0F / std::sqrt(static_cast<float>(dh));
+
+  if (timings != nullptr) t0 = now_seconds();
 
   // Effective key positions (fixed for this call).
   std::vector<std::size_t> key_pos(key_len);
@@ -72,9 +98,11 @@ AttentionResult attention_forward(const ModelConfig& cfg,
                     : key_len - n_q + qi;
   }
 
-  // Pre-rotate keys per head once (RoPE), since positions are fixed here.
-  std::vector<float> rotated_keys;  // [h, key_len, dh] when RoPE
-  if (use_rope) {
+  // RoPE with mutable effective positions (PositionMode::kNew) is the one
+  // case where keys cannot be stored pre-rotated: rotate a scratch copy
+  // for this call. Under kOriginal the cache already holds rotated keys.
+  std::vector<float> rotated_keys;  // [h, key_len, dh]
+  if (use_rope && !stored_rotated) {
     rotated_keys.resize(h_count * key_len * dh);
     ThreadPool::global().parallel_for(
         key_len,
@@ -126,8 +154,9 @@ AttentionResult attention_forward(const ModelConfig& cfg,
                 continue;
               }
               const float* k_vec =
-                  use_rope ? rotated_keys.data() + (h * key_len + i) * dh
-                           : cache.key_head(i, h).data();
+                  use_rope && !stored_rotated
+                      ? rotated_keys.data() + (h * key_len + i) * dh
+                      : cache.key_head(i, h).data();
               float acc = 0.0F;
               for (std::size_t j = 0; j < dh; ++j) acc += q_head[j] * k_vec[j];
               acc *= inv_sqrt_dh;
@@ -161,11 +190,142 @@ AttentionResult attention_forward(const ModelConfig& cfg,
         }
       },
       /*grain=*/4);
+  if (timings != nullptr) {
+    timings->attend_seconds += now_seconds() - t0;
+    t0 = now_seconds();
+  }
 
   // Output projection (in place over a copy).
   Tensor merged = out.context;
   matmul(merged.span(), w.wo.span(), out.context.span(), n_q, d, d);
+  if (timings != nullptr) timings->project_seconds += now_seconds() - t0;
   return out;
+}
+
+AttentionResult attention_decode(const ModelConfig& cfg,
+                                 const LayerWeights& w, const Tensor& x,
+                                 std::size_t q_position, kv::KvCache& cache,
+                                 AttentionTimings* timings) {
+  assert(x.dim(0) == 1);
+  const std::size_t d = cfg.d_model;
+  const std::size_t h_count = cfg.n_heads;
+  const std::size_t dh = cfg.d_head();
+  assert(x.dim(1) == d);
+
+  // Single-row QKV projection: matvec-shaped, no blocked-matmul overhead.
+  double t0 = timings != nullptr ? now_seconds() : 0.0;
+  Tensor q({1, d});
+  Tensor k({1, d});
+  Tensor v({1, d});
+  vecmat(x.row(0), w.wq.span(), q.row(0), d, d);
+  vecmat(x.row(0), w.wk.span(), k.row(0), d, d);
+  vecmat(x.row(0), w.wv.span(), v.row(0), d, d);
+  if (timings != nullptr) timings->project_seconds += now_seconds() - t0;
+
+  const std::size_t q_positions[1] = {q_position};
+  append_projected(cfg, k, v, {q_positions, 1}, cache);
+
+  const std::size_t key_len = cache.size();
+  AttentionResult out;
+  out.n_q = 1;
+  out.key_len = key_len;
+  out.context = Tensor({1, d});
+  out.logits = Tensor({h_count, 1, key_len});
+  out.probs = Tensor({h_count, 1, key_len});
+
+  const bool use_rope = cfg.positional == PositionalKind::kRoPE;
+  const bool use_alibi = cfg.positional == PositionalKind::kALiBi;
+  const bool stored_rotated = keys_stored_rotated(cfg);
+  const float inv_sqrt_dh = 1.0F / std::sqrt(static_cast<float>(dh));
+
+  // The decode token is the newest append, so every cached key is causally
+  // visible (original positions ascend) — no masking pass needed.
+  assert(cache.original_position(key_len - 1) == q_position);
+
+  const std::size_t q_eff = cfg.position_mode == PositionMode::kOriginal
+                                ? q_position
+                                : key_len - 1;
+
+  if (timings != nullptr) t0 = now_seconds();
+
+  std::vector<float> q_head(dh);
+  std::vector<float> ctx_head(dh);
+  // Scratch for the one storage mode that cannot pre-rotate (RoPE + kNew).
+  std::vector<float> rotated_scratch;
+  if (use_rope && !stored_rotated) rotated_scratch.resize(key_len * dh);
+
+  for (std::size_t h = 0; h < h_count; ++h) {
+    const float* q_src = q.data() + h * dh;
+    for (std::size_t j = 0; j < dh; ++j) q_head[j] = q_src[j];
+    if (use_rope) rope_rotate({q_head.data(), dh}, q_eff, cfg.rope_base);
+
+    // Dot products against the head's contiguous [key_len, dh] segment.
+    float* lrow = out.logits.data() + h * key_len;
+    const float* kbase = cache.keys_head(h).data();
+    if (use_rope && !stored_rotated) {
+      for (std::size_t i = 0; i < key_len; ++i) {
+        float* dst = rotated_scratch.data() + i * dh;
+        for (std::size_t j = 0; j < dh; ++j) dst[j] = kbase[i * dh + j];
+        rope_rotate({dst, dh}, key_position(cfg, cache, i), cfg.rope_base);
+      }
+      kbase = rotated_scratch.data();
+    }
+    matvec({kbase, key_len * dh}, {q_head.data(), dh}, {lrow, key_len},
+           key_len, dh);
+
+    if (use_alibi) {
+      const double slope = alibi_slope(h, h_count);
+      for (std::size_t i = 0; i < key_len; ++i) {
+        const std::size_t kp = key_position(cfg, cache, i);
+        lrow[i] = lrow[i] * inv_sqrt_dh +
+                  static_cast<float>(-slope * static_cast<double>(q_eff - kp));
+      }
+    } else {
+      for (std::size_t i = 0; i < key_len; ++i) lrow[i] *= inv_sqrt_dh;
+    }
+
+    // Fused pass: stable softmax and weighted-value accumulation together.
+    // exp terms accumulate into the context unnormalized; one final scale
+    // by 1/sum normalizes probs and context alike.
+    float m = lrow[0];
+    for (std::size_t i = 1; i < key_len; ++i) m = lrow[i] > m ? lrow[i] : m;
+    float* prow = out.probs.data() + h * key_len;
+    for (std::size_t j = 0; j < dh; ++j) ctx_head[j] = 0.0F;
+    const float* vbase = cache.values_head(h).data();
+    double sum = 0.0;
+    for (std::size_t i = 0; i < key_len; ++i) {
+      const double e = std::exp(static_cast<double>(lrow[i] - m));
+      const float ef = static_cast<float>(e);
+      prow[i] = ef;
+      sum += e;
+      axpy(ef, {vbase + i * dh, dh}, ctx_head);
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (std::size_t i = 0; i < key_len; ++i) prow[i] *= inv;
+    float* ctx_dst = out.context.data() + h * dh;
+    for (std::size_t j = 0; j < dh; ++j) ctx_dst[j] = ctx_head[j] * inv;
+  }
+  if (timings != nullptr) {
+    timings->attend_seconds += now_seconds() - t0;
+    t0 = now_seconds();
+  }
+
+  // Output projection, matvec-shaped.
+  Tensor merged = out.context;
+  vecmat(merged.row(0), w.wo.span(), out.context.row(0), d, d);
+  if (timings != nullptr) timings->project_seconds += now_seconds() - t0;
+  return out;
+}
+
+AttentionResult attention_forward(const ModelConfig& cfg,
+                                  const LayerWeights& w, const Tensor& x,
+                                  std::span<const std::size_t> q_positions,
+                                  kv::KvCache& cache,
+                                  AttentionTimings* timings) {
+  if (x.dim(0) == 1 && cfg.decode_fast_path) {
+    return attention_decode(cfg, w, x, q_positions[0], cache, timings);
+  }
+  return attention_forward_general(cfg, w, x, q_positions, cache, timings);
 }
 
 }  // namespace kf::model

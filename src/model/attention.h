@@ -5,13 +5,29 @@
 // arrays every score function in the paper consumes (H2O accumulates the
 // probabilities, Keyformer regularizes the logits).
 //
-// Positioning: keys are cached *unrotated*; RoPE rotation / ALiBi bias is
-// applied at attention time from either the token's original position
-// (PositionMode::kOriginal) or its current slot index in the compacted
-// cache (PositionMode::kNew) — the Table 3 ablation. Causal masking always
-// uses original order.
+// Positioning and the append-time rotation contract:
+//   - RoPE + PositionMode::kOriginal (the default): a token's effective
+//     position is its original sequence position, which never changes once
+//     appended — so keys are rotated *once at append time* and stored
+//     rotated. No per-step re-rotation of the whole cache.
+//   - RoPE + PositionMode::kNew (Table 3 ablation): the effective position
+//     is the token's current slot index, which changes on compaction — so
+//     keys are stored unrotated and rotated at attention time.
+//   - ALiBi / learned: keys are stored as projected.
+// Causal masking always uses original order. Switching position_mode only
+// takes effect for caches (re)filled after the switch — callers reset the
+// cache between mode changes (all in-repo callers do).
+//
+// Two execution paths produce identical results (within float rounding):
+//   - attention_forward_general: any n_q (prefill, multi-token chunks);
+//   - attention_decode: the fused single-query fast path — matvec QKV and
+//     output projections, per-head dots over the cache's contiguous
+//     head-major key segment, and a single fused pass doing softmax +
+//     weighted-value accumulation per head.
+// attention_forward dispatches between them (cfg.decode_fast_path).
 #pragma once
 
+#include <cstddef>
 #include <span>
 
 #include "core/tensor.h"
@@ -30,12 +46,43 @@ struct AttentionResult {
   std::size_t key_len = 0;
 };
 
+/// Wall-clock accumulator for the decode-latency breakdown
+/// (bench_decode_throughput). Pass nullptr to skip timing entirely.
+struct AttentionTimings {
+  double project_seconds = 0.0;  ///< QKV + output projections
+  double attend_seconds = 0.0;   ///< dots + softmax + weighted values
+};
+
 /// Projects `x` (n_q rows that continue the sequence) to Q/K/V, appends the
 /// new K/V rows to `cache` at `q_positions` (strictly increasing original
-/// positions), then attends each query against the full cache.
+/// positions), then attends each query against the full cache. Dispatches
+/// to the fused decode path when n_q == 1 and cfg.decode_fast_path is set.
 AttentionResult attention_forward(const ModelConfig& cfg,
                                   const LayerWeights& w, const Tensor& x,
                                   std::span<const std::size_t> q_positions,
-                                  kv::KvCache& cache);
+                                  kv::KvCache& cache,
+                                  AttentionTimings* timings = nullptr);
+
+/// The general blocked path for any n_q (always available — the reference
+/// the fast path is parity-tested against).
+AttentionResult attention_forward_general(
+    const ModelConfig& cfg, const LayerWeights& w, const Tensor& x,
+    std::span<const std::size_t> q_positions, kv::KvCache& cache,
+    AttentionTimings* timings = nullptr);
+
+/// Fused single-query decode kernel. Requires x.dim(0) == 1; `q_position`
+/// must exceed every cached original position.
+AttentionResult attention_decode(const ModelConfig& cfg,
+                                 const LayerWeights& w, const Tensor& x,
+                                 std::size_t q_position, kv::KvCache& cache,
+                                 AttentionTimings* timings = nullptr);
+
+/// True when the storage contract keeps cached keys pre-rotated (RoPE with
+/// immutable effective positions and append-time rotation enabled).
+constexpr bool keys_stored_rotated(const ModelConfig& cfg) noexcept {
+  return cfg.positional == PositionalKind::kRoPE &&
+         cfg.position_mode == PositionMode::kOriginal &&
+         cfg.rope_append_time_rotation;
+}
 
 }  // namespace kf::model

@@ -7,7 +7,8 @@ namespace kf::model {
 AttentionResult decoder_attention(const ModelConfig& cfg,
                                   const LayerWeights& w, Tensor& x,
                                   std::span<const std::size_t> positions,
-                                  kv::KvCache& cache) {
+                                  kv::KvCache& cache,
+                                  AttentionTimings* timings) {
   const std::size_t n_q = x.dim(0);
   const std::size_t d = cfg.d_model;
   assert(x.dim(1) == d);
@@ -18,7 +19,7 @@ AttentionResult decoder_attention(const ModelConfig& cfg,
                normed.row(i));
   }
   AttentionResult attn =
-      attention_forward(cfg, w, normed, positions, cache);
+      attention_forward(cfg, w, normed, positions, cache, timings);
   add_inplace(x.span(), attn.context.span());
   return attn;
 }

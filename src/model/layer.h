@@ -19,7 +19,8 @@ namespace kf::model {
 AttentionResult decoder_attention(const ModelConfig& cfg,
                                   const LayerWeights& w, Tensor& x,
                                   std::span<const std::size_t> positions,
-                                  kv::KvCache& cache);
+                                  kv::KvCache& cache,
+                                  AttentionTimings* timings = nullptr);
 
 /// Runs the MLP block over `x` in place.
 void decoder_mlp(const ModelConfig& cfg, const LayerWeights& w, Tensor& x);

@@ -70,8 +70,8 @@ Tensor Transformer::forward(Tensor x,
   const std::size_t n_q = x.dim(0);
   for (std::size_t layer = 0; layer < cfg_.n_layers; ++layer) {
     kv::KvCache& cache = caches_[layer];
-    AttentionResult attn =
-        decoder_attention(cfg_, weights_.layers[layer], x, positions, cache);
+    AttentionResult attn = decoder_attention(cfg_, weights_.layers[layer], x,
+                                             positions, cache, attn_timings_);
 
     if (observer_) {
       AttentionObservation obs;

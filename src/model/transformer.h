@@ -60,8 +60,28 @@ class Transformer {
   /// Installs an attention observer (pass nullptr-equivalent {} to clear).
   void set_observer(AttentionObserver observer);
 
+  /// Installs a wall-clock sink for the attention-phase breakdown
+  /// (bench_decode_throughput); nullptr disables timing.
+  void set_attention_timings(AttentionTimings* sink) {
+    attn_timings_ = sink;
+  }
+
   /// Switches the position mode (Table 3 org-pos vs new-pos ablation).
+  /// Takes effect for caches filled after the next reset()/prefill() —
+  /// under RoPE the key-storage contract (pre-rotated vs raw, see
+  /// model/attention.h) differs per mode, so a non-empty cache must not
+  /// straddle a switch.
   void set_position_mode(PositionMode mode) { cfg_.position_mode = mode; }
+
+  /// Toggles the fused single-query decode path (parity-tested against the
+  /// general path; benches flip it to measure the speedup).
+  void set_decode_fast_path(bool on) { cfg_.decode_fast_path = on; }
+
+  /// Toggles append-time RoPE rotation (see ModelConfig). Only flip on an
+  /// empty cache — benches use the off state as the pre-change baseline.
+  void set_rope_append_time_rotation(bool on) {
+    cfg_.rope_append_time_rotation = on;
+  }
 
   /// Prompt phase. Returns LM logits for every prompt position,
   /// shape [prompt_len, vocab]. `total_steps` is T in Algorithm 1.
@@ -88,6 +108,7 @@ class Transformer {
   ModelWeights weights_;
   std::vector<kv::KvCache> caches_;
   AttentionObserver observer_;
+  AttentionTimings* attn_timings_ = nullptr;
 };
 
 }  // namespace kf::model

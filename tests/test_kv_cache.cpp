@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
+
+#include "core/rng.h"
 
 namespace kf::kv {
 namespace {
@@ -28,8 +31,8 @@ TEST(KvCache, AppendAndRead) {
   c.append(row_of(6, 1.0F), row_of(6, 2.0F), 0);
   c.append(row_of(6, 3.0F), row_of(6, 4.0F), 1);
   EXPECT_EQ(c.size(), 2u);
-  EXPECT_EQ(c.key(0)[0], 1.0F);
-  EXPECT_EQ(c.value(1)[5], 4.0F);
+  EXPECT_EQ(c.key_row(0)[0], 1.0F);
+  EXPECT_EQ(c.value_row(1)[5], 4.0F);
   EXPECT_EQ(c.original_position(1), 1u);
 }
 
@@ -88,10 +91,10 @@ TEST(KvCache, CompactKeepsSelectedRows) {
   const std::vector<std::size_t> keep{0, 2, 4};
   c.compact(keep);
   ASSERT_EQ(c.size(), 3u);
-  EXPECT_EQ(c.key(0)[0], 0.0F);
-  EXPECT_EQ(c.key(1)[0], 2.0F);
-  EXPECT_EQ(c.key(2)[0], 4.0F);
-  EXPECT_EQ(c.value(1)[0], 12.0F);
+  EXPECT_EQ(c.key_row(0)[0], 0.0F);
+  EXPECT_EQ(c.key_row(1)[0], 2.0F);
+  EXPECT_EQ(c.key_row(2)[0], 4.0F);
+  EXPECT_EQ(c.value_row(1)[0], 12.0F);
   EXPECT_EQ(c.original_position(2), 4u);
   EXPECT_DOUBLE_EQ(c.scores(0)[1], 2.0);
 }
@@ -137,6 +140,111 @@ TEST(KvCache, AppendAfterCompactKeepsPositionInvariant) {
   // A position lower than the tail is rejected even after compaction.
   EXPECT_THROW(c.append(row_of(1, 0.0F), row_of(1, 0.0F), 2),
                std::invalid_argument);
+}
+
+TEST(KvCache, HeadSegmentsAreContiguous) {
+  // keys_head(h) must expose the head's tokens as [size, d_head] row-major
+  // contiguous memory, with token t at offset t * d_head — the layout the
+  // fused decode kernel's matvec relies on.
+  KvCache c(2, 3);
+  for (std::size_t t = 0; t < 5; ++t) {
+    std::vector<float> k(6), v(6);
+    for (std::size_t j = 0; j < 6; ++j) {
+      k[j] = static_cast<float>(100 * t + j);
+      v[j] = static_cast<float>(1000 * t + j);
+    }
+    c.append(k, v, t);
+  }
+  for (std::size_t h = 0; h < 2; ++h) {
+    const auto seg_k = c.keys_head(h);
+    const auto seg_v = c.values_head(h);
+    ASSERT_EQ(seg_k.size(), 5u * 3u);
+    ASSERT_EQ(seg_v.size(), 5u * 3u);
+    for (std::size_t t = 0; t < 5; ++t) {
+      const auto head_k = c.key_head(t, h);
+      const auto head_v = c.value_head(t, h);
+      // Same backing memory, at the expected offset.
+      EXPECT_EQ(head_k.data(), seg_k.data() + t * 3);
+      EXPECT_EQ(head_v.data(), seg_v.data() + t * 3);
+      for (std::size_t j = 0; j < 3; ++j) {
+        EXPECT_EQ(head_k[j], static_cast<float>(100 * t + h * 3 + j));
+        EXPECT_EQ(head_v[j], static_cast<float>(1000 * t + h * 3 + j));
+      }
+    }
+  }
+}
+
+// Property-style check of the head-major layout invariants: a randomized
+// append/compact/clear sequence must keep key_head/value_head/scores/
+// original_position consistent with a simple token-major reference model.
+TEST(KvCache, RandomizedOpsMatchReferenceModel) {
+  struct RefToken {
+    std::vector<float> k, v;
+    std::size_t pos;
+    std::vector<double> scores;  // per head
+  };
+  const std::size_t n_heads = 3, d_head = 4;
+  const std::size_t width = n_heads * d_head;
+  kf::Rng rng(20260731);
+
+  KvCache c(n_heads, d_head, /*capacity_hint=*/2);  // force regrowth
+  std::vector<RefToken> ref;
+  std::size_t next_pos = 0;
+
+  const auto check = [&] {
+    ASSERT_EQ(c.size(), ref.size());
+    for (std::size_t t = 0; t < ref.size(); ++t) {
+      EXPECT_EQ(c.original_position(t), ref[t].pos);
+      for (std::size_t h = 0; h < n_heads; ++h) {
+        const auto k = c.key_head(t, h);
+        const auto v = c.value_head(t, h);
+        for (std::size_t j = 0; j < d_head; ++j) {
+          EXPECT_EQ(k[j], ref[t].k[h * d_head + j]);
+          EXPECT_EQ(v[j], ref[t].v[h * d_head + j]);
+        }
+        EXPECT_DOUBLE_EQ(c.scores(h)[t], ref[t].scores[h]);
+      }
+    }
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    const std::uint64_t op = rng.uniform_u64(10);
+    if (op < 6 || ref.empty()) {  // append
+      RefToken tok;
+      tok.pos = next_pos;
+      next_pos += 1 + rng.uniform_u64(3);
+      tok.k.resize(width);
+      tok.v.resize(width);
+      for (auto& x : tok.k) x = static_cast<float>(rng.normal());
+      for (auto& x : tok.v) x = static_cast<float>(rng.normal());
+      tok.scores.assign(n_heads, 0.0);
+      c.append(tok.k, tok.v, tok.pos);
+      ref.push_back(std::move(tok));
+    } else if (op < 7) {  // add_score on a random slot
+      const std::size_t t = rng.uniform_u64(ref.size());
+      const std::size_t h = rng.uniform_u64(n_heads);
+      const double v = rng.normal();
+      c.add_score(h, t, v);
+      ref[t].scores[h] += v;
+    } else if (op < 9) {  // compact to a random subset
+      std::vector<std::size_t> keep;
+      std::vector<RefToken> kept;
+      for (std::size_t t = 0; t < ref.size(); ++t) {
+        if (rng.uniform_u64(2) == 0) {
+          keep.push_back(t);
+          kept.push_back(ref[t]);
+        }
+      }
+      c.compact(keep);
+      ref = std::move(kept);
+    } else {  // clear
+      c.clear();
+      ref.clear();
+      // Positions may restart after clear.
+      next_pos = 0;
+    }
+    check();
+  }
 }
 
 TEST(KvCache, ClearResetsEverything) {

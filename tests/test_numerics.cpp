@@ -36,6 +36,22 @@ TEST(Softmax, MaskedEntriesBecomeZero) {
   EXPECT_NEAR(out[0], 0.5F, 1e-6F);
 }
 
+TEST(Softmax, AllMaskedRowYieldsZerosNotNaN) {
+  // A fully masked row (every logit -inf) has no distribution; the guard
+  // must return the all-zero row instead of NaN fan-out via -inf - -inf.
+  std::vector<float> x{-kInf, -kInf, -kInf};
+  std::vector<float> out(3, 7.0F);
+  softmax(x, out);
+  for (const float v : out) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(SoftmaxTemperature, AllMaskedRowYieldsZerosNotNaN) {
+  std::vector<float> x{-kInf, -kInf};
+  std::vector<float> out(2, 7.0F);
+  softmax_temperature(x, out, 1.7);
+  for (const float v : out) EXPECT_EQ(v, 0.0F);
+}
+
 TEST(Softmax, ShiftInvariance) {
   std::vector<float> x{0.5F, 1.5F, -0.5F};
   std::vector<float> shifted{10.5F, 11.5F, 9.5F};

@@ -130,6 +130,18 @@ TEST(ScoreFunction, NoiseCacheKeysDoNotCollide) {
   EXPECT_NE(fn.noise(0, 256, 0), fn.noise(1, 0, 0));
 }
 
+TEST(ScoreFunction, ResetNoiseKeepsRealizationsStable) {
+  // reset_noise() drops the memo tables (bounded per-sequence memory), but
+  // the frozen values are pure functions of (seed, layer, head, position)
+  // so re-reads after a reset must reproduce the same realizations.
+  ScoreFunction fn{ScoreFunctionConfig{}};
+  const double before = fn.noise(2, 3, 17);
+  const double big = fn.noise(0, 0, std::size_t{1} << 40);  // beyond memo cap
+  fn.reset_noise();
+  EXPECT_DOUBLE_EQ(fn.noise(2, 3, 17), before);
+  EXPECT_DOUBLE_EQ(fn.noise(0, 0, std::size_t{1} << 40), big);
+}
+
 TEST(ScoreFunction, NoiseSeedChangesRealization) {
   ScoreFunctionConfig a;
   ScoreFunctionConfig b;

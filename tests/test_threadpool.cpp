@@ -67,6 +67,30 @@ TEST(ThreadPool, ReusableAcrossCalls) {
   }
 }
 
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  // Regression: a parallel_for issued from inside a worker used to enqueue
+  // chunks and block on done_cv while occupying its worker slot; with every
+  // worker doing the same, no thread was left to drain the queue and the
+  // pool deadlocked. Nested calls must run inline and still cover the
+  // full range exactly once. (A regression here shows up as a CTest
+  // timeout.)
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64 * 32);
+  pool.parallel_for(
+      64,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t outer = b; outer < e; ++outer) {
+          pool.parallel_for(32, [&, outer](std::size_t ib, std::size_t ie) {
+            for (std::size_t inner = ib; inner < ie; ++inner) {
+              hits[outer * 32 + inner].fetch_add(1);
+            }
+          });
+        }
+      },
+      /*grain=*/1);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(ThreadPool, GlobalIsSingleton) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
   EXPECT_GE(ThreadPool::global().size(), 1u);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "kvcache/policies/full.h"
+#include "kvcache/policies/keyformer.h"
 #include "kvcache/policies/streaming_llm.h"
 #include "kvcache/policies/window.h"
 
@@ -156,6 +157,51 @@ TEST(Transformer, LogitsAreFinite) {
   const Tensor logits = m.prefill(make_prompt(12), policy, 1);
   for (const float v : logits.span()) {
     EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(Transformer, DecodeFastPathMatchesGeneralPathEndToEnd) {
+  // Full-stack golden parity: prefill + several decode steps through every
+  // layer, with Keyformer eviction active, driving the same token stream
+  // through a fast-path model and a general-path model. LM logits must
+  // agree within float rounding at every step.
+  for (const auto kind : {PositionalKind::kRoPE, PositionalKind::kALiBi,
+                          PositionalKind::kLearned}) {
+    const ModelConfig base = tiny_config(kind);
+    const auto prompt = make_prompt(16);
+
+    const auto run = [&](bool fast) {
+      ModelConfig cfg = base;
+      cfg.decode_fast_path = fast;
+      Transformer m(cfg);
+      kv::KeyformerPolicy policy;
+      policy.set_budget(kv::make_budget(prompt.size(), 0.5));
+      kv::SequenceInfo info;
+      info.prompt_len = prompt.size();
+      info.total_steps = 4;
+      info.n_layers = cfg.n_layers;
+      info.n_heads = cfg.n_heads;
+      policy.begin_sequence(info);
+      m.prefill(prompt, policy, 4);
+      std::vector<std::vector<float>> step_logits;
+      for (std::size_t t = 1; t <= 4; ++t) {
+        step_logits.push_back(
+            m.decode(static_cast<Token>(t), prompt.size() + t - 1, t, 4,
+                     policy));
+      }
+      return step_logits;
+    };
+
+    const auto fast = run(true);
+    const auto general = run(false);
+    ASSERT_EQ(fast.size(), general.size());
+    for (std::size_t t = 0; t < fast.size(); ++t) {
+      ASSERT_EQ(fast[t].size(), general[t].size());
+      for (std::size_t i = 0; i < fast[t].size(); ++i) {
+        EXPECT_NEAR(fast[t][i], general[t][i], 1e-4F)
+            << to_string(kind) << " step " << t << " logit " << i;
+      }
+    }
   }
 }
 
