@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "core/parse.h"
+
 #include "keyformer/keyformer.h"
 
 namespace kf::bench {
@@ -28,6 +30,10 @@ struct Options {
   std::uint64_t seed = 42;
   std::string csv_dir;
   bool quick = false;
+  /// True when --gen appeared on the command line, for benches whose
+  /// default generation length differs from Options' (they must not treat
+  /// the untouched default as a user choice).
+  bool gen_given = false;
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -37,10 +43,32 @@ inline Options parse_options(int argc, char** argv) {
     const auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : "";
     };
-    if (arg == "--samples") o.samples = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--gen") o.gen_tokens = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--seed") o.seed = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--csv") o.csv_dir = next();
+    // Strict digits-only values: bare strtoull would wrap " -4" to ~1.8e19
+    // samples or silently read "abc" as 0.
+    const auto next_count = [&](const char* flag) -> unsigned long long {
+      const char* value = next();
+      const auto v = parse_count(value);
+      if (!v.has_value()) {
+        std::cerr << "error: " << flag
+                  << " expects a non-negative integer, got \"" << value
+                  << "\"\n";
+        std::exit(1);
+      }
+      return *v;
+    };
+    if (arg == "--samples") o.samples = next_count("--samples");
+    else if (arg == "--gen") {
+      o.gen_tokens = next_count("--gen");
+      o.gen_given = true;
+    }
+    else if (arg == "--seed") o.seed = next_count("--seed");
+    else if (arg == "--csv") {
+      o.csv_dir = next();
+      if (o.csv_dir.empty() || o.csv_dir.rfind("--", 0) == 0) {
+        std::cerr << "error: --csv expects a directory\n";
+        std::exit(1);
+      }
+    }
     else if (arg == "--quick") o.quick = true;
     else if (arg == "--help" || arg == "-h") {
       std::cout << "options: --samples N --gen N --seed S --csv DIR --quick\n";

@@ -21,7 +21,6 @@
 // --csv DIR additionally writes decode_throughput.csv and
 // decode_throughput.json into DIR (the CI perf-trajectory artifact).
 #include <cmath>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -132,17 +131,13 @@ double max_delta(const PathResult& a, const PathResult& b) {
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::parse_options(argc, argv);
-  bool gen_given = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--gen") == 0) gen_given = true;
-  }
   BenchSetup s;
   s.seed = opt.seed;
   // Long-context preset; --quick shrinks it to smoke-test size. An
   // explicit --gen is honored verbatim (post parse_options, which halves
   // it under --quick like every other bench).
   s.prompt_len = opt.quick ? 256 : 1024;
-  s.gen_tokens = gen_given ? opt.gen_tokens : (opt.quick ? 32 : 128);
+  s.gen_tokens = opt.gen_given ? opt.gen_tokens : (opt.quick ? 32 : 128);
   if (s.gen_tokens == 0) {
     std::cerr << "error: --gen must be positive\n";
     return 1;

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
 
   Table t("policy comparison (fidelity F1 vs full attention)");
   t.header({"policy", "fid_R1", "fid_R2", "fid_RL", "ref_R1",
-            "cache_tokens", "sec/doc"});
+            "cache_tokens", "sec/doc", "decode_tok/s"});
 
   const auto budget = kv::make_budget(samples[0].prompt.size(), ratio);
   for (const auto kind :
@@ -48,7 +48,8 @@ int main(int argc, char** argv) {
            Table::num(res.fid_rouge2, 3), Table::num(res.fid_rougeL, 3),
            Table::num(res.ref_rouge1, 3),
            Table::num(static_cast<long long>(cache_tokens)),
-           Table::num(res.mean_wall_seconds, 3)});
+           Table::num(res.mean_wall_seconds, 3),
+           Table::num(res.decode_tokens_per_s, 1)});
   }
   t.print(std::cout);
 

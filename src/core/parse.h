@@ -1,0 +1,28 @@
+// Strict digits-only count parsing, shared by every CLI/env entry point
+// that reads a non-negative integer. A bare strtoull is the wrong tool for
+// these: it skips leading whitespace, wraps negatives to huge values, and
+// saturates overflow to ULLONG_MAX with only errno to show for it.
+#pragma once
+
+#include <optional>
+
+namespace kf {
+
+/// Parses a count written as plain digits. Returns std::nullopt on null or
+/// empty input, any non-digit character (including leading whitespace or a
+/// sign), or a value exceeding `max`.
+inline std::optional<unsigned long long> parse_count(
+    const char* s,
+    unsigned long long max = ~0ULL) {
+  if (s == nullptr || *s == '\0') return std::nullopt;
+  unsigned long long v = 0;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return std::nullopt;
+    const unsigned long long digit = static_cast<unsigned long long>(*p - '0');
+    if (digit > max || v > (max - digit) / 10) return std::nullopt;
+    v = v * 10 + digit;
+  }
+  return v;
+}
+
+}  // namespace kf

@@ -1,7 +1,10 @@
 #include "core/threadpool.h"
 
+#include "core/parse.h"
+
 #include <algorithm>
-#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 
 namespace kf {
 
@@ -70,7 +73,14 @@ void ThreadPool::parallel_for(
     return;
   }
 
-  std::atomic<std::size_t> remaining(num_chunks);
+  // The counter, its mutex, and the cv live on this stack frame, so the
+  // decrement-to-zero must only become visible under done_mutex: with a
+  // bare atomic, a spurious wakeup between a worker's final fetch_sub and
+  // its notify lock could let this frame return and destroy the mutex the
+  // worker is about to acquire. Decrementing and notifying under the lock
+  // means the waiter can observe zero only after the last worker has
+  // released done_mutex and touches these locals no more.
+  std::size_t remaining = num_chunks;
   std::mutex done_mutex;
   std::condition_variable done_cv;
 
@@ -82,21 +92,37 @@ void ThreadPool::parallel_for(
       const std::size_t end = std::min(n, begin + chunk);
       tasks_.push([&, begin, end] {
         if (begin < end) fn(begin, end);
-        if (remaining.fetch_sub(1) == 1) {
-          const std::lock_guard<std::mutex> done_lock(done_mutex);
-          done_cv.notify_all();
-        }
+        const std::lock_guard<std::mutex> done_lock(done_mutex);
+        if (--remaining == 0) done_cv.notify_all();
       });
     }
   }
   cv_.notify_all();
 
   std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  done_cv.wait(lock, [&] { return remaining == 0; });
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  // KF_NUM_THREADS overrides the hardware_concurrency default — serving
+  // deployments pin the pool to their core allotment, and thread-scaling
+  // benches sweep it without recompiling. Only a clean positive integer
+  // in [1, kMaxPoolThreads] is honored; anything else warns and falls
+  // back to the default (a wrapped negative would crash the constructor).
+  static ThreadPool pool([] {
+    const char* env = std::getenv("KF_NUM_THREADS");
+    if (env == nullptr || *env == '\0') return std::size_t{0};
+    constexpr unsigned long long kMaxPoolThreads = 256;
+    const auto parsed = parse_count(env, kMaxPoolThreads);
+    if (!parsed.has_value() || *parsed == 0) {
+      std::fprintf(stderr,
+                   "warning: ignoring KF_NUM_THREADS=\"%s\" (want 1..%llu); "
+                   "using hardware_concurrency\n",
+                   env, kMaxPoolThreads);
+      return std::size_t{0};
+    }
+    return static_cast<std::size_t>(*parsed);
+  }());
   return pool;
 }
 

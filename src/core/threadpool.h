@@ -39,7 +39,9 @@ class ThreadPool {
                     const std::function<void(std::size_t, std::size_t)>& fn,
                     std::size_t grain = 1);
 
-  /// Process-wide shared pool (created on first use).
+  /// Process-wide shared pool (created on first use). Size defaults to
+  /// hardware_concurrency; the KF_NUM_THREADS environment variable
+  /// overrides it (read once, at first use).
   static ThreadPool& global();
 
  private:

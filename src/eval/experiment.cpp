@@ -46,10 +46,16 @@ PolicyTaskResult evaluate_policy_on_task(
   out.cache_ratio = cfg.cache_ratio;
   out.n_samples = samples.size();
 
+  std::size_t decode_tokens = 0;
+  double decode_seconds = 0.0;
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const data::Sample& s = samples[i];
     model::GenerationResult r = model::generate(model, s.prompt, policy, g);
-    out.mean_wall_seconds += r.wall_seconds;
+    out.mean_wall_seconds += r.wall_seconds();
+    out.mean_prefill_seconds += r.prefill_seconds;
+    out.mean_decode_seconds += r.decode_seconds;
+    if (r.tokens.size() > 1) decode_tokens += r.tokens.size() - 1;
+    decode_seconds += r.decode_seconds;
 
     const RougeSuite ref = rouge_all(r.tokens, s.reference);
     out.ref_rouge1 += ref.r1.f1;
@@ -72,6 +78,12 @@ PolicyTaskResult evaluate_policy_on_task(
     out.fid_rouge2 *= inv;
     out.fid_rougeL *= inv;
     out.mean_wall_seconds *= inv;
+    out.mean_prefill_seconds *= inv;
+    out.mean_decode_seconds *= inv;
+  }
+  if (decode_seconds > 0.0) {
+    out.decode_tokens_per_s =
+        static_cast<double>(decode_tokens) / decode_seconds;
   }
   return out;
 }

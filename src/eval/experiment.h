@@ -44,6 +44,13 @@ struct PolicyTaskResult {
   /// Mean F1 against the full-attention outputs (1.0 for full attention).
   double fid_rouge1 = 0.0, fid_rouge2 = 0.0, fid_rougeL = 0.0;
   double mean_wall_seconds = 0.0;
+  /// Per-phase means (wall == prefill + decode); decode throughput is the
+  /// serving-relevant number, unskewed by prompt length.
+  double mean_prefill_seconds = 0.0;
+  double mean_decode_seconds = 0.0;
+  /// Aggregate decode tokens/s across the cell (total decode-produced
+  /// tokens / total decode seconds).
+  double decode_tokens_per_s = 0.0;
 };
 
 /// Generates outputs for every sample under `policy`.

@@ -3,6 +3,7 @@
 // Quick tour:
 //   kf::model::Transformer     — from-scratch decoder-only transformer
 //   kf::model::generate        — generation loop with eviction policies
+//   kf::serve::Engine          — continuous-batching serving engine
 //   kf::kv::KeyformerPolicy    — the paper's contribution (Algorithm 1)
 //   kf::kv::make_policy        — all baselines (H2O, window, sinks, ...)
 //   kf::perf::CostModel        — A100-calibrated latency/throughput model
@@ -25,6 +26,7 @@
 #include "eval/metrics.h"
 #include "eval/rouge.h"
 #include "kvcache/kv_cache.h"
+#include "kvcache/kv_state.h"
 #include "kvcache/policies/full.h"
 #include "kvcache/policies/h2o.h"
 #include "kvcache/policies/key_attention.h"
@@ -43,3 +45,6 @@
 #include "model/weights.h"
 #include "perf/cost_model.h"
 #include "perf/device.h"
+#include "serve/engine.h"
+#include "serve/scheduler.h"
+#include "serve/sequence.h"

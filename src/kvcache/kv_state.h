@@ -1,0 +1,59 @@
+// Per-sequence KV state: one KvCache per decoder layer, owned as a unit.
+//
+// Until the serving refactor the transformer owned a single resident set of
+// layer caches, hard-wiring "one model == one sequence". SequenceKvState
+// lifts that set into a value the *caller* owns, so N sequences can share
+// one model's weights while each keeps its own caches (and its own
+// EvictionPolicy instance for score state) — the structure continuous
+// batching schedules over.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "kvcache/kv_cache.h"
+
+namespace kf::kv {
+
+/// All per-layer KV caches of one sequence.
+class SequenceKvState {
+ public:
+  SequenceKvState() = default;
+
+  /// One cache per layer, each laid out for n_heads x d_head rows.
+  SequenceKvState(std::size_t n_layers, std::size_t n_heads,
+                  std::size_t d_head, std::size_t capacity_hint = 0);
+
+  std::size_t n_layers() const noexcept { return caches_.size(); }
+
+  KvCache& layer(std::size_t l) { return caches_.at(l); }
+  const KvCache& layer(std::size_t l) const { return caches_.at(l); }
+
+  /// Cache length of one layer.
+  std::size_t layer_size(std::size_t l) const { return caches_.at(l).size(); }
+
+  /// Sum of cache lengths across layers.
+  std::size_t total_tokens() const noexcept;
+
+  /// Longest per-layer cache (the per-sequence memory high-water mark is
+  /// tracked in these units).
+  std::size_t max_layer_tokens() const noexcept;
+
+  /// True when every layer cache is empty.
+  bool empty() const noexcept;
+
+  /// True when the state has exactly `n_layers` caches, every one laid
+  /// out for `n_heads` x `d_head` rows — the geometry check model entry
+  /// points run on caller-supplied states (row widths can coincide across
+  /// different head splits, so layer count alone is not enough).
+  bool matches(std::size_t n_layers, std::size_t n_heads,
+               std::size_t d_head) const noexcept;
+
+  /// Clears every layer cache (capacity retained).
+  void clear();
+
+ private:
+  std::vector<KvCache> caches_;
+};
+
+}  // namespace kf::kv

@@ -9,6 +9,7 @@ namespace kf::kv {
 class FullAttentionPolicy final : public EvictionPolicy {
  public:
   std::string name() const override { return "full"; }
+  bool evicts() const override { return false; }
   void observe(const PolicyContext& ctx) override;
 };
 

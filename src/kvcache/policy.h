@@ -77,6 +77,11 @@ class EvictionPolicy {
   /// Identifier used in tables ("keyformer", "h2o", ...).
   virtual std::string name() const = 0;
 
+  /// False for policies that never trim the cache regardless of budget
+  /// (full attention). Serving admission uses this to charge such
+  /// sequences their real prompt+gen growth instead of the budget.
+  virtual bool evicts() const { return true; }
+
   /// Sets the static budget (call before begin_sequence).
   void set_budget(CacheBudget budget) { budget_ = budget; }
   const CacheBudget& budget() const noexcept { return budget_; }

@@ -1,5 +1,6 @@
 #include "model/attention.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -24,26 +25,126 @@ std::size_t key_position(const ModelConfig& cfg, const kv::KvCache& cache,
              : i;
 }
 
-/// Appends freshly projected K/V rows, rotating each key head slice by its
-/// (immutable) original position first when the storage contract calls for
-/// pre-rotated keys. Mutates `k` in place.
+/// Appends one freshly projected K/V row, rotating each key head slice by
+/// its (immutable) original position first when the storage contract calls
+/// for pre-rotated keys. Mutates `k_row` in place.
+void append_projected_row(const ModelConfig& cfg, std::span<float> k_row,
+                          std::span<const float> v_row, std::size_t position,
+                          kv::KvCache& cache) {
+  const std::size_t dh = cfg.d_head();
+  if (keys_stored_rotated(cfg)) {
+    for (std::size_t h = 0; h < cfg.n_heads; ++h) {
+      rope_rotate(k_row.subspan(h * dh, dh), position, cfg.rope_base);
+    }
+  }
+  cache.append(k_row, v_row, position);
+}
+
+/// Row-batched append_projected_row over all rows of `k`/`v`.
 void append_projected(const ModelConfig& cfg, Tensor& k, const Tensor& v,
                       std::span<const std::size_t> q_positions,
                       kv::KvCache& cache) {
   const std::size_t n_q = k.dim(0);
-  const std::size_t d = cfg.d_model;
-  const std::size_t dh = cfg.d_head();
-  if (keys_stored_rotated(cfg)) {
-    for (std::size_t i = 0; i < n_q; ++i) {
-      float* row = k.data() + i * d;
-      for (std::size_t h = 0; h < cfg.n_heads; ++h) {
-        rope_rotate({row + h * dh, dh}, q_positions[i], cfg.rope_base);
-      }
-    }
-  }
   for (std::size_t i = 0; i < n_q; ++i) {
-    cache.append(k.row(i), v.row(i), q_positions[i]);
+    append_projected_row(cfg, k.row(i), v.row(i), q_positions[i], cache);
   }
+}
+
+/// The fused per-head attend of the decode fast path: per-head dots over
+/// the cache's contiguous key segment, then one pass doing stable softmax
+/// and weighted-value accumulation together. The new token's K/V row must
+/// already be appended; `q_row` is the un-rotated projected query
+/// (d_model floats). Fills out.logits / out.probs and writes the merged
+/// head contexts into out.context *without* the W_o projection (callers
+/// project, batching the GEMM where possible).
+void fused_decode_attend(const ModelConfig& cfg, std::span<const float> q_row,
+                         std::size_t q_position, const kv::KvCache& cache,
+                         AttentionResult& out) {
+  const std::size_t h_count = cfg.n_heads;
+  const std::size_t dh = cfg.d_head();
+  const std::size_t key_len = cache.size();
+  assert(out.key_len == key_len && key_len > 0);
+
+  const bool use_rope = cfg.positional == PositionalKind::kRoPE;
+  const bool use_alibi = cfg.positional == PositionalKind::kALiBi;
+  const bool stored_rotated = keys_stored_rotated(cfg);
+  const float inv_sqrt_dh = 1.0F / std::sqrt(static_cast<float>(dh));
+
+  // The decode token is the newest append, so every cached key is causally
+  // visible (original positions ascend) — no masking pass needed.
+  assert(cache.original_position(key_len - 1) == q_position);
+
+  const std::size_t q_eff = cfg.position_mode == PositionMode::kOriginal
+                                ? q_position
+                                : key_len - 1;
+
+  std::vector<float> q_head(dh);
+  std::vector<float> ctx_head(dh);
+  // Scratch for the one storage mode that cannot pre-rotate (RoPE + kNew).
+  std::vector<float> rotated_scratch;
+  if (use_rope && !stored_rotated) rotated_scratch.resize(key_len * dh);
+
+  for (std::size_t h = 0; h < h_count; ++h) {
+    const float* q_src = q_row.data() + h * dh;
+    for (std::size_t j = 0; j < dh; ++j) q_head[j] = q_src[j];
+    if (use_rope) rope_rotate({q_head.data(), dh}, q_eff, cfg.rope_base);
+
+    // Dot products against the head's contiguous [key_len, dh] segment.
+    float* lrow = out.logits.data() + h * key_len;
+    const float* kbase = cache.keys_head(h).data();
+    if (use_rope && !stored_rotated) {
+      for (std::size_t i = 0; i < key_len; ++i) {
+        float* dst = rotated_scratch.data() + i * dh;
+        for (std::size_t j = 0; j < dh; ++j) dst[j] = kbase[i * dh + j];
+        rope_rotate({dst, dh}, key_position(cfg, cache, i), cfg.rope_base);
+      }
+      kbase = rotated_scratch.data();
+    }
+    matvec({kbase, key_len * dh}, {q_head.data(), dh}, {lrow, key_len},
+           key_len, dh);
+
+    if (use_alibi) {
+      const double slope = alibi_slope(h, h_count);
+      for (std::size_t i = 0; i < key_len; ++i) {
+        const std::size_t kp = key_position(cfg, cache, i);
+        lrow[i] = lrow[i] * inv_sqrt_dh +
+                  static_cast<float>(-slope * static_cast<double>(q_eff - kp));
+      }
+    } else {
+      for (std::size_t i = 0; i < key_len; ++i) lrow[i] *= inv_sqrt_dh;
+    }
+
+    // Fused pass: stable softmax and weighted-value accumulation together.
+    // exp terms accumulate into the context unnormalized; one final scale
+    // by 1/sum normalizes probs and context alike.
+    float m = lrow[0];
+    for (std::size_t i = 1; i < key_len; ++i) m = lrow[i] > m ? lrow[i] : m;
+    float* prow = out.probs.data() + h * key_len;
+    for (std::size_t j = 0; j < dh; ++j) ctx_head[j] = 0.0F;
+    const float* vbase = cache.values_head(h).data();
+    double sum = 0.0;
+    for (std::size_t i = 0; i < key_len; ++i) {
+      const double e = std::exp(static_cast<double>(lrow[i] - m));
+      const float ef = static_cast<float>(e);
+      prow[i] = ef;
+      sum += e;
+      axpy(ef, {vbase + i * dh, dh}, ctx_head);
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (std::size_t i = 0; i < key_len; ++i) prow[i] *= inv;
+    float* ctx_dst = out.context.data() + h * dh;
+    for (std::size_t j = 0; j < dh; ++j) ctx_dst[j] = ctx_head[j] * inv;
+  }
+}
+
+/// Sizes one decode-step AttentionResult for the current cache length.
+void init_decode_result(const ModelConfig& cfg, std::size_t key_len,
+                        AttentionResult& out) {
+  out.n_q = 1;
+  out.key_len = key_len;
+  out.context = Tensor({1, cfg.d_model});
+  out.logits = Tensor({cfg.n_heads, 1, key_len});
+  out.probs = Tensor({cfg.n_heads, 1, key_len});
 }
 
 }  // namespace
@@ -66,7 +167,10 @@ AttentionResult attention_forward_general(
   matmul(x.span(), w.wq.span(), q.span(), n_q, d, d);
   matmul(x.span(), w.wk.span(), k.span(), n_q, d, d);
   matmul(x.span(), w.wv.span(), v.span(), n_q, d, d);
-  if (timings != nullptr) timings->project_seconds += now_seconds() - t0;
+  if (timings != nullptr) {
+    timings->project_seconds += now_seconds() - t0;
+    t0 = now_seconds();  // append counts toward attend on every path
+  }
 
   append_projected(cfg, k, v, q_positions, cache);
 
@@ -82,8 +186,6 @@ AttentionResult attention_forward_general(
   const bool use_alibi = cfg.positional == PositionalKind::kALiBi;
   const bool stored_rotated = keys_stored_rotated(cfg);
   const float inv_sqrt_dh = 1.0F / std::sqrt(static_cast<float>(dh));
-
-  if (timings != nullptr) t0 = now_seconds();
 
   // Effective key positions (fixed for this call).
   std::vector<std::size_t> key_pos(key_len);
@@ -208,8 +310,6 @@ AttentionResult attention_decode(const ModelConfig& cfg,
                                  AttentionTimings* timings) {
   assert(x.dim(0) == 1);
   const std::size_t d = cfg.d_model;
-  const std::size_t h_count = cfg.n_heads;
-  const std::size_t dh = cfg.d_head();
   assert(x.dim(1) == d);
 
   // Single-row QKV projection: matvec-shaped, no blocked-matmul overhead.
@@ -222,89 +322,16 @@ AttentionResult attention_decode(const ModelConfig& cfg,
   vecmat(x.row(0), w.wv.span(), v.row(0), d, d);
   if (timings != nullptr) timings->project_seconds += now_seconds() - t0;
 
-  const std::size_t q_positions[1] = {q_position};
-  append_projected(cfg, k, v, {q_positions, 1}, cache);
-
-  const std::size_t key_len = cache.size();
-  AttentionResult out;
-  out.n_q = 1;
-  out.key_len = key_len;
-  out.context = Tensor({1, d});
-  out.logits = Tensor({h_count, 1, key_len});
-  out.probs = Tensor({h_count, 1, key_len});
-
-  const bool use_rope = cfg.positional == PositionalKind::kRoPE;
-  const bool use_alibi = cfg.positional == PositionalKind::kALiBi;
-  const bool stored_rotated = keys_stored_rotated(cfg);
-  const float inv_sqrt_dh = 1.0F / std::sqrt(static_cast<float>(dh));
-
-  // The decode token is the newest append, so every cached key is causally
-  // visible (original positions ascend) — no masking pass needed.
-  assert(cache.original_position(key_len - 1) == q_position);
-
-  const std::size_t q_eff = cfg.position_mode == PositionMode::kOriginal
-                                ? q_position
-                                : key_len - 1;
-
+  // Append counts toward attend_seconds, matching the batched path (which
+  // fuses append + attend in one parallel region), so phase breakdowns are
+  // comparable across batch sizes.
   if (timings != nullptr) t0 = now_seconds();
+  append_projected_row(cfg, k.row(0), v.row(0), q_position, cache);
 
-  std::vector<float> q_head(dh);
-  std::vector<float> ctx_head(dh);
-  // Scratch for the one storage mode that cannot pre-rotate (RoPE + kNew).
-  std::vector<float> rotated_scratch;
-  if (use_rope && !stored_rotated) rotated_scratch.resize(key_len * dh);
+  AttentionResult out;
+  init_decode_result(cfg, cache.size(), out);
 
-  for (std::size_t h = 0; h < h_count; ++h) {
-    const float* q_src = q.data() + h * dh;
-    for (std::size_t j = 0; j < dh; ++j) q_head[j] = q_src[j];
-    if (use_rope) rope_rotate({q_head.data(), dh}, q_eff, cfg.rope_base);
-
-    // Dot products against the head's contiguous [key_len, dh] segment.
-    float* lrow = out.logits.data() + h * key_len;
-    const float* kbase = cache.keys_head(h).data();
-    if (use_rope && !stored_rotated) {
-      for (std::size_t i = 0; i < key_len; ++i) {
-        float* dst = rotated_scratch.data() + i * dh;
-        for (std::size_t j = 0; j < dh; ++j) dst[j] = kbase[i * dh + j];
-        rope_rotate({dst, dh}, key_position(cfg, cache, i), cfg.rope_base);
-      }
-      kbase = rotated_scratch.data();
-    }
-    matvec({kbase, key_len * dh}, {q_head.data(), dh}, {lrow, key_len},
-           key_len, dh);
-
-    if (use_alibi) {
-      const double slope = alibi_slope(h, h_count);
-      for (std::size_t i = 0; i < key_len; ++i) {
-        const std::size_t kp = key_position(cfg, cache, i);
-        lrow[i] = lrow[i] * inv_sqrt_dh +
-                  static_cast<float>(-slope * static_cast<double>(q_eff - kp));
-      }
-    } else {
-      for (std::size_t i = 0; i < key_len; ++i) lrow[i] *= inv_sqrt_dh;
-    }
-
-    // Fused pass: stable softmax and weighted-value accumulation together.
-    // exp terms accumulate into the context unnormalized; one final scale
-    // by 1/sum normalizes probs and context alike.
-    float m = lrow[0];
-    for (std::size_t i = 1; i < key_len; ++i) m = lrow[i] > m ? lrow[i] : m;
-    float* prow = out.probs.data() + h * key_len;
-    for (std::size_t j = 0; j < dh; ++j) ctx_head[j] = 0.0F;
-    const float* vbase = cache.values_head(h).data();
-    double sum = 0.0;
-    for (std::size_t i = 0; i < key_len; ++i) {
-      const double e = std::exp(static_cast<double>(lrow[i] - m));
-      const float ef = static_cast<float>(e);
-      prow[i] = ef;
-      sum += e;
-      axpy(ef, {vbase + i * dh, dh}, ctx_head);
-    }
-    const float inv = static_cast<float>(1.0 / sum);
-    for (std::size_t i = 0; i < key_len; ++i) prow[i] *= inv;
-    float* ctx_dst = out.context.data() + h * dh;
-    for (std::size_t j = 0; j < dh; ++j) ctx_dst[j] = ctx_head[j] * inv;
-  }
+  fused_decode_attend(cfg, q.row(0), q_position, cache, out);
   if (timings != nullptr) {
     timings->attend_seconds += now_seconds() - t0;
     t0 = now_seconds();
@@ -315,6 +342,94 @@ AttentionResult attention_decode(const ModelConfig& cfg,
   vecmat(merged.row(0), w.wo.span(), out.context.row(0), d, d);
   if (timings != nullptr) timings->project_seconds += now_seconds() - t0;
   return out;
+}
+
+std::vector<AttentionResult> attention_decode_batch(
+    const ModelConfig& cfg, const LayerWeights& w, const Tensor& x,
+    std::span<const DecodeBatchSlot> slots, AttentionTimings* timings) {
+  const std::size_t b_count = slots.size();
+  assert(x.dim(0) == b_count && x.dim(1) == cfg.d_model);
+  std::vector<AttentionResult> results(b_count);
+  if (b_count == 0) return results;
+
+  // A batch of one is exactly a single-sequence decode step: route through
+  // the standard dispatch so cfg.decode_fast_path keeps its meaning and
+  // batch-of-1 serving stays bit-identical to the single-sequence loop.
+  if (b_count == 1) {
+    results[0] = attention_forward(cfg, w, x, {&slots[0].q_position, 1},
+                                   *slots[0].cache, timings);
+    return results;
+  }
+
+  const std::size_t d = cfg.d_model;
+
+  // With the fast path disabled every sequence must run the same general
+  // kernel it would use solo — otherwise a sequence's kernel (and thus its
+  // ~1e-5-level numerics) would flip with batch composition, breaking the
+  // batch-independence guarantee. Baseline/debug config, so per-row is fine.
+  if (!cfg.decode_fast_path) {
+    Tensor row({1, d});
+    for (std::size_t b = 0; b < b_count; ++b) {
+      const auto src = x.row(b);
+      std::copy(src.begin(), src.end(), row.row(0).begin());
+      results[b] = attention_forward(cfg, w, row, {&slots[b].q_position, 1},
+                                     *slots[b].cache, timings);
+    }
+    return results;
+  }
+
+  // One GEMM per projection across the whole batch — the B×d_model matmul
+  // that replaces B separate vecmats. Each output row accumulates in the
+  // same order as the single-row path, so per-sequence numerics are
+  // unchanged by batching.
+  double t0 = timings != nullptr ? now_seconds() : 0.0;
+  Tensor q({b_count, d});
+  Tensor k({b_count, d});
+  Tensor v({b_count, d});
+  matmul(x.span(), w.wq.span(), q.span(), b_count, d, d);
+  matmul(x.span(), w.wk.span(), k.span(), b_count, d, d);
+  matmul(x.span(), w.wv.span(), v.span(), b_count, d, d);
+  if (timings != nullptr) {
+    timings->project_seconds += now_seconds() - t0;
+    t0 = now_seconds();
+  }
+
+  // Per-sequence append + fused attend, parallel across sequences: every
+  // slot touches only its own cache and its own result, so the loop is
+  // embarrassingly parallel (callers guarantee distinct caches).
+  ThreadPool::global().parallel_for(
+      b_count,
+      [&](std::size_t b0, std::size_t b1) {
+        for (std::size_t b = b0; b < b1; ++b) {
+          kv::KvCache& cache = *slots[b].cache;
+          append_projected_row(cfg, k.row(b), v.row(b), slots[b].q_position,
+                               cache);
+          init_decode_result(cfg, cache.size(), results[b]);
+          fused_decode_attend(cfg, q.row(b), slots[b].q_position, cache,
+                              results[b]);
+        }
+      },
+      /*grain=*/1);
+  if (timings != nullptr) {
+    timings->attend_seconds += now_seconds() - t0;
+    t0 = now_seconds();
+  }
+
+  // Batched output projection: gather the merged head contexts, one GEMM
+  // against W_o, scatter back per sequence.
+  Tensor merged({b_count, d});
+  for (std::size_t b = 0; b < b_count; ++b) {
+    const auto src = results[b].context.row(0);
+    std::copy(src.begin(), src.end(), merged.row(b).begin());
+  }
+  Tensor projected({b_count, d});
+  matmul(merged.span(), w.wo.span(), projected.span(), b_count, d, d);
+  for (std::size_t b = 0; b < b_count; ++b) {
+    const auto src = projected.row(b);
+    std::copy(src.begin(), src.end(), results[b].context.row(0).begin());
+  }
+  if (timings != nullptr) timings->project_seconds += now_seconds() - t0;
+  return results;
 }
 
 AttentionResult attention_forward(const ModelConfig& cfg,

@@ -18,13 +18,17 @@
 // takes effect for caches (re)filled after the switch — callers reset the
 // cache between mode changes (all in-repo callers do).
 //
-// Two execution paths produce identical results (within float rounding):
+// Three execution paths produce identical results (within float rounding):
 //   - attention_forward_general: any n_q (prefill, multi-token chunks);
 //   - attention_decode: the fused single-query fast path — matvec QKV and
 //     output projections, per-head dots over the cache's contiguous
 //     head-major key segment, and a single fused pass doing softmax +
-//     weighted-value accumulation per head.
-// attention_forward dispatches between them (cfg.decode_fast_path).
+//     weighted-value accumulation per head;
+//   - attention_decode_batch: N independent sequences decoding one token
+//     each — one QKV/output projection GEMM across the batch, then the
+//     fused per-head attend over each sequence's own cache in parallel.
+// attention_forward dispatches between the first two (cfg.decode_fast_path);
+// the batch entry point is driven by Transformer::step_batch.
 #pragma once
 
 #include <cstddef>
@@ -50,7 +54,9 @@ struct AttentionResult {
 /// (bench_decode_throughput). Pass nullptr to skip timing entirely.
 struct AttentionTimings {
   double project_seconds = 0.0;  ///< QKV + output projections
-  double attend_seconds = 0.0;   ///< dots + softmax + weighted values
+  double attend_seconds = 0.0;   ///< KV append + dots + softmax + weighted
+                                 ///< values (same split on decode fast
+                                 ///< path, batched, and general paths)
 };
 
 /// Projects `x` (n_q rows that continue the sequence) to Q/K/V, appends the
@@ -76,6 +82,28 @@ AttentionResult attention_decode(const ModelConfig& cfg,
                                  const LayerWeights& w, const Tensor& x,
                                  std::size_t q_position, kv::KvCache& cache,
                                  AttentionTimings* timings = nullptr);
+
+/// One sequence's slot in a batched decode step: the new token's original
+/// sequence position and the sequence's own cache for this layer.
+struct DecodeBatchSlot {
+  std::size_t q_position = 0;
+  kv::KvCache* cache = nullptr;
+};
+
+/// Fused multi-sequence decode kernel: one QKV projection GEMM and one
+/// output projection GEMM across the B rows of `x` ([B, d_model], one row
+/// per sequence), with each sequence's append + per-head fused attention
+/// running against its *own* cache, parallelized across sequences. Row b of
+/// the projections accumulates in the same order as the single-sequence
+/// path, and sequences never read each other's caches, so each slot's
+/// result is independent of what else shares the batch. A batch of one
+/// dispatches through attention_forward, and with cfg.decode_fast_path off
+/// every row falls back to the general per-row kernel, so a sequence's
+/// numerics never depend on batch composition under either config.
+std::vector<AttentionResult> attention_decode_batch(
+    const ModelConfig& cfg, const LayerWeights& w, const Tensor& x,
+    std::span<const DecodeBatchSlot> slots,
+    AttentionTimings* timings = nullptr);
 
 /// True when the storage contract keeps cached keys pre-rotated (RoPE with
 /// immutable effective positions and append-time rotation enabled).

@@ -1,9 +1,6 @@
 #include "model/generator.h"
 
-#include <algorithm>
-#include <chrono>
 #include <limits>
-#include <stdexcept>
 
 namespace kf::model {
 
@@ -34,66 +31,8 @@ Token select_greedy(std::span<const float> logits,
   return static_cast<Token>(best);
 }
 
-GenerationResult generate(Transformer& model, std::span<const Token> prompt,
-                          kv::EvictionPolicy& policy,
-                          const GenerationConfig& cfg) {
-  if (prompt.empty()) {
-    throw std::invalid_argument("generate requires a non-empty prompt");
-  }
-  const auto start = std::chrono::steady_clock::now();
-
-  GenerationResult result;
-  result.prompt_len = prompt.size();
-  result.budget = kv::make_budget(prompt.size(), cfg.cache_ratio,
-                                  cfg.recent_ratio);
-  policy.set_budget(result.budget);
-
-  kv::SequenceInfo info;
-  info.prompt_len = prompt.size();
-  info.total_steps = cfg.max_new_tokens;
-  info.n_layers = model.config().n_layers;
-  info.n_heads = model.config().n_heads;
-  policy.begin_sequence(info);
-
-  model.reset();
-  Tensor prompt_logits =
-      model.prefill(prompt, policy, cfg.max_new_tokens);
-  result.peak_cache_tokens = prompt.size();
-
-  const auto recent_window = [&]() -> std::span<const Token> {
-    const std::size_t n = result.tokens.size();
-    const std::size_t w =
-        cfg.repetition_window == 0 ? n : std::min(n, cfg.repetition_window);
-    return {result.tokens.data() + (n - w), w};
-  };
-
-  Token next = select_greedy(prompt_logits.row(prompt.size() - 1),
-                             recent_window(), cfg.repetition_penalty,
-                             cfg.banned_tokens);
-
-  for (std::size_t t = 1; t <= cfg.max_new_tokens; ++t) {
-    result.tokens.push_back(next);
-    if (cfg.eos_token >= 0 && next == cfg.eos_token) break;
-    if (result.tokens.size() >= cfg.max_new_tokens) break;
-
-    const std::size_t position = prompt.size() + t - 1;
-    const std::vector<float> logits =
-        model.decode(next, position, t, cfg.max_new_tokens, policy);
-    for (std::size_t l = 0; l < model.config().n_layers; ++l) {
-      result.peak_cache_tokens =
-          std::max(result.peak_cache_tokens, model.cache_size(l));
-    }
-    next = select_greedy(logits, recent_window(), cfg.repetition_penalty,
-                         cfg.banned_tokens);
-  }
-
-  for (std::size_t l = 0; l < model.config().n_layers; ++l) {
-    result.final_cache_sizes.push_back(model.cache_size(l));
-  }
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  return result;
-}
+// generate() is defined in src/serve/engine.cpp, next to the Engine it
+// wraps: the model layer declares the API but never includes serve/
+// headers, keeping the model -> serve dependency one-way.
 
 }  // namespace kf::model

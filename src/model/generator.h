@@ -31,6 +31,16 @@ struct GenerationConfig {
   Token eos_token = -1;
 };
 
+/// Decode-phase throughput rule shared by GenerationResult and
+/// serve::Response: tokens beyond the prefill-produced first, per decode
+/// second; 0 when no decode steps ran.
+inline double decode_throughput(std::size_t generated_tokens,
+                                double decode_seconds) {
+  return generated_tokens > 1 && decode_seconds > 0.0
+             ? static_cast<double>(generated_tokens - 1) / decode_seconds
+             : 0.0;
+}
+
 struct GenerationResult {
   std::vector<Token> tokens;  ///< generated tokens (prompt excluded)
   std::size_t prompt_len = 0;
@@ -40,12 +50,25 @@ struct GenerationResult {
   /// Peak cache length observed across layers (== prompt during prefill
   /// attention, then budget k + 1 transiently at each decode step).
   std::size_t peak_cache_tokens = 0;
-  double wall_seconds = 0.0;
+  /// Prompt-phase wall time (prefill attention + first-token selection).
+  double prefill_seconds = 0.0;
+  /// Decode-phase wall time (every step after the first token). Serving
+  /// throughput is quoted on this phase alone so a long prompt does not
+  /// skew tokens/s.
+  double decode_seconds = 0.0;
+
+  double wall_seconds() const { return prefill_seconds + decode_seconds; }
+  /// See decode_throughput().
+  double decode_tokens_per_s() const {
+    return decode_throughput(tokens.size(), decode_seconds);
+  }
 };
 
 /// Greedy generation under `policy`. Resets the model's caches, derives the
 /// budget from `cfg.cache_ratio`, runs prefill + max_new_tokens decode
-/// steps (or until eos). Deterministic.
+/// steps (or until eos). Deterministic. Implemented as a batch-of-one
+/// serve::Engine run against the model's default KV state — token-for-token
+/// identical to the classic single-sequence loop.
 GenerationResult generate(Transformer& model, std::span<const Token> prompt,
                           kv::EvictionPolicy& policy,
                           const GenerationConfig& cfg);

@@ -22,7 +22,24 @@ AttentionResult decoder_attention(const ModelConfig& cfg,
                                   kv::KvCache& cache,
                                   AttentionTimings* timings = nullptr);
 
+/// Batched decode attention block: LN1 per row, one attention_decode_batch
+/// over the per-sequence caches in `slots` (row b of `x` is sequence b's
+/// residual-stream row), residual add per row. Returns the per-sequence
+/// attention internals in slot order.
+std::vector<AttentionResult> decoder_attention_batch(
+    const ModelConfig& cfg, const LayerWeights& w, Tensor& x,
+    std::span<const DecodeBatchSlot> slots,
+    AttentionTimings* timings = nullptr);
+
 /// Runs the MLP block over `x` in place.
 void decoder_mlp(const ModelConfig& cfg, const LayerWeights& w, Tensor& x);
+
+/// decoder_mlp applied to each row of `x` in parallel across rows. Used by
+/// the batched decode step, where rows are independent sequences and the
+/// per-row GEMMs sit below the kernels' internal parallel thresholds (so
+/// decoder_mlp would run the whole batch serially). Per-row numerics are
+/// identical to decoder_mlp.
+void decoder_mlp_rows(const ModelConfig& cfg, const LayerWeights& w,
+                      Tensor& x);
 
 }  // namespace kf::model

@@ -1,41 +1,44 @@
 #include "model/transformer.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <unordered_set>
 
+#include "core/threadpool.h"
 #include "model/layer.h"
 
 namespace kf::model {
 
 Transformer::Transformer(ModelConfig cfg)
-    : cfg_(std::move(cfg)), weights_(build_weights(cfg_)) {
-  caches_.reserve(cfg_.n_layers);
-  for (std::size_t l = 0; l < cfg_.n_layers; ++l) {
-    caches_.emplace_back(cfg_.n_heads, cfg_.d_head(), /*capacity_hint=*/256);
-  }
+    : cfg_(std::move(cfg)),
+      weights_(build_weights(cfg_)),
+      state_(cfg_.n_layers, cfg_.n_heads, cfg_.d_head(),
+             /*capacity_hint=*/256) {}
+
+kv::SequenceKvState Transformer::make_kv_state(
+    std::size_t capacity_hint) const {
+  return kv::SequenceKvState(cfg_.n_layers, cfg_.n_heads, cfg_.d_head(),
+                             capacity_hint);
 }
 
 std::size_t Transformer::cache_size(std::size_t layer) const {
-  return caches_.at(layer).size();
+  return state_.layer(layer).size();
 }
 
 std::size_t Transformer::total_cache_tokens() const {
-  std::size_t total = 0;
-  for (const auto& c : caches_) total += c.size();
-  return total;
+  return state_.total_tokens();
 }
 
 kv::KvCache& Transformer::cache(std::size_t layer) {
-  return caches_.at(layer);
+  return state_.layer(layer);
 }
 
 const kv::KvCache& Transformer::cache(std::size_t layer) const {
-  return caches_.at(layer);
+  return state_.layer(layer);
 }
 
-void Transformer::reset() {
-  for (auto& c : caches_) c.clear();
-}
+void Transformer::reset() { state_.clear(); }
 
 void Transformer::set_observer(AttentionObserver observer) {
   observer_ = std::move(observer);
@@ -45,31 +48,53 @@ Tensor Transformer::embed(std::span<const Token> tokens,
                           std::size_t first_pos) const {
   Tensor x({tokens.size(), cfg_.d_model});
   for (std::size_t i = 0; i < tokens.size(); ++i) {
-    const Token t = tokens[i];
-    if (t < 0 || static_cast<std::size_t>(t) >= cfg_.vocab_size) {
-      throw std::out_of_range("token id outside vocabulary");
-    }
-    const auto src = weights_.embedding.row(static_cast<std::size_t>(t));
-    auto dst = x.row(i);
-    for (std::size_t j = 0; j < cfg_.d_model; ++j) dst[j] = src[j];
-    if (cfg_.positional == PositionalKind::kLearned) {
-      const std::size_t pos = first_pos + i;
-      if (pos < weights_.pos_embedding.dim(0)) {
-        add_inplace(dst, weights_.pos_embedding.row(pos));
-      }
-    }
+    embed_row(tokens[i], first_pos + i, x.row(i));
   }
   return x;
 }
 
-Tensor Transformer::forward(Tensor x,
+void Transformer::embed_row(Token token, std::size_t position,
+                            std::span<float> dst) const {
+  if (token < 0 || static_cast<std::size_t>(token) >= cfg_.vocab_size) {
+    throw std::out_of_range("token id outside vocabulary");
+  }
+  const auto src = weights_.embedding.row(static_cast<std::size_t>(token));
+  std::copy(src.begin(), src.end(), dst.begin());
+  if (cfg_.positional == PositionalKind::kLearned &&
+      position < weights_.pos_embedding.dim(0)) {
+    add_inplace(dst, weights_.pos_embedding.row(position));
+  }
+}
+
+Tensor Transformer::lm_logits(const Tensor& x) const {
+  const std::size_t n_q = x.dim(0);
+  Tensor logits({n_q, cfg_.vocab_size});
+  Tensor normed({n_q, cfg_.d_model});
+  // Rows are independent; at decode batch sizes the per-row matvec is
+  // below the kernel-internal parallel threshold, so parallelize across
+  // rows here (identical per-row numerics either way).
+  ThreadPool::global().parallel_for(
+      n_q,
+      [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          layer_norm(x.row(i), weights_.final_gamma.span(),
+                     weights_.final_beta.span(), normed.row(i));
+          matvec(weights_.lm_head.span(), normed.row(i), logits.row(i),
+                 cfg_.vocab_size, cfg_.d_model);
+        }
+      },
+      /*grain=*/1);
+  return logits;
+}
+
+Tensor Transformer::forward(kv::SequenceKvState& state, Tensor x,
                             std::span<const std::size_t> positions,
                             bool is_prompt, std::size_t t,
                             std::size_t total_steps,
                             kv::EvictionPolicy& policy) {
   const std::size_t n_q = x.dim(0);
   for (std::size_t layer = 0; layer < cfg_.n_layers; ++layer) {
-    kv::KvCache& cache = caches_[layer];
+    kv::KvCache& cache = state.layer(layer);
     AttentionResult attn = decoder_attention(cfg_, weights_.layers[layer], x,
                                              positions, cache, attn_timings_);
 
@@ -98,32 +123,33 @@ Tensor Transformer::forward(Tensor x,
 
     decoder_mlp(cfg_, weights_.layers[layer], x);
   }
-
-  // Final LayerNorm + tied LM head.
-  Tensor logits({n_q, cfg_.vocab_size});
-  Tensor normed({cfg_.d_model});
-  for (std::size_t i = 0; i < n_q; ++i) {
-    layer_norm(x.row(i), weights_.final_gamma.span(),
-               weights_.final_beta.span(), normed.span());
-    matvec(weights_.lm_head.span(), normed.span(), logits.row(i),
-           cfg_.vocab_size, cfg_.d_model);
-  }
-  return logits;
+  return lm_logits(x);
 }
 
 Tensor Transformer::prefill(std::span<const Token> prompt,
                             kv::EvictionPolicy& policy,
                             std::size_t total_steps) {
+  return prefill(state_, prompt, policy, total_steps);
+}
+
+Tensor Transformer::prefill(kv::SequenceKvState& state,
+                            std::span<const Token> prompt,
+                            kv::EvictionPolicy& policy,
+                            std::size_t total_steps) {
   if (prompt.empty()) {
     throw std::invalid_argument("prefill requires a non-empty prompt");
   }
-  if (!caches_.front().empty()) {
+  if (!state.matches(cfg_.n_layers, cfg_.n_heads, cfg_.d_head())) {
+    throw std::invalid_argument(
+        "sequence state geometry does not match the model");
+  }
+  if (!state.empty()) {
     throw std::logic_error("prefill called on a non-empty cache; reset()");
   }
   std::vector<std::size_t> positions(prompt.size());
   for (std::size_t i = 0; i < prompt.size(); ++i) positions[i] = i;
   Tensor x = embed(prompt, /*first_pos=*/0);
-  return forward(std::move(x), positions, /*is_prompt=*/true, /*t=*/0,
+  return forward(state, std::move(x), positions, /*is_prompt=*/true, /*t=*/0,
                  total_steps, policy);
 }
 
@@ -131,13 +157,109 @@ std::vector<float> Transformer::decode(Token token, std::size_t position,
                                        std::size_t t,
                                        std::size_t total_steps,
                                        kv::EvictionPolicy& policy) {
+  return decode(state_, token, position, t, total_steps, policy);
+}
+
+std::vector<float> Transformer::decode(kv::SequenceKvState& state,
+                                       Token token, std::size_t position,
+                                       std::size_t t,
+                                       std::size_t total_steps,
+                                       kv::EvictionPolicy& policy) {
   const Token toks[1] = {token};
   const std::size_t positions[1] = {position};
   Tensor x = embed({toks, 1}, position);
-  Tensor logits = forward(std::move(x), {positions, 1}, /*is_prompt=*/false,
-                          t, total_steps, policy);
+  Tensor logits = forward(state, std::move(x), {positions, 1},
+                          /*is_prompt=*/false, t, total_steps, policy);
   const auto row = logits.row(0);
   return std::vector<float>(row.begin(), row.end());
+}
+
+Tensor Transformer::step_batch(std::span<const DecodeSlot> slots) {
+  const std::size_t b_count = slots.size();
+  if (b_count == 0) return Tensor({0, cfg_.vocab_size});
+  for (const auto& s : slots) {
+    if (s.state == nullptr || s.policy == nullptr) {
+      throw std::invalid_argument("step_batch slot missing state or policy");
+    }
+    if (!s.state->matches(cfg_.n_layers, cfg_.n_heads, cfg_.d_head())) {
+      throw std::invalid_argument(
+          "sequence state geometry does not match the model");
+    }
+  }
+#ifndef NDEBUG
+  // Distinctness is the Engine's contract (enforced once per run there);
+  // re-checking every decode step costs two hash sets per step, so the
+  // hot path only pays for it in debug/sanitizer builds.
+  {
+    std::unordered_set<const void*> states, policies;
+    for (const auto& s : slots) {
+      if (!states.insert(s.state).second || !policies.insert(s.policy).second) {
+        throw std::invalid_argument(
+            "step_batch slots must use distinct states and policies");
+      }
+    }
+  }
+#endif
+
+  // Embed each sequence's token at its own position, straight into its row.
+  Tensor x({b_count, cfg_.d_model});
+  for (std::size_t b = 0; b < b_count; ++b) {
+    embed_row(slots[b].token, slots[b].position, x.row(b));
+  }
+
+  std::vector<DecodeBatchSlot> aslots(b_count);
+  for (std::size_t layer = 0; layer < cfg_.n_layers; ++layer) {
+    for (std::size_t b = 0; b < b_count; ++b) {
+      aslots[b] = {slots[b].position, &slots[b].state->layer(layer)};
+    }
+    const std::vector<AttentionResult> results = decoder_attention_batch(
+        cfg_, weights_.layers[layer], x, aslots, attn_timings_);
+
+    // Observer fires before policies may compact (key_positions must match
+    // the cache the attention actually ran against).
+    if (observer_) {
+      for (std::size_t b = 0; b < b_count; ++b) {
+        AttentionObservation obs;
+        obs.layer = layer;
+        obs.attn = &results[b];
+        obs.key_positions = aslots[b].cache->original_positions();
+        obs.is_prompt = false;
+        obs.decode_step = slots[b].t;
+        obs.batch_slot = b;
+        observer_(obs);
+      }
+    }
+
+    // Per-sequence policy observation (score accumulation + eviction),
+    // parallel across sequences: each slot's policy touches only its own
+    // cache and its own score state.
+    ThreadPool::global().parallel_for(
+        b_count,
+        [&](std::size_t b0, std::size_t b1) {
+          for (std::size_t b = b0; b < b1; ++b) {
+            kv::PolicyContext ctx;
+            ctx.layer = layer;
+            ctx.n_heads = cfg_.n_heads;
+            ctx.n_queries = 1;
+            ctx.key_len = results[b].key_len;
+            ctx.logits = results[b].logits.span();
+            ctx.probs = results[b].probs.span();
+            ctx.is_prompt = false;
+            ctx.decode_step = slots[b].t;
+            ctx.total_steps = slots[b].total_steps;
+            ctx.cache = aslots[b].cache;
+            slots[b].policy->observe(ctx);
+          }
+        },
+        /*grain=*/1);
+
+    if (b_count > 1) {
+      decoder_mlp_rows(cfg_, weights_.layers[layer], x);
+    } else {
+      decoder_mlp(cfg_, weights_.layers[layer], x);
+    }
+  }
+  return lm_logits(x);
 }
 
 }  // namespace kf::model

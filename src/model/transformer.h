@@ -9,6 +9,15 @@
 //
 // After every layer's attention the active EvictionPolicy observes the
 // scaled logits and probabilities and may compact that layer's cache.
+//
+// Sequence state is externalized: a SequenceKvState (one KvCache per layer)
+// can be owned by the caller, so one model serves N sequences concurrently
+// — each prefill/decode/step_batch call names the state it runs against.
+// The no-state overloads operate on a model-owned default state, keeping
+// the classic "one model, one sequence" usage working unchanged.
+// step_batch decodes one token for *each* of N sequences: one QKV/output
+// projection GEMM across the batch, then per-sequence fused attention over
+// each sequence's own cache (see attention_decode_batch).
 #pragma once
 
 #include <cstdint>
@@ -18,6 +27,7 @@
 
 #include "core/tensor.h"
 #include "kvcache/kv_cache.h"
+#include "kvcache/kv_state.h"
 #include "kvcache/policy.h"
 #include "model/attention.h"
 #include "model/config.h"
@@ -35,9 +45,27 @@ struct AttentionObservation {
   std::span<const std::size_t> key_positions;  ///< original positions
   bool is_prompt = false;
   std::size_t decode_step = 0;
+  /// Batch slot during step_batch (one observation per slot per layer);
+  /// always 0 on the single-sequence prefill/decode path. Observers
+  /// aggregating per-sequence state must key on this, since decode_step
+  /// alone repeats across concurrent sequences.
+  std::size_t batch_slot = 0;
 };
 
 using AttentionObserver = std::function<void(const AttentionObservation&)>;
+
+/// One sequence's slot in a batched decode step. Every slot must reference
+/// a distinct state and a distinct policy (sequences own their score
+/// state); `position` is in original sequence coordinates and `t` is the
+/// sequence's own 1-based decode step.
+struct DecodeSlot {
+  Token token = 0;
+  std::size_t position = 0;
+  std::size_t t = 1;
+  std::size_t total_steps = 0;
+  kv::SequenceKvState* state = nullptr;
+  kv::EvictionPolicy* policy = nullptr;
+};
 
 class Transformer {
  public:
@@ -47,14 +75,23 @@ class Transformer {
   const ModelConfig& config() const noexcept { return cfg_; }
   const ModelWeights& weights() const noexcept { return weights_; }
 
-  /// Current cache length of one layer.
+  /// A fresh per-sequence KV state sized for this model.
+  kv::SequenceKvState make_kv_state(std::size_t capacity_hint = 256) const;
+
+  /// The model-owned state the no-state overloads run against.
+  kv::SequenceKvState& default_kv_state() noexcept { return state_; }
+  const kv::SequenceKvState& default_kv_state() const noexcept {
+    return state_;
+  }
+
+  /// Current cache length of one layer (default state).
   std::size_t cache_size(std::size_t layer) const;
-  /// Sum of cache lengths across layers.
+  /// Sum of cache lengths across layers (default state).
   std::size_t total_cache_tokens() const;
   kv::KvCache& cache(std::size_t layer);
   const kv::KvCache& cache(std::size_t layer) const;
 
-  /// Clears all layer caches (start of a new sequence).
+  /// Clears the default state's layer caches (start of a new sequence).
   void reset();
 
   /// Installs an attention observer (pass nullptr-equivalent {} to clear).
@@ -83,30 +120,55 @@ class Transformer {
     cfg_.rope_append_time_rotation = on;
   }
 
-  /// Prompt phase. Returns LM logits for every prompt position,
-  /// shape [prompt_len, vocab]. `total_steps` is T in Algorithm 1.
+  /// Prompt phase against the default state. Returns LM logits for every
+  /// prompt position, shape [prompt_len, vocab]. `total_steps` is T in
+  /// Algorithm 1.
   Tensor prefill(std::span<const Token> prompt, kv::EvictionPolicy& policy,
                  std::size_t total_steps);
 
-  /// One decode step: feeds `token` at sequence position `position`
-  /// (original coordinates), decode step `t` (1-based). Returns the LM
-  /// logits predicting the next token.
+  /// Prompt phase against a caller-owned sequence state (must be empty).
+  Tensor prefill(kv::SequenceKvState& state, std::span<const Token> prompt,
+                 kv::EvictionPolicy& policy, std::size_t total_steps);
+
+  /// One decode step against the default state: feeds `token` at sequence
+  /// position `position` (original coordinates), decode step `t` (1-based).
+  /// Returns the LM logits predicting the next token.
   std::vector<float> decode(Token token, std::size_t position, std::size_t t,
                             std::size_t total_steps,
                             kv::EvictionPolicy& policy);
 
+  /// One decode step against a caller-owned sequence state.
+  std::vector<float> decode(kv::SequenceKvState& state, Token token,
+                            std::size_t position, std::size_t t,
+                            std::size_t total_steps,
+                            kv::EvictionPolicy& policy);
+
+  /// One decode step for each of N independent sequences sharing these
+  /// weights: per layer, one QKV/output projection GEMM across the batch
+  /// and fused per-sequence attention over each slot's own cache (run in
+  /// parallel), each slot's policy observing (and possibly compacting) only
+  /// its own cache. Returns LM logits, shape [N, vocab], row per slot.
+  /// A batch of one follows the exact single-sequence decode path.
+  Tensor step_batch(std::span<const DecodeSlot> slots);
+
  private:
   /// Shared layer stack walk. `x` holds embedded rows; returns LM logits
   /// for every row.
-  Tensor forward(Tensor x, std::span<const std::size_t> positions,
-                 bool is_prompt, std::size_t t, std::size_t total_steps,
+  Tensor forward(kv::SequenceKvState& state, Tensor x,
+                 std::span<const std::size_t> positions, bool is_prompt,
+                 std::size_t t, std::size_t total_steps,
                  kv::EvictionPolicy& policy);
 
   Tensor embed(std::span<const Token> tokens, std::size_t first_pos) const;
+  /// Embeds one token at `position` directly into `dst` (d_model floats) —
+  /// the allocation-free form step_batch uses per batch row.
+  void embed_row(Token token, std::size_t position, std::span<float> dst) const;
+  /// Final LayerNorm + tied LM head over every row of `x`.
+  Tensor lm_logits(const Tensor& x) const;
 
   ModelConfig cfg_;
   ModelWeights weights_;
-  std::vector<kv::KvCache> caches_;
+  kv::SequenceKvState state_;  ///< default sequence state
   AttentionObserver observer_;
   AttentionTimings* attn_timings_ = nullptr;
 };

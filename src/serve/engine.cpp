@@ -1,0 +1,256 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "core/timing.h"
+
+namespace kf::serve {
+
+Engine::Engine(model::Transformer& model, EngineConfig cfg)
+    : model_(model), cfg_(std::move(cfg)) {}
+
+void Engine::start_sequence(Sequence& seq, std::size_t now_step) {
+  seq.policy->set_budget(seq.budget);
+  kv::SequenceInfo info;
+  info.prompt_len = seq.prompt.size();
+  info.total_steps = seq.gen.max_new_tokens;
+  info.n_layers = model_.config().n_layers;
+  info.n_heads = model_.config().n_heads;
+  seq.policy->begin_sequence(info);
+
+  seq.kv->clear();
+  const double t0 = now_seconds();
+  const Tensor prompt_logits =
+      model_.prefill(*seq.kv, seq.prompt, *seq.policy, seq.gen.max_new_tokens);
+  seq.peak_cache_tokens = seq.prompt.size();
+  seq.first_decode_step = now_step;
+
+  if (seq.gen.max_new_tokens == 0) {
+    // Nothing to generate: matches generate(), whose loop never runs.
+    seq.status = SequenceStatus::kFinished;
+    seq.finish = FinishReason::kLength;
+  } else {
+    const Token first = model::select_greedy(
+        prompt_logits.row(seq.prompt.size() - 1), seq.recent_window(),
+        seq.gen.repetition_penalty, seq.gen.banned_tokens);
+    seq.commit(first);
+  }
+  seq.prefill_seconds = now_seconds() - t0;
+  stats_.prefilled_tokens += seq.prompt.size();
+  stats_.prefill_seconds += seq.prefill_seconds;
+}
+
+std::vector<Response> Engine::run(std::span<const Request> requests) {
+  stats_ = EngineStats{};
+
+  // Materialize sequences (deque: stable addresses for scheduler pointers).
+  std::deque<Sequence> seqs;
+  for (const Request& req : requests) {
+    if (req.prompt.empty()) {
+      throw std::invalid_argument("serve request requires a non-empty prompt");
+    }
+    Sequence s;
+    s.id = req.id;
+    s.prompt = req.prompt;
+    s.gen = req.gen;
+    s.arrival_step = req.arrival_step;
+    s.budget = kv::make_budget(s.prompt.size(), s.gen.cache_ratio,
+                               s.gen.recent_ratio);
+    if (req.policy != nullptr) {
+      s.policy = req.policy;
+    } else {
+      s.owned_policy = kv::make_policy(cfg_.policy);
+      s.policy = s.owned_policy.get();
+    }
+    if (req.kv_state != nullptr) {
+      if (!req.kv_state->matches(model_.config().n_layers,
+                                 model_.config().n_heads,
+                                 model_.config().d_head())) {
+        throw std::invalid_argument(
+            "external kv_state geometry does not match the model");
+      }
+      s.kv = req.kv_state;
+    } else {
+      s.owned_kv = std::make_unique<kv::SequenceKvState>(
+          model_.make_kv_state(s.prompt.size() + s.gen.max_new_tokens));
+      s.kv = s.owned_kv.get();
+    }
+    seqs.push_back(std::move(s));
+  }
+
+  // Reject shared state up front: two requests on one kv_state (or one
+  // policy instance) would clobber each other's caches/score state, and
+  // step_batch's own distinctness check only fires mid-run when their
+  // lifetimes happen to overlap — long after start_sequence() wiped the
+  // other request's in-flight caches.
+  {
+    std::unordered_set<const void*> kv_seen;
+    std::unordered_set<const void*> policy_seen;
+    for (const Sequence& s : seqs) {
+      if (!kv_seen.insert(s.kv).second) {
+        throw std::invalid_argument(
+            "serve requests must use distinct kv_state instances");
+      }
+      if (!policy_seen.insert(s.policy).second) {
+        throw std::invalid_argument(
+            "serve requests must use distinct policy instances");
+      }
+    }
+  }
+
+  // Submit in arrival order (stable: ties keep request order).
+  std::vector<std::size_t> order(seqs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return seqs[a].arrival_step < seqs[b].arrival_step;
+                   });
+  BatchScheduler sched(cfg_.scheduler);
+  for (const std::size_t i : order) sched.submit(&seqs[i]);
+
+  std::size_t finished = 0;
+  std::size_t step = 0;
+  std::vector<model::DecodeSlot> slots;
+  while (finished < seqs.size()) {
+    // Idle engine: jump the clock to the next arrival.
+    if (sched.active_count() == 0) {
+      const auto next = sched.next_arrival();
+      if (next.has_value() && *next > step) step = *next;
+    }
+
+    // Admit + prefill newly eligible sequences; a sequence that finishes
+    // during prefill (eos first token, max_new_tokens 0) retires at once,
+    // freeing its budget for the next waiting request this same step.
+    bool admitted_any = true;
+    while (admitted_any) {
+      admitted_any = false;
+      for (Sequence* seq : sched.admit(step)) {
+        admitted_any = true;
+        // The admission charge covers the transient prefill peak; record
+        // it before settling so max_tokens_in_use reflects true memory.
+        stats_.max_tokens_in_use =
+            std::max(stats_.max_tokens_in_use, sched.tokens_in_use());
+        start_sequence(*seq, step);
+        sched.settle(seq);
+        if (seq->finished()) {
+          seq->finish_step = step;
+          sched.release(seq);
+          ++finished;
+        }
+      }
+    }
+
+    const std::vector<Sequence*> active(sched.active().begin(),
+                                        sched.active().end());
+    if (active.empty()) continue;  // everything admitted so far retired
+
+    stats_.max_batch = std::max(stats_.max_batch, active.size());
+    stats_.max_tokens_in_use =
+        std::max(stats_.max_tokens_in_use, sched.tokens_in_use());
+
+    // One decode step for the whole batch. The step wall covers the model
+    // call AND per-sequence sampling/bookkeeping, so decode_seconds is the
+    // true decode-phase latency (prefill_seconds likewise includes its
+    // first-token selection).
+    const double t0 = now_seconds();
+    slots.clear();
+    for (const Sequence* seq : active) {
+      model::DecodeSlot slot;
+      slot.token = seq->feed_token();
+      slot.position = seq->next_position();
+      slot.t = seq->next_t();
+      slot.total_steps = seq->gen.max_new_tokens;
+      slot.state = seq->kv;
+      slot.policy = seq->policy;
+      slots.push_back(slot);
+    }
+    const Tensor logits = model_.step_batch(slots);
+    for (std::size_t b = 0; b < active.size(); ++b) {
+      Sequence* seq = active[b];
+      seq->peak_cache_tokens =
+          std::max(seq->peak_cache_tokens, seq->kv->max_layer_tokens());
+      const Token next = model::select_greedy(
+          logits.row(b), seq->recent_window(), seq->gen.repetition_penalty,
+          seq->gen.banned_tokens);
+      seq->commit(next);
+      ++stats_.decoded_tokens;
+    }
+    const double dt = now_seconds() - t0;
+    stats_.decode_seconds += dt;
+    ++stats_.steps;
+    for (Sequence* seq : active) {
+      seq->decode_seconds += dt;
+      if (seq->finished()) {
+        seq->finish_step = step;
+        sched.release(seq);
+        ++finished;
+      }
+    }
+    ++step;
+  }
+
+  std::vector<Response> responses;
+  responses.reserve(seqs.size());
+  for (Sequence& seq : seqs) {
+    Response r;
+    r.id = seq.id;
+    r.tokens = std::move(seq.tokens);
+    r.prompt_len = seq.prompt.size();
+    r.budget = seq.budget;
+    for (std::size_t l = 0; l < seq.kv->n_layers(); ++l) {
+      r.final_cache_sizes.push_back(seq.kv->layer_size(l));
+    }
+    r.peak_cache_tokens = seq.peak_cache_tokens;
+    r.finish = seq.finish;
+    r.arrival_step = seq.arrival_step;
+    r.first_decode_step = seq.first_decode_step;
+    r.finish_step = seq.finish_step;
+    r.prefill_seconds = seq.prefill_seconds;
+    r.decode_seconds = seq.decode_seconds;
+    responses.push_back(std::move(r));
+  }
+  return responses;
+}
+
+}  // namespace kf::serve
+
+namespace kf::model {
+
+// Declared in model/generator.h; defined here so the model layer never
+// depends on serve/ headers (the wrapper lives with the engine it wraps).
+GenerationResult generate(Transformer& model, std::span<const Token> prompt,
+                          kv::EvictionPolicy& policy,
+                          const GenerationConfig& cfg) {
+  if (prompt.empty()) {
+    throw std::invalid_argument("generate requires a non-empty prompt");
+  }
+  // Batch of one through the serving engine: same prefill/decode calls,
+  // same sampling, same budget derivation as the classic loop. The model's
+  // default KV state is passed through — cleared by start_sequence like any
+  // other state — so callers that inspect the caches after generation keep
+  // seeing the sequence's final state.
+  serve::Engine engine(model, serve::EngineConfig{});
+  serve::Request req;
+  req.prompt.assign(prompt.begin(), prompt.end());
+  req.gen = cfg;
+  req.policy = &policy;
+  req.kv_state = &model.default_kv_state();
+  auto responses = engine.run({&req, 1});
+  serve::Response& r = responses.front();
+
+  GenerationResult result;
+  result.tokens = std::move(r.tokens);
+  result.prompt_len = r.prompt_len;
+  result.budget = r.budget;
+  result.final_cache_sizes = std::move(r.final_cache_sizes);
+  result.peak_cache_tokens = r.peak_cache_tokens;
+  result.prefill_seconds = r.prefill_seconds;
+  result.decode_seconds = r.decode_seconds;
+  return result;
+}
+
+}  // namespace kf::model

@@ -1,0 +1,85 @@
+// The serving engine: continuous batching of independent generation
+// requests over one shared model.
+//
+// Structure (the Table 1 serving stack):
+//   Request --> Sequence (own KV caches + own policy instance + sampling
+//   state) --> BatchScheduler (admission under a batch-size and KV-memory
+//   budget) --> Engine loop:
+//       1. admit newly arrived requests that fit, prefilling each
+//          (prefill runs one sequence at a time, like the decode-centric
+//          continuous-batching servers this models);
+//       2. decode ONE token for every active sequence with a single
+//          Transformer::step_batch call — one QKV/output projection GEMM
+//          across the batch, per-sequence fused attention;
+//       3. sample per sequence (greedy + repetition penalty/ban list,
+//          identical to generate());
+//       4. retire finished sequences, freeing budget so waiting requests
+//          join mid-stream.
+// The engine clock is the decode-step index; request arrival_step is
+// expressed in it, making staggered-arrival runs deterministic.
+//
+// generate() is a batch-of-one client of this engine and remains
+// token-for-token identical to the pre-engine loop.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "kvcache/policy_factory.h"
+#include "model/transformer.h"
+#include "serve/scheduler.h"
+#include "serve/sequence.h"
+
+namespace kf::serve {
+
+struct EngineConfig {
+  SchedulerConfig scheduler;
+  /// Built per sequence for requests that don't bring their own policy.
+  kv::PolicyConfig policy;
+};
+
+/// Aggregate counters of one run() call.
+struct EngineStats {
+  std::size_t steps = 0;             ///< decode iterations executed
+  std::size_t decoded_tokens = 0;    ///< tokens produced by decode steps
+  std::size_t prefilled_tokens = 0;  ///< prompt tokens processed
+  std::size_t max_batch = 0;         ///< peak concurrent sequences
+  std::size_t max_tokens_in_use = 0; ///< peak summed charged KV tokens
+                                     ///< (includes transient prefill peaks)
+  double prefill_seconds = 0.0;
+  double decode_seconds = 0.0;  ///< summed batch-step walls
+
+  /// Aggregate decode throughput across all sequences (the bench metric:
+  /// total decode-produced tokens per decode-phase second).
+  double decode_tokens_per_s() const {
+    return decoded_tokens > 0 && decode_seconds > 0.0
+               ? static_cast<double>(decoded_tokens) / decode_seconds
+               : 0.0;
+  }
+};
+
+class Engine {
+ public:
+  explicit Engine(model::Transformer& model, EngineConfig cfg = {});
+
+  const EngineConfig& config() const noexcept { return cfg_; }
+  /// Counters of the most recent run().
+  const EngineStats& stats() const noexcept { return stats_; }
+
+  /// Drives every request to completion under continuous batching.
+  /// Responses are returned in the order of `requests` (not completion
+  /// order). Throws std::invalid_argument on an empty prompt, a mismatched
+  /// external KV state, or two requests sharing a kv_state/policy instance.
+  std::vector<Response> run(std::span<const Request> requests);
+
+ private:
+  /// Prefill + first-token selection for a newly admitted sequence.
+  void start_sequence(Sequence& seq, std::size_t now_step);
+
+  model::Transformer& model_;
+  EngineConfig cfg_;
+  EngineStats stats_;
+};
+
+}  // namespace kf::serve

@@ -1,0 +1,68 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace kf::serve {
+
+BatchScheduler::BatchScheduler(SchedulerConfig cfg) : cfg_(cfg) {}
+
+void BatchScheduler::submit(Sequence* seq) {
+  if (seq == nullptr) throw std::invalid_argument("submit(nullptr)");
+  seq->status = SequenceStatus::kWaiting;
+  waiting_.push_back(seq);
+}
+
+bool BatchScheduler::fits(const Sequence& seq) const {
+  if (cfg_.max_batch_size > 0 && active_.size() >= cfg_.max_batch_size) {
+    return false;
+  }
+  if (cfg_.max_concurrent_tokens == 0) return true;
+  const std::size_t cost = seq.admission_cost_tokens();
+  if (tokens_in_use_ + cost <= cfg_.max_concurrent_tokens) return true;
+  // Oversized sequences (admission cost > whole budget) run solo instead
+  // of blocking the queue forever.
+  return cost > cfg_.max_concurrent_tokens && active_.empty();
+}
+
+std::vector<Sequence*> BatchScheduler::admit(std::size_t now_step) {
+  std::vector<Sequence*> admitted;
+  while (!waiting_.empty()) {
+    Sequence* head = waiting_.front();
+    if (head->arrival_step > now_step || !fits(*head)) break;
+    waiting_.pop_front();
+    head->status = SequenceStatus::kActive;
+    head->charged_tokens = head->admission_cost_tokens();
+    tokens_in_use_ += head->charged_tokens;
+    active_.push_back(head);
+    admitted.push_back(head);
+  }
+  return admitted;
+}
+
+void BatchScheduler::settle(Sequence* seq) {
+  const auto it = std::find(active_.begin(), active_.end(), seq);
+  if (it == active_.end()) {
+    throw std::invalid_argument("settle of a sequence that is not active");
+  }
+  const std::size_t steady = seq->cost_tokens();
+  tokens_in_use_ -= seq->charged_tokens - std::min(seq->charged_tokens, steady);
+  seq->charged_tokens = std::min(seq->charged_tokens, steady);
+}
+
+void BatchScheduler::release(Sequence* seq) {
+  const auto it = std::find(active_.begin(), active_.end(), seq);
+  if (it == active_.end()) {
+    throw std::invalid_argument("release of a sequence that is not active");
+  }
+  active_.erase(it);
+  tokens_in_use_ -= seq->charged_tokens;
+  seq->charged_tokens = 0;
+}
+
+std::optional<std::size_t> BatchScheduler::next_arrival() const {
+  if (waiting_.empty()) return std::nullopt;
+  return waiting_.front()->arrival_step;
+}
+
+}  // namespace kf::serve

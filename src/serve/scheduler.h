@@ -1,0 +1,87 @@
+// Continuous-batching admission control.
+//
+// The scheduler holds sequences in a FIFO waiting queue (ordered by
+// arrival) and an active set that decodes together. Sequences join the
+// active set as soon as they have arrived AND fit both limits:
+//   - max_batch_size: concurrent sequences (GEMM batch width);
+//   - max_concurrent_tokens: summed per-layer KV cache tokens, a true
+//     memory cap. A joining sequence is charged its transient prefill
+//     peak (admission_cost_tokens(): the full prompt is resident per
+//     layer until the policy trims it) and settles down to its
+//     steady-state cost_tokens() once prefill completes. Because a
+//     budgeted sequence's steady cost is ~cache_ratio * prompt_len,
+//     reducing the cache ratio admits proportionally more sequences into
+//     the same budget: the mechanism behind Keyformer's Table 1 "bigger
+//     batch" row.
+// Sequences leave (release) when they finish, immediately freeing budget
+// for the next waiting sequence — join/leave mid-stream, no draining.
+//
+// Admission is strict FIFO: the head of the queue blocks later arrivals
+// even if those would fit, so large requests cannot starve. An oversized
+// sequence (cost above the entire token budget) is admitted only when the
+// active set is empty, running solo rather than deadlocking the queue.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "serve/sequence.h"
+
+namespace kf::serve {
+
+struct SchedulerConfig {
+  /// Max sequences decoding together; 0 = unlimited.
+  std::size_t max_batch_size = 8;
+  /// Memory budget: summed charged tokens of active sequences (transient
+  /// prefill peak until settle(), then steady-state cost); 0 = unlimited.
+  std::size_t max_concurrent_tokens = 0;
+};
+
+class BatchScheduler {
+ public:
+  explicit BatchScheduler(SchedulerConfig cfg = {});
+
+  const SchedulerConfig& config() const noexcept { return cfg_; }
+
+  /// Queues a sequence. Callers submit in arrival order (the engine sorts
+  /// by arrival_step, then submission order); the queue is strict FIFO.
+  void submit(Sequence* seq);
+
+  /// Moves every admissible waiting sequence (arrived by `now_step`, fits
+  /// both limits) into the active set and returns the newly admitted ones
+  /// in admission order.
+  std::vector<Sequence*> admit(std::size_t now_step);
+
+  /// Drops an active sequence's charge from its admission cost (transient
+  /// prefill peak) to its steady-state cost_tokens(). The engine calls
+  /// this once prefill has completed and the policy has trimmed the cache
+  /// to budget, freeing the transient headroom for the next admission.
+  void settle(Sequence* seq);
+
+  /// Removes a finished sequence from the active set, freeing its budget.
+  void release(Sequence* seq);
+
+  std::span<Sequence* const> active() const noexcept { return active_; }
+  std::size_t active_count() const noexcept { return active_.size(); }
+  std::size_t waiting_count() const noexcept { return waiting_.size(); }
+  /// Summed charged tokens of the active set.
+  std::size_t tokens_in_use() const noexcept { return tokens_in_use_; }
+
+  /// Arrival step of the queue head (the next sequence to admit), empty
+  /// when no sequence is waiting. The engine jumps its clock here when the
+  /// active set drains.
+  std::optional<std::size_t> next_arrival() const;
+
+ private:
+  bool fits(const Sequence& seq) const;
+
+  SchedulerConfig cfg_;
+  std::deque<Sequence*> waiting_;
+  std::vector<Sequence*> active_;
+  std::size_t tokens_in_use_ = 0;
+};
+
+}  // namespace kf::serve

@@ -1,0 +1,18 @@
+#include "serve/sequence.h"
+
+namespace kf::serve {
+
+std::string to_string(FinishReason reason) {
+  switch (reason) {
+    case FinishReason::kRunning: return "running";
+    case FinishReason::kLength: return "length";
+    case FinishReason::kEos: return "eos";
+  }
+  return "unknown";
+}
+
+double Response::decode_tokens_per_s() const {
+  return model::decode_throughput(tokens.size(), decode_seconds);
+}
+
+}  // namespace kf::serve

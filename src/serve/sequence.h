@@ -1,0 +1,168 @@
+// One sequence in the serving engine: its request parameters, committed
+// tokens, per-layer KV caches, eviction-policy instance, and per-phase
+// timing — everything that used to live implicitly in the generate() loop,
+// lifted into a value so N sequences can share one model.
+//
+// Generation-loop contract (token-for-token identical to generate()):
+//   - prefill produces the first token from the last prompt logit row;
+//   - each decode step feeds the newest committed token and commits the
+//     next one; a sequence finishes when it hits eos or max_new_tokens,
+//     and the finishing token is never fed back.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kvcache/kv_state.h"
+#include "kvcache/policy.h"
+#include "model/generator.h"
+
+namespace kf::serve {
+
+using model::Token;
+
+/// Why a sequence stopped.
+enum class FinishReason { kRunning, kLength, kEos };
+
+std::string to_string(FinishReason reason);
+
+/// One generation request submitted to the Engine.
+struct Request {
+  std::uint64_t id = 0;
+  std::vector<Token> prompt;
+  model::GenerationConfig gen;
+  /// Engine step (decode iteration — the engine's discrete clock) at which
+  /// the request becomes visible to the scheduler; 0 = present at start.
+  std::size_t arrival_step = 0;
+  /// Optional externally-owned policy. When null the engine builds one per
+  /// sequence from its EngineConfig policy description; sequences never
+  /// share a policy instance (score state is per sequence).
+  kv::EvictionPolicy* policy = nullptr;
+  /// Optional externally-owned KV state (cleared at prefill). When null
+  /// the engine allocates one. generate() passes the model's default state
+  /// so post-run cache inspection keeps working.
+  kv::SequenceKvState* kv_state = nullptr;
+};
+
+/// A completed request.
+struct Response {
+  std::uint64_t id = 0;
+  std::vector<Token> tokens;  ///< generated tokens (prompt excluded)
+  std::size_t prompt_len = 0;
+  kv::CacheBudget budget;
+  std::vector<std::size_t> final_cache_sizes;  ///< per layer, at finish
+  std::size_t peak_cache_tokens = 0;
+  FinishReason finish = FinishReason::kLength;
+  std::size_t arrival_step = 0;
+  std::size_t first_decode_step = 0;  ///< step at which prefill ran
+  std::size_t finish_step = 0;
+  double prefill_seconds = 0.0;  ///< prompt phase incl. first-token select
+  /// Sum of the walls of every batch step this sequence was active in —
+  /// its decode latency under whatever batch it shared the engine with.
+  double decode_seconds = 0.0;
+
+  /// See model::decode_throughput() (same rule as GenerationResult).
+  double decode_tokens_per_s() const;
+};
+
+/// Lifecycle of a sequence inside the engine.
+enum class SequenceStatus { kWaiting, kActive, kFinished };
+
+/// Engine-internal per-sequence state. Public fields: the Engine and
+/// BatchScheduler drive it, and tests poke it directly.
+struct Sequence {
+  std::uint64_t id = 0;
+  std::vector<Token> prompt;
+  model::GenerationConfig gen;
+  std::size_t arrival_step = 0;
+
+  SequenceStatus status = SequenceStatus::kWaiting;
+  FinishReason finish = FinishReason::kRunning;
+  kv::CacheBudget budget;
+  std::vector<Token> tokens;  ///< committed generated tokens
+
+  /// Cache/policy used for this sequence; point at the owned_* members or
+  /// at externally-owned objects from the Request.
+  kv::SequenceKvState* kv = nullptr;
+  kv::EvictionPolicy* policy = nullptr;
+  std::unique_ptr<kv::SequenceKvState> owned_kv;
+  std::unique_ptr<kv::EvictionPolicy> owned_policy;
+
+  std::size_t peak_cache_tokens = 0;
+  std::size_t first_decode_step = 0;
+  std::size_t finish_step = 0;
+  double prefill_seconds = 0.0;
+  double decode_seconds = 0.0;
+
+  /// Scheduler admission cost in per-layer cache tokens: the steady-state
+  /// decode footprint. A budgeted sequence holds k tokens plus the
+  /// transient append slot; full attention grows to its final length.
+  /// This is where cache_ratio buys batch size: at ratio r the cost is
+  /// ~r * prompt_len, so 1/r times as many sequences fit one memory
+  /// budget — Table 1's bigger-batch row.
+  std::size_t cost_tokens() const {
+    // A budget only caps memory when the policy actually evicts: a
+    // non-evicting policy (full attention) grows to prompt+gen per layer
+    // no matter what cache_ratio the request asked for, and charging it
+    // k+1 would let the scheduler over-commit the token budget.
+    const bool evicting =
+        budget.max_tokens > 0 && (policy == nullptr || policy->evicts());
+    if (evicting) return budget.max_tokens + 1;
+    return prompt.size() + gen.max_new_tokens;
+  }
+
+  /// Admission cost in per-layer cache tokens: prefill materializes the
+  /// full prompt in every layer before the policy trims it to budget, so a
+  /// joining sequence transiently needs max(prompt_len, steady-state)
+  /// headroom. The scheduler charges this at admit() and settles down to
+  /// cost_tokens() once prefill completes, keeping max_concurrent_tokens a
+  /// true memory cap rather than a steady-state-only proxy.
+  std::size_t admission_cost_tokens() const {
+    return std::max(prompt.size(), cost_tokens());
+  }
+
+  /// What the scheduler currently charges this sequence against the token
+  /// budget (admission cost until settle(), then cost_tokens()).
+  std::size_t charged_tokens = 0;
+
+  /// Recent committed tokens the repetition penalty applies to.
+  std::span<const Token> recent_window() const {
+    const std::size_t n = tokens.size();
+    const std::size_t w =
+        gen.repetition_window == 0 ? n : std::min(n, gen.repetition_window);
+    return {tokens.data() + (n - w), w};
+  }
+
+  /// Commits the next token and applies the finish rules (eos, then
+  /// length). Mirrors the generate() loop ordering exactly: the checks run
+  /// before the token would ever be fed back.
+  void commit(Token next) {
+    tokens.push_back(next);
+    if (gen.eos_token >= 0 && next == gen.eos_token) {
+      status = SequenceStatus::kFinished;
+      finish = FinishReason::kEos;
+      return;
+    }
+    if (tokens.size() >= gen.max_new_tokens) {
+      status = SequenceStatus::kFinished;
+      finish = FinishReason::kLength;
+    }
+  }
+
+  bool finished() const { return status == SequenceStatus::kFinished; }
+
+  /// Token fed at the next decode step (the newest committed token).
+  Token feed_token() const { return tokens.back(); }
+  /// 1-based decode step t of the next step (Algorithm 1's t).
+  std::size_t next_t() const { return tokens.size(); }
+  /// Original sequence position of the token fed at the next step.
+  std::size_t next_position() const {
+    return prompt.size() + tokens.size() - 1;
+  }
+};
+
+}  // namespace kf::serve

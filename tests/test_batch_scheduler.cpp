@@ -1,0 +1,188 @@
+#include "serve/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kvcache/policy_factory.h"
+
+namespace kf::serve {
+namespace {
+
+Sequence make_seq(std::size_t prompt_len, double cache_ratio,
+                  std::size_t max_new = 8, std::size_t arrival = 0) {
+  Sequence s;
+  s.prompt.assign(prompt_len, 1);
+  s.gen.max_new_tokens = max_new;
+  s.gen.cache_ratio = cache_ratio;
+  s.arrival_step = arrival;
+  s.budget = kv::make_budget(prompt_len, cache_ratio);
+  return s;
+}
+
+TEST(SequenceCost, BudgetedSequenceCostsSteadyStateFootprint) {
+  const Sequence s = make_seq(40, 0.5);
+  // k = 20 plus the transient append slot.
+  EXPECT_EQ(s.cost_tokens(), 21u);
+}
+
+TEST(SequenceCost, FullAttentionCostsFinalLength) {
+  const Sequence s = make_seq(40, 1.0, 8);
+  EXPECT_EQ(s.cost_tokens(), 48u);
+}
+
+TEST(SequenceCost, LowerCacheRatioCostsLess) {
+  EXPECT_LT(make_seq(100, 0.25).cost_tokens(),
+            make_seq(100, 0.5).cost_tokens());
+  EXPECT_LT(make_seq(100, 0.5).cost_tokens(),
+            make_seq(100, 1.0).cost_tokens());
+}
+
+TEST(SequenceCost, NonEvictingPolicyChargesFullGrowth) {
+  // A cache_ratio budget only caps memory when the policy evicts; kFull
+  // ignores it and grows to prompt+gen, so it must be charged that.
+  Sequence s = make_seq(40, 0.5, 8);
+  const auto full = kv::make_policy(kv::PolicyKind::kFull);
+  s.policy = full.get();
+  EXPECT_EQ(s.cost_tokens(), 48u);
+  EXPECT_EQ(s.admission_cost_tokens(), 48u);
+}
+
+TEST(SequenceCost, AdmissionChargesPrefillPeak) {
+  // Prefill materializes the full prompt per layer before the policy
+  // trims, so admission charges max(prompt_len, steady-state).
+  EXPECT_EQ(make_seq(40, 0.5).admission_cost_tokens(), 40u);
+  // Full attention's steady cost (prompt + gen) already exceeds it.
+  EXPECT_EQ(make_seq(40, 1.0, 8).admission_cost_tokens(), 48u);
+}
+
+TEST(BatchScheduler, AdmitsUpToBatchSize) {
+  BatchScheduler sched({.max_batch_size = 2, .max_concurrent_tokens = 0});
+  std::vector<Sequence> seqs;
+  for (int i = 0; i < 3; ++i) seqs.push_back(make_seq(16, 0.5));
+  for (auto& s : seqs) sched.submit(&s);
+  const auto admitted = sched.admit(0);
+  EXPECT_EQ(admitted.size(), 2u);
+  EXPECT_EQ(sched.active_count(), 2u);
+  EXPECT_EQ(sched.waiting_count(), 1u);
+  // Releasing one frees a slot for the third.
+  sched.release(admitted[0]);
+  EXPECT_EQ(sched.admit(0).size(), 1u);
+}
+
+TEST(BatchScheduler, TokenBudgetChargesPrefillPeakThenSettles) {
+  // Each sequence settles to k+1 = 9 tokens but transiently needs its full
+  // 16-token prompt resident during prefill; the budget must cover the
+  // charged (not just steady-state) total at every admission.
+  BatchScheduler sched({.max_batch_size = 0, .max_concurrent_tokens = 25});
+  std::vector<Sequence> seqs;
+  for (int i = 0; i < 3; ++i) seqs.push_back(make_seq(16, 0.5));
+  for (auto& s : seqs) sched.submit(&s);
+
+  // Two un-settled prefill charges (16 + 16) exceed 25: one at a time.
+  auto admitted = sched.admit(0);
+  ASSERT_EQ(admitted.size(), 1u);
+  EXPECT_EQ(sched.tokens_in_use(), 16u);
+  sched.settle(admitted[0]);
+  EXPECT_EQ(sched.tokens_in_use(), 9u);
+
+  // 9 settled + 16 prefilling = 25 fits exactly.
+  admitted = sched.admit(0);
+  ASSERT_EQ(admitted.size(), 1u);
+  EXPECT_EQ(sched.tokens_in_use(), 25u);
+  sched.settle(admitted[0]);
+  EXPECT_EQ(sched.tokens_in_use(), 18u);
+
+  // 18 settled + 16 > 25: the third waits for a release.
+  EXPECT_TRUE(sched.admit(0).empty());
+  sched.release(sched.active()[0]);
+  EXPECT_EQ(sched.tokens_in_use(), 9u);
+  EXPECT_EQ(sched.admit(0).size(), 1u);
+}
+
+TEST(BatchScheduler, ReducedCacheRatioAdmitsMoreSequences) {
+  // The Table 1 mechanism: at half the cache ratio, roughly twice the
+  // sequences fit the same token budget.
+  const std::size_t budget_tokens = 200;
+  const auto admitted_at = [&](double ratio) {
+    BatchScheduler sched(
+        {.max_batch_size = 0, .max_concurrent_tokens = budget_tokens});
+    std::vector<Sequence> seqs;
+    seqs.reserve(16);
+    for (int i = 0; i < 16; ++i) seqs.push_back(make_seq(64, ratio));
+    for (auto& s : seqs) sched.submit(&s);
+    // Drive to steady state: admit, settle (prefill completes), repeat
+    // until the budget blocks further admission.
+    while (true) {
+      const auto admitted = sched.admit(0);
+      if (admitted.empty()) break;
+      for (Sequence* s : admitted) sched.settle(s);
+    }
+    return sched.active_count();
+  };
+  const std::size_t at_full = admitted_at(1.0);
+  const std::size_t at_half = admitted_at(0.5);
+  const std::size_t at_quarter = admitted_at(0.25);
+  EXPECT_LT(at_full, at_half);
+  EXPECT_LT(at_half, at_quarter);
+}
+
+TEST(BatchScheduler, ArrivalStepGatesAdmission) {
+  BatchScheduler sched({.max_batch_size = 0, .max_concurrent_tokens = 0});
+  Sequence early = make_seq(8, 1.0, 4, /*arrival=*/0);
+  Sequence late = make_seq(8, 1.0, 4, /*arrival=*/5);
+  sched.submit(&early);
+  sched.submit(&late);
+  EXPECT_EQ(sched.admit(0).size(), 1u);
+  EXPECT_EQ(sched.admit(4).size(), 0u);
+  ASSERT_TRUE(sched.next_arrival().has_value());
+  EXPECT_EQ(*sched.next_arrival(), 5u);
+  EXPECT_EQ(sched.admit(5).size(), 1u);
+  EXPECT_FALSE(sched.next_arrival().has_value());
+}
+
+TEST(BatchScheduler, StrictFifoHeadOfLineBlocks) {
+  // A big head-of-queue request blocks later small ones (no starvation of
+  // large requests), even though the small one would fit.
+  BatchScheduler sched({.max_batch_size = 0, .max_concurrent_tokens = 60});
+  Sequence resident = make_seq(40, 0.5);  // admission charge 40
+  Sequence big = make_seq(60, 0.5);       // charge 60 > remaining 20
+  Sequence small = make_seq(8, 0.5);      // charge 8, would fit
+  sched.submit(&resident);
+  ASSERT_EQ(sched.admit(0).size(), 1u);
+  sched.submit(&big);
+  sched.submit(&small);
+  EXPECT_TRUE(sched.admit(0).empty());
+  // Once the resident leaves, the big head fits the freed budget, and only
+  // then the small one.
+  sched.release(&resident);
+  auto admitted = sched.admit(0);
+  ASSERT_EQ(admitted.size(), 1u);
+  EXPECT_EQ(admitted[0], &big);
+}
+
+TEST(BatchScheduler, OversizedSequenceRunsSolo) {
+  BatchScheduler sched({.max_batch_size = 0, .max_concurrent_tokens = 10});
+  Sequence huge = make_seq(100, 1.0, 16);  // cost 116 >> 10
+  Sequence other = make_seq(8, 0.5);
+  sched.submit(&huge);
+  sched.submit(&other);
+  const auto admitted = sched.admit(0);
+  ASSERT_EQ(admitted.size(), 1u);
+  EXPECT_EQ(admitted[0], &huge);
+  // Nothing else joins while the oversized sequence occupies the engine.
+  EXPECT_TRUE(sched.admit(0).empty());
+  sched.release(&huge);
+  EXPECT_EQ(sched.admit(0).size(), 1u);
+}
+
+TEST(BatchScheduler, ReleaseOrSettleOfInactiveThrows) {
+  BatchScheduler sched;
+  Sequence s = make_seq(8, 0.5);
+  EXPECT_THROW(sched.release(&s), std::invalid_argument);
+  EXPECT_THROW(sched.settle(&s), std::invalid_argument);
+  EXPECT_THROW(sched.submit(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kf::serve

@@ -47,6 +47,11 @@ TEST(Experiment, ResultFieldsPopulated) {
   EXPECT_GE(res.ref_rouge1, 0.0);
   EXPECT_LE(res.ref_rouge1, 1.0);
   EXPECT_GT(res.mean_wall_seconds, 0.0);
+  EXPECT_GT(res.mean_prefill_seconds, 0.0);
+  EXPECT_GT(res.mean_decode_seconds, 0.0);
+  EXPECT_GT(res.decode_tokens_per_s, 0.0);
+  EXPECT_NEAR(res.mean_wall_seconds,
+              res.mean_prefill_seconds + res.mean_decode_seconds, 1e-9);
   // No fidelity reference passed -> fidelity stays zero.
   EXPECT_DOUBLE_EQ(res.fid_rouge1, 0.0);
 }

@@ -168,13 +168,17 @@ TEST(Generate, RepetitionPenaltyReducesDuplicates) {
   EXPECT_GE(count_distinct(a.tokens), count_distinct(b.tokens));
 }
 
-TEST(Generate, WallTimeRecorded) {
+TEST(Generate, PerPhaseTimingRecorded) {
   Transformer m(tiny_config());
   auto policy = kv::make_policy(kv::PolicyKind::kFull);
   GenerationConfig cfg;
   cfg.max_new_tokens = 4;
   const GenerationResult r = generate(m, make_prompt(6), *policy, cfg);
-  EXPECT_GT(r.wall_seconds, 0.0);
+  EXPECT_GT(r.prefill_seconds, 0.0);
+  EXPECT_GT(r.decode_seconds, 0.0);
+  EXPECT_GT(r.wall_seconds(), 0.0);
+  // 4 tokens: 1 from prefill logits + 3 decode steps.
+  EXPECT_NEAR(r.decode_tokens_per_s(), 3.0 / r.decode_seconds, 1e-9);
 }
 
 }  // namespace

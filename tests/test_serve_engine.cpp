@@ -1,0 +1,375 @@
+#include "serve/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/rng.h"
+#include "kvcache/policy_factory.h"
+#include "model/generator.h"
+
+namespace kf::serve {
+namespace {
+
+using model::GenerationConfig;
+using model::ModelConfig;
+using model::PositionalKind;
+using model::Token;
+using model::Transformer;
+
+ModelConfig tiny_config(PositionalKind pos = PositionalKind::kRoPE) {
+  ModelConfig cfg;
+  cfg.vocab_size = 64;
+  cfg.d_model = 16;
+  cfg.n_layers = 2;
+  cfg.n_heads = 2;
+  cfg.d_ff = 32;
+  cfg.max_seq_len = 512;
+  cfg.positional = pos;
+  return cfg;
+}
+
+std::vector<Token> make_prompt(std::size_t n, std::uint64_t seed = 0) {
+  std::vector<Token> p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = static_cast<Token>((i * 11 + 3 + seed * 7) % 64);
+  }
+  return p;
+}
+
+/// The classic pre-engine single-sequence loop, kept verbatim as the
+/// golden reference the Engine must reproduce token for token.
+std::vector<Token> reference_generate(Transformer& model,
+                                      std::span<const Token> prompt,
+                                      kv::EvictionPolicy& policy,
+                                      const GenerationConfig& cfg) {
+  policy.set_budget(
+      kv::make_budget(prompt.size(), cfg.cache_ratio, cfg.recent_ratio));
+  kv::SequenceInfo info;
+  info.prompt_len = prompt.size();
+  info.total_steps = cfg.max_new_tokens;
+  info.n_layers = model.config().n_layers;
+  info.n_heads = model.config().n_heads;
+  policy.begin_sequence(info);
+
+  model.reset();
+  const Tensor prompt_logits =
+      model.prefill(prompt, policy, cfg.max_new_tokens);
+
+  std::vector<Token> tokens;
+  const auto recent_window = [&]() -> std::span<const Token> {
+    const std::size_t n = tokens.size();
+    const std::size_t w =
+        cfg.repetition_window == 0 ? n : std::min(n, cfg.repetition_window);
+    return {tokens.data() + (n - w), w};
+  };
+
+  Token next = model::select_greedy(prompt_logits.row(prompt.size() - 1),
+                                    recent_window(), cfg.repetition_penalty,
+                                    cfg.banned_tokens);
+  for (std::size_t t = 1; t <= cfg.max_new_tokens; ++t) {
+    tokens.push_back(next);
+    if (cfg.eos_token >= 0 && next == cfg.eos_token) break;
+    if (tokens.size() >= cfg.max_new_tokens) break;
+    const std::size_t position = prompt.size() + t - 1;
+    const std::vector<float> logits =
+        model.decode(next, position, t, cfg.max_new_tokens, policy);
+    next = model::select_greedy(logits, recent_window(),
+                                cfg.repetition_penalty, cfg.banned_tokens);
+  }
+  return tokens;
+}
+
+class EngineParity
+    : public ::testing::TestWithParam<
+          std::tuple<PositionalKind, kv::PolicyKind>> {};
+
+TEST_P(EngineParity, BatchOfOneMatchesReferenceLoopTokenExactly) {
+  const auto [pos, kind] = GetParam();
+  Transformer model(tiny_config(pos));
+
+  GenerationConfig g;
+  g.max_new_tokens = 12;
+  g.cache_ratio = kind == kv::PolicyKind::kFull ? 1.0 : 0.5;
+  const auto prompt = make_prompt(32);
+
+  auto ref_policy = kv::make_policy(kind);
+  const std::vector<Token> expected =
+      reference_generate(model, prompt, *ref_policy, g);
+
+  EngineConfig ec;
+  ec.policy.kind = kind;
+  Engine engine(model, ec);
+  Request req;
+  req.prompt = prompt;
+  req.gen = g;
+  const auto responses = engine.run({&req, 1});
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].tokens, expected);
+  EXPECT_EQ(responses[0].prompt_len, prompt.size());
+  EXPECT_EQ(responses[0].finish, FinishReason::kLength);
+  EXPECT_GT(responses[0].prefill_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesTimesFamilies, EngineParity,
+    ::testing::Combine(::testing::Values(PositionalKind::kRoPE,
+                                         PositionalKind::kALiBi,
+                                         PositionalKind::kLearned),
+                       ::testing::Values(kv::PolicyKind::kFull,
+                                         kv::PolicyKind::kWindow,
+                                         kv::PolicyKind::kRandom,
+                                         kv::PolicyKind::kStreamingLLM,
+                                         kv::PolicyKind::kH2O,
+                                         kv::PolicyKind::kKeyformer)),
+    [](const auto& info) {
+      return to_string(std::get<0>(info.param)) + "_" +
+             kv::to_string(std::get<1>(info.param));
+    });
+
+TEST(Engine, GenerateIsABatchOfOneClient) {
+  // generate() routes through the Engine; its result must carry the same
+  // tokens as a direct engine run with the same policy configuration.
+  Transformer model(tiny_config());
+  GenerationConfig g;
+  g.max_new_tokens = 10;
+  g.cache_ratio = 0.5;
+  const auto prompt = make_prompt(24);
+
+  auto policy = kv::make_policy(kv::PolicyKind::kKeyformer);
+  const auto direct = model::generate(model, prompt, *policy, g);
+
+  EngineConfig ec;
+  ec.policy.kind = kv::PolicyKind::kKeyformer;
+  Engine engine(model, ec);
+  Request req;
+  req.prompt = prompt;
+  req.gen = g;
+  const auto responses = engine.run({&req, 1});
+  EXPECT_EQ(responses[0].tokens, direct.tokens);
+}
+
+TEST(Engine, MixedBatchSequencesDoNotPerturbEachOther) {
+  // Randomized continuous-batching run: mixed prompt lengths, staggered
+  // arrivals, mixed generation lengths — every request's token stream must
+  // be identical to its solo batch-of-one run, and per-sequence budget
+  // invariants must hold throughout.
+  Transformer model(tiny_config());
+  Rng rng(123);
+
+  std::vector<Request> requests;
+  for (std::size_t i = 0; i < 7; ++i) {
+    Request req;
+    req.id = i;
+    req.prompt = make_prompt(12 + rng.uniform_u64(30), /*seed=*/i);
+    req.gen.max_new_tokens = 4 + rng.uniform_u64(10);
+    req.gen.cache_ratio = 0.5;
+    req.arrival_step = rng.uniform_u64(6);
+    requests.push_back(std::move(req));
+  }
+
+  EngineConfig ec;
+  ec.policy.kind = kv::PolicyKind::kKeyformer;
+  ec.scheduler.max_batch_size = 4;
+  ec.scheduler.max_concurrent_tokens = 120;
+
+  Engine engine(model, ec);
+  const auto mixed = engine.run(requests);
+  ASSERT_EQ(mixed.size(), requests.size());
+  EXPECT_LE(engine.stats().max_batch, 4u);
+  EXPECT_LE(engine.stats().max_tokens_in_use, 120u);
+  EXPECT_GT(engine.stats().decoded_tokens, 0u);
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    // Budget invariants per sequence.
+    const auto& r = mixed[i];
+    const kv::CacheBudget budget = kv::make_budget(
+        requests[i].prompt.size(), requests[i].gen.cache_ratio);
+    EXPECT_EQ(r.budget.max_tokens, budget.max_tokens) << "req " << i;
+    for (const std::size_t size : r.final_cache_sizes) {
+      EXPECT_LE(size, std::max(budget.max_tokens, requests[i].prompt.size()))
+          << "req " << i;
+    }
+    EXPECT_LE(r.peak_cache_tokens,
+              std::max(requests[i].prompt.size(), budget.max_tokens + 1))
+        << "req " << i;
+    EXPECT_EQ(r.tokens.size(), requests[i].gen.max_new_tokens)
+        << "req " << i;
+
+    // Solo run of the same request: identical tokens.
+    Engine solo(model, ec);
+    Request alone = requests[i];
+    alone.arrival_step = 0;
+    const auto solo_resp = solo.run({&alone, 1});
+    EXPECT_EQ(r.tokens, solo_resp[0].tokens) << "req " << i;
+  }
+}
+
+TEST(Engine, MixedBatchDeterministicAcrossRuns) {
+  Transformer model(tiny_config(PositionalKind::kALiBi));
+  std::vector<Request> requests;
+  for (std::size_t i = 0; i < 5; ++i) {
+    Request req;
+    req.prompt = make_prompt(16 + 4 * i, i);
+    req.gen.max_new_tokens = 6 + i;
+    req.gen.cache_ratio = 0.6;
+    req.arrival_step = i / 2;
+    requests.push_back(std::move(req));
+  }
+  EngineConfig ec;
+  ec.scheduler.max_batch_size = 3;
+  Engine engine(model, ec);
+  const auto a = engine.run(requests);
+  const auto b = engine.run(requests);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tokens, b[i].tokens) << "req " << i;
+  }
+}
+
+TEST(Engine, EosRetiresSequenceMidBatchWithoutPerturbingOthers) {
+  Transformer model(tiny_config());
+  // Probe run to learn the first generated token of request 0, then make
+  // that token its eos so it retires after one token while others run on.
+  Request probe;
+  probe.prompt = make_prompt(20, 0);
+  probe.gen.max_new_tokens = 8;
+  Engine engine(model, EngineConfig{});
+  const auto probe_resp = engine.run({&probe, 1});
+  ASSERT_FALSE(probe_resp[0].tokens.empty());
+
+  std::vector<Request> requests(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    requests[i].id = i;
+    requests[i].prompt = make_prompt(20, i);
+    requests[i].gen.max_new_tokens = 8;
+  }
+  requests[0].gen.eos_token = probe_resp[0].tokens[0];
+
+  const auto mixed = engine.run(requests);
+  EXPECT_EQ(mixed[0].tokens.size(), 1u);
+  EXPECT_EQ(mixed[0].finish, FinishReason::kEos);
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_EQ(mixed[i].tokens.size(), 8u);
+    Engine solo(model, EngineConfig{});
+    const auto solo_resp = solo.run({&requests[i], 1});
+    EXPECT_EQ(mixed[i].tokens, solo_resp[0].tokens) << "req " << i;
+  }
+}
+
+TEST(Engine, LateArrivalJoinsMidStream) {
+  Transformer model(tiny_config());
+  std::vector<Request> requests(2);
+  requests[0].prompt = make_prompt(16, 0);
+  requests[0].gen.max_new_tokens = 10;
+  requests[1].prompt = make_prompt(16, 1);
+  requests[1].gen.max_new_tokens = 4;
+  requests[1].arrival_step = 5;  // joins while request 0 is decoding
+
+  Engine engine(model, EngineConfig{});
+  const auto responses = engine.run(requests);
+  EXPECT_EQ(responses[0].tokens.size(), 10u);
+  EXPECT_EQ(responses[1].tokens.size(), 4u);
+  EXPECT_GE(responses[1].first_decode_step, 5u);
+  // The latecomer's tokens match its solo run regardless of the join.
+  Engine solo(model, EngineConfig{});
+  Request alone = requests[1];
+  alone.arrival_step = 0;
+  const auto solo_resp = solo.run({&alone, 1});
+  EXPECT_EQ(responses[1].tokens, solo_resp[0].tokens);
+}
+
+TEST(Engine, ZeroMaxNewTokensFinishesWithoutDecoding) {
+  Transformer model(tiny_config());
+  Request req;
+  req.prompt = make_prompt(8);
+  req.gen.max_new_tokens = 0;
+  Engine engine(model, EngineConfig{});
+  const auto responses = engine.run({&req, 1});
+  EXPECT_TRUE(responses[0].tokens.empty());
+  EXPECT_EQ(responses[0].finish, FinishReason::kLength);
+  EXPECT_EQ(engine.stats().steps, 0u);
+}
+
+TEST(Engine, RejectsEmptyPrompt) {
+  Transformer model(tiny_config());
+  Engine engine(model, EngineConfig{});
+  Request req;  // empty prompt
+  EXPECT_THROW(engine.run({&req, 1}), std::invalid_argument);
+}
+
+TEST(Engine, RejectsExternalKvStateWithWrongGeometry) {
+  Transformer model(tiny_config());  // 2 layers, 2 heads, d_head 8
+  Engine engine(model, EngineConfig{});
+  Request req;
+  req.prompt = make_prompt(8);
+  req.gen.max_new_tokens = 2;
+
+  // Wrong layer count.
+  kv::SequenceKvState wrong_layers(1, 2, 8);
+  req.kv_state = &wrong_layers;
+  EXPECT_THROW(engine.run({&req, 1}), std::invalid_argument);
+
+  // Same layer count and same row width (4x4 == 2x8 == 16 floats), but a
+  // different head split — must be rejected, not silently misread.
+  kv::SequenceKvState wrong_split(2, 4, 4);
+  req.kv_state = &wrong_split;
+  EXPECT_THROW(engine.run({&req, 1}), std::invalid_argument);
+
+  // Matching geometry passes.
+  kv::SequenceKvState ok(2, 2, 8);
+  req.kv_state = &ok;
+  EXPECT_NO_THROW(engine.run({&req, 1}));
+}
+
+TEST(Engine, RejectsSharedKvStateOrPolicyAcrossRequests) {
+  // Two live requests on one kv_state (or one policy) would clobber each
+  // other's caches/score state; the engine must refuse up front instead of
+  // failing deep inside step_batch after wasted prefill work.
+  Transformer model(tiny_config());
+  Engine engine(model, EngineConfig{});
+  std::vector<Request> requests(2);
+  requests[0].prompt = make_prompt(8, 0);
+  requests[0].gen.max_new_tokens = 2;
+  requests[1].prompt = make_prompt(8, 1);
+  requests[1].gen.max_new_tokens = 2;
+
+  kv::SequenceKvState shared(2, 2, 8);
+  requests[0].kv_state = &shared;
+  requests[1].kv_state = &shared;
+  EXPECT_THROW(engine.run(requests), std::invalid_argument);
+
+  requests[0].kv_state = nullptr;
+  requests[1].kv_state = nullptr;
+  auto shared_policy = kv::make_policy(kv::PolicyKind::kKeyformer);
+  requests[0].policy = shared_policy.get();
+  requests[1].policy = shared_policy.get();
+  EXPECT_THROW(engine.run(requests), std::invalid_argument);
+}
+
+TEST(Engine, AggregateStatsAreConsistent) {
+  Transformer model(tiny_config());
+  std::vector<Request> requests(3);
+  std::size_t expected_decoded = 0;
+  std::size_t expected_prefill = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    requests[i].prompt = make_prompt(10 + i, i);
+    requests[i].gen.max_new_tokens = 5;
+    expected_decoded += 5 - 1;  // first token comes from prefill
+    expected_prefill += requests[i].prompt.size();
+  }
+  Engine engine(model, EngineConfig{});
+  const auto responses = engine.run(requests);
+  EXPECT_EQ(engine.stats().decoded_tokens, expected_decoded);
+  EXPECT_EQ(engine.stats().prefilled_tokens, expected_prefill);
+  EXPECT_EQ(engine.stats().max_batch, 3u);
+  EXPECT_GT(engine.stats().decode_tokens_per_s(), 0.0);
+  for (const auto& r : responses) {
+    EXPECT_GT(r.decode_tokens_per_s(), 0.0);
+    EXPECT_GT(r.prefill_seconds, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace kf::serve

@@ -6,8 +6,35 @@
 #include <numeric>
 #include <vector>
 
+#include "core/parse.h"
+
 namespace kf {
 namespace {
+
+TEST(ParseCount, AcceptsPlainDigits) {
+  EXPECT_EQ(parse_count("0"), 0ULL);
+  EXPECT_EQ(parse_count("42"), 42ULL);
+  EXPECT_EQ(parse_count("18446744073709551615"), ~0ULL);
+}
+
+TEST(ParseCount, RejectsNonDigitsAndEmpty) {
+  EXPECT_FALSE(parse_count(nullptr).has_value());
+  EXPECT_FALSE(parse_count("").has_value());
+  EXPECT_FALSE(parse_count(" 4").has_value());
+  EXPECT_FALSE(parse_count("-4").has_value());
+  EXPECT_FALSE(parse_count("+4").has_value());
+  EXPECT_FALSE(parse_count("4x").has_value());
+}
+
+TEST(ParseCount, RejectsValuesAboveMax) {
+  EXPECT_FALSE(parse_count("18446744073709551616").has_value());
+  EXPECT_FALSE(parse_count("257", 256).has_value());
+  EXPECT_EQ(parse_count("256", 256), 256ULL);
+  // Single digit already above max: the guard must not underflow max - digit.
+  EXPECT_FALSE(parse_count("9", 5).has_value());
+  EXPECT_FALSE(parse_count("1", 0).has_value());
+  EXPECT_EQ(parse_count("0", 0), 0ULL);
+}
 
 TEST(ThreadPool, CoversFullRangeExactlyOnce) {
   ThreadPool pool(4);
