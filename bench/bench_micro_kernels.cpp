@@ -96,7 +96,7 @@ void BM_AttentionDecodeStep(benchmark::State& state) {
   const std::size_t ctx = static_cast<std::size_t>(state.range(0));
   model::ModelConfig cfg = model::ModelConfig::mpt_like();
   const model::ModelWeights w = model::build_weights(cfg);
-  kv::KvCache cache(cfg.n_heads, cfg.d_head(), ctx + 8);
+  kv::ContiguousKvCache cache(cfg.n_heads, cfg.d_head(), ctx + 8);
   Rng rng(1);
   std::vector<float> row(cache.row_width());
   for (std::size_t i = 0; i < ctx; ++i) {
@@ -125,7 +125,7 @@ void BM_CacheCompaction(benchmark::State& state) {
   for (std::size_t i = 0; i < n; i += 2) keep.push_back(i);
   for (auto _ : state) {
     state.PauseTiming();
-    kv::KvCache cache(cfg.n_heads, cfg.d_head(), n);
+    kv::ContiguousKvCache cache(cfg.n_heads, cfg.d_head(), n);
     for (std::size_t i = 0; i < n; ++i) cache.append(row, row, i);
     state.ResumeTiming();
     cache.compact(keep);

@@ -1,5 +1,6 @@
 // Serving-throughput bench: the measured version of Table 1's "bigger
-// batch" row. Two sweeps over the real serve::Engine (not the cost model):
+// batch" row. Three sweeps over the real serve::Engine (not the cost
+// model):
 //
 //   1. batch scaling — aggregate decode tokens/s vs max batch size at a
 //      fixed cache_ratio: continuous batching amortizes the projection
@@ -9,13 +10,23 @@
 //      (max_concurrent_tokens), sweep cache_ratio: a reduced cache costs
 //      ~ratio * prompt_len per sequence, so smaller ratios admit larger
 //      batches into the same memory and win aggregate tokens/s — the
-//      compounding effect behind the paper's 2.4x claim.
+//      compounding effect behind the paper's 2.4x claim;
+//   3. shard scaling (with --shards N) — paged KV memory, sweeping the
+//      pool's shard count 1..N at the largest batch: per-sequence caches
+//      land on separate shards, so allocation/eviction contention and
+//      (on NUMA hosts) memory-domain locality stop serializing decode.
+//      Like sweep 1, this is parallel across sequences — flat on a
+//      single-core host.
 //
 //   ./bench/bench_serve_throughput [--quick] [--gen N] [--seed S]
-//                                  [--csv DIR]
+//                                  [--csv DIR] [--shards N]
+//                                  [--block-tokens N]
 //
-// --csv DIR writes serve_throughput.csv + serve_frontier.csv (the CI
-// artifact recording the serving-throughput trajectory).
+// --shards N additionally switches sweeps 1-2 onto the paged allocator so
+// their pool_util / frag columns are live (0 under contiguous caches).
+// --csv DIR writes serve_throughput.csv + serve_frontier.csv (+
+// serve_shards.csv with --shards) — the CI artifact recording the
+// serving-throughput trajectory.
 #include <iostream>
 #include <string>
 #include <vector>
@@ -31,6 +42,11 @@ struct Workload {
   std::size_t prompt_len = 0;
   std::size_t gen_tokens = 0;
   std::uint64_t seed = 0;
+};
+
+struct PagedOptions {
+  std::size_t shards = 0;  ///< 0 = contiguous caches
+  std::size_t block_tokens = 16;
 };
 
 std::vector<serve::Request> make_requests(const model::ModelConfig& cfg,
@@ -49,8 +65,8 @@ std::vector<serve::Request> make_requests(const model::ModelConfig& cfg,
 }
 
 serve::EngineStats run_cell(model::Transformer& m, const Workload& wl,
-                    double cache_ratio, std::size_t max_batch,
-                    std::size_t max_tokens) {
+                            double cache_ratio, std::size_t max_batch,
+                            std::size_t max_tokens, const PagedOptions& po) {
   std::vector<serve::Request> requests = make_requests(m.config(), wl);
   for (auto& r : requests) r.gen.cache_ratio = cache_ratio;
 
@@ -58,15 +74,53 @@ serve::EngineStats run_cell(model::Transformer& m, const Workload& wl,
   ec.policy.kind = kv::PolicyKind::kKeyformer;
   ec.scheduler.max_batch_size = max_batch;
   ec.scheduler.max_concurrent_tokens = max_tokens;
+  if (po.shards > 0) {
+    ec.paged.enabled = true;
+    ec.paged.n_shards = po.shards;
+    ec.paged.block_tokens = po.block_tokens;
+  }
   serve::Engine engine(m, ec);
   engine.run(requests);
   return engine.stats();
+}
+
+/// Peak pool utilization of one cell (0 under contiguous caches or an
+/// unbounded pool).
+double pool_util(const serve::EngineStats& stats) {
+  return stats.pool_capacity_blocks > 0
+             ? static_cast<double>(stats.pool_peak_used_blocks) /
+                   static_cast<double>(stats.pool_capacity_blocks)
+             : 0.0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::parse_options(argc, argv);
+  PagedOptions po;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_count = [&](const char* flag) -> std::size_t {
+      const char* value = i + 1 < argc ? argv[++i] : "";
+      const auto v = parse_count(value);
+      if (!v.has_value()) {
+        std::cerr << "error: " << flag
+                  << " expects a non-negative integer, got \"" << value
+                  << "\"\n";
+        std::exit(1);
+      }
+      return static_cast<std::size_t>(*v);
+    };
+    if (arg == "--shards") {
+      po.shards = next_count("--shards");
+    } else if (arg == "--block-tokens") {
+      po.block_tokens = next_count("--block-tokens");
+      if (po.block_tokens == 0) {
+        std::cerr << "error: --block-tokens must be positive\n";
+        return 1;
+      }
+    }
+  }
 
   Workload wl;
   wl.seed = opt.seed;
@@ -88,28 +142,35 @@ int main(int argc, char** argv) {
   std::cout << "serve throughput (gptj-like RoPE, keyformer policy, "
             << wl.n_requests << " requests, prompt " << wl.prompt_len
             << ", gen " << wl.gen_tokens << ", "
-            << ThreadPool::global().size()
-            << " worker threads)\n"
-            << "note: batch scaling is parallel across sequences — on a "
-               "single-core host sweep 1 is expected to be flat\n\n";
+            << ThreadPool::global().size() << " worker threads, "
+            << (po.shards > 0 ? "paged KV: " + std::to_string(po.shards) +
+                                    " shard(s) x " +
+                                    std::to_string(po.block_tokens) +
+                                    "-token blocks"
+                              : std::string("contiguous KV caches"))
+            << ")\n"
+            << "note: batch and shard scaling are parallel across sequences "
+               "— on a single-core host those sweeps are expected to be "
+               "flat\n\n";
 
   // Sweep 1: batch scaling at fixed cache_ratio.
   const double fixed_ratio = 0.5;
   Table t1("aggregate decode throughput vs batch size (cache_ratio 0.5)");
   t1.header({"max_batch", "decode_tok_per_s", "speedup_vs_b1", "steps",
-             "peak_batch", "peak_kv_tokens"});
+             "peak_batch", "peak_kv_tokens", "pool_util", "frag"});
   double base_tps = 0.0;
   for (const std::size_t b : batches) {
     const serve::EngineStats stats =
-        run_cell(m, wl, fixed_ratio, b, /*max_tokens=*/0);
+        run_cell(m, wl, fixed_ratio, b, /*max_tokens=*/0, po);
     const double tps = stats.decode_tokens_per_s();
     if (b == batches.front()) base_tps = tps;
     t1.row({Table::num(static_cast<long long>(b)), Table::num(tps, 1),
             Table::num(base_tps > 0.0 ? tps / base_tps : 0.0, 2) + "x",
             Table::num(static_cast<long long>(stats.steps)),
             Table::num(static_cast<long long>(stats.max_batch)),
-            Table::num(
-                static_cast<long long>(stats.max_tokens_in_use))});
+            Table::num(static_cast<long long>(stats.max_tokens_in_use)),
+            Table::num(pool_util(stats), 3),
+            Table::num(stats.max_fragmentation, 3)});
   }
   t1.print(std::cout);
   bench::maybe_write_csv(opt, t1, "serve_throughput");
@@ -125,28 +186,62 @@ int main(int argc, char** argv) {
   Table t2("fixed KV-memory budget (" + std::to_string(kv_budget) +
            " tokens): cache_ratio buys batch size");
   t2.header({"cache_ratio", "achieved_batch", "decode_tok_per_s",
-             "speedup_vs_full", "peak_kv_tokens"});
+             "speedup_vs_full", "peak_kv_tokens", "pool_util", "frag"});
   double full_tps = 0.0;
   for (const double r : ratios) {
     const serve::EngineStats stats =
-        run_cell(m, wl, r, /*max_batch=*/0, kv_budget);
+        run_cell(m, wl, r, /*max_batch=*/0, kv_budget, po);
     const double tps = stats.decode_tokens_per_s();
     if (r == ratios.front()) full_tps = tps;
     t2.row({Table::num(r, 2),
             Table::num(static_cast<long long>(stats.max_batch)),
             Table::num(tps, 1),
             Table::num(full_tps > 0.0 ? tps / full_tps : 0.0, 2) + "x",
-            Table::num(
-                static_cast<long long>(stats.max_tokens_in_use))});
+            Table::num(static_cast<long long>(stats.max_tokens_in_use)),
+            Table::num(pool_util(stats), 3),
+            Table::num(stats.max_fragmentation, 3)});
   }
   t2.print(std::cout);
   bench::maybe_write_csv(opt, t2, "serve_frontier");
+
+  // Sweep 3: shard scaling — paged pool, shard count 1..N, biggest batch.
+  if (po.shards > 0) {
+    std::cout << '\n';
+    Table t3("aggregate decode throughput vs pool shard count (batch " +
+             std::to_string(batches.back()) + ", cache_ratio 0.5)");
+    t3.header({"shards", "decode_tok_per_s", "speedup_vs_s1",
+               "peak_blocks_reserved", "pool_util", "frag"});
+    double s1_tps = 0.0;
+    // Doubling steps, but always ending exactly at the requested count
+    // (a --shards 3 run must measure 3 shards, not stop at 2).
+    std::vector<std::size_t> shard_counts;
+    for (std::size_t s = 1; s < po.shards; s *= 2) shard_counts.push_back(s);
+    shard_counts.push_back(po.shards);
+    for (const std::size_t s : shard_counts) {
+      PagedOptions cell = po;
+      cell.shards = s;
+      const serve::EngineStats stats = run_cell(
+          m, wl, fixed_ratio, batches.back(), /*max_tokens=*/0, cell);
+      const double tps = stats.decode_tokens_per_s();
+      if (s == 1) s1_tps = tps;
+      t3.row({Table::num(static_cast<long long>(s)), Table::num(tps, 1),
+              Table::num(s1_tps > 0.0 ? tps / s1_tps : 0.0, 2) + "x",
+              Table::num(static_cast<long long>(stats.max_blocks_in_use)),
+              Table::num(pool_util(stats), 3),
+              Table::num(stats.max_fragmentation, 3)});
+    }
+    t3.print(std::cout);
+    bench::maybe_write_csv(opt, t3, "serve_shards");
+  }
 
   std::cout << "\nReading guide: sweep 1 shows continuous batching scaling "
                "aggregate decode tokens/s with batch size on one set of "
                "weights; sweep 2 holds KV memory fixed and shows a reduced "
                "cache ratio converting freed memory into batch size and "
                "throughput — the measured form of Table 1's bigger-batch "
-               "row.\n";
+               "row. With --shards, sweep 3 spreads the paged sequences "
+               "over more pool shards; pool_util is peak used blocks over "
+               "capacity and frag is the worst-step share of block-resident "
+               "token slots holding no live token.\n";
   return 0;
 }

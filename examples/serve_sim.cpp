@@ -7,12 +7,21 @@
 // Engine really admits, prefills, batches, and retires each request
 // (per-sequence KV caches + Keyformer eviction at 50% cache ratio).
 //
-//   ./examples/serve_sim [max_batch] [kv_budget_tokens]
-//     max_batch         max concurrent sequences (default 4)
-//     kv_budget_tokens  scheduler memory budget; 0 = unlimited
-//                       (default 600)
+//   ./examples/serve_sim [--max-batch N] [--kv-budget N]
+//                        [--shards N] [--block-tokens N]
+//     --max-batch N     max concurrent sequences (default 4)
+//     --kv-budget N     scheduler memory budget in per-layer tokens;
+//                       0 = unlimited (default 600)
+//     --shards N        enable paged KV memory on an N-shard block pool
+//                       (default 0 = classic contiguous caches)
+//     --block-tokens N  tokens per pool block (default 16; paged only)
+//
+// With --shards the budget stops being an abstract token count: admission
+// reserves real blocks on a shard, and the summary reports pool
+// utilization and internal fragmentation.
 #include <cstdlib>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "core/parse.h"
@@ -37,14 +46,20 @@ serve::Request make_request(std::uint64_t id, std::size_t prompt_len,
   return req;
 }
 
+[[noreturn]] void usage_exit(const std::string& message) {
+  std::cerr << "error: " << message
+            << "\nusage: serve_sim [--max-batch N] [--kv-budget N] "
+               "[--shards N] [--block-tokens N]\n";
+  std::exit(1);
+}
+
 /// Strict non-negative integer parse; exits with usage on garbage (a bare
 /// strtoull would turn "abc" or " -4" into 0 or a huge count silently).
 std::size_t parse_count_arg(const char* arg, const char* name) {
   const auto v = parse_count(arg);
   if (!v.has_value()) {
-    std::cerr << "error: " << name << " must be a non-negative integer, got \""
-              << arg << "\"\nusage: serve_sim [max_batch] [kv_budget_tokens]\n";
-    std::exit(1);
+    usage_exit(std::string(name) + " must be a non-negative integer, got \"" +
+               (arg == nullptr ? "" : arg) + "\"");
   }
   return static_cast<std::size_t>(*v);
 }
@@ -52,10 +67,33 @@ std::size_t parse_count_arg(const char* arg, const char* name) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t max_batch =
-      argc > 1 ? parse_count_arg(argv[1], "max_batch") : 4;
-  const std::size_t kv_budget =
-      argc > 2 ? parse_count_arg(argv[2], "kv_budget_tokens") : 600;
+  std::size_t max_batch = 4;
+  std::size_t kv_budget = 600;
+  std::size_t shards = 0;
+  std::size_t block_tokens = 16;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) usage_exit(std::string(name) + " expects a value");
+      return argv[++i];
+    };
+    if (arg == "--max-batch") {
+      max_batch = parse_count_arg(next("--max-batch"), "--max-batch");
+    } else if (arg == "--kv-budget") {
+      kv_budget = parse_count_arg(next("--kv-budget"), "--kv-budget");
+    } else if (arg == "--shards") {
+      shards = parse_count_arg(next("--shards"), "--shards");
+    } else if (arg == "--block-tokens") {
+      block_tokens = parse_count_arg(next("--block-tokens"), "--block-tokens");
+      if (block_tokens == 0) usage_exit("--block-tokens must be positive");
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: serve_sim [--max-batch N] [--kv-budget N] "
+                   "[--shards N] [--block-tokens N]\n";
+      return 0;
+    } else {
+      usage_exit("unknown argument \"" + arg + "\"");
+    }
+  }
 
   model::ModelConfig cfg = model::ModelConfig::gptj_like();
   cfg.max_seq_len = 4096;
@@ -80,6 +118,11 @@ int main(int argc, char** argv) {
   ec.policy.kind = kv::PolicyKind::kKeyformer;
   ec.scheduler.max_batch_size = max_batch;
   ec.scheduler.max_concurrent_tokens = kv_budget;
+  if (shards > 0) {
+    ec.paged.enabled = true;
+    ec.paged.n_shards = shards;
+    ec.paged.block_tokens = block_tokens;
+  }
   serve::Engine engine(m, ec);
 
   std::cout << "serving " << requests.size()
@@ -87,7 +130,13 @@ int main(int argc, char** argv) {
             << ", kv budget "
             << (kv_budget == 0 ? std::string("unlimited")
                                : std::to_string(kv_budget) + " tokens")
-            << ", keyformer @50% cache)\n\n";
+            << ", keyformer @50% cache, "
+            << (shards > 0 ? "paged: " + std::to_string(shards) +
+                                 " shard(s) x " +
+                                 std::to_string(block_tokens) +
+                                 "-token blocks"
+                           : std::string("contiguous caches"))
+            << ")\n\n";
 
   const auto responses = engine.run(requests);
 
@@ -115,10 +164,25 @@ int main(int argc, char** argv) {
             << st.max_batch << ", peak KV in use " << st.max_tokens_in_use
             << " tokens, aggregate decode throughput "
             << Table::num(st.decode_tokens_per_s(), 1) << " tok/s\n";
+  if (shards > 0) {
+    const double util =
+        st.pool_capacity_blocks > 0
+            ? static_cast<double>(st.pool_peak_used_blocks) /
+                  static_cast<double>(st.pool_capacity_blocks)
+            : 0.0;
+    std::cout << "pool: " << st.pool_peak_used_blocks << " peak used / "
+              << st.pool_capacity_blocks << " capacity blocks ("
+              << Table::num(100.0 * util, 1) << "% peak utilization), peak "
+              << st.max_blocks_in_use << " blocks reserved, worst internal "
+              << "fragmentation " << Table::num(100.0 * st.max_fragmentation, 1)
+              << "%\n";
+  }
   std::cout << "Queued steps show admission control at work: requests wait "
                "when the batch or the KV-memory budget is full, and join "
                "mid-stream as earlier sequences retire. Lowering the cache "
                "ratio shrinks each sequence's footprint, admitting more of "
-               "them at once (see bench_serve_throughput).\n";
+               "them at once (see bench_serve_throughput). With --shards the "
+               "budget is enforced as whole-block reservations on a real "
+               "pool, so fragmentation and placement become visible above.\n";
   return 0;
 }

@@ -6,35 +6,14 @@
 
 namespace kf::kv {
 
-KvCache::KvCache(std::size_t n_heads, std::size_t d_head,
-                 std::size_t capacity_hint)
+// ---------------------------------------------------------------------------
+// KvCache: metadata + validation shared by every storage implementation.
+
+KvCache::KvCache(std::size_t n_heads, std::size_t d_head)
     : n_heads_(n_heads), d_head_(d_head), scores_(n_heads) {
   if (n_heads == 0 || d_head == 0) {
     throw std::invalid_argument("KvCache requires n_heads > 0 and d_head > 0");
   }
-  if (capacity_hint > 0) {
-    ensure_capacity(capacity_hint);
-    positions_.reserve(capacity_hint);
-    for (auto& s : scores_) s.reserve(capacity_hint);
-  }
-}
-
-void KvCache::ensure_capacity(std::size_t need) {
-  if (need <= capacity_) return;
-  const std::size_t new_cap =
-      std::max({need, capacity_ * 2, std::size_t{16}});
-  std::vector<float> new_keys(n_heads_ * new_cap * d_head_);
-  std::vector<float> new_values(n_heads_ * new_cap * d_head_);
-  const std::size_t live = size() * d_head_;
-  for (std::size_t h = 0; h < n_heads_; ++h) {
-    std::copy_n(keys_.data() + h * capacity_ * d_head_, live,
-                new_keys.data() + h * new_cap * d_head_);
-    std::copy_n(values_.data() + h * capacity_ * d_head_, live,
-                new_values.data() + h * new_cap * d_head_);
-  }
-  keys_ = std::move(new_keys);
-  values_ = std::move(new_values);
-  capacity_ = new_cap;
 }
 
 void KvCache::append(std::span<const float> k_row,
@@ -46,13 +25,7 @@ void KvCache::append(std::span<const float> k_row,
     throw std::invalid_argument(
         "KvCache::append: original positions must be strictly increasing");
   }
-  const std::size_t t = size();
-  ensure_capacity(t + 1);
-  for (std::size_t h = 0; h < n_heads_; ++h) {
-    const std::size_t dst = (h * capacity_ + t) * d_head_;
-    std::copy_n(k_row.data() + h * d_head_, d_head_, keys_.data() + dst);
-    std::copy_n(v_row.data() + h * d_head_, d_head_, values_.data() + dst);
-  }
+  append_rows(k_row, v_row);  // size() is still the new token's index here
   positions_.push_back(original_pos);
   for (auto& s : scores_) s.push_back(0.0);
 }
@@ -61,8 +34,8 @@ std::vector<float> KvCache::key_row(std::size_t idx) const {
   assert(idx < size());
   std::vector<float> row(row_width());
   for (std::size_t h = 0; h < n_heads_; ++h) {
-    std::copy_n(keys_.data() + (h * capacity_ + idx) * d_head_, d_head_,
-                row.data() + h * d_head_);
+    const auto head = key_head(idx, h);
+    std::copy(head.begin(), head.end(), row.begin() + h * d_head_);
   }
   return row;
 }
@@ -71,32 +44,10 @@ std::vector<float> KvCache::value_row(std::size_t idx) const {
   assert(idx < size());
   std::vector<float> row(row_width());
   for (std::size_t h = 0; h < n_heads_; ++h) {
-    std::copy_n(values_.data() + (h * capacity_ + idx) * d_head_, d_head_,
-                row.data() + h * d_head_);
+    const auto head = value_head(idx, h);
+    std::copy(head.begin(), head.end(), row.begin() + h * d_head_);
   }
   return row;
-}
-
-std::span<const float> KvCache::key_head(std::size_t idx,
-                                         std::size_t head) const {
-  assert(idx < size() && head < n_heads_);
-  return {keys_.data() + (head * capacity_ + idx) * d_head_, d_head_};
-}
-
-std::span<const float> KvCache::value_head(std::size_t idx,
-                                           std::size_t head) const {
-  assert(idx < size() && head < n_heads_);
-  return {values_.data() + (head * capacity_ + idx) * d_head_, d_head_};
-}
-
-std::span<const float> KvCache::keys_head(std::size_t head) const {
-  assert(head < n_heads_);
-  return {keys_.data() + head * capacity_ * d_head_, size() * d_head_};
-}
-
-std::span<const float> KvCache::values_head(std::size_t head) const {
-  assert(head < n_heads_);
-  return {values_.data() + head * capacity_ * d_head_, size() * d_head_};
 }
 
 std::size_t KvCache::original_position(std::size_t idx) const {
@@ -133,8 +84,7 @@ double KvCache::total_score(std::size_t idx) const {
 }
 
 void KvCache::compact(std::span<const std::size_t> keep) {
-  // Validate once; the per-head gather below can then move rows without
-  // re-checking.
+  // Validate once; storage gathers can then move rows without re-checking.
   std::size_t prev = 0;
   for (std::size_t j = 0; j < keep.size(); ++j) {
     const std::size_t idx = keep[j];
@@ -147,21 +97,7 @@ void KvCache::compact(std::span<const std::size_t> keep) {
     }
     prev = idx;
   }
-  // Head-major gather: within each head's contiguous segment, move the kept
-  // d_head-wide rows forward. Source index >= destination index always, so
-  // rows never overlap.
-  for (std::size_t h = 0; h < n_heads_; ++h) {
-    float* kbase = keys_.data() + h * capacity_ * d_head_;
-    float* vbase = values_.data() + h * capacity_ * d_head_;
-    std::size_t out = 0;
-    for (const std::size_t idx : keep) {
-      if (idx != out) {
-        std::copy_n(kbase + idx * d_head_, d_head_, kbase + out * d_head_);
-        std::copy_n(vbase + idx * d_head_, d_head_, vbase + out * d_head_);
-      }
-      ++out;
-    }
-  }
+  compact_rows(keep);
   std::size_t out = 0;
   for (const std::size_t idx : keep) {
     if (idx != out) {
@@ -175,8 +111,100 @@ void KvCache::compact(std::span<const std::size_t> keep) {
 }
 
 void KvCache::clear() {
+  clear_rows();
   positions_.clear();
   for (auto& per_head : scores_) per_head.clear();
+}
+
+// ---------------------------------------------------------------------------
+// ContiguousKvCache: one private head-major arena.
+
+ContiguousKvCache::ContiguousKvCache(std::size_t n_heads, std::size_t d_head,
+                                     std::size_t capacity_hint)
+    : KvCache(n_heads, d_head) {
+  if (capacity_hint > 0) ensure_capacity(capacity_hint);
+}
+
+void ContiguousKvCache::ensure_capacity(std::size_t need) {
+  if (need <= capacity_) return;
+  // Geometric growth: at least double every reallocation, so an append
+  // stream costs O(log n) full-segment copies, not O(n).
+  const std::size_t new_cap = std::max({need, capacity_ * 2, std::size_t{16}});
+  std::vector<float> new_keys(n_heads() * new_cap * d_head());
+  std::vector<float> new_values(n_heads() * new_cap * d_head());
+  const std::size_t live = size() * d_head();
+  for (std::size_t h = 0; h < n_heads(); ++h) {
+    std::copy_n(keys_.data() + h * capacity_ * d_head(), live,
+                new_keys.data() + h * new_cap * d_head());
+    std::copy_n(values_.data() + h * capacity_ * d_head(), live,
+                new_values.data() + h * new_cap * d_head());
+  }
+  keys_ = std::move(new_keys);
+  values_ = std::move(new_values);
+  if (capacity_ > 0) ++reallocations_;  // first sizing is not a *re*alloc
+  capacity_ = new_cap;
+}
+
+void ContiguousKvCache::append_rows(std::span<const float> k_row,
+                                    std::span<const float> v_row) {
+  const std::size_t t = size();
+  ensure_capacity(t + 1);
+  for (std::size_t h = 0; h < n_heads(); ++h) {
+    const std::size_t dst = (h * capacity_ + t) * d_head();
+    std::copy_n(k_row.data() + h * d_head(), d_head(), keys_.data() + dst);
+    std::copy_n(v_row.data() + h * d_head(), d_head(), values_.data() + dst);
+  }
+}
+
+std::span<const float> ContiguousKvCache::key_head(std::size_t idx,
+                                                   std::size_t head) const {
+  assert(idx < size() && head < n_heads());
+  return {keys_.data() + (head * capacity_ + idx) * d_head(), d_head()};
+}
+
+std::span<const float> ContiguousKvCache::value_head(std::size_t idx,
+                                                     std::size_t head) const {
+  assert(idx < size() && head < n_heads());
+  return {values_.data() + (head * capacity_ + idx) * d_head(), d_head()};
+}
+
+KvSegment ContiguousKvCache::segment(std::size_t head, std::size_t s) const {
+  assert(head < n_heads() && s < segment_count());
+  (void)s;
+  KvSegment seg;
+  seg.keys = keys_.data() + head * capacity_ * d_head();
+  seg.values = values_.data() + head * capacity_ * d_head();
+  seg.first = 0;
+  seg.count = size();
+  return seg;
+}
+
+std::span<const float> ContiguousKvCache::keys_head(std::size_t head) const {
+  assert(head < n_heads());
+  return {keys_.data() + head * capacity_ * d_head(), size() * d_head()};
+}
+
+std::span<const float> ContiguousKvCache::values_head(std::size_t head) const {
+  assert(head < n_heads());
+  return {values_.data() + head * capacity_ * d_head(), size() * d_head()};
+}
+
+void ContiguousKvCache::compact_rows(std::span<const std::size_t> keep) {
+  // Head-major gather: within each head's contiguous segment, move the kept
+  // d_head-wide rows forward. Source index >= destination index always, so
+  // rows never overlap.
+  for (std::size_t h = 0; h < n_heads(); ++h) {
+    float* kbase = keys_.data() + h * capacity_ * d_head();
+    float* vbase = values_.data() + h * capacity_ * d_head();
+    std::size_t out = 0;
+    for (const std::size_t idx : keep) {
+      if (idx != out) {
+        std::copy_n(kbase + idx * d_head(), d_head(), kbase + out * d_head());
+        std::copy_n(vbase + idx * d_head(), d_head(), vbase + out * d_head());
+      }
+      ++out;
+    }
+  }
 }
 
 }  // namespace kf::kv

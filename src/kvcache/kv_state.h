@@ -6,12 +6,22 @@
 // one model's weights while each keeps its own caches (and its own
 // EvictionPolicy instance for score state) — the structure continuous
 // batching schedules over.
+//
+// The state is storage-agnostic: the contiguous constructor builds classic
+// private-arena caches; the pool constructor builds paged caches whose
+// blocks come from (and return to) one shard of a mem::BlockPool — the
+// scheduler's placement decision materialized.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "kvcache/kv_cache.h"
+
+namespace kf::mem {
+class BlockPool;
+}
 
 namespace kf::kv {
 
@@ -20,17 +30,26 @@ class SequenceKvState {
  public:
   SequenceKvState() = default;
 
-  /// One cache per layer, each laid out for n_heads x d_head rows.
+  /// One contiguous cache per layer, each laid out for n_heads x d_head
+  /// rows.
   SequenceKvState(std::size_t n_layers, std::size_t n_heads,
                   std::size_t d_head, std::size_t capacity_hint = 0);
 
+  /// One paged cache per layer, all drawing blocks from `pool`'s shard
+  /// `shard` (geometry comes from the pool config).
+  SequenceKvState(mem::BlockPool& pool, std::size_t shard,
+                  std::size_t n_layers);
+
+  SequenceKvState(SequenceKvState&&) = default;
+  SequenceKvState& operator=(SequenceKvState&&) = default;
+
   std::size_t n_layers() const noexcept { return caches_.size(); }
 
-  KvCache& layer(std::size_t l) { return caches_.at(l); }
-  const KvCache& layer(std::size_t l) const { return caches_.at(l); }
+  KvCache& layer(std::size_t l) { return *caches_.at(l); }
+  const KvCache& layer(std::size_t l) const { return *caches_.at(l); }
 
   /// Cache length of one layer.
-  std::size_t layer_size(std::size_t l) const { return caches_.at(l).size(); }
+  std::size_t layer_size(std::size_t l) const { return caches_.at(l)->size(); }
 
   /// Sum of cache lengths across layers.
   std::size_t total_tokens() const noexcept;
@@ -49,11 +68,11 @@ class SequenceKvState {
   bool matches(std::size_t n_layers, std::size_t n_heads,
                std::size_t d_head) const noexcept;
 
-  /// Clears every layer cache (capacity retained).
+  /// Clears every layer cache (a paged state returns its blocks).
   void clear();
 
  private:
-  std::vector<KvCache> caches_;
+  std::vector<std::unique_ptr<KvCache>> caches_;
 };
 
 }  // namespace kf::kv

@@ -1,0 +1,220 @@
+#include "mem/block_pool.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace kf::mem {
+
+BlockPool::BlockPool(BlockPoolConfig cfg) : cfg_(cfg) {
+  if (cfg_.n_shards == 0) {
+    throw std::invalid_argument("BlockPool requires n_shards > 0");
+  }
+  if (cfg_.block_tokens == 0) {
+    throw std::invalid_argument("BlockPool requires block_tokens > 0");
+  }
+  if (cfg_.n_heads == 0 || cfg_.d_head == 0) {
+    throw std::invalid_argument(
+        "BlockPool requires n_heads > 0 and d_head > 0");
+  }
+  section_floats_ = cfg_.n_heads * cfg_.block_tokens * cfg_.d_head;
+  block_floats_ = 2 * section_floats_;
+  shards_.reserve(cfg_.n_shards);
+  for (std::size_t s = 0; s < cfg_.n_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    const std::size_t max_slabs =
+        cfg_.blocks_per_shard > 0
+            ? (cfg_.blocks_per_shard + kBlocksPerSlab - 1) / kBlocksPerSlab
+            : kUnboundedSlabs;
+    shard->slabs.resize(max_slabs);  // directory only; arenas come lazily
+    shards_.push_back(std::move(shard));
+  }
+}
+
+float* BlockPool::block_base(BlockRef ref) const noexcept {
+  assert(ref.shard < shards_.size());
+  const Shard& sh = *shards_[ref.shard];
+  const std::size_t slab = ref.id / kBlocksPerSlab;
+  const std::size_t offset = ref.id % kBlocksPerSlab;
+  assert(slab < sh.slabs.size() && sh.slabs[slab] != nullptr);
+  return sh.slabs[slab].get() + offset * block_floats_;
+}
+
+BlockRef BlockPool::allocate(std::size_t shard) {
+  if (shard >= shards_.size()) {
+    throw std::invalid_argument("BlockPool::allocate: shard out of range");
+  }
+  Shard& sh = *shards_[shard];
+  std::scoped_lock lock(sh.mu);
+  if (sh.free_list.empty()) {
+    // Carve a fresh slab — unless the shard is at capacity or the
+    // directory (the unbounded mode's implementation limit) is full.
+    if (cfg_.blocks_per_shard > 0 && sh.created >= cfg_.blocks_per_shard) {
+      throw std::runtime_error(
+          "BlockPool: shard " + std::to_string(shard) +
+          " exhausted (" + std::to_string(cfg_.blocks_per_shard) +
+          " blocks, used " + std::to_string(sh.used) + ", reserved " +
+          std::to_string(sh.reserved) +
+          "); admission reservations should have prevented this");
+    }
+    const std::size_t slab = sh.created / kBlocksPerSlab;
+    if (slab >= sh.slabs.size()) {
+      throw std::runtime_error(
+          "BlockPool: shard slab directory full; raise blocks_per_shard "
+          "or shard count");
+    }
+    assert(sh.created % kBlocksPerSlab == 0);
+    sh.slabs[slab] = std::make_unique<float[]>(kBlocksPerSlab * block_floats_);
+    std::size_t batch = kBlocksPerSlab;
+    if (cfg_.blocks_per_shard > 0) {
+      batch = std::min(batch, cfg_.blocks_per_shard - sh.created);
+    }
+    // Push in reverse so blocks hand out in ascending id order.
+    for (std::size_t i = batch; i > 0; --i) {
+      sh.free_list.push_back(static_cast<std::uint32_t>(sh.created + i - 1));
+    }
+    sh.created += batch;
+  }
+  const std::uint32_t id = sh.free_list.back();
+  sh.free_list.pop_back();
+  if (sh.live.size() < sh.created) sh.live.resize(sh.created, false);
+  sh.live[id] = true;
+  ++sh.used;
+  if (sh.used > sh.peak_used) sh.peak_used = sh.used;
+  raise_peak(peak_total_used_, total_used_.fetch_add(1) + 1);
+  return BlockRef{static_cast<std::uint32_t>(shard), id};
+}
+
+void BlockPool::raise_peak(std::atomic<std::size_t>& peak,
+                           std::size_t value) {
+  std::size_t seen = peak.load();
+  while (seen < value && !peak.compare_exchange_weak(seen, value)) {
+  }
+}
+
+void BlockPool::free(BlockRef ref) {
+  if (ref.shard >= shards_.size()) {
+    throw std::invalid_argument("BlockPool::free: shard out of range");
+  }
+  Shard& sh = *shards_[ref.shard];
+  std::scoped_lock lock(sh.mu);
+  if (ref.id >= sh.created || ref.id >= sh.live.size() || !sh.live[ref.id]) {
+    // Never-allocated or double free: putting the id on the free list
+    // twice would hand one payload to two caches.
+    throw std::invalid_argument(
+        "BlockPool::free: block is not currently allocated");
+  }
+  sh.live[ref.id] = false;
+  sh.free_list.push_back(ref.id);
+  --sh.used;
+  total_used_.fetch_sub(1);
+}
+
+bool BlockPool::try_reserve(std::size_t shard, std::size_t blocks) {
+  if (shard >= shards_.size()) {
+    throw std::invalid_argument("BlockPool::try_reserve: shard out of range");
+  }
+  Shard& sh = *shards_[shard];
+  std::scoped_lock lock(sh.mu);
+  if (cfg_.blocks_per_shard > 0 &&
+      sh.reserved + blocks > cfg_.blocks_per_shard) {
+    return false;
+  }
+  sh.reserved += blocks;
+  if (sh.reserved > sh.peak_reserved) sh.peak_reserved = sh.reserved;
+  raise_peak(peak_total_reserved_, total_reserved_.fetch_add(blocks) + blocks);
+  return true;
+}
+
+void BlockPool::unreserve(std::size_t shard, std::size_t blocks) {
+  if (shard >= shards_.size()) {
+    throw std::invalid_argument("BlockPool::unreserve: shard out of range");
+  }
+  Shard& sh = *shards_[shard];
+  std::scoped_lock lock(sh.mu);
+  if (blocks > sh.reserved) {
+    throw std::invalid_argument(
+        "BlockPool::unreserve: releasing more than reserved");
+  }
+  sh.reserved -= blocks;
+  total_reserved_.fetch_sub(blocks);
+}
+
+std::size_t BlockPool::unreserved_blocks(std::size_t shard) const {
+  if (shard >= shards_.size()) {
+    throw std::invalid_argument(
+        "BlockPool::unreserved_blocks: shard out of range");
+  }
+  const Shard& sh = *shards_[shard];
+  std::scoped_lock lock(sh.mu);
+  if (cfg_.blocks_per_shard == 0) return static_cast<std::size_t>(-1);
+  return cfg_.blocks_per_shard - sh.reserved;
+}
+
+float* BlockPool::keys(BlockRef ref, std::size_t head) noexcept {
+  assert(head < cfg_.n_heads);
+  return block_base(ref) + head * cfg_.block_tokens * cfg_.d_head;
+}
+
+const float* BlockPool::keys(BlockRef ref, std::size_t head) const noexcept {
+  assert(head < cfg_.n_heads);
+  return block_base(ref) + head * cfg_.block_tokens * cfg_.d_head;
+}
+
+float* BlockPool::values(BlockRef ref, std::size_t head) noexcept {
+  assert(head < cfg_.n_heads);
+  return block_base(ref) + section_floats_ +
+         head * cfg_.block_tokens * cfg_.d_head;
+}
+
+const float* BlockPool::values(BlockRef ref, std::size_t head) const noexcept {
+  assert(head < cfg_.n_heads);
+  return block_base(ref) + section_floats_ +
+         head * cfg_.block_tokens * cfg_.d_head;
+}
+
+ShardStats BlockPool::shard_stats(std::size_t shard) const {
+  if (shard >= shards_.size()) {
+    throw std::invalid_argument("BlockPool::shard_stats: shard out of range");
+  }
+  const Shard& sh = *shards_[shard];
+  std::scoped_lock lock(sh.mu);
+  ShardStats st;
+  st.capacity_blocks = cfg_.blocks_per_shard;
+  st.allocated_blocks = sh.created;
+  st.used_blocks = sh.used;
+  st.reserved_blocks = sh.reserved;
+  st.peak_used_blocks = sh.peak_used;
+  st.peak_reserved_blocks = sh.peak_reserved;
+  return st;
+}
+
+PoolStats BlockPool::stats() const {
+  PoolStats agg;
+  agg.n_shards = shards_.size();
+  agg.capacity_blocks =
+      cfg_.blocks_per_shard > 0 ? cfg_.blocks_per_shard * shards_.size() : 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const ShardStats st = shard_stats(s);
+    agg.allocated_blocks += st.allocated_blocks;
+    agg.used_blocks += st.used_blocks;
+    agg.reserved_blocks += st.reserved_blocks;
+  }
+  // True simultaneous pool-wide peaks; summing per-shard peaks would
+  // overstate the high-water mark when shards peak at different times.
+  agg.peak_used_blocks = peak_total_used_.load();
+  agg.peak_reserved_blocks = peak_total_reserved_.load();
+  return agg;
+}
+
+void BlockPool::reset_peaks() {
+  for (auto& shard : shards_) {
+    std::scoped_lock lock(shard->mu);
+    shard->peak_used = shard->used;
+    shard->peak_reserved = shard->reserved;
+  }
+  peak_total_used_.store(total_used_.load());
+  peak_total_reserved_.store(total_reserved_.load());
+}
+
+}  // namespace kf::mem

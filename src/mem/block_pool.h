@@ -1,0 +1,173 @@
+// Paged KV memory: a sharded pool of fixed-size token blocks.
+//
+// Keyformer's serving claim is that discarding non-key tokens turns KV
+// memory into admission capacity — but that only works if evicted memory
+// actually returns to a shared store other sequences can draw from. The
+// BlockPool is that store: each shard owns an arena carved into fixed-size
+// blocks of `block_tokens` tokens, head-major inside the block
+// ([n_heads][block_tokens][d_head] for K, then the same for V), handed out
+// through a per-shard free list. PagedKvCache chains blocks per layer;
+// compaction and sequence retirement free whole blocks back to the shard.
+//
+// Two accounting layers, both per shard:
+//   - used blocks: physically allocated to caches right now;
+//   - reserved blocks: the BatchScheduler's admission claims. Admission
+//     reserves a sequence's worst-case block demand before any token is
+//     appended, so `capacity_blocks` is an exact memory cap — a sequence
+//     that was admitted can always allocate what it was charged for
+//     (used <= reserved <= capacity).
+// Shards model separate memory domains (the ROADMAP's cache-sharding
+// item): placement picks a shard per sequence, eviction and allocation run
+// per shard, and aggregate stats expose utilization, fragmentation inputs,
+// and high-water marks.
+//
+// Thread safety: allocate/free/reserve/unreserve/stats take the shard
+// mutex (sequences append concurrently in the batched decode step).
+// Block payload pointers are stable for the lifetime of the pool: arenas
+// grow by fixed-size slabs into a pre-sized slab directory, never by
+// reallocating, so readers touch blocks they own without locks.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace kf::mem {
+
+struct BlockPoolConfig {
+  std::size_t n_shards = 1;
+  /// Hard cap per shard; 0 = unbounded (slabs grow on demand up to the
+  /// slab-directory limit).
+  std::size_t blocks_per_shard = 0;
+  /// Tokens per block.
+  std::size_t block_tokens = 16;
+  /// Row geometry shared by every cache built on this pool.
+  std::size_t n_heads = 0;
+  std::size_t d_head = 0;
+};
+
+/// Handle to one block: the owning shard and its block id within it.
+struct BlockRef {
+  std::uint32_t shard = 0;
+  std::uint32_t id = 0;
+};
+
+/// Point-in-time counters for one shard.
+struct ShardStats {
+  std::size_t capacity_blocks = 0;   ///< configured cap; 0 = unbounded
+  std::size_t allocated_blocks = 0;  ///< slab-backed blocks ever created
+  std::size_t used_blocks = 0;       ///< currently handed out
+  std::size_t reserved_blocks = 0;   ///< scheduler admission claims
+  std::size_t peak_used_blocks = 0;
+  std::size_t peak_reserved_blocks = 0;
+};
+
+/// Aggregate of every shard's counters. The peak_* fields are true
+/// *simultaneous* pool-wide high-water marks (tracked globally), not sums
+/// of per-shard peaks that may have occurred at different times.
+struct PoolStats {
+  std::size_t n_shards = 0;
+  std::size_t capacity_blocks = 0;  ///< 0 when any shard is unbounded
+  std::size_t allocated_blocks = 0;
+  std::size_t used_blocks = 0;
+  std::size_t reserved_blocks = 0;
+  std::size_t peak_used_blocks = 0;
+  std::size_t peak_reserved_blocks = 0;
+};
+
+class BlockPool {
+ public:
+  explicit BlockPool(BlockPoolConfig cfg);
+
+  BlockPool(const BlockPool&) = delete;
+  BlockPool& operator=(const BlockPool&) = delete;
+
+  const BlockPoolConfig& config() const noexcept { return cfg_; }
+  std::size_t n_shards() const noexcept { return cfg_.n_shards; }
+  std::size_t block_tokens() const noexcept { return cfg_.block_tokens; }
+
+  /// Floats in one block's K (or V) section: n_heads*block_tokens*d_head.
+  std::size_t section_floats() const noexcept { return section_floats_; }
+
+  /// Blocks needed to hold `tokens` cache tokens (one layer's demand).
+  std::size_t blocks_for_tokens(std::size_t tokens) const noexcept {
+    return (tokens + cfg_.block_tokens - 1) / cfg_.block_tokens;
+  }
+
+  /// Takes one block from `shard`'s free list (growing the arena by a slab
+  /// when the free list is dry and capacity allows). Throws
+  /// std::runtime_error when the shard is exhausted — with correct
+  /// scheduler reservations this never fires.
+  BlockRef allocate(std::size_t shard);
+
+  /// Returns a block to its shard's free list.
+  void free(BlockRef ref);
+
+  /// Claims `blocks` of `shard`'s capacity for a sequence about to run.
+  /// False (and no change) when the claim would exceed capacity.
+  bool try_reserve(std::size_t shard, std::size_t blocks);
+
+  /// Releases part of an earlier claim.
+  void unreserve(std::size_t shard, std::size_t blocks);
+
+  /// Capacity not yet claimed by reservations; SIZE_MAX when unbounded.
+  std::size_t unreserved_blocks(std::size_t shard) const;
+
+  /// K rows of one head inside a block: [block_tokens, d_head] row-major.
+  float* keys(BlockRef ref, std::size_t head) noexcept;
+  const float* keys(BlockRef ref, std::size_t head) const noexcept;
+  /// V rows of one head inside a block: [block_tokens, d_head] row-major.
+  float* values(BlockRef ref, std::size_t head) noexcept;
+  const float* values(BlockRef ref, std::size_t head) const noexcept;
+
+  ShardStats shard_stats(std::size_t shard) const;
+  PoolStats stats() const;
+
+  /// Resets peak_used/peak_reserved to current levels (start of a run).
+  void reset_peaks();
+
+ private:
+  /// Blocks per arena slab: small enough that an unbounded shard does not
+  /// over-commit, large enough that slab allocation stays off the hot path.
+  static constexpr std::size_t kBlocksPerSlab = 64;
+  /// Slab-directory entries per shard when unbounded (the directory is
+  /// pre-sized so block pointers never move).
+  static constexpr std::size_t kUnboundedSlabs = 4096;
+
+  struct Shard {
+    mutable std::mutex mu;
+    /// Pre-sized directory of slab arenas; entries are filled in order and
+    /// never reallocated, so payload pointers stay valid without locking.
+    std::vector<std::unique_ptr<float[]>> slabs;
+    std::vector<std::uint32_t> free_list;
+    /// live[id] is true while block id is handed out — the double-free /
+    /// free-of-never-allocated guard (a duplicated id on the free list
+    /// would silently alias two caches onto one payload).
+    std::vector<bool> live;
+    std::size_t created = 0;  ///< blocks ever carved from slabs
+    std::size_t used = 0;
+    std::size_t reserved = 0;
+    std::size_t peak_used = 0;
+    std::size_t peak_reserved = 0;
+  };
+
+  float* block_base(BlockRef ref) const noexcept;
+  /// CAS-max of `peak` against `value` (pool-wide peaks are updated
+  /// outside any single shard's mutex).
+  static void raise_peak(std::atomic<std::size_t>& peak, std::size_t value);
+
+  BlockPoolConfig cfg_;
+  std::size_t section_floats_ = 0;
+  std::size_t block_floats_ = 0;  ///< K + V sections
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Pool-wide counters for true simultaneous high-water marks.
+  std::atomic<std::size_t> total_used_{0};
+  std::atomic<std::size_t> total_reserved_{0};
+  std::atomic<std::size_t> peak_total_used_{0};
+  std::atomic<std::size_t> peak_total_reserved_{0};
+};
+
+}  // namespace kf::mem

@@ -1,0 +1,100 @@
+#include "mem/paged_kv_cache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace kf::mem {
+
+PagedKvCache::PagedKvCache(BlockPool& pool, std::size_t shard)
+    : kv::KvCache(pool.config().n_heads, pool.config().d_head),
+      pool_(pool),
+      shard_(shard) {
+  if (shard >= pool.n_shards()) {
+    throw std::invalid_argument("PagedKvCache: shard out of range");
+  }
+}
+
+PagedKvCache::~PagedKvCache() {
+  for (const BlockRef ref : blocks_) pool_.free(ref);
+}
+
+void PagedKvCache::append_rows(std::span<const float> k_row,
+                               std::span<const float> v_row) {
+  const std::size_t bt = pool_.block_tokens();
+  const std::size_t t = size();  // metadata not pushed yet: t is our index
+  const std::size_t slot = t % bt;
+  if (slot == 0) blocks_.push_back(pool_.allocate(shard_));
+  const BlockRef ref = blocks_.back();
+  for (std::size_t h = 0; h < n_heads(); ++h) {
+    std::copy_n(k_row.data() + h * d_head(), d_head(),
+                pool_.keys(ref, h) + slot * d_head());
+    std::copy_n(v_row.data() + h * d_head(), d_head(),
+                pool_.values(ref, h) + slot * d_head());
+  }
+}
+
+std::span<const float> PagedKvCache::key_head(std::size_t idx,
+                                              std::size_t head) const {
+  assert(idx < size() && head < n_heads());
+  const std::size_t bt = pool_.block_tokens();
+  return {pool_.keys(blocks_[idx / bt], head) + (idx % bt) * d_head(),
+          d_head()};
+}
+
+std::span<const float> PagedKvCache::value_head(std::size_t idx,
+                                                std::size_t head) const {
+  assert(idx < size() && head < n_heads());
+  const std::size_t bt = pool_.block_tokens();
+  return {pool_.values(blocks_[idx / bt], head) + (idx % bt) * d_head(),
+          d_head()};
+}
+
+kv::KvSegment PagedKvCache::segment(std::size_t head, std::size_t s) const {
+  assert(head < n_heads() && s < blocks_.size());
+  const std::size_t bt = pool_.block_tokens();
+  kv::KvSegment seg;
+  seg.keys = pool_.keys(blocks_[s], head);
+  seg.values = pool_.values(blocks_[s], head);
+  seg.first = s * bt;
+  seg.count = std::min(bt, size() - seg.first);
+  return seg;
+}
+
+void PagedKvCache::compact_rows(std::span<const std::size_t> keep) {
+  // Cross-block forward gather. Destination index never exceeds the source
+  // index (keep is ascending), so row j's write cannot clobber a row still
+  // to be read — the same argument the contiguous gather relies on, here
+  // spanning block boundaries.
+  const std::size_t bt = pool_.block_tokens();
+  std::size_t out = 0;
+  for (const std::size_t idx : keep) {
+    if (idx != out) {
+      const BlockRef src = blocks_[idx / bt];
+      const BlockRef dst = blocks_[out / bt];
+      const std::size_t s_off = (idx % bt) * d_head();
+      const std::size_t d_off = (out % bt) * d_head();
+      for (std::size_t h = 0; h < n_heads(); ++h) {
+        std::copy_n(pool_.keys(src, h) + s_off, d_head(),
+                    pool_.keys(dst, h) + d_off);
+        std::copy_n(pool_.values(src, h) + s_off, d_head(),
+                    pool_.values(dst, h) + d_off);
+      }
+    }
+    ++out;
+  }
+  free_blocks_beyond(out);
+}
+
+void PagedKvCache::clear_rows() { free_blocks_beyond(0); }
+
+void PagedKvCache::free_blocks_beyond(std::size_t live_tokens) {
+  const std::size_t bt = pool_.block_tokens();
+  const std::size_t live_blocks = (live_tokens + bt - 1) / bt;
+  while (blocks_.size() > live_blocks) {
+    pool_.free(blocks_.back());
+    blocks_.pop_back();
+  }
+}
+
+}  // namespace kf::mem

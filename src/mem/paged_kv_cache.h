@@ -1,0 +1,65 @@
+// Paged implementation of the kv::KvCache surface: one layer's K/V rows
+// live in a chain of fixed-size token blocks allocated from a BlockPool
+// shard, instead of a private contiguous arena.
+//
+// Layout inside each block is the same head-major [n_heads][block_tokens]
+// [d_head] the contiguous cache uses per segment, so the decode kernels
+// stream per-block runs with identical per-row arithmetic — the paged and
+// contiguous paths are bit-exact (pinned by the parity property tests).
+//
+// Chain invariant: blocks_.size() == ceil(size() / block_tokens) — the
+// tail block is the only partially filled one and a fully-drained block is
+// returned to the pool immediately (compact frees emptied tail blocks,
+// clear and the destructor free everything). Freed memory therefore goes
+// back to the *shared* shard free list, where the scheduler's admission
+// reservations can hand it to another sequence — the mechanism that turns
+// Keyformer's discarded tokens into serving capacity.
+#pragma once
+
+#include <vector>
+
+#include "kvcache/kv_cache.h"
+#include "mem/block_pool.h"
+
+namespace kf::mem {
+
+class PagedKvCache final : public kv::KvCache {
+ public:
+  /// Builds an empty cache drawing blocks from `pool`'s shard `shard`.
+  /// Geometry (n_heads/d_head/block_tokens) comes from the pool config.
+  PagedKvCache(BlockPool& pool, std::size_t shard);
+  ~PagedKvCache() override;
+
+  PagedKvCache(const PagedKvCache&) = delete;
+  PagedKvCache& operator=(const PagedKvCache&) = delete;
+
+  std::size_t shard() const noexcept { return shard_; }
+  /// Blocks currently held (== ceil(size()/block_tokens)).
+  std::size_t blocks_held() const noexcept { return blocks_.size(); }
+  std::size_t block_tokens() const noexcept { return pool_.block_tokens(); }
+
+  std::span<const float> key_head(std::size_t idx,
+                                  std::size_t head) const override;
+  std::span<const float> value_head(std::size_t idx,
+                                    std::size_t head) const override;
+
+  std::size_t segment_count() const noexcept override {
+    return blocks_.size();
+  }
+  kv::KvSegment segment(std::size_t head, std::size_t s) const override;
+
+ protected:
+  void append_rows(std::span<const float> k_row,
+                   std::span<const float> v_row) override;
+  void compact_rows(std::span<const std::size_t> keep) override;
+  void clear_rows() override;
+
+ private:
+  void free_blocks_beyond(std::size_t live_tokens);
+
+  BlockPool& pool_;
+  std::size_t shard_;
+  std::vector<BlockRef> blocks_;
+};
+
+}  // namespace kf::mem

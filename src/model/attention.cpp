@@ -63,6 +63,7 @@ void fused_decode_attend(const ModelConfig& cfg, std::span<const float> q_row,
   const std::size_t h_count = cfg.n_heads;
   const std::size_t dh = cfg.d_head();
   const std::size_t key_len = cache.size();
+  const std::size_t n_segs = cache.segment_count();
   assert(out.key_len == key_len && key_len > 0);
 
   const bool use_rope = cfg.positional == PositionalKind::kRoPE;
@@ -89,19 +90,30 @@ void fused_decode_attend(const ModelConfig& cfg, std::span<const float> q_row,
     for (std::size_t j = 0; j < dh; ++j) q_head[j] = q_src[j];
     if (use_rope) rope_rotate({q_head.data(), dh}, q_eff, cfg.rope_base);
 
-    // Dot products against the head's contiguous [key_len, dh] segment.
+    // Dot products, streaming the head's contiguous segments (one segment
+    // for the classic arena, one per block for a paged cache). Each output
+    // logit is an independent row dot, so segmentation never changes the
+    // arithmetic — paged and contiguous caches are bit-exact.
     float* lrow = out.logits.data() + h * key_len;
-    const float* kbase = cache.keys_head(h).data();
     if (use_rope && !stored_rotated) {
-      for (std::size_t i = 0; i < key_len; ++i) {
-        float* dst = rotated_scratch.data() + i * dh;
-        for (std::size_t j = 0; j < dh; ++j) dst[j] = kbase[i * dh + j];
-        rope_rotate({dst, dh}, key_position(cfg, cache, i), cfg.rope_base);
+      for (std::size_t s = 0; s < n_segs; ++s) {
+        const kv::KvSegment seg = cache.segment(h, s);
+        for (std::size_t r = 0; r < seg.count; ++r) {
+          const std::size_t i = seg.first + r;
+          float* dst = rotated_scratch.data() + i * dh;
+          for (std::size_t j = 0; j < dh; ++j) dst[j] = seg.keys[r * dh + j];
+          rope_rotate({dst, dh}, key_position(cfg, cache, i), cfg.rope_base);
+        }
       }
-      kbase = rotated_scratch.data();
+      matvec({rotated_scratch.data(), key_len * dh}, {q_head.data(), dh},
+             {lrow, key_len}, key_len, dh);
+    } else {
+      for (std::size_t s = 0; s < n_segs; ++s) {
+        const kv::KvSegment seg = cache.segment(h, s);
+        matvec({seg.keys, seg.count * dh}, {q_head.data(), dh},
+               {lrow + seg.first, seg.count}, seg.count, dh);
+      }
     }
-    matvec({kbase, key_len * dh}, {q_head.data(), dh}, {lrow, key_len},
-           key_len, dh);
 
     if (use_alibi) {
       const double slope = alibi_slope(h, h_count);
@@ -116,19 +128,24 @@ void fused_decode_attend(const ModelConfig& cfg, std::span<const float> q_row,
 
     // Fused pass: stable softmax and weighted-value accumulation together.
     // exp terms accumulate into the context unnormalized; one final scale
-    // by 1/sum normalizes probs and context alike.
+    // by 1/sum normalizes probs and context alike. V rows stream segment
+    // by segment in ascending index order — the same accumulation sequence
+    // as a single contiguous run.
     float m = lrow[0];
     for (std::size_t i = 1; i < key_len; ++i) m = lrow[i] > m ? lrow[i] : m;
     float* prow = out.probs.data() + h * key_len;
     for (std::size_t j = 0; j < dh; ++j) ctx_head[j] = 0.0F;
-    const float* vbase = cache.values_head(h).data();
     double sum = 0.0;
-    for (std::size_t i = 0; i < key_len; ++i) {
-      const double e = std::exp(static_cast<double>(lrow[i] - m));
-      const float ef = static_cast<float>(e);
-      prow[i] = ef;
-      sum += e;
-      axpy(ef, {vbase + i * dh, dh}, ctx_head);
+    for (std::size_t s = 0; s < n_segs; ++s) {
+      const kv::KvSegment seg = cache.segment(h, s);
+      for (std::size_t r = 0; r < seg.count; ++r) {
+        const std::size_t i = seg.first + r;
+        const double e = std::exp(static_cast<double>(lrow[i] - m));
+        const float ef = static_cast<float>(e);
+        prow[i] = ef;
+        sum += e;
+        axpy(ef, {seg.values + r * dh, dh}, ctx_head);
+      }
     }
     const float inv = static_cast<float>(1.0 / sum);
     for (std::size_t i = 0; i < key_len; ++i) prow[i] *= inv;
@@ -187,6 +204,25 @@ AttentionResult attention_forward_general(
   const bool stored_rotated = keys_stored_rotated(cfg);
   const float inv_sqrt_dh = 1.0F / std::sqrt(static_cast<float>(dh));
 
+  // Per-(head, index) K/V row pointers, resolved once from the cache's
+  // segment list (one segment per head for the contiguous arena, one per
+  // block for a paged cache) so the parallel loops below never pay a
+  // virtual lookup per row.
+  std::vector<const float*> key_at(h_count * key_len);
+  std::vector<const float*> value_at(h_count * key_len);
+  {
+    const std::size_t n_segs = cache.segment_count();
+    for (std::size_t h = 0; h < h_count; ++h) {
+      for (std::size_t s = 0; s < n_segs; ++s) {
+        const kv::KvSegment seg = cache.segment(h, s);
+        for (std::size_t r = 0; r < seg.count; ++r) {
+          key_at[h * key_len + seg.first + r] = seg.keys + r * dh;
+          value_at[h * key_len + seg.first + r] = seg.values + r * dh;
+        }
+      }
+    }
+  }
+
   // Effective key positions (fixed for this call).
   std::vector<std::size_t> key_pos(key_len);
   for (std::size_t i = 0; i < key_len; ++i) {
@@ -211,7 +247,7 @@ AttentionResult attention_forward_general(
         [&](std::size_t i0, std::size_t i1) {
           for (std::size_t i = i0; i < i1; ++i) {
             for (std::size_t h = 0; h < h_count; ++h) {
-              const auto src = cache.key_head(i, h);
+              const float* src = key_at[h * key_len + i];
               float* dst = rotated_keys.data() + (h * key_len + i) * dh;
               for (std::size_t j = 0; j < dh; ++j) dst[j] = src[j];
               rope_rotate({dst, dh}, key_pos[i], cfg.rope_base);
@@ -258,7 +294,7 @@ AttentionResult attention_forward_general(
               const float* k_vec =
                   use_rope && !stored_rotated
                       ? rotated_keys.data() + (h * key_len + i) * dh
-                      : cache.key_head(i, h).data();
+                      : key_at[h * key_len + i];
               float acc = 0.0F;
               for (std::size_t j = 0; j < dh; ++j) acc += q_head[j] * k_vec[j];
               acc *= inv_sqrt_dh;
@@ -281,7 +317,7 @@ AttentionResult attention_forward_general(
             for (std::size_t i = 0; i < key_len; ++i) {
               const float p = prow[i];
               if (p == 0.0F) continue;
-              const auto v_vec = cache.value_head(i, h);
+              const float* v_vec = value_at[h * key_len + i];
               for (std::size_t j = 0; j < dh; ++j) {
                 ctx_head[j] += p * v_vec[j];
               }

@@ -21,8 +21,9 @@
 // Three execution paths produce identical results (within float rounding):
 //   - attention_forward_general: any n_q (prefill, multi-token chunks);
 //   - attention_decode: the fused single-query fast path — matvec QKV and
-//     output projections, per-head dots over the cache's contiguous
-//     head-major key segment, and a single fused pass doing softmax +
+//     output projections, per-head dots streaming the cache's contiguous
+//     head-major key segments (one per head for the classic arena, one per
+//     block for a paged cache), and a single fused pass doing softmax +
 //     weighted-value accumulation per head;
 //   - attention_decode_batch: N independent sequences decoding one token
 //     each — one QKV/output projection GEMM across the batch, then the

@@ -11,7 +11,33 @@
 namespace kf::serve {
 
 Engine::Engine(model::Transformer& model, EngineConfig cfg)
-    : model_(model), cfg_(std::move(cfg)) {}
+    : model_(model), cfg_(std::move(cfg)) {
+  if (cfg_.paged.enabled) {
+    if (cfg_.paged.n_shards == 0 || cfg_.paged.block_tokens == 0) {
+      throw std::invalid_argument(
+          "paged memory requires n_shards > 0 and block_tokens > 0");
+    }
+    mem::BlockPoolConfig pc;
+    pc.n_shards = cfg_.paged.n_shards;
+    pc.block_tokens = cfg_.paged.block_tokens;
+    pc.n_heads = model_.config().n_heads;
+    pc.d_head = model_.config().d_head();
+    pc.blocks_per_shard = cfg_.paged.blocks_per_shard;
+    if (pc.blocks_per_shard == 0 && cfg_.scheduler.max_concurrent_tokens > 0) {
+      // Translate the abstract token budget into physical capacity: the
+      // budget is per-layer tokens across the active set, so the pool
+      // holds n_layers times its block equivalent, split across shards.
+      const std::size_t budget_blocks =
+          model_.config().n_layers *
+          ((cfg_.scheduler.max_concurrent_tokens + pc.block_tokens - 1) /
+           pc.block_tokens);
+      pc.blocks_per_shard =
+          (budget_blocks + pc.n_shards - 1) / pc.n_shards;
+    }
+    pool_ = std::make_unique<mem::BlockPool>(pc);
+    cfg_.scheduler.pool = pool_.get();
+  }
+}
 
 void Engine::start_sequence(Sequence& seq, std::size_t now_step) {
   seq.policy->set_budget(seq.budget);
@@ -46,6 +72,10 @@ void Engine::start_sequence(Sequence& seq, std::size_t now_step) {
 
 std::vector<Response> Engine::run(std::span<const Request> requests) {
   stats_ = EngineStats{};
+  if (pool_ != nullptr) {
+    pool_->reset_peaks();
+    stats_.pool_capacity_blocks = pool_->stats().capacity_blocks;
+  }
 
   // Materialize sequences (deque: stable addresses for scheduler pointers).
   std::deque<Sequence> seqs;
@@ -58,6 +88,7 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
     s.prompt = req.prompt;
     s.gen = req.gen;
     s.arrival_step = req.arrival_step;
+    s.n_layers = model_.config().n_layers;
     s.budget = kv::make_budget(s.prompt.size(), s.gen.cache_ratio,
                                s.gen.recent_ratio);
     if (req.policy != nullptr) {
@@ -67,6 +98,12 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
       s.policy = s.owned_policy.get();
     }
     if (req.kv_state != nullptr) {
+      if (pool_ != nullptr) {
+        // Placement decides the shard at admission; a pre-built external
+        // state would bypass the pool's accounting entirely.
+        throw std::invalid_argument(
+            "paged memory mode cannot take external kv_state instances");
+      }
       if (!req.kv_state->matches(model_.config().n_layers,
                                  model_.config().n_heads,
                                  model_.config().d_head())) {
@@ -74,11 +111,17 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
             "external kv_state geometry does not match the model");
       }
       s.kv = req.kv_state;
-    } else {
+    } else if (pool_ == nullptr) {
+      // Size the arenas for the admission peak max(prompt, k+1) — the
+      // most this sequence ever holds per layer — so prefill appends
+      // never reallocate, and budgeted sequences stop over-reserving
+      // their full prompt+gen growth.
       s.owned_kv = std::make_unique<kv::SequenceKvState>(
-          model_.make_kv_state(s.prompt.size() + s.gen.max_new_tokens));
+          model_.make_kv_state(s.admission_cost_tokens()));
       s.kv = s.owned_kv.get();
     }
+    // Paged sequences get their state at admission, once the scheduler
+    // has placed them on a shard.
     seqs.push_back(std::move(s));
   }
 
@@ -91,7 +134,7 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
     std::unordered_set<const void*> kv_seen;
     std::unordered_set<const void*> policy_seen;
     for (const Sequence& s : seqs) {
-      if (!kv_seen.insert(s.kv).second) {
+      if (s.kv != nullptr && !kv_seen.insert(s.kv).second) {
         throw std::invalid_argument(
             "serve requests must use distinct kv_state instances");
       }
@@ -115,6 +158,23 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
   std::size_t finished = 0;
   std::size_t step = 0;
   std::vector<model::DecodeSlot> slots;
+
+  // Captures what the Response needs from the caches, then — in paged
+  // mode — tears the sequence's state down so its blocks go back to the
+  // shard free list *now*, while the reservation the scheduler is about
+  // to release is still backing them. Contiguous states stay alive:
+  // external kv_state callers (generate() among them) inspect them after
+  // the run.
+  const auto retire = [&](Sequence& seq) {
+    seq.final_cache_sizes.clear();
+    for (std::size_t l = 0; l < seq.kv->n_layers(); ++l) {
+      seq.final_cache_sizes.push_back(seq.kv->layer_size(l));
+    }
+    if (pool_ != nullptr) {
+      seq.owned_kv.reset();
+      seq.kv = nullptr;
+    }
+  };
   while (finished < seqs.size()) {
     // Idle engine: jump the clock to the next arrival.
     if (sched.active_count() == 0) {
@@ -130,14 +190,24 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
       admitted_any = false;
       for (Sequence* seq : sched.admit(step)) {
         admitted_any = true;
+        if (pool_ != nullptr) {
+          // Materialize the placement decision: layer caches drawing
+          // blocks from the shard the scheduler just reserved on.
+          seq->owned_kv = std::make_unique<kv::SequenceKvState>(
+              *pool_, seq->shard, model_.config().n_layers);
+          seq->kv = seq->owned_kv.get();
+        }
         // The admission charge covers the transient prefill peak; record
         // it before settling so max_tokens_in_use reflects true memory.
         stats_.max_tokens_in_use =
             std::max(stats_.max_tokens_in_use, sched.tokens_in_use());
+        stats_.max_blocks_in_use =
+            std::max(stats_.max_blocks_in_use, sched.blocks_in_use());
         start_sequence(*seq, step);
         sched.settle(seq);
         if (seq->finished()) {
           seq->finish_step = step;
+          retire(*seq);
           sched.release(seq);
           ++finished;
         }
@@ -151,6 +221,22 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
     stats_.max_batch = std::max(stats_.max_batch, active.size());
     stats_.max_tokens_in_use =
         std::max(stats_.max_tokens_in_use, sched.tokens_in_use());
+    stats_.max_blocks_in_use =
+        std::max(stats_.max_blocks_in_use, sched.blocks_in_use());
+    if (pool_ != nullptr) {
+      // Internal fragmentation this step: tokens actually cached vs the
+      // whole-block token slots holding them.
+      const std::size_t used_tokens =
+          pool_->stats().used_blocks * pool_->block_tokens();
+      if (used_tokens > 0) {
+        std::size_t live = 0;
+        for (const Sequence* seq : active) live += seq->kv->total_tokens();
+        stats_.max_fragmentation = std::max(
+            stats_.max_fragmentation,
+            1.0 - static_cast<double>(live) /
+                      static_cast<double>(used_tokens));
+      }
+    }
 
     // One decode step for the whole batch. The step wall covers the model
     // call AND per-sequence sampling/bookkeeping, so decode_seconds is the
@@ -186,11 +272,16 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
       seq->decode_seconds += dt;
       if (seq->finished()) {
         seq->finish_step = step;
+        retire(*seq);
         sched.release(seq);
         ++finished;
       }
     }
     ++step;
+  }
+
+  if (pool_ != nullptr) {
+    stats_.pool_peak_used_blocks = pool_->stats().peak_used_blocks;
   }
 
   std::vector<Response> responses;
@@ -201,9 +292,7 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
     r.tokens = std::move(seq.tokens);
     r.prompt_len = seq.prompt.size();
     r.budget = seq.budget;
-    for (std::size_t l = 0; l < seq.kv->n_layers(); ++l) {
-      r.final_cache_sizes.push_back(seq.kv->layer_size(l));
-    }
+    r.final_cache_sizes = std::move(seq.final_cache_sizes);
     r.peak_cache_tokens = seq.peak_cache_tokens;
     r.finish = seq.finish;
     r.arrival_step = seq.arrival_step;

@@ -23,20 +23,36 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "kvcache/policy_factory.h"
+#include "mem/block_pool.h"
 #include "model/transformer.h"
 #include "serve/scheduler.h"
 #include "serve/sequence.h"
 
 namespace kf::serve {
 
+/// Paged KV memory: the engine owns a sharded mem::BlockPool, sequences
+/// get PagedKvCache layers placed on a shard at admission, and the
+/// scheduler's budget becomes a real block reservation (see scheduler.h).
+struct PagedMemoryConfig {
+  bool enabled = false;
+  std::size_t n_shards = 1;
+  std::size_t block_tokens = 16;
+  /// Hard per-shard cap; 0 derives it from the scheduler token budget
+  /// (n_layers * ceil(max_concurrent_tokens / block_tokens), split across
+  /// shards) or leaves the pool unbounded when that budget is 0 too.
+  std::size_t blocks_per_shard = 0;
+};
+
 struct EngineConfig {
   SchedulerConfig scheduler;
   /// Built per sequence for requests that don't bring their own policy.
   kv::PolicyConfig policy;
+  PagedMemoryConfig paged;
 };
 
 /// Aggregate counters of one run() call.
@@ -47,6 +63,13 @@ struct EngineStats {
   std::size_t max_batch = 0;         ///< peak concurrent sequences
   std::size_t max_tokens_in_use = 0; ///< peak summed charged KV tokens
                                      ///< (includes transient prefill peaks)
+  // Paged-pool visibility (all zero when paging is disabled):
+  std::size_t max_blocks_in_use = 0;     ///< peak scheduler-reserved blocks
+  std::size_t pool_peak_used_blocks = 0; ///< peak physically held blocks
+  std::size_t pool_capacity_blocks = 0;  ///< aggregate cap (0 = unbounded)
+  /// Worst per-step internal fragmentation: 1 - live_tokens /
+  /// (used_blocks * block_tokens) — the whole-block surcharge paging pays.
+  double max_fragmentation = 0.0;
   double prefill_seconds = 0.0;
   double decode_seconds = 0.0;  ///< summed batch-step walls
 
@@ -66,6 +89,10 @@ class Engine {
   const EngineConfig& config() const noexcept { return cfg_; }
   /// Counters of the most recent run().
   const EngineStats& stats() const noexcept { return stats_; }
+  /// The engine-owned block pool; null unless cfg.paged.enabled. All
+  /// blocks are back on the free lists between run() calls (leak-checked
+  /// by tests).
+  const mem::BlockPool* pool() const noexcept { return pool_.get(); }
 
   /// Drives every request to completion under continuous batching.
   /// Responses are returned in the order of `requests` (not completion
@@ -80,6 +107,7 @@ class Engine {
   model::Transformer& model_;
   EngineConfig cfg_;
   EngineStats stats_;
+  std::unique_ptr<mem::BlockPool> pool_;
 };
 
 }  // namespace kf::serve

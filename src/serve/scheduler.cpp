@@ -3,19 +3,59 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "mem/block_pool.h"
+
 namespace kf::serve {
 
 BatchScheduler::BatchScheduler(SchedulerConfig cfg) : cfg_(cfg) {}
 
 void BatchScheduler::submit(Sequence* seq) {
   if (seq == nullptr) throw std::invalid_argument("submit(nullptr)");
+  if (cfg_.pool != nullptr && seq->n_layers == 0) {
+    throw std::invalid_argument(
+        "block-mode scheduling requires seq->n_layers > 0");
+  }
   seq->status = SequenceStatus::kWaiting;
   waiting_.push_back(seq);
+}
+
+std::optional<std::size_t> BatchScheduler::choose_shard(
+    std::size_t demand) const {
+  const std::size_t n = cfg_.pool->n_shards();
+  if (cfg_.placement == ShardPlacement::kRoundRobin) {
+    // Pure lookup: the cursor advances only when admit() actually places
+    // a sequence (fits() probes this too and must not burn a turn).
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t s = (rr_next_ + i) % n;
+      if (cfg_.pool->unreserved_blocks(s) >= demand) return s;
+    }
+    return std::nullopt;
+  }
+  // Least loaded: fewest reserved blocks (capacity is uniform per shard,
+  // so this equals most-free in bounded mode and still spreads load when
+  // the pool is unbounded). Ties break to the lowest id so admission
+  // stays deterministic.
+  std::size_t best = 0;
+  std::size_t best_load = cfg_.pool->shard_stats(0).reserved_blocks;
+  for (std::size_t s = 1; s < n; ++s) {
+    const std::size_t load = cfg_.pool->shard_stats(s).reserved_blocks;
+    if (load < best_load) {
+      best = s;
+      best_load = load;
+    }
+  }
+  if (cfg_.pool->unreserved_blocks(best) >= demand) return best;
+  return std::nullopt;
 }
 
 bool BatchScheduler::fits(const Sequence& seq) const {
   if (cfg_.max_batch_size > 0 && active_.size() >= cfg_.max_batch_size) {
     return false;
+  }
+  if (cfg_.pool != nullptr) {
+    const std::size_t demand =
+        seq.admission_cost_blocks(cfg_.pool->block_tokens());
+    return choose_shard(demand).has_value();
   }
   if (cfg_.max_concurrent_tokens == 0) return true;
   const std::size_t cost = seq.admission_cost_tokens();
@@ -29,11 +69,38 @@ std::vector<Sequence*> BatchScheduler::admit(std::size_t now_step) {
   std::vector<Sequence*> admitted;
   while (!waiting_.empty()) {
     Sequence* head = waiting_.front();
-    if (head->arrival_step > now_step || !fits(*head)) break;
+    if (head->arrival_step > now_step) break;
+    if (cfg_.pool != nullptr) {
+      // A demand above a whole (bounded) shard can never be satisfied —
+      // the cap is physical, there is no run-solo override. Fail loudly
+      // instead of deadlocking the FIFO.
+      const std::size_t per_shard = cfg_.pool->config().blocks_per_shard;
+      const std::size_t demand =
+          head->admission_cost_blocks(cfg_.pool->block_tokens());
+      if (per_shard > 0 && demand > per_shard) {
+        throw std::invalid_argument(
+            "sequence KV demand exceeds a whole pool shard; grow "
+            "blocks_per_shard or reduce the request");
+      }
+    }
+    if (!fits(*head)) break;
     waiting_.pop_front();
     head->status = SequenceStatus::kActive;
     head->charged_tokens = head->admission_cost_tokens();
     tokens_in_use_ += head->charged_tokens;
+    if (cfg_.pool != nullptr) {
+      const std::size_t demand =
+          head->admission_cost_blocks(cfg_.pool->block_tokens());
+      const auto shard = choose_shard(demand);
+      // fits() just said yes; nothing ran in between.
+      if (!shard.has_value() || !cfg_.pool->try_reserve(*shard, demand)) {
+        throw std::logic_error("block reservation failed after fits()");
+      }
+      head->shard = *shard;
+      head->reserved_blocks = demand;
+      blocks_in_use_ += demand;
+      rr_next_ = (*shard + 1) % cfg_.pool->n_shards();
+    }
     active_.push_back(head);
     admitted.push_back(head);
   }
@@ -48,6 +115,17 @@ void BatchScheduler::settle(Sequence* seq) {
   const std::size_t steady = seq->cost_tokens();
   tokens_in_use_ -= seq->charged_tokens - std::min(seq->charged_tokens, steady);
   seq->charged_tokens = std::min(seq->charged_tokens, steady);
+  if (cfg_.pool != nullptr && seq->shard != Sequence::kNoShard) {
+    const std::size_t steady_blocks =
+        std::min(seq->reserved_blocks,
+                 seq->cost_blocks(cfg_.pool->block_tokens()));
+    const std::size_t excess = seq->reserved_blocks - steady_blocks;
+    if (excess > 0) {
+      cfg_.pool->unreserve(seq->shard, excess);
+      seq->reserved_blocks = steady_blocks;
+      blocks_in_use_ -= excess;
+    }
+  }
 }
 
 void BatchScheduler::release(Sequence* seq) {
@@ -58,6 +136,12 @@ void BatchScheduler::release(Sequence* seq) {
   active_.erase(it);
   tokens_in_use_ -= seq->charged_tokens;
   seq->charged_tokens = 0;
+  if (cfg_.pool != nullptr && seq->shard != Sequence::kNoShard) {
+    cfg_.pool->unreserve(seq->shard, seq->reserved_blocks);
+    blocks_in_use_ -= seq->reserved_blocks;
+    seq->reserved_blocks = 0;
+    seq->shard = Sequence::kNoShard;
+  }
 }
 
 std::optional<std::size_t> BatchScheduler::next_arrival() const {

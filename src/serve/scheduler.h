@@ -2,24 +2,34 @@
 //
 // The scheduler holds sequences in a FIFO waiting queue (ordered by
 // arrival) and an active set that decodes together. Sequences join the
-// active set as soon as they have arrived AND fit both limits:
+// active set as soon as they have arrived AND fit the limits:
 //   - max_batch_size: concurrent sequences (GEMM batch width);
-//   - max_concurrent_tokens: summed per-layer KV cache tokens, a true
-//     memory cap. A joining sequence is charged its transient prefill
-//     peak (admission_cost_tokens(): the full prompt is resident per
-//     layer until the policy trims it) and settles down to its
-//     steady-state cost_tokens() once prefill completes. Because a
-//     budgeted sequence's steady cost is ~cache_ratio * prompt_len,
-//     reducing the cache ratio admits proportionally more sequences into
-//     the same budget: the mechanism behind Keyformer's Table 1 "bigger
-//     batch" row.
-// Sequences leave (release) when they finish, immediately freeing budget
-// for the next waiting sequence — join/leave mid-stream, no draining.
+//   - memory, in one of two modes:
+//       token mode (pool == nullptr): max_concurrent_tokens caps the
+//       summed per-layer KV cache tokens — an abstract proxy;
+//       block mode (pool != nullptr): admission *reserves real blocks*
+//       on one BlockPool shard, chosen by the placement policy. The
+//       reservation covers the sequence's whole-block demand across all
+//       its layers (ceil per layer — internal fragmentation is charged,
+//       not hidden), so pool capacity is an exact physical memory cap: an
+//       admitted sequence can always allocate what it was charged.
+//   In both modes a joining sequence is charged its transient prefill
+//   peak (admission_cost: the full prompt is resident per layer until the
+//   policy trims it) and settles down to its steady-state cost once
+//   prefill completes. Because a budgeted sequence's steady cost is
+//   ~cache_ratio * prompt_len, reducing the cache ratio admits
+//   proportionally more sequences into the same memory: the mechanism
+//   behind Keyformer's Table 1 "bigger batch" row.
+// Sequences leave (release) when they finish, immediately freeing their
+// budget/blocks for the next waiting sequence — join/leave mid-stream.
 //
 // Admission is strict FIFO: the head of the queue blocks later arrivals
-// even if those would fit, so large requests cannot starve. An oversized
-// sequence (cost above the entire token budget) is admitted only when the
-// active set is empty, running solo rather than deadlocking the queue.
+// even if those would fit, so large requests cannot starve. In token mode
+// an oversized sequence (cost above the entire budget) is admitted only
+// when the active set is empty, running solo rather than deadlocking the
+// queue. In block mode there is no such override — the cap is physical —
+// so a sequence whose admission demand exceeds a whole shard is rejected
+// with an exception instead of deadlocking.
 #pragma once
 
 #include <cstddef>
@@ -30,14 +40,29 @@
 
 #include "serve/sequence.h"
 
+namespace kf::mem {
+class BlockPool;
+}
+
 namespace kf::serve {
+
+/// How block mode picks a shard for a joining sequence.
+enum class ShardPlacement {
+  kLeastLoaded,  ///< shard with the most unreserved blocks (ties: lowest id)
+  kRoundRobin,   ///< cycle shards, skipping ones the sequence doesn't fit
+};
 
 struct SchedulerConfig {
   /// Max sequences decoding together; 0 = unlimited.
   std::size_t max_batch_size = 8;
-  /// Memory budget: summed charged tokens of active sequences (transient
-  /// prefill peak until settle(), then steady-state cost); 0 = unlimited.
+  /// Token-mode memory budget: summed charged tokens of active sequences
+  /// (transient prefill peak until settle(), then steady-state cost);
+  /// 0 = unlimited. Ignored for admission when `pool` is set.
   std::size_t max_concurrent_tokens = 0;
+  /// Block mode: admission reserves blocks against this pool's shards.
+  /// The pool must outlive the scheduler. Null = token mode.
+  mem::BlockPool* pool = nullptr;
+  ShardPlacement placement = ShardPlacement::kLeastLoaded;
 };
 
 class BatchScheduler {
@@ -48,27 +73,35 @@ class BatchScheduler {
 
   /// Queues a sequence. Callers submit in arrival order (the engine sorts
   /// by arrival_step, then submission order); the queue is strict FIFO.
+  /// Block mode requires seq->n_layers > 0 (the block demand unit).
   void submit(Sequence* seq);
 
   /// Moves every admissible waiting sequence (arrived by `now_step`, fits
   /// both limits) into the active set and returns the newly admitted ones
-  /// in admission order.
+  /// in admission order. Block mode: each admitted sequence has its shard
+  /// chosen and its admission block demand reserved; throws
+  /// std::invalid_argument for a sequence whose demand exceeds a whole
+  /// shard (it could never run).
   std::vector<Sequence*> admit(std::size_t now_step);
 
   /// Drops an active sequence's charge from its admission cost (transient
-  /// prefill peak) to its steady-state cost_tokens(). The engine calls
-  /// this once prefill has completed and the policy has trimmed the cache
-  /// to budget, freeing the transient headroom for the next admission.
+  /// prefill peak) to its steady-state cost. The engine calls this once
+  /// prefill has completed and the policy has trimmed the cache to budget,
+  /// freeing the transient headroom (tokens and reserved blocks alike)
+  /// for the next admission.
   void settle(Sequence* seq);
 
-  /// Removes a finished sequence from the active set, freeing its budget.
+  /// Removes a finished sequence from the active set, freeing its budget
+  /// and returning its reserved blocks to the pool.
   void release(Sequence* seq);
 
   std::span<Sequence* const> active() const noexcept { return active_; }
   std::size_t active_count() const noexcept { return active_.size(); }
   std::size_t waiting_count() const noexcept { return waiting_.size(); }
-  /// Summed charged tokens of the active set.
+  /// Summed charged tokens of the active set (tracked in both modes).
   std::size_t tokens_in_use() const noexcept { return tokens_in_use_; }
+  /// Summed reserved blocks of the active set (block mode; 0 otherwise).
+  std::size_t blocks_in_use() const noexcept { return blocks_in_use_; }
 
   /// Arrival step of the queue head (the next sequence to admit), empty
   /// when no sequence is waiting. The engine jumps its clock here when the
@@ -77,11 +110,16 @@ class BatchScheduler {
 
  private:
   bool fits(const Sequence& seq) const;
+  /// Block mode: shard able to host `demand` blocks per the placement
+  /// policy, or nullopt when none currently can.
+  std::optional<std::size_t> choose_shard(std::size_t demand) const;
 
   SchedulerConfig cfg_;
   std::deque<Sequence*> waiting_;
   std::vector<Sequence*> active_;
   std::size_t tokens_in_use_ = 0;
+  std::size_t blocks_in_use_ = 0;
+  std::size_t rr_next_ = 0;  ///< round-robin cursor (advances on placement)
 };
 
 }  // namespace kf::serve

@@ -98,6 +98,12 @@ struct Sequence {
   double prefill_seconds = 0.0;
   double decode_seconds = 0.0;
 
+  /// Per-layer cache sizes captured at retirement. The engine records
+  /// these the moment a sequence finishes because a paged sequence's
+  /// caches are torn down right then — their blocks must return to the
+  /// pool while other sequences are still running, not at end of run.
+  std::vector<std::size_t> final_cache_sizes;
+
   /// Scheduler admission cost in per-layer cache tokens: the steady-state
   /// decode footprint. A budgeted sequence holds k tokens plus the
   /// transient append slot; full attention grows to its final length.
@@ -128,6 +134,31 @@ struct Sequence {
   /// What the scheduler currently charges this sequence against the token
   /// budget (admission cost until settle(), then cost_tokens()).
   std::size_t charged_tokens = 0;
+
+  /// Decoder layers this sequence materializes caches for (set by the
+  /// engine from the model config; block demands are per layer).
+  std::size_t n_layers = 0;
+
+  /// Block-pool placement: the shard this sequence's caches draw from
+  /// (kNoShard until admitted under a paged scheduler) and the blocks the
+  /// scheduler currently holds reserved on it.
+  static constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
+  std::size_t shard = kNoShard;
+  std::size_t reserved_blocks = 0;
+
+  /// cost_tokens() expressed in pool blocks: every layer rounds its token
+  /// footprint up to whole blocks — the internal-fragmentation surcharge
+  /// real paged memory pays and abstract token counting hides.
+  std::size_t cost_blocks(std::size_t block_tokens) const {
+    return n_layers *
+           ((cost_tokens() + block_tokens - 1) / block_tokens);
+  }
+
+  /// admission_cost_tokens() in pool blocks (the transient prefill peak).
+  std::size_t admission_cost_blocks(std::size_t block_tokens) const {
+    return n_layers *
+           ((admission_cost_tokens() + block_tokens - 1) / block_tokens);
+  }
 
   /// Recent committed tokens the repetition penalty applies to.
   std::span<const Token> recent_window() const {

@@ -46,7 +46,7 @@ class AttentionAllPositional
 TEST_P(AttentionAllPositional, ProbsRowsSumToOneAndCausal) {
   const ModelConfig cfg = tiny_config(GetParam());
   const ModelWeights w = build_weights(cfg);
-  kv::KvCache cache(cfg.n_heads, cfg.d_head());
+  kv::ContiguousKvCache cache(cfg.n_heads, cfg.d_head());
   const std::size_t n = 12;
   Tensor x = random_rows(n, cfg.d_model, 5);
   const auto positions = iota_positions(n);
@@ -80,7 +80,7 @@ INSTANTIATE_TEST_SUITE_P(AllFamilies, AttentionAllPositional,
 TEST(Attention, AppendsToCache) {
   const ModelConfig cfg = tiny_config();
   const ModelWeights w = build_weights(cfg);
-  kv::KvCache cache(cfg.n_heads, cfg.d_head());
+  kv::ContiguousKvCache cache(cfg.n_heads, cfg.d_head());
   Tensor x = random_rows(4, cfg.d_model, 6);
   attention_forward(cfg, w.layers[0], x, iota_positions(4), cache);
   EXPECT_EQ(cache.size(), 4u);
@@ -93,7 +93,7 @@ TEST(Attention, AppendsToCache) {
 TEST(Attention, DecodeRowAttendsWholeCache) {
   const ModelConfig cfg = tiny_config();
   const ModelWeights w = build_weights(cfg);
-  kv::KvCache cache(cfg.n_heads, cfg.d_head());
+  kv::ContiguousKvCache cache(cfg.n_heads, cfg.d_head());
   Tensor x = random_rows(6, cfg.d_model, 8);
   attention_forward(cfg, w.layers[0], x, iota_positions(6), cache);
   Tensor q = random_rows(1, cfg.d_model, 9);
@@ -111,7 +111,7 @@ TEST(Attention, IdenticalTokensAttractContentAttention) {
   // on unrelated tokens (content-head structure).
   const ModelConfig cfg = tiny_config(PositionalKind::kLearned);
   const ModelWeights w = build_weights(cfg);
-  kv::KvCache cache(cfg.n_heads, cfg.d_head());
+  kv::ContiguousKvCache cache(cfg.n_heads, cfg.d_head());
   Tensor x({3, cfg.d_model});
   Rng rng(10);
   for (float& v : x.span()) v = static_cast<float>(rng.normal());
@@ -133,7 +133,7 @@ TEST(Attention, RopePositionModeChangesLogitsAfterCompaction) {
   const ModelWeights w = build_weights(org);
 
   const auto run = [&](const ModelConfig& cfg) {
-    kv::KvCache cache(cfg.n_heads, cfg.d_head());
+    kv::ContiguousKvCache cache(cfg.n_heads, cfg.d_head());
     Tensor x = random_rows(8, cfg.d_model, 11);
     attention_forward(cfg, w.layers[0], x, iota_positions(8), cache);
     // Evict tokens 1..4 — kept tokens now have index != original position.
@@ -162,7 +162,7 @@ TEST(Attention, PositionModeIrrelevantBeforeEviction) {
   newpos.position_mode = PositionMode::kNew;
   const ModelWeights w = build_weights(org);
   const auto run = [&](const ModelConfig& cfg) {
-    kv::KvCache cache(cfg.n_heads, cfg.d_head());
+    kv::ContiguousKvCache cache(cfg.n_heads, cfg.d_head());
     Tensor x = random_rows(6, cfg.d_model, 13);
     return attention_forward(cfg, w.layers[0], x, iota_positions(6), cache);
   };
@@ -176,7 +176,7 @@ TEST(Attention, PositionModeIrrelevantBeforeEviction) {
 TEST(Attention, AlibiBiasFavorsRecencyOnPositionalHead) {
   const ModelConfig cfg = tiny_config(PositionalKind::kALiBi);
   const ModelWeights w = build_weights(cfg);
-  kv::KvCache cache(cfg.n_heads, cfg.d_head());
+  kv::ContiguousKvCache cache(cfg.n_heads, cfg.d_head());
   // Identical token rows: content is symmetric, only ALiBi differentiates.
   Tensor x({24, cfg.d_model});
   Rng rng(14);
@@ -219,8 +219,8 @@ TEST_P(DecodeParity, FastPathMatchesGeneralPath) {
     attention_forward_general(cfg, w.layers[0], x, iota_positions(10), cache);
     cache.compact(std::vector<std::size_t>{0, 1, 5, 7, 8, 9});
   };
-  kv::KvCache cache_general(cfg.n_heads, cfg.d_head());
-  kv::KvCache cache_fast(cfg.n_heads, cfg.d_head());
+  kv::ContiguousKvCache cache_general(cfg.n_heads, cfg.d_head());
+  kv::ContiguousKvCache cache_fast(cfg.n_heads, cfg.d_head());
   prefill_one(cache_general);
   prefill_one(cache_fast);
 
@@ -284,7 +284,7 @@ TEST(Attention, AppendTimeRotationMatchesPerStepRotation) {
   const auto run = [&](const ModelConfig& cfg, bool fast) {
     ModelConfig c = cfg;
     c.decode_fast_path = fast;
-    kv::KvCache cache(c.n_heads, c.d_head());
+    kv::ContiguousKvCache cache(c.n_heads, c.d_head());
     Tensor x = random_rows(8, c.d_model, 51);
     attention_forward(c, w.layers[0], x, iota_positions(8), cache);
     cache.compact(std::vector<std::size_t>{0, 2, 3, 6, 7});
@@ -311,8 +311,8 @@ TEST(Attention, DispatchUsesFastPathResult) {
   // the general path when the flag is off.
   ModelConfig cfg = tiny_config(PositionalKind::kRoPE);
   const ModelWeights w = build_weights(cfg);
-  kv::KvCache a(cfg.n_heads, cfg.d_head());
-  kv::KvCache b(cfg.n_heads, cfg.d_head());
+  kv::ContiguousKvCache a(cfg.n_heads, cfg.d_head());
+  kv::ContiguousKvCache b(cfg.n_heads, cfg.d_head());
   Tensor x = random_rows(4, cfg.d_model, 31);
   attention_forward(cfg, w.layers[0], x, iota_positions(4), a);
   attention_forward(cfg, w.layers[0], x, iota_positions(4), b);
@@ -327,7 +327,7 @@ TEST(Attention, DispatchUsesFastPathResult) {
 
   ModelConfig general_cfg = cfg;
   general_cfg.decode_fast_path = false;
-  kv::KvCache c(cfg.n_heads, cfg.d_head());
+  kv::ContiguousKvCache c(cfg.n_heads, cfg.d_head());
   attention_forward(general_cfg, w.layers[0], x, iota_positions(4), c);
   Tensor q2 = random_rows(1, cfg.d_model, 32);
   const AttentionResult via_general =
@@ -350,9 +350,9 @@ TEST(Attention, RopeKeysStoredPreRotatedUnderOriginalMode) {
   const ModelWeights w = build_weights(cfg);
 
   Tensor x = random_rows(3, cfg.d_model, 41);
-  kv::KvCache rotated(cfg.n_heads, cfg.d_head());
+  kv::ContiguousKvCache rotated(cfg.n_heads, cfg.d_head());
   attention_forward(cfg, w.layers[0], x, iota_positions(3), rotated);
-  kv::KvCache raw(cfg.n_heads, cfg.d_head());
+  kv::ContiguousKvCache raw(cfg.n_heads, cfg.d_head());
   attention_forward(newpos, w.layers[0], x, iota_positions(3), raw);
 
   for (std::size_t i = 0; i < 3; ++i) {
@@ -371,7 +371,7 @@ TEST(Attention, RopeKeysStoredPreRotatedUnderOriginalMode) {
 TEST(Attention, ContextShapeAndFiniteness) {
   const ModelConfig cfg = tiny_config();
   const ModelWeights w = build_weights(cfg);
-  kv::KvCache cache(cfg.n_heads, cfg.d_head());
+  kv::ContiguousKvCache cache(cfg.n_heads, cfg.d_head());
   Tensor x = random_rows(5, cfg.d_model, 15);
   const AttentionResult r =
       attention_forward(cfg, w.layers[0], x, iota_positions(5), cache);

@@ -34,9 +34,9 @@ Tensor random_rows(std::size_t n, std::size_t d, std::uint64_t seed) {
 
 /// A cache pre-filled with `len` tokens through the general path (the same
 /// appends a prefill performs).
-kv::KvCache filled_cache(const ModelConfig& cfg, const LayerWeights& w,
+kv::ContiguousKvCache filled_cache(const ModelConfig& cfg, const LayerWeights& w,
                          std::size_t len, std::uint64_t seed) {
-  kv::KvCache cache(cfg.n_heads, cfg.d_head());
+  kv::ContiguousKvCache cache(cfg.n_heads, cfg.d_head());
   Tensor x = random_rows(len, cfg.d_model, seed);
   std::vector<std::size_t> positions(len);
   for (std::size_t i = 0; i < len; ++i) positions[i] = i;
@@ -56,8 +56,8 @@ TEST_P(BatchDecodeParity, MatchesSingleSequenceDecodePerSlot) {
 
   // Each slot is an independent sequence: its own cache history (different
   // seeds) and its own new-token row.
-  std::vector<kv::KvCache> single_caches;
-  std::vector<kv::KvCache> batch_caches;
+  std::vector<kv::ContiguousKvCache> single_caches;
+  std::vector<kv::ContiguousKvCache> batch_caches;
   for (std::size_t b = 0; b < kBatch; ++b) {
     single_caches.push_back(filled_cache(cfg, w, kPrefill, 100 + b));
     batch_caches.push_back(single_caches.back());  // identical clone
@@ -119,7 +119,7 @@ TEST_P(BatchDecodeParity, SlotResultIndependentOfBatchComposition) {
 
   const Tensor s_query = random_rows(1, cfg.d_model, 3);
   const auto run_in_batch = [&](std::size_t batch, std::size_t s_slot) {
-    std::vector<kv::KvCache> caches;
+    std::vector<kv::ContiguousKvCache> caches;
     for (std::size_t b = 0; b < batch; ++b) {
       // Slot s_slot is sequence S (seed 42); companions vary with batch.
       caches.push_back(
@@ -165,8 +165,8 @@ TEST(BatchDecode, BatchOfOneFollowsSingleSequenceDispatch) {
   const Transformer m(cfg);
   const LayerWeights& w = m.weights().layers[0];
 
-  kv::KvCache a = filled_cache(cfg, w, 8, 5);
-  kv::KvCache b = a;
+  kv::ContiguousKvCache a = filled_cache(cfg, w, 8, 5);
+  kv::ContiguousKvCache b = a;
   const Tensor xq = random_rows(1, cfg.d_model, 11);
 
   const std::size_t pos[1] = {8};
@@ -191,8 +191,8 @@ TEST(BatchDecode, FastPathOffBatchUsesGeneralKernelPerRow) {
   const LayerWeights& w = m.weights().layers[0];
 
   constexpr std::size_t kBatch = 3;
-  std::vector<kv::KvCache> solo;
-  std::vector<kv::KvCache> batch;
+  std::vector<kv::ContiguousKvCache> solo;
+  std::vector<kv::ContiguousKvCache> batch;
   for (std::size_t b = 0; b < kBatch; ++b) {
     solo.push_back(filled_cache(cfg, w, 6 + b, 50 + b));
     batch.push_back(solo.back());

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "kvcache/policy_factory.h"
+#include "mem/block_pool.h"
 
 namespace kf::serve {
 namespace {
@@ -182,6 +183,137 @@ TEST(BatchScheduler, ReleaseOrSettleOfInactiveThrows) {
   EXPECT_THROW(sched.release(&s), std::invalid_argument);
   EXPECT_THROW(sched.settle(&s), std::invalid_argument);
   EXPECT_THROW(sched.submit(nullptr), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Block mode: admission backed by real reservations on a mem::BlockPool.
+
+mem::BlockPoolConfig block_pool_config(std::size_t shards,
+                                       std::size_t blocks_per_shard,
+                                       std::size_t block_tokens = 8) {
+  mem::BlockPoolConfig cfg;
+  cfg.n_shards = shards;
+  cfg.blocks_per_shard = blocks_per_shard;
+  cfg.block_tokens = block_tokens;
+  cfg.n_heads = 2;
+  cfg.d_head = 4;
+  return cfg;
+}
+
+Sequence make_block_seq(std::size_t prompt_len, double cache_ratio,
+                        std::size_t n_layers = 2, std::size_t max_new = 8) {
+  Sequence s = make_seq(prompt_len, cache_ratio, max_new);
+  s.n_layers = n_layers;
+  return s;
+}
+
+TEST(SequenceCost, BlockDemandRoundsPerLayer) {
+  // k = 20 -> steady 21 tokens; block_tokens 8 -> 3 blocks per layer.
+  const Sequence s = make_block_seq(40, 0.5, /*n_layers=*/2);
+  EXPECT_EQ(s.cost_blocks(8), 6u);
+  // Admission peak is the 40-token prompt: 5 blocks per layer.
+  EXPECT_EQ(s.admission_cost_blocks(8), 10u);
+}
+
+TEST(BatchScheduler, BlockModeReservesAndSettlesRealBlocks) {
+  mem::BlockPool pool(block_pool_config(1, 12));
+  SchedulerConfig cfg;
+  cfg.max_batch_size = 0;
+  cfg.pool = &pool;
+  BatchScheduler sched(cfg);
+
+  Sequence s = make_block_seq(40, 0.5);  // admit 10 blocks, steady 6
+  sched.submit(&s);
+  ASSERT_EQ(sched.admit(0).size(), 1u);
+  EXPECT_EQ(s.shard, 0u);
+  EXPECT_EQ(s.reserved_blocks, 10u);
+  EXPECT_EQ(sched.blocks_in_use(), 10u);
+  EXPECT_EQ(pool.shard_stats(0).reserved_blocks, 10u);
+
+  sched.settle(&s);
+  EXPECT_EQ(s.reserved_blocks, 6u);
+  EXPECT_EQ(pool.shard_stats(0).reserved_blocks, 6u);
+
+  sched.release(&s);
+  EXPECT_EQ(sched.blocks_in_use(), 0u);
+  EXPECT_EQ(pool.shard_stats(0).reserved_blocks, 0u);
+  EXPECT_EQ(s.shard, Sequence::kNoShard);
+}
+
+TEST(BatchScheduler, BlockModeChargesFragmentationTokenModeHides) {
+  // Two sequences of steady cost 21 tokens = 3 blocks of 8 per layer x 2
+  // layers = 6 blocks each after settle, but 10 at admission. A pool of
+  // 12 blocks fits them only sequentially: the second must wait for the
+  // first's settle, and a third can never join while both are resident —
+  // even though a 48-token *token* budget would have admitted 2 at once.
+  mem::BlockPool pool(block_pool_config(1, 12));
+  SchedulerConfig cfg;
+  cfg.max_batch_size = 0;
+  cfg.pool = &pool;
+  BatchScheduler sched(cfg);
+
+  Sequence a = make_block_seq(40, 0.5);
+  Sequence b = make_block_seq(40, 0.5);
+  sched.submit(&a);
+  sched.submit(&b);
+  ASSERT_EQ(sched.admit(0).size(), 1u);  // only a fits its prefill peak
+  sched.settle(&a);                      // 6 reserved; 6 free
+  ASSERT_EQ(sched.admit(0).size(), 0u);  // b's peak (10) still too big
+  sched.release(&a);
+  ASSERT_EQ(sched.admit(0).size(), 1u);
+}
+
+TEST(BatchScheduler, LeastLoadedPlacementSpreadsAcrossShards) {
+  mem::BlockPool pool(block_pool_config(2, 16));
+  SchedulerConfig cfg;
+  cfg.max_batch_size = 0;
+  cfg.pool = &pool;
+  BatchScheduler sched(cfg);
+
+  Sequence a = make_block_seq(40, 0.5);
+  Sequence b = make_block_seq(40, 0.5);
+  sched.submit(&a);
+  sched.submit(&b);
+  ASSERT_EQ(sched.admit(0).size(), 2u);
+  EXPECT_NE(a.shard, b.shard);
+}
+
+TEST(BatchScheduler, RoundRobinPlacementCyclesShards) {
+  mem::BlockPool pool(block_pool_config(3, 32));
+  SchedulerConfig cfg;
+  cfg.max_batch_size = 0;
+  cfg.pool = &pool;
+  cfg.placement = ShardPlacement::kRoundRobin;
+  BatchScheduler sched(cfg);
+
+  std::vector<Sequence> seqs;
+  for (std::size_t i = 0; i < 3; ++i) {
+    seqs.push_back(make_block_seq(16, 0.5));
+  }
+  for (auto& s : seqs) sched.submit(&s);
+  ASSERT_EQ(sched.admit(0).size(), 3u);
+  EXPECT_EQ(seqs[0].shard, 0u);
+  EXPECT_EQ(seqs[1].shard, 1u);
+  EXPECT_EQ(seqs[2].shard, 2u);
+}
+
+TEST(BatchScheduler, BlockModeOversizedDemandThrowsInsteadOfDeadlocking) {
+  mem::BlockPool pool(block_pool_config(1, 4));
+  SchedulerConfig cfg;
+  cfg.pool = &pool;
+  BatchScheduler sched(cfg);
+  Sequence huge = make_block_seq(100, 1.0);  // far beyond 4 blocks
+  sched.submit(&huge);
+  EXPECT_THROW(sched.admit(0), std::invalid_argument);
+}
+
+TEST(BatchScheduler, BlockModeRequiresLayerCount) {
+  mem::BlockPool pool(block_pool_config(1, 8));
+  SchedulerConfig cfg;
+  cfg.pool = &pool;
+  BatchScheduler sched(cfg);
+  Sequence s = make_seq(8, 0.5);  // n_layers left 0
+  EXPECT_THROW(sched.submit(&s), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,219 @@
+#include "mem/block_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace kf::mem {
+namespace {
+
+BlockPoolConfig small_config(std::size_t shards = 2,
+                             std::size_t blocks_per_shard = 8) {
+  BlockPoolConfig cfg;
+  cfg.n_shards = shards;
+  cfg.blocks_per_shard = blocks_per_shard;
+  cfg.block_tokens = 4;
+  cfg.n_heads = 2;
+  cfg.d_head = 3;
+  return cfg;
+}
+
+TEST(BlockPool, RejectsDegenerateConfig) {
+  auto cfg = small_config();
+  cfg.n_shards = 0;
+  EXPECT_THROW(BlockPool{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.block_tokens = 0;
+  EXPECT_THROW(BlockPool{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.n_heads = 0;
+  EXPECT_THROW(BlockPool{cfg}, std::invalid_argument);
+}
+
+TEST(BlockPool, AllocateFreeRoundTrip) {
+  BlockPool pool(small_config());
+  const BlockRef a = pool.allocate(0);
+  const BlockRef b = pool.allocate(0);
+  EXPECT_EQ(a.shard, 0u);
+  EXPECT_NE(a.id, b.id);
+  EXPECT_EQ(pool.shard_stats(0).used_blocks, 2u);
+  EXPECT_EQ(pool.shard_stats(1).used_blocks, 0u);
+  pool.free(a);
+  pool.free(b);
+  EXPECT_EQ(pool.shard_stats(0).used_blocks, 0u);
+  // Everything freed: the next allocations reuse the same ids.
+  const BlockRef c = pool.allocate(0);
+  EXPECT_LT(c.id, 2u);
+}
+
+TEST(BlockPool, PayloadPointersAreStableAndDisjoint) {
+  // Write a distinct pattern into every head section of every block, then
+  // verify nothing overlapped — the addressing math carves disjoint
+  // [block][K/V][head][token][d_head] regions.
+  BlockPool pool(small_config(1, 6));
+  const auto& cfg = pool.config();
+  std::vector<BlockRef> refs;
+  for (std::size_t i = 0; i < 6; ++i) refs.push_back(pool.allocate(0));
+  const std::size_t head_floats = cfg.block_tokens * cfg.d_head;
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    for (std::size_t h = 0; h < cfg.n_heads; ++h) {
+      const float kv_tag = static_cast<float>(i * 100 + h * 10);
+      for (std::size_t j = 0; j < head_floats; ++j) {
+        pool.keys(refs[i], h)[j] = kv_tag + 1.0F;
+        pool.values(refs[i], h)[j] = kv_tag + 2.0F;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    for (std::size_t h = 0; h < cfg.n_heads; ++h) {
+      const float kv_tag = static_cast<float>(i * 100 + h * 10);
+      for (std::size_t j = 0; j < head_floats; ++j) {
+        EXPECT_EQ(pool.keys(refs[i], h)[j], kv_tag + 1.0F);
+        EXPECT_EQ(pool.values(refs[i], h)[j], kv_tag + 2.0F);
+      }
+    }
+  }
+}
+
+TEST(BlockPool, ExhaustionThrowsAndFreeRecovers) {
+  BlockPool pool(small_config(1, 3));
+  std::vector<BlockRef> refs;
+  for (std::size_t i = 0; i < 3; ++i) refs.push_back(pool.allocate(0));
+  EXPECT_THROW(pool.allocate(0), std::runtime_error);
+  pool.free(refs.back());
+  refs.pop_back();
+  EXPECT_NO_THROW(refs.push_back(pool.allocate(0)));
+}
+
+TEST(BlockPool, ReservationAccounting) {
+  BlockPool pool(small_config(2, 8));
+  EXPECT_TRUE(pool.try_reserve(0, 5));
+  EXPECT_EQ(pool.unreserved_blocks(0), 3u);
+  EXPECT_FALSE(pool.try_reserve(0, 4));  // 5 + 4 > 8: no change
+  EXPECT_EQ(pool.shard_stats(0).reserved_blocks, 5u);
+  EXPECT_TRUE(pool.try_reserve(0, 3));
+  EXPECT_EQ(pool.unreserved_blocks(0), 0u);
+  // Shard 1 is independent.
+  EXPECT_TRUE(pool.try_reserve(1, 8));
+  pool.unreserve(0, 8);
+  EXPECT_EQ(pool.unreserved_blocks(0), 8u);
+  EXPECT_THROW(pool.unreserve(0, 1), std::invalid_argument);
+}
+
+TEST(BlockPool, UnboundedPoolGrowsOnDemand) {
+  BlockPool pool(small_config(1, /*blocks_per_shard=*/0));
+  EXPECT_EQ(pool.unreserved_blocks(0), static_cast<std::size_t>(-1));
+  std::vector<BlockRef> refs;
+  for (std::size_t i = 0; i < 200; ++i) refs.push_back(pool.allocate(0));
+  EXPECT_EQ(pool.shard_stats(0).used_blocks, 200u);
+  EXPECT_GE(pool.shard_stats(0).allocated_blocks, 200u);
+  for (const BlockRef r : refs) pool.free(r);
+  EXPECT_EQ(pool.shard_stats(0).used_blocks, 0u);
+}
+
+TEST(BlockPool, PeaksTrackHighWaterAndReset) {
+  BlockPool pool(small_config(1, 8));
+  std::vector<BlockRef> refs;
+  for (std::size_t i = 0; i < 6; ++i) refs.push_back(pool.allocate(0));
+  for (const BlockRef r : refs) pool.free(r);
+  EXPECT_EQ(pool.shard_stats(0).peak_used_blocks, 6u);
+  pool.reset_peaks();
+  EXPECT_EQ(pool.shard_stats(0).peak_used_blocks, 0u);
+}
+
+TEST(BlockPool, RandomizedAllocFreeNeverLeaks) {
+  // N random alloc/free cycles across shards; at the end every freed
+  // block must be reusable and used counts must be exactly what is still
+  // held — the pool-invariant half of the leak test (the engine half
+  // lives in test_serve_engine).
+  BlockPool pool(small_config(3, 16));
+  Rng rng(99);
+  std::vector<BlockRef> held;
+  for (std::size_t step = 0; step < 2000; ++step) {
+    const bool can_alloc = [&] {
+      for (std::size_t s = 0; s < 3; ++s) {
+        if (pool.shard_stats(s).used_blocks < 16) return true;
+      }
+      return false;
+    }();
+    if (!held.empty() && (!can_alloc || rng.uniform_u64(2) == 0)) {
+      const std::size_t pick = rng.uniform_u64(held.size());
+      pool.free(held[pick]);
+      held[pick] = held.back();
+      held.pop_back();
+    } else if (can_alloc) {
+      std::size_t shard = rng.uniform_u64(3);
+      while (pool.shard_stats(shard).used_blocks >= 16) {
+        shard = (shard + 1) % 3;
+      }
+      held.push_back(pool.allocate(shard));
+    }
+    std::size_t used = 0;
+    for (std::size_t s = 0; s < 3; ++s) {
+      used += pool.shard_stats(s).used_blocks;
+    }
+    ASSERT_EQ(used, held.size()) << "step " << step;
+  }
+  for (const BlockRef r : held) pool.free(r);
+  const PoolStats st = pool.stats();
+  EXPECT_EQ(st.used_blocks, 0u);
+  EXPECT_LE(st.allocated_blocks, st.capacity_blocks);
+}
+
+TEST(BlockPool, FreeDetectsDoubleFree) {
+  BlockPool pool(small_config(1, 4));
+  const BlockRef a = pool.allocate(0);
+  const BlockRef b = pool.allocate(0);
+  pool.free(a);
+  EXPECT_THROW(pool.free(a), std::invalid_argument);  // double free
+  BlockRef never;  // never allocated on this shard
+  never.shard = 0;
+  never.id = 3;
+  EXPECT_THROW(pool.free(never), std::invalid_argument);
+  pool.free(b);
+  EXPECT_EQ(pool.shard_stats(0).used_blocks, 0u);
+}
+
+TEST(BlockPool, AggregatePeakIsSimultaneousNotSumOfShardPeaks) {
+  // Shard 0 peaks at 3, then drains; shard 1 peaks at 3 afterwards. The
+  // pool never holds more than 3 at once, so the aggregate peak must be
+  // 3 — not the 6 that summing per-shard peaks would report.
+  BlockPool pool(small_config(2, 8));
+  std::vector<BlockRef> held;
+  for (std::size_t i = 0; i < 3; ++i) held.push_back(pool.allocate(0));
+  for (const BlockRef r : held) pool.free(r);
+  held.clear();
+  for (std::size_t i = 0; i < 3; ++i) held.push_back(pool.allocate(1));
+  for (const BlockRef r : held) pool.free(r);
+  EXPECT_EQ(pool.shard_stats(0).peak_used_blocks, 3u);
+  EXPECT_EQ(pool.shard_stats(1).peak_used_blocks, 3u);
+  EXPECT_EQ(pool.stats().peak_used_blocks, 3u);
+  // Same rule for reservations.
+  ASSERT_TRUE(pool.try_reserve(0, 4));
+  pool.unreserve(0, 4);
+  ASSERT_TRUE(pool.try_reserve(1, 4));
+  pool.unreserve(1, 4);
+  EXPECT_EQ(pool.stats().peak_reserved_blocks, 4u);
+}
+
+TEST(BlockPool, StatsAggregateAcrossShards) {
+  BlockPool pool(small_config(2, 8));
+  const BlockRef a = pool.allocate(0);
+  const BlockRef b = pool.allocate(1);
+  ASSERT_TRUE(pool.try_reserve(1, 2));
+  const PoolStats st = pool.stats();
+  EXPECT_EQ(st.n_shards, 2u);
+  EXPECT_EQ(st.capacity_blocks, 16u);
+  EXPECT_EQ(st.used_blocks, 2u);
+  EXPECT_EQ(st.reserved_blocks, 2u);
+  pool.free(a);
+  pool.free(b);
+  pool.unreserve(1, 2);
+}
+
+}  // namespace
+}  // namespace kf::mem

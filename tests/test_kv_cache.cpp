@@ -15,19 +15,19 @@ std::vector<float> row_of(std::size_t width, float value) {
 }
 
 TEST(KvCache, StartsEmpty) {
-  KvCache c(2, 4);
+  ContiguousKvCache c(2, 4);
   EXPECT_TRUE(c.empty());
   EXPECT_EQ(c.size(), 0u);
   EXPECT_EQ(c.row_width(), 8u);
 }
 
 TEST(KvCache, RejectsZeroDims) {
-  EXPECT_THROW(KvCache(0, 4), std::invalid_argument);
-  EXPECT_THROW(KvCache(2, 0), std::invalid_argument);
+  EXPECT_THROW(ContiguousKvCache(0, 4), std::invalid_argument);
+  EXPECT_THROW(ContiguousKvCache(2, 0), std::invalid_argument);
 }
 
 TEST(KvCache, AppendAndRead) {
-  KvCache c(2, 3);
+  ContiguousKvCache c(2, 3);
   c.append(row_of(6, 1.0F), row_of(6, 2.0F), 0);
   c.append(row_of(6, 3.0F), row_of(6, 4.0F), 1);
   EXPECT_EQ(c.size(), 2u);
@@ -37,7 +37,7 @@ TEST(KvCache, AppendAndRead) {
 }
 
 TEST(KvCache, HeadSlices) {
-  KvCache c(2, 2);
+  ContiguousKvCache c(2, 2);
   std::vector<float> k{1, 2, 3, 4};
   std::vector<float> v{5, 6, 7, 8};
   c.append(k, v, 0);
@@ -47,13 +47,13 @@ TEST(KvCache, HeadSlices) {
 }
 
 TEST(KvCache, RejectsWrongRowWidth) {
-  KvCache c(2, 3);
+  ContiguousKvCache c(2, 3);
   EXPECT_THROW(c.append(row_of(5, 0.0F), row_of(6, 0.0F), 0),
                std::invalid_argument);
 }
 
 TEST(KvCache, RejectsNonIncreasingPositions) {
-  KvCache c(1, 2);
+  ContiguousKvCache c(1, 2);
   c.append(row_of(2, 0.0F), row_of(2, 0.0F), 5);
   EXPECT_THROW(c.append(row_of(2, 0.0F), row_of(2, 0.0F), 5),
                std::invalid_argument);
@@ -62,7 +62,7 @@ TEST(KvCache, RejectsNonIncreasingPositions) {
 }
 
 TEST(KvCache, ScoresTrackAppends) {
-  KvCache c(2, 2);
+  ContiguousKvCache c(2, 2);
   c.append(row_of(4, 0.0F), row_of(4, 0.0F), 0);
   c.append(row_of(4, 0.0F), row_of(4, 0.0F), 1);
   EXPECT_EQ(c.scores(0).size(), 2u);
@@ -74,7 +74,7 @@ TEST(KvCache, ScoresTrackAppends) {
 }
 
 TEST(KvCache, DampScoresScalesAllHeads) {
-  KvCache c(2, 2);
+  ContiguousKvCache c(2, 2);
   c.append(row_of(4, 0.0F), row_of(4, 0.0F), 0);
   c.add_score(0, 0, 4.0);
   c.add_score(1, 0, 2.0);
@@ -83,7 +83,7 @@ TEST(KvCache, DampScoresScalesAllHeads) {
 }
 
 TEST(KvCache, CompactKeepsSelectedRows) {
-  KvCache c(1, 2);
+  ContiguousKvCache c(1, 2);
   for (std::size_t i = 0; i < 5; ++i) {
     c.append(row_of(2, static_cast<float>(i)), row_of(2, 10.0F + i), i);
     c.add_score(0, i, static_cast<double>(i));
@@ -100,7 +100,7 @@ TEST(KvCache, CompactKeepsSelectedRows) {
 }
 
 TEST(KvCache, CompactPreservesOrderInvariant) {
-  KvCache c(1, 1);
+  ContiguousKvCache c(1, 1);
   for (std::size_t i = 0; i < 8; ++i) {
     c.append(row_of(1, 0.0F), row_of(1, 0.0F), i * 3);
   }
@@ -111,7 +111,7 @@ TEST(KvCache, CompactPreservesOrderInvariant) {
 }
 
 TEST(KvCache, CompactRejectsBadIndices) {
-  KvCache c(1, 1);
+  ContiguousKvCache c(1, 1);
   c.append(row_of(1, 0.0F), row_of(1, 0.0F), 0);
   EXPECT_THROW(c.compact(std::vector<std::size_t>{1}), std::out_of_range);
   c.append(row_of(1, 0.0F), row_of(1, 0.0F), 1);
@@ -122,14 +122,14 @@ TEST(KvCache, CompactRejectsBadIndices) {
 }
 
 TEST(KvCache, CompactToEmpty) {
-  KvCache c(1, 1);
+  ContiguousKvCache c(1, 1);
   c.append(row_of(1, 0.0F), row_of(1, 0.0F), 0);
   c.compact({});
   EXPECT_TRUE(c.empty());
 }
 
 TEST(KvCache, AppendAfterCompactKeepsPositionInvariant) {
-  KvCache c(1, 1);
+  ContiguousKvCache c(1, 1);
   for (std::size_t i = 0; i < 4; ++i) {
     c.append(row_of(1, 0.0F), row_of(1, 0.0F), i);
   }
@@ -146,7 +146,7 @@ TEST(KvCache, HeadSegmentsAreContiguous) {
   // keys_head(h) must expose the head's tokens as [size, d_head] row-major
   // contiguous memory, with token t at offset t * d_head — the layout the
   // fused decode kernel's matvec relies on.
-  KvCache c(2, 3);
+  ContiguousKvCache c(2, 3);
   for (std::size_t t = 0; t < 5; ++t) {
     std::vector<float> k(6), v(6);
     for (std::size_t j = 0; j < 6; ++j) {
@@ -187,7 +187,7 @@ TEST(KvCache, RandomizedOpsMatchReferenceModel) {
   const std::size_t width = n_heads * d_head;
   kf::Rng rng(20260731);
 
-  KvCache c(n_heads, d_head, /*capacity_hint=*/2);  // force regrowth
+  ContiguousKvCache c(n_heads, d_head, /*capacity_hint=*/2);  // force regrowth
   std::vector<RefToken> ref;
   std::size_t next_pos = 0;
 
@@ -247,8 +247,24 @@ TEST(KvCache, RandomizedOpsMatchReferenceModel) {
   }
 }
 
+TEST(KvCache, GrowthIsGeometricAndHintedCachesNeverReallocate) {
+  // Cold cache: N appends must cost O(log N) full-segment reallocations,
+  // not O(N) — the repeated-copy trap during prefill.
+  ContiguousKvCache cold(2, 4);
+  std::vector<float> row(cold.row_width(), 1.0F);
+  for (std::size_t t = 0; t < 1000; ++t) cold.append(row, row, t);
+  EXPECT_LE(cold.reallocations(), 10u);  // ceil(log2(1000/16)) = 6ish
+  EXPECT_GE(cold.capacity(), 1000u);
+
+  // A capacity_hint covering the whole append stream (the engine derives
+  // it from the admission cost max(prompt, k+1)) pays zero reallocations.
+  ContiguousKvCache hinted(2, 4, /*capacity_hint=*/1000);
+  for (std::size_t t = 0; t < 1000; ++t) hinted.append(row, row, t);
+  EXPECT_EQ(hinted.reallocations(), 0u);
+}
+
 TEST(KvCache, ClearResetsEverything) {
-  KvCache c(2, 2);
+  ContiguousKvCache c(2, 2);
   c.append(row_of(4, 1.0F), row_of(4, 1.0F), 0);
   c.add_score(0, 0, 1.0);
   c.clear();

@@ -1,0 +1,194 @@
+#include "mem/paged_kv_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.h"
+#include "kvcache/kv_cache.h"
+
+namespace kf::mem {
+namespace {
+
+BlockPoolConfig pool_config(std::size_t block_tokens = 4,
+                            std::size_t n_heads = 2, std::size_t d_head = 3) {
+  BlockPoolConfig cfg;
+  cfg.n_shards = 1;
+  cfg.blocks_per_shard = 0;  // unbounded: the cache under test decides
+  cfg.block_tokens = block_tokens;
+  cfg.n_heads = n_heads;
+  cfg.d_head = d_head;
+  return cfg;
+}
+
+std::vector<float> ramp_row(std::size_t width, float base) {
+  std::vector<float> row(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    row[i] = base + static_cast<float>(i) * 0.25F;
+  }
+  return row;
+}
+
+TEST(PagedKvCache, ChainInvariantAcrossAppends) {
+  BlockPool pool(pool_config(/*block_tokens=*/4));
+  PagedKvCache c(pool, 0);
+  EXPECT_EQ(c.blocks_held(), 0u);
+  for (std::size_t t = 0; t < 10; ++t) {
+    const auto k = ramp_row(c.row_width(), static_cast<float>(t));
+    c.append(k, k, t);
+    EXPECT_EQ(c.blocks_held(), (t + 1 + 3) / 4) << "token " << t;
+    EXPECT_EQ(pool.shard_stats(0).used_blocks, c.blocks_held());
+  }
+}
+
+TEST(PagedKvCache, SegmentsTileTheCacheInOrder) {
+  BlockPool pool(pool_config(/*block_tokens=*/4));
+  PagedKvCache c(pool, 0);
+  for (std::size_t t = 0; t < 10; ++t) {
+    const auto k = ramp_row(c.row_width(), static_cast<float>(t));
+    c.append(k, k, t);
+  }
+  ASSERT_EQ(c.segment_count(), 3u);
+  for (std::size_t h = 0; h < c.n_heads(); ++h) {
+    std::size_t covered = 0;
+    for (std::size_t s = 0; s < c.segment_count(); ++s) {
+      const kv::KvSegment seg = c.segment(h, s);
+      EXPECT_EQ(seg.first, covered);
+      covered += seg.count;
+      // Each segment row must agree with the per-index accessor.
+      for (std::size_t r = 0; r < seg.count; ++r) {
+        const auto expect_k = c.key_head(seg.first + r, h);
+        const auto expect_v = c.value_head(seg.first + r, h);
+        for (std::size_t j = 0; j < c.d_head(); ++j) {
+          EXPECT_EQ(seg.keys[r * c.d_head() + j], expect_k[j]);
+          EXPECT_EQ(seg.values[r * c.d_head() + j], expect_v[j]);
+        }
+      }
+    }
+    EXPECT_EQ(covered, c.size());
+  }
+}
+
+TEST(PagedKvCache, CompactFreesEmptiedTailBlocks) {
+  BlockPool pool(pool_config(/*block_tokens=*/4));
+  PagedKvCache c(pool, 0);
+  for (std::size_t t = 0; t < 12; ++t) {
+    const auto k = ramp_row(c.row_width(), static_cast<float>(t));
+    c.append(k, k, t);
+  }
+  EXPECT_EQ(c.blocks_held(), 3u);
+  // Keep 5 scattered tokens: 2 blocks remain, 1 returns to the pool.
+  const std::vector<std::size_t> keep{0, 3, 6, 9, 11};
+  c.compact(keep);
+  EXPECT_EQ(c.size(), 5u);
+  EXPECT_EQ(c.blocks_held(), 2u);
+  EXPECT_EQ(pool.shard_stats(0).used_blocks, 2u);
+  // Kept rows gathered in order.
+  EXPECT_EQ(c.original_position(0), 0u);
+  EXPECT_EQ(c.original_position(4), 11u);
+  EXPECT_EQ(c.key_row(1), ramp_row(c.row_width(), 3.0F));
+  EXPECT_EQ(c.value_row(3), ramp_row(c.row_width(), 9.0F));
+}
+
+TEST(PagedKvCache, ClearAndDestructorReturnEveryBlock) {
+  BlockPool pool(pool_config());
+  {
+    PagedKvCache c(pool, 0);
+    for (std::size_t t = 0; t < 9; ++t) {
+      const auto k = ramp_row(c.row_width(), static_cast<float>(t));
+      c.append(k, k, t);
+    }
+    EXPECT_GT(pool.shard_stats(0).used_blocks, 0u);
+    c.clear();
+    EXPECT_EQ(pool.shard_stats(0).used_blocks, 0u);
+    EXPECT_EQ(c.size(), 0u);
+    for (std::size_t t = 0; t < 5; ++t) {  // reusable after clear
+      const auto k = ramp_row(c.row_width(), static_cast<float>(t));
+      c.append(k, k, t);
+    }
+    EXPECT_EQ(pool.shard_stats(0).used_blocks, 2u);
+  }
+  EXPECT_EQ(pool.shard_stats(0).used_blocks, 0u);  // destructor freed
+}
+
+/// The core acceptance property: identical append/compact/clear/score op
+/// sequences through a contiguous and a paged cache must leave bit-exact
+/// K/V/score/position state, across several block sizes (including ones
+/// that never divide the lengths evenly).
+TEST(PagedKvCache, RandomizedOpsBitExactVsContiguous) {
+  for (const std::size_t block_tokens : {1, 3, 4, 7, 16}) {
+    const std::size_t n_heads = 2;
+    const std::size_t d_head = 3;
+    BlockPool pool(pool_config(block_tokens, n_heads, d_head));
+    PagedKvCache paged(pool, 0);
+    kv::ContiguousKvCache contiguous(n_heads, d_head, /*capacity_hint=*/2);
+    Rng rng(7 + block_tokens);
+
+    std::size_t next_pos = 0;
+    const auto check_equal = [&](std::size_t step) {
+      ASSERT_EQ(paged.size(), contiguous.size()) << "step " << step;
+      for (std::size_t t = 0; t < paged.size(); ++t) {
+        ASSERT_EQ(paged.original_position(t), contiguous.original_position(t))
+            << "step " << step;
+        ASSERT_EQ(paged.key_row(t), contiguous.key_row(t)) << "step " << step;
+        ASSERT_EQ(paged.value_row(t), contiguous.value_row(t))
+            << "step " << step;
+      }
+      for (std::size_t h = 0; h < n_heads; ++h) {
+        const auto ps = paged.scores(h);
+        const auto cs = contiguous.scores(h);
+        for (std::size_t t = 0; t < paged.size(); ++t) {
+          ASSERT_EQ(ps[t], cs[t]) << "step " << step << " head " << h;
+        }
+      }
+      ASSERT_EQ(paged.blocks_held(),
+                (paged.size() + block_tokens - 1) / block_tokens)
+          << "step " << step;
+      ASSERT_EQ(pool.shard_stats(0).used_blocks, paged.blocks_held())
+          << "step " << step;
+    };
+
+    for (std::size_t step = 0; step < 400; ++step) {
+      const std::uint64_t op = rng.uniform_u64(10);
+      if (op < 6 || paged.empty()) {
+        std::vector<float> k(paged.row_width());
+        std::vector<float> v(paged.row_width());
+        for (auto& x : k) x = static_cast<float>(rng.normal());
+        for (auto& x : v) x = static_cast<float>(rng.normal());
+        next_pos += 1 + rng.uniform_u64(3);
+        paged.append(k, v, next_pos);
+        contiguous.append(k, v, next_pos);
+      } else if (op < 7) {
+        const std::size_t h = rng.uniform_u64(n_heads);
+        const std::size_t idx = rng.uniform_u64(paged.size());
+        const double val = rng.normal();
+        paged.add_score(h, idx, val);
+        contiguous.add_score(h, idx, val);
+      } else if (op < 8) {
+        const double f = 0.5 + 0.5 * rng.uniform();
+        paged.damp_scores(f);
+        contiguous.damp_scores(f);
+      } else if (op < 9) {
+        std::vector<std::size_t> keep;
+        for (std::size_t t = 0; t < paged.size(); ++t) {
+          if (rng.uniform_u64(3) > 0) keep.push_back(t);
+        }
+        paged.compact(keep);
+        contiguous.compact(keep);
+      } else {
+        paged.clear();
+        contiguous.clear();
+      }
+      check_equal(step);
+    }
+  }
+}
+
+TEST(PagedKvCache, RejectsOutOfRangeShard) {
+  BlockPool pool(pool_config());
+  EXPECT_THROW(PagedKvCache(pool, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kf::mem

@@ -26,7 +26,7 @@ struct Scenario {
   static constexpr std::size_t kHeads = 2;
   static constexpr std::size_t kDHead = 2;
 
-  KvCache cache{kHeads, kDHead};
+  ContiguousKvCache cache{kHeads, kDHead};
   std::vector<float> logits;
   std::vector<float> probs;
 

@@ -171,7 +171,7 @@ TEST(Properties, DampingReweightsTowardRecentEvidence) {
   // Two-phase scenario: phase 1 boosts token A, phase 2 boosts token B.
   // Without damping, A's earlier accumulation wins; with strong damping,
   // the recency-weighted score ranks B above A.
-  kv::KvCache plain(1, 1), damped(1, 1);
+  kv::ContiguousKvCache plain(1, 1), damped(1, 1);
   const std::vector<float> row{0.0F};
   for (std::size_t i = 0; i < 4; ++i) {
     plain.append(row, row, i);

@@ -348,6 +348,139 @@ TEST(Engine, RejectsSharedKvStateOrPolicyAcrossRequests) {
   EXPECT_THROW(engine.run(requests), std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------------
+// Paged KV memory mode.
+
+TEST_P(EngineParity, PagedMemoryMatchesContiguousTokenExactly) {
+  // The paged allocator must be invisible to generation: same requests,
+  // same tokens, for every policy x positional family, across block sizes
+  // that do and don't divide the cache lengths.
+  const auto [pos, kind] = GetParam();
+  Transformer model(tiny_config(pos));
+
+  GenerationConfig g;
+  g.max_new_tokens = 12;
+  g.cache_ratio = kind == kv::PolicyKind::kFull ? 1.0 : 0.5;
+  const auto prompt = make_prompt(32);
+
+  EngineConfig contiguous_cfg;
+  contiguous_cfg.policy.kind = kind;
+  Engine contiguous(model, contiguous_cfg);
+  Request req;
+  req.prompt = prompt;
+  req.gen = g;
+  const auto expected = contiguous.run({&req, 1});
+
+  for (const std::size_t block_tokens : {3, 16}) {
+    EngineConfig pc = contiguous_cfg;
+    pc.paged.enabled = true;
+    pc.paged.n_shards = 2;
+    pc.paged.block_tokens = block_tokens;
+    Engine paged(model, pc);
+    const auto got = paged.run({&req, 1});
+    EXPECT_EQ(got[0].tokens, expected[0].tokens)
+        << "block_tokens " << block_tokens;
+    ASSERT_NE(paged.pool(), nullptr);
+    EXPECT_EQ(paged.pool()->stats().used_blocks, 0u)
+        << "blocks leaked at block_tokens " << block_tokens;
+    EXPECT_GT(paged.stats().pool_peak_used_blocks, 0u);
+  }
+}
+
+TEST(Engine, PagedMixedBatchMatchesContiguousAndLeaksNothing) {
+  // Randomized admit/retire churn under a real block cap: staggered
+  // arrivals, mixed lengths, sequences joining as others retire. Token
+  // streams must match the contiguous engine run for run, and after the
+  // run every block must be back on the free lists with no reservations
+  // left — the no-leak half of the acceptance criteria.
+  Transformer model(tiny_config());
+  Rng rng(321);
+  std::vector<Request> requests;
+  for (std::size_t i = 0; i < 9; ++i) {
+    Request req;
+    req.id = i;
+    req.prompt = make_prompt(12 + rng.uniform_u64(30), /*seed=*/i);
+    req.gen.max_new_tokens = 4 + rng.uniform_u64(10);
+    req.gen.cache_ratio = 0.5;
+    req.arrival_step = rng.uniform_u64(8);
+    requests.push_back(std::move(req));
+  }
+
+  EngineConfig ec;
+  ec.policy.kind = kv::PolicyKind::kKeyformer;
+  ec.scheduler.max_batch_size = 4;
+  ec.scheduler.max_concurrent_tokens = 120;
+  Engine contiguous(model, ec);
+  const auto expected = contiguous.run(requests);
+
+  EngineConfig pc = ec;
+  pc.paged.enabled = true;
+  pc.paged.n_shards = 2;
+  pc.paged.block_tokens = 8;
+  Engine paged(model, pc);
+  const auto got = paged.run(requests);
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    // Block-granular admission can only delay a join (rounding up to
+    // whole blocks), never change a sequence's own tokens.
+    EXPECT_EQ(got[i].tokens, expected[i].tokens) << "req " << i;
+  }
+  ASSERT_NE(paged.pool(), nullptr);
+  const mem::PoolStats ps = paged.pool()->stats();
+  EXPECT_EQ(ps.used_blocks, 0u) << "leaked blocks";
+  EXPECT_EQ(ps.reserved_blocks, 0u) << "leaked reservations";
+  EXPECT_GT(paged.stats().max_blocks_in_use, 0u);
+  EXPECT_GT(paged.stats().pool_capacity_blocks, 0u);
+  EXPECT_LE(paged.stats().pool_peak_used_blocks,
+            paged.stats().pool_capacity_blocks);
+  EXPECT_GE(paged.stats().max_fragmentation, 0.0);
+  EXPECT_LT(paged.stats().max_fragmentation, 1.0);
+}
+
+TEST(Engine, PagedModeDerivesPoolCapacityFromTokenBudget) {
+  Transformer model(tiny_config());  // 2 layers
+  EngineConfig ec;
+  ec.scheduler.max_concurrent_tokens = 100;
+  ec.paged.enabled = true;
+  ec.paged.n_shards = 2;
+  ec.paged.block_tokens = 8;
+  Engine engine(model, ec);
+  ASSERT_NE(engine.pool(), nullptr);
+  // 2 layers * ceil(100/8)=13 -> 26 blocks, split over 2 shards = 13 each.
+  EXPECT_EQ(engine.pool()->config().blocks_per_shard, 13u);
+  EXPECT_EQ(engine.pool()->stats().capacity_blocks, 26u);
+}
+
+TEST(Engine, PagedModeRejectsExternalKvState) {
+  Transformer model(tiny_config());
+  EngineConfig ec;
+  ec.paged.enabled = true;
+  Engine engine(model, ec);
+  Request req;
+  req.prompt = make_prompt(8);
+  req.gen.max_new_tokens = 2;
+  kv::SequenceKvState external(2, 2, 8);
+  req.kv_state = &external;
+  EXPECT_THROW(engine.run({&req, 1}), std::invalid_argument);
+}
+
+TEST(Engine, GenerateStillWorksWhilePagedEngineExists) {
+  // generate() builds its own contiguous batch-of-one engine; a paged
+  // engine on the same model must not disturb it.
+  Transformer model(tiny_config());
+  EngineConfig ec;
+  ec.paged.enabled = true;
+  Engine paged(model, ec);
+  GenerationConfig g;
+  g.max_new_tokens = 6;
+  g.cache_ratio = 0.5;
+  auto policy = kv::make_policy(kv::PolicyKind::kKeyformer);
+  const auto prompt = make_prompt(16);
+  const auto result = model::generate(model, prompt, *policy, g);
+  EXPECT_EQ(result.tokens.size(), 6u);
+}
+
 TEST(Engine, AggregateStatsAreConsistent) {
   Transformer model(tiny_config());
   std::vector<Request> requests(3);
