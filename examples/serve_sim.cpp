@@ -9,22 +9,33 @@
 //
 //   ./examples/serve_sim [--max-batch N] [--kv-budget N]
 //                        [--shards N] [--block-tokens N]
-//     --max-batch N     max concurrent sequences (default 4)
-//     --kv-budget N     scheduler memory budget in per-layer tokens;
-//                       0 = unlimited (default 600)
-//     --shards N        enable paged KV memory on an N-shard block pool
-//                       (default 0 = classic contiguous caches)
-//     --block-tokens N  tokens per pool block (default 16; paged only)
+//                        [--shared-prefix N]
+//     --max-batch N       max concurrent sequences (default 4)
+//     --kv-budget N       scheduler memory budget in per-layer tokens;
+//                         0 = unlimited (default 600)
+//     --shards N          enable paged KV memory on an N-shard block pool
+//                         (default 0 = classic contiguous caches)
+//     --block-tokens N    tokens per pool block (default 16; paged only)
+//     --shared-prefix N   switch to a shared-context workload: every
+//                         request opens with the same ~N-token few-shot
+//                         context (from src/data/fewshot) and the engine's
+//                         prefix cache replays it instead of re-prefilling
+//                         (requires --shards; prints hit-rate / blocks-
+//                         saved summary)
 //
 // With --shards the budget stops being an abstract token count: admission
 // reserves real blocks on a shard, and the summary reports pool
-// utilization and internal fragmentation.
+// utilization and internal fragmentation. With --shared-prefix it also
+// becomes a multi-tenant cache: one copy of the shared context's KV
+// backs every request that carries it, copy-on-write under eviction.
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/parse.h"
+#include "data/fewshot.h"
 #include "keyformer/keyformer.h"
 
 using namespace kf;
@@ -49,8 +60,23 @@ serve::Request make_request(std::uint64_t id, std::size_t prompt_len,
 [[noreturn]] void usage_exit(const std::string& message) {
   std::cerr << "error: " << message
             << "\nusage: serve_sim [--max-batch N] [--kv-budget N] "
-               "[--shards N] [--block-tokens N]\n";
+               "[--shards N] [--block-tokens N] [--shared-prefix N]\n";
   std::exit(1);
+}
+
+/// A few-shot context of ~`tokens` tokens drawn from the synthetic MCQ
+/// generator (shots only — the per-request "question" is appended by the
+/// caller). Trimmed to the requested length.
+std::vector<model::Token> make_shared_context(std::size_t tokens,
+                                              std::size_t vocab) {
+  data::McqConfig mc;
+  mc.vocab_size = vocab;
+  // Enough shots to cover the request; each shot is ~passage_len/3 + 3.
+  mc.n_shots = tokens / (mc.passage_len / 3 + 3) + 1;
+  const data::McqSample sample = data::make_mcq_sample(mc, /*index=*/0);
+  std::vector<model::Token> ctx = sample.prompt;
+  if (ctx.size() > tokens) ctx.resize(tokens);
+  return ctx;
 }
 
 /// Strict non-negative integer parse; exits with usage on garbage (a bare
@@ -71,6 +97,7 @@ int main(int argc, char** argv) {
   std::size_t kv_budget = 600;
   std::size_t shards = 0;
   std::size_t block_tokens = 16;
+  std::size_t shared_prefix = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&](const char* name) -> const char* {
@@ -86,33 +113,53 @@ int main(int argc, char** argv) {
     } else if (arg == "--block-tokens") {
       block_tokens = parse_count_arg(next("--block-tokens"), "--block-tokens");
       if (block_tokens == 0) usage_exit("--block-tokens must be positive");
+    } else if (arg == "--shared-prefix") {
+      shared_prefix =
+          parse_count_arg(next("--shared-prefix"), "--shared-prefix");
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: serve_sim [--max-batch N] [--kv-budget N] "
-                   "[--shards N] [--block-tokens N]\n";
+                   "[--shards N] [--block-tokens N] [--shared-prefix N]\n";
       return 0;
     } else {
       usage_exit("unknown argument \"" + arg + "\"");
     }
+  }
+  if (shared_prefix > 0 && shards == 0) {
+    usage_exit("--shared-prefix requires --shards (the prefix cache shares "
+               "pool blocks)");
   }
 
   model::ModelConfig cfg = model::ModelConfig::gptj_like();
   cfg.max_seq_len = 4096;
   model::Transformer m(cfg);
 
-  // Bursty mixed workload: chat turns trickle in, summaries arrive in a
-  // burst, one long document lands mid-stream.
   Rng rng(7);
   std::vector<serve::Request> requests;
   std::uint64_t id = 0;
-  for (std::size_t i = 0; i < 4; ++i) {  // chat turns
-    requests.push_back(
-        make_request(id++, 48, 24, /*arrival=*/i * 6, cfg, rng));
+  if (shared_prefix > 0) {
+    // Shared-context workload: 8 staggered requests all opening with the
+    // same few-shot context, each with its own short "question" tail.
+    const auto ctx = make_shared_context(shared_prefix, cfg.vocab_size);
+    for (std::size_t i = 0; i < 8; ++i) {
+      serve::Request req = make_request(id++, 24, 24, /*arrival=*/i * 3,
+                                        cfg, rng);
+      req.prompt.insert(req.prompt.begin(), ctx.begin(), ctx.end());
+      req.shared_prefix_hint = ctx.size();
+      requests.push_back(std::move(req));
+    }
+  } else {
+    // Bursty mixed workload: chat turns trickle in, summaries arrive in a
+    // burst, one long document lands mid-stream.
+    for (std::size_t i = 0; i < 4; ++i) {  // chat turns
+      requests.push_back(
+          make_request(id++, 48, 24, /*arrival=*/i * 6, cfg, rng));
+    }
+    for (std::size_t i = 0; i < 3; ++i) {  // summary burst at step 8
+      requests.push_back(make_request(id++, 192, 32, /*arrival=*/8, cfg, rng));
+    }
+    requests.push_back(  // long document at step 12
+        make_request(id++, 512, 48, /*arrival=*/12, cfg, rng));
   }
-  for (std::size_t i = 0; i < 3; ++i) {  // summary burst at step 8
-    requests.push_back(make_request(id++, 192, 32, /*arrival=*/8, cfg, rng));
-  }
-  requests.push_back(  // long document at step 12
-      make_request(id++, 512, 48, /*arrival=*/12, cfg, rng));
 
   serve::EngineConfig ec;
   ec.policy.kind = kv::PolicyKind::kKeyformer;
@@ -123,6 +170,7 @@ int main(int argc, char** argv) {
     ec.paged.n_shards = shards;
     ec.paged.block_tokens = block_tokens;
   }
+  if (shared_prefix > 0) ec.prefix.enabled = true;
   serve::Engine engine(m, ec);
 
   std::cout << "serving " << requests.size()
@@ -136,6 +184,11 @@ int main(int argc, char** argv) {
                                  std::to_string(block_tokens) +
                                  "-token blocks"
                            : std::string("contiguous caches"))
+            << (shared_prefix > 0
+                    ? ", shared " +
+                          std::to_string(requests[0].shared_prefix_hint) +
+                          "-token few-shot context + prefix cache"
+                    : std::string())
             << ")\n\n";
 
   const auto responses = engine.run(requests);
@@ -176,6 +229,23 @@ int main(int argc, char** argv) {
               << st.max_blocks_in_use << " blocks reserved, worst internal "
               << "fragmentation " << Table::num(100.0 * st.max_fragmentation, 1)
               << "%\n";
+  }
+  if (shared_prefix > 0) {
+    const std::size_t total_prompt =
+        st.prefilled_tokens + st.prefix_tokens_reused;
+    std::cout << "prefix cache: " << st.prefix_hits << " hits / "
+              << st.prefix_misses << " misses ("
+              << Table::num(100.0 * st.prefix_hit_rate(), 1)
+              << "% hit rate), " << st.prefix_tokens_reused << " of "
+              << total_prompt << " prompt tokens replayed from cache ("
+              << Table::num(total_prompt > 0
+                                ? 100.0 * st.prefix_tokens_reused /
+                                      static_cast<double>(total_prompt)
+                                : 0.0,
+                            1)
+              << "% prefill skipped), " << st.prefix_blocks_shared
+              << " block adoptions served by sharing, "
+              << st.prefix_cow_copies << " copy-on-write block copies\n";
   }
   std::cout << "Queued steps show admission control at work: requests wait "
                "when the batch or the KV-memory budget is full, and join "

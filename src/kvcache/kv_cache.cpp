@@ -116,6 +116,31 @@ void KvCache::clear() {
   for (auto& per_head : scores_) per_head.clear();
 }
 
+void KvCache::seed_metadata(std::span<const std::size_t> positions,
+                            std::span<const std::vector<double>> scores) {
+  if (!positions_.empty()) {
+    throw std::logic_error("KvCache::seed_metadata requires an empty cache");
+  }
+  if (scores.size() != n_heads_) {
+    throw std::invalid_argument(
+        "KvCache::seed_metadata: one score vector per head required");
+  }
+  for (const auto& per_head : scores) {
+    if (per_head.size() != positions.size()) {
+      throw std::invalid_argument(
+          "KvCache::seed_metadata: score length must match positions");
+    }
+  }
+  for (std::size_t i = 1; i < positions.size(); ++i) {
+    if (positions[i] <= positions[i - 1]) {
+      throw std::invalid_argument(
+          "KvCache::seed_metadata: positions must be strictly increasing");
+    }
+  }
+  positions_.assign(positions.begin(), positions.end());
+  for (std::size_t h = 0; h < n_heads_; ++h) scores_[h] = scores[h];
+}
+
 // ---------------------------------------------------------------------------
 // ContiguousKvCache: one private head-major arena.
 

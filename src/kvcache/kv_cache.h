@@ -135,6 +135,13 @@ class KvCache {
   virtual void compact_rows(std::span<const std::size_t> keep) = 0;
   virtual void clear_rows() = 0;
 
+  /// Installs positions and per-head accumulated scores wholesale for rows
+  /// the derived storage adopted without going through append() — a paged
+  /// cache taking over a shared prefix chain. The cache must be empty;
+  /// `scores` is one vector per head, each positions.size() long.
+  void seed_metadata(std::span<const std::size_t> positions,
+                     std::span<const std::vector<double>> scores);
+
  private:
   std::size_t n_heads_;
   std::size_t d_head_;

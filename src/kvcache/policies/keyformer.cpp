@@ -22,6 +22,20 @@ void KeyformerPolicy::begin_sequence(const SequenceInfo& info) {
       0.0);
 }
 
+std::vector<double> KeyformerPolicy::export_score_state(
+    std::size_t prefix_len) const {
+  if (config_.scope != ScoreScope::kShared) return {};
+  const std::size_t n = std::min(prefix_len, shared_scores_.size());
+  return {shared_scores_.begin(),
+          shared_scores_.begin() + static_cast<long>(n)};
+}
+
+void KeyformerPolicy::import_score_state(std::span<const double> state) {
+  if (config_.scope != ScoreScope::kShared) return;
+  const std::size_t n = std::min(state.size(), shared_scores_.size());
+  std::copy_n(state.begin(), n, shared_scores_.begin());
+}
+
 void KeyformerPolicy::accumulate(const PolicyContext& ctx) {
   KvCache& cache = *ctx.cache;
   assert(ctx.key_len == cache.size());

@@ -40,6 +40,12 @@ class KeyformerPolicy final : public EvictionPolicy {
   void begin_sequence(const SequenceInfo& info) override;
   void observe(const PolicyContext& ctx) override;
 
+  /// Shared-scope scores are per-policy (indexed by original position), so
+  /// prefix adoption must carry them explicitly; per-layer scores ride in
+  /// the caches and these hooks stay no-ops.
+  std::vector<double> export_score_state(std::size_t prefix_len) const override;
+  void import_score_state(std::span<const double> state) override;
+
   const KeyformerConfig& config() const noexcept { return config_; }
 
   /// Shared-mode accumulated scores indexed by original position

@@ -77,8 +77,12 @@ BlockRef BlockPool::allocate(std::size_t shard) {
   }
   const std::uint32_t id = sh.free_list.back();
   sh.free_list.pop_back();
-  if (sh.live.size() < sh.created) sh.live.resize(sh.created, false);
+  if (sh.live.size() < sh.created) {
+    sh.live.resize(sh.created, false);
+    sh.refs.resize(sh.created, 0);
+  }
   sh.live[id] = true;
+  sh.refs[id] = 1;
   ++sh.used;
   if (sh.used > sh.peak_used) sh.peak_used = sh.used;
   raise_peak(peak_total_used_, total_used_.fetch_add(1) + 1);
@@ -92,22 +96,46 @@ void BlockPool::raise_peak(std::atomic<std::size_t>& peak,
   }
 }
 
-void BlockPool::free(BlockRef ref) {
+void BlockPool::retain(BlockRef ref) {
   if (ref.shard >= shards_.size()) {
-    throw std::invalid_argument("BlockPool::free: shard out of range");
+    throw std::invalid_argument("BlockPool::retain: shard out of range");
   }
   Shard& sh = *shards_[ref.shard];
   std::scoped_lock lock(sh.mu);
   if (ref.id >= sh.created || ref.id >= sh.live.size() || !sh.live[ref.id]) {
-    // Never-allocated or double free: putting the id on the free list
+    throw std::invalid_argument(
+        "BlockPool::retain: block is not currently allocated");
+  }
+  ++sh.refs[ref.id];
+}
+
+void BlockPool::release(BlockRef ref) {
+  if (ref.shard >= shards_.size()) {
+    throw std::invalid_argument("BlockPool::release: shard out of range");
+  }
+  Shard& sh = *shards_[ref.shard];
+  std::scoped_lock lock(sh.mu);
+  if (ref.id >= sh.created || ref.id >= sh.live.size() || !sh.live[ref.id]) {
+    // Never-allocated or over-released: putting the id on the free list
     // twice would hand one payload to two caches.
     throw std::invalid_argument(
-        "BlockPool::free: block is not currently allocated");
+        "BlockPool::release: block is not currently allocated");
   }
+  if (--sh.refs[ref.id] > 0) return;  // other readers keep it alive
   sh.live[ref.id] = false;
   sh.free_list.push_back(ref.id);
   --sh.used;
   total_used_.fetch_sub(1);
+}
+
+std::uint32_t BlockPool::refcount(BlockRef ref) const {
+  if (ref.shard >= shards_.size()) {
+    throw std::invalid_argument("BlockPool::refcount: shard out of range");
+  }
+  const Shard& sh = *shards_[ref.shard];
+  std::scoped_lock lock(sh.mu);
+  if (ref.id >= sh.refs.size()) return 0;
+  return sh.refs[ref.id];
 }
 
 bool BlockPool::try_reserve(std::size_t shard, std::size_t blocks) {

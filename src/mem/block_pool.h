@@ -16,6 +16,13 @@
 //     appended, so `capacity_blocks` is an exact memory cap — a sequence
 //     that was admitted can always allocate what it was charged for
 //     (used <= reserved <= capacity).
+//
+// Blocks are reference counted so one immutable chain can back several
+// readers (the prefix cache shares a prompt's block chain across every
+// sequence carrying that prompt): allocate() hands a block out at
+// refcount 1, retain() adds a reader, release() drops one, and the block
+// only returns to the free list at refcount 0. `used` counts *physical*
+// blocks (refcount >= 1), so sharing N ways still charges the pool once.
 // Shards model separate memory domains (the ROADMAP's cache-sharding
 // item): placement picks a shard per sequence, eviction and allocation run
 // per shard, and aggregate stats expose utilization, fragmentation inputs,
@@ -98,13 +105,23 @@ class BlockPool {
   }
 
   /// Takes one block from `shard`'s free list (growing the arena by a slab
-  /// when the free list is dry and capacity allows). Throws
+  /// when the free list is dry and capacity allows) at refcount 1. Throws
   /// std::runtime_error when the shard is exhausted — with correct
   /// scheduler reservations this never fires.
   BlockRef allocate(std::size_t shard);
 
-  /// Returns a block to its shard's free list.
-  void free(BlockRef ref);
+  /// Adds a reference to a live block (a new reader of a shared chain).
+  void retain(BlockRef ref);
+
+  /// Drops one reference; at refcount 0 the block returns to its shard's
+  /// free list (and stops counting as used).
+  void release(BlockRef ref);
+
+  /// Alias of release(): the sole-owner free of the pre-refcount API.
+  void free(BlockRef ref) { release(ref); }
+
+  /// Current reference count of a block (0 when not allocated).
+  std::uint32_t refcount(BlockRef ref) const;
 
   /// Claims `blocks` of `shard`'s capacity for a sequence about to run.
   /// False (and no change) when the claim would exceed capacity.
@@ -147,6 +164,9 @@ class BlockPool {
     /// free-of-never-allocated guard (a duplicated id on the free list
     /// would silently alias two caches onto one payload).
     std::vector<bool> live;
+    /// refs[id]: readers of block id (0 when not allocated). A block
+    /// returns to the free list only when the last reader releases it.
+    std::vector<std::uint32_t> refs;
     std::size_t created = 0;  ///< blocks ever carved from slabs
     std::size_t used = 0;
     std::size_t reserved = 0;

@@ -16,7 +16,59 @@ PagedKvCache::PagedKvCache(BlockPool& pool, std::size_t shard)
 }
 
 PagedKvCache::~PagedKvCache() {
-  for (const BlockRef ref : blocks_) pool_.free(ref);
+  for (const BlockRef ref : blocks_) pool_.release(ref);
+}
+
+void PagedKvCache::adopt_prefix(std::span<const BlockRef> chain,
+                                std::size_t tokens,
+                                std::span<const std::vector<double>> scores) {
+  const std::size_t bt = pool_.block_tokens();
+  if (!empty() || !blocks_.empty()) {
+    throw std::logic_error("PagedKvCache::adopt_prefix on a non-empty cache");
+  }
+  if (tokens == 0 || tokens % bt != 0 || chain.size() != tokens / bt) {
+    throw std::invalid_argument(
+        "PagedKvCache::adopt_prefix: tokens must fill chain.size() whole "
+        "blocks");
+  }
+  for (const BlockRef ref : chain) pool_.retain(ref);
+  blocks_.assign(chain.begin(), chain.end());
+  shared_.assign(blocks_.size(), true);
+  std::vector<std::size_t> positions(tokens);
+  for (std::size_t i = 0; i < tokens; ++i) positions[i] = i;
+  seed_metadata(positions, scores);
+}
+
+void PagedKvCache::mark_shared_prefix(std::size_t blocks) {
+  if (blocks > blocks_.size()) {
+    throw std::invalid_argument(
+        "PagedKvCache::mark_shared_prefix: beyond the chain");
+  }
+  for (std::size_t i = 0; i < blocks; ++i) shared_[i] = true;
+}
+
+std::size_t PagedKvCache::shared_blocks() const noexcept {
+  std::size_t n = 0;
+  for (const bool s : shared_) n += s ? 1 : 0;
+  return n;
+}
+
+void PagedKvCache::cow_block(std::size_t chain_idx) {
+  const BlockRef old = blocks_[chain_idx];
+  // The prefix index (and every other reader) holds its own reference, so
+  // refcount 1 means this cache became the sole owner — write in place.
+  if (pool_.refcount(old) > 1) {
+    const BlockRef fresh = pool_.allocate(shard_);
+    const std::size_t section = pool_.block_tokens() * d_head();
+    for (std::size_t h = 0; h < n_heads(); ++h) {
+      std::copy_n(pool_.keys(old, h), section, pool_.keys(fresh, h));
+      std::copy_n(pool_.values(old, h), section, pool_.values(fresh, h));
+    }
+    pool_.release(old);
+    blocks_[chain_idx] = fresh;
+    ++cow_copies_;
+  }
+  shared_[chain_idx] = false;
 }
 
 void PagedKvCache::append_rows(std::span<const float> k_row,
@@ -24,7 +76,15 @@ void PagedKvCache::append_rows(std::span<const float> k_row,
   const std::size_t bt = pool_.block_tokens();
   const std::size_t t = size();  // metadata not pushed yet: t is our index
   const std::size_t slot = t % bt;
-  if (slot == 0) blocks_.push_back(pool_.allocate(shard_));
+  if (slot == 0) {
+    blocks_.push_back(pool_.allocate(shard_));
+    shared_.push_back(false);
+  } else if (shared_.back()) {
+    // A partially filled shared tail (left by a compact that kept a prefix
+    // of an adopted chain): writing the free slot would race other readers
+    // of the block, so take a private copy first.
+    cow_block(blocks_.size() - 1);
+  }
   const BlockRef ref = blocks_.back();
   for (std::size_t h = 0; h < n_heads(); ++h) {
     std::copy_n(k_row.data() + h * d_head(), d_head(),
@@ -67,6 +127,14 @@ void PagedKvCache::compact_rows(std::span<const std::size_t> keep) {
   // to be read — the same argument the contiguous gather relies on, here
   // spanning block boundaries.
   const std::size_t bt = pool_.block_tokens();
+  // Copy-on-write pass, before any write: a destination block that takes a
+  // moved row (keep[j] != j) and is still shared gets a private copy now,
+  // while its contents are untouched. Destination blocks whose whole range
+  // is the identity gather (keep[j] == j throughout) are never written and
+  // stay shared — the common case when eviction keeps an early prefix.
+  for (std::size_t j = 0; j < keep.size(); ++j) {
+    if (keep[j] != j && shared_[j / bt]) cow_block(j / bt);
+  }
   std::size_t out = 0;
   for (const std::size_t idx : keep) {
     if (idx != out) {
@@ -92,8 +160,9 @@ void PagedKvCache::free_blocks_beyond(std::size_t live_tokens) {
   const std::size_t bt = pool_.block_tokens();
   const std::size_t live_blocks = (live_tokens + bt - 1) / bt;
   while (blocks_.size() > live_blocks) {
-    pool_.free(blocks_.back());
+    pool_.release(blocks_.back());
     blocks_.pop_back();
+    shared_.pop_back();
   }
 }
 

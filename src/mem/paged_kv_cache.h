@@ -14,6 +14,18 @@
 // back to the *shared* shard free list, where the scheduler's admission
 // reservations can hand it to another sequence — the mechanism that turns
 // Keyformer's discarded tokens into serving capacity.
+//
+// Copy-on-write sharing: adopt_prefix() lets an empty cache take over an
+// immutable block chain (a prompt prefix another sequence already
+// prefilled, handed out by the mem::PrefixIndex) by retaining each block
+// instead of copying it. Shared blocks are read exactly like owned ones;
+// the first *mutation* that would touch one — an append landing in a
+// shared tail slot, or a compact gather writing into a shared destination
+// block — copies that block into a freshly allocated private block first,
+// so per-sequence score-based eviction keeps working over shared storage
+// without ever perturbing the other readers. Releasing (clear, compact
+// drains, destructor) decrements refcounts; the chain itself survives as
+// long as the index or any reader holds it.
 #pragma once
 
 #include <vector>
@@ -38,6 +50,29 @@ class PagedKvCache final : public kv::KvCache {
   std::size_t blocks_held() const noexcept { return blocks_.size(); }
   std::size_t block_tokens() const noexcept { return pool_.block_tokens(); }
 
+  /// The block chain backing this cache, in token order.
+  std::span<const BlockRef> blocks() const noexcept { return blocks_; }
+
+  /// Adopts `chain` as this cache's first rows: retains every block
+  /// (copy-on-write — nothing is copied until a mutation lands in one) and
+  /// seeds positions 0..tokens-1 plus per-head accumulated scores. The
+  /// cache must be empty and `tokens` a whole number of blocks, so
+  /// subsequent appends open fresh private blocks.
+  void adopt_prefix(std::span<const BlockRef> chain, std::size_t tokens,
+                    std::span<const std::vector<double>> scores);
+
+  /// Marks the first `blocks` chain blocks as shared: another reader (the
+  /// prefix index) just retained them, so future mutations must
+  /// copy-on-write. The inverse direction of adopt_prefix — the *donor*
+  /// side of sharing.
+  void mark_shared_prefix(std::size_t blocks);
+
+  /// Blocks of this chain still shared (refcounted with other readers).
+  std::size_t shared_blocks() const noexcept;
+
+  /// Blocks privately copied by the copy-on-write path so far.
+  std::size_t cow_copies() const noexcept { return cow_copies_; }
+
   std::span<const float> key_head(std::size_t idx,
                                   std::size_t head) const override;
   std::span<const float> value_head(std::size_t idx,
@@ -56,10 +91,17 @@ class PagedKvCache final : public kv::KvCache {
 
  private:
   void free_blocks_beyond(std::size_t live_tokens);
+  /// Replaces a (possibly) shared chain block with a private copy before a
+  /// write; no-op beyond unmarking when this cache is the last reader.
+  void cow_block(std::size_t chain_idx);
 
   BlockPool& pool_;
   std::size_t shard_;
   std::vector<BlockRef> blocks_;
+  /// shared_[i]: blocks_[i] was adopted and may still have other readers —
+  /// mutations must go through cow_block() first. Parallel to blocks_.
+  std::vector<bool> shared_;
+  std::size_t cow_copies_ = 0;
 };
 
 }  // namespace kf::mem

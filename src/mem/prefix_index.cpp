@@ -1,0 +1,338 @@
+#include "mem/prefix_index.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mem/paged_kv_cache.h"
+
+namespace kf::mem {
+
+PrefixIndex::PrefixIndex(BlockPool& pool, PrefixIndexConfig cfg)
+    : pool_(pool), cfg_(cfg) {
+  if (cfg_.n_layers == 0) {
+    throw std::invalid_argument("PrefixIndex requires n_layers > 0");
+  }
+  if (cfg_.min_tokens < pool_.block_tokens()) {
+    cfg_.min_tokens = pool_.block_tokens();
+  }
+}
+
+PrefixIndex::~PrefixIndex() {
+  for (auto& entry : entries_) {
+    for (std::size_t s = 0; s < entry->chains_.size(); ++s) {
+      release_chain(entry->chains_[s], s);
+    }
+  }
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvBasis = 1469598103934665603ULL;
+
+/// One FNV-1a step folding a token's 4 bytes into the running hash. The
+/// single definition keeps hash_run() and lookup()'s rolling hashes
+/// bit-identical — a divergence would present as a silent 0% hit rate.
+std::uint64_t fnv_step(std::uint64_t h, PrefixToken t) {
+  auto v = static_cast<std::uint32_t>(t);
+  for (int b = 0; b < 4; ++b) {
+    h ^= (v >> (8 * b)) & 0xFFU;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t PrefixIndex::hash_run(std::span<const PrefixToken> run) {
+  // FNV-1a over the token bytes; entries verify the full run on match, so
+  // a collision costs a memcmp, never a wrong chain.
+  std::uint64_t h = kFnvBasis;
+  for (const PrefixToken t : run) h = fnv_step(h, t);
+  return h;
+}
+
+PrefixIndexStats PrefixIndex::stats() const noexcept {
+  PrefixIndexStats st = stats_;
+  st.entries = entries_.size();
+  st.blocks_held = blocks_held_;
+  return st;
+}
+
+const PrefixEntry* PrefixIndex::lookup(std::span<const PrefixToken> prompt,
+                                       std::size_t max_tokens) {
+  ++stats_.lookups;
+  std::size_t longest = 0;
+  for (const auto& entry : entries_) longest = std::max(longest, entry->tokens());
+  const std::size_t probe_len =
+      std::min({longest, max_tokens, prompt.size()});
+
+  // Rolling FNV prefix hashes of the prompt, computed once; candidate
+  // entries match on (length, hash) in O(1) and only then pay the full
+  // token verification (hash collisions are possible, wrong chains are
+  // not).
+  std::vector<std::uint64_t> hash_at(probe_len + 1);
+  std::uint64_t h = kFnvBasis;
+  hash_at[0] = h;
+  for (std::size_t i = 0; i < probe_len; ++i) {
+    h = fnv_step(h, prompt[i]);
+    hash_at[i + 1] = h;
+  }
+
+  PrefixEntry* best = nullptr;
+  for (const auto& entry : entries_) {
+    const std::size_t m = entry->tokens();
+    if (m > probe_len || entry->run_hash_ != hash_at[m]) continue;
+    if (best != nullptr && m <= best->tokens()) continue;
+    if (std::equal(entry->run_.begin(), entry->run_.end(), prompt.begin())) {
+      best = entry.get();
+    }
+  }
+  if (best != nullptr) {
+    best->last_use_ = ++tick_;
+    ++stats_.lookup_hits;
+  }
+  return best;
+}
+
+PrefixEntry* PrefixIndex::find_mutable(const PrefixEntry* entry) {
+  for (const auto& e : entries_) {
+    if (e.get() == entry) return e.get();
+  }
+  throw std::invalid_argument("PrefixIndex: unknown entry");
+}
+
+void PrefixIndex::pin(const PrefixEntry* entry) { ++find_mutable(entry)->pins_; }
+
+void PrefixIndex::unpin(const PrefixEntry* entry) {
+  PrefixEntry* e = find_mutable(entry);
+  if (e->pins_ == 0) {
+    throw std::logic_error("PrefixIndex::unpin without a matching pin");
+  }
+  --e->pins_;
+}
+
+const PrefixEntry* PrefixIndex::lru_candidate(bool include_pinned) const {
+  const PrefixEntry* best = nullptr;
+  for (const auto& entry : entries_) {
+    if (!include_pinned && entry->pins_ > 0) continue;
+    if (best == nullptr || entry->last_use_ < best->last_use_) {
+      best = entry.get();
+    }
+  }
+  return best;
+}
+
+bool PrefixIndex::make_room(std::size_t blocks) {
+  if (cfg_.max_blocks == 0) return true;
+  if (blocks > cfg_.max_blocks) return false;
+  while (blocks_held_ + blocks > cfg_.max_blocks) {
+    const PrefixEntry* victim = lru_candidate(/*include_pinned=*/false);
+    if (victim == nullptr) return false;
+    drop(victim);
+  }
+  return true;
+}
+
+void PrefixIndex::release_chain(std::vector<std::vector<BlockRef>>& chain,
+                                std::size_t shard) {
+  if (chain.empty()) return;
+  std::size_t released = 0;
+  for (auto& layer : chain) {
+    for (const BlockRef ref : layer) {
+      pool_.release(ref);
+      ++released;
+    }
+  }
+  pool_.unreserve(shard, released);
+  blocks_held_ -= released;
+  chain.clear();
+}
+
+void PrefixIndex::drop(const PrefixEntry* entry) {
+  PrefixEntry* e = find_mutable(entry);
+  if (e->pins_ > 0) {
+    throw std::logic_error("PrefixIndex::drop of a pinned entry");
+  }
+  for (std::size_t s = 0; s < e->chains_.size(); ++s) {
+    release_chain(e->chains_[s], s);
+  }
+  const auto it =
+      std::find_if(entries_.begin(), entries_.end(),
+                   [&](const auto& p) { return p.get() == e; });
+  entries_.erase(it);
+  ++stats_.trims;
+  ++revision_;
+}
+
+void PrefixIndex::clear() {
+  std::vector<const PrefixEntry*> victims;
+  for (const auto& entry : entries_) {
+    if (entry->pins_ == 0) victims.push_back(entry.get());
+  }
+  for (const PrefixEntry* v : victims) drop(v);
+}
+
+const PrefixEntry* PrefixIndex::insert(std::span<const PrefixToken> run,
+                                       kv::SequenceKvState& state,
+                                       std::vector<double> policy_scores) {
+  const std::size_t bt = pool_.block_tokens();
+  const std::size_t m = run.size();
+  if (m < cfg_.min_tokens || m % bt != 0) return nullptr;
+  if (state.n_layers() != cfg_.n_layers) {
+    throw std::invalid_argument(
+        "PrefixIndex::insert: state layer count does not match the index");
+  }
+
+  // Already indexed? The chain is immutable and content-addressed, so the
+  // existing entry is exactly what this insert would produce.
+  const std::uint64_t run_hash = hash_run(run);
+  for (const auto& entry : entries_) {
+    if (entry->tokens() == m && entry->run_hash_ == run_hash &&
+        std::equal(entry->run_.begin(), entry->run_.end(), run.begin())) {
+      entry->last_use_ = ++tick_;
+      return entry.get();
+    }
+  }
+
+  const std::size_t bpl = m / bt;
+  // Validate every layer before touching refcounts: paged caches on one
+  // shard whose leading rows are exactly tokens 0..m-1.
+  std::vector<PagedKvCache*> layers;
+  layers.reserve(cfg_.n_layers);
+  std::size_t shard = 0;
+  for (std::size_t l = 0; l < cfg_.n_layers; ++l) {
+    auto* paged = dynamic_cast<PagedKvCache*>(&state.layer(l));
+    if (paged == nullptr || paged->size() < m) return nullptr;
+    if (l == 0) {
+      shard = paged->shard();
+    } else if (paged->shard() != shard) {
+      return nullptr;
+    }
+    const auto positions = paged->original_positions();
+    for (std::size_t i = 0; i < m; ++i) {
+      if (positions[i] != i) return nullptr;
+    }
+    layers.push_back(paged);
+  }
+
+  const std::size_t needed = cfg_.n_layers * bpl;
+  if (!make_room(needed)) return nullptr;
+  // The index is a memory tenant like any admitted sequence: its blocks
+  // are reserved on the shard so placement and admission see the truth.
+  // Under reservation pressure, trim LRU entries resident on this shard
+  // (dropping entries elsewhere frees nothing here).
+  while (!pool_.try_reserve(shard, needed)) {
+    const PrefixEntry* victim = nullptr;
+    for (const auto& entry : entries_) {
+      if (entry->pins_ > 0 || !entry->resident_on(shard)) continue;
+      if (victim == nullptr || entry->last_use_ < victim->last_use_) {
+        victim = entry.get();
+      }
+    }
+    if (victim == nullptr) return nullptr;
+    drop(victim);
+  }
+
+  auto entry = std::make_unique<PrefixEntry>();
+  entry->run_.assign(run.begin(), run.end());
+  entry->run_hash_ = run_hash;
+  entry->blocks_per_layer_ = bpl;
+  entry->chains_.resize(pool_.n_shards());
+  entry->scores_.resize(cfg_.n_layers);
+  entry->policy_scores_ = std::move(policy_scores);
+  entry->last_use_ = ++tick_;
+
+  auto& chain = entry->chains_[shard];
+  chain.resize(cfg_.n_layers);
+  for (std::size_t l = 0; l < cfg_.n_layers; ++l) {
+    const auto blocks = layers[l]->blocks();
+    chain[l].assign(blocks.begin(), blocks.begin() + static_cast<long>(bpl));
+    for (const BlockRef ref : chain[l]) pool_.retain(ref);
+    // Flip the donor to copy-on-write over the now-shared chain: its own
+    // eviction must never write through into the indexed blocks.
+    layers[l]->mark_shared_prefix(bpl);
+    entry->scores_[l].reserve(layers[l]->n_heads());
+    for (std::size_t h = 0; h < layers[l]->n_heads(); ++h) {
+      const auto scores = layers[l]->scores(h);
+      entry->scores_[l].emplace_back(scores.begin(),
+                                     scores.begin() + static_cast<long>(m));
+    }
+  }
+  blocks_held_ += needed;
+  ++stats_.insertions;
+  ++revision_;
+  entries_.push_back(std::move(entry));
+  return entries_.back().get();
+}
+
+bool PrefixIndex::replicate(PrefixEntry& entry, std::size_t shard) {
+  if (shard >= pool_.n_shards()) return false;
+  // Source: any resident replica.
+  const std::vector<std::vector<BlockRef>>* src = nullptr;
+  for (const auto& chain : entry.chains_) {
+    if (!chain.empty()) {
+      src = &chain;
+      break;
+    }
+  }
+  if (src == nullptr) return false;
+
+  const std::size_t needed = cfg_.n_layers * entry.blocks_per_layer_;
+  if (!make_room(needed)) return false;
+  if (!pool_.try_reserve(shard, needed)) return false;
+
+  const std::size_t section =
+      pool_.config().block_tokens * pool_.config().d_head;
+  auto& dst = entry.chains_[shard];
+  dst.resize(cfg_.n_layers);
+  for (std::size_t l = 0; l < cfg_.n_layers; ++l) {
+    dst[l].reserve(entry.blocks_per_layer_);
+    for (const BlockRef from : (*src)[l]) {
+      const BlockRef to = pool_.allocate(shard);
+      for (std::size_t h = 0; h < pool_.config().n_heads; ++h) {
+        std::copy_n(pool_.keys(from, h), section, pool_.keys(to, h));
+        std::copy_n(pool_.values(from, h), section, pool_.values(to, h));
+      }
+      dst[l].push_back(to);
+    }
+  }
+  blocks_held_ += needed;
+  ++stats_.replications;
+  return true;
+}
+
+bool PrefixIndex::adopt(const PrefixEntry* entry, kv::SequenceKvState& state) {
+  PrefixEntry* e = find_mutable(entry);
+  if (state.n_layers() != cfg_.n_layers || !state.empty()) {
+    throw std::invalid_argument(
+        "PrefixIndex::adopt requires an empty state with matching layers");
+  }
+  auto* first = dynamic_cast<PagedKvCache*>(&state.layer(0));
+  if (first == nullptr) {
+    throw std::invalid_argument("PrefixIndex::adopt requires paged caches");
+  }
+  const std::size_t shard = first->shard();
+  if (!e->resident_on(shard)) {
+    // Pin across replication: make_room()'s LRU trim must never pick the
+    // very entry being replicated (the caller may have reached it through
+    // an unpinned lookup), or replicate would read freed chains.
+    ++e->pins_;
+    const bool replicated = replicate(*e, shard);
+    --e->pins_;
+    if (!replicated) return false;
+  }
+
+  const auto& chain = e->chains_[shard];
+  for (std::size_t l = 0; l < cfg_.n_layers; ++l) {
+    auto* paged = dynamic_cast<PagedKvCache*>(&state.layer(l));
+    if (paged == nullptr || paged->shard() != shard) {
+      throw std::invalid_argument(
+          "PrefixIndex::adopt requires paged caches on one shard");
+    }
+    paged->adopt_prefix(chain[l], e->tokens(), e->scores_[l]);
+  }
+  e->last_use_ = ++tick_;
+  return true;
+}
+
+}  // namespace kf::mem

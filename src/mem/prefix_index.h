@@ -1,0 +1,192 @@
+// Prefix cache: shared, immutable KV block chains for repeated prompt
+// prefixes (system prompts, few-shot contexts), keyed by the prefix's
+// token run.
+//
+// Why it exists: Keyformer's serving win comes from fitting more sequences
+// into a fixed KV budget, but a few-shot workload wastes that budget by
+// re-prefilling and re-storing one identical context per request. The
+// index turns the PR 4 block pool into a multi-tenant cache: the first
+// request to prefill a prefix *shares* its freshly written block chain
+// (per layer) with the index — no copy, just a refcount — and every later
+// request whose prompt starts with the same token run adopts the chain
+// copy-on-write instead of recomputing it.
+//
+// What an entry holds, per prefix run of M tokens (always a whole number
+// of pool blocks, so adopters' appends start on a fresh block):
+//   - per (layer, shard): the block chain — the K/V rows of tokens
+//     0..M-1, exactly as a prefill of those M tokens writes them. The
+//     chain is born on the inserting sequence's shard and lazily
+//     *replicated* to other shards on demand, keeping reads domain-local;
+//   - per layer, per head: the accumulated score-function values at the
+//     prefix boundary (what the policy had added after observing the
+//     prefix queries), so an adopting sequence's eviction ranking is
+//     bit-exact with having prefilled the prefix itself;
+//   - optionally, policy-exported score state for policies whose
+//     accumulation lives outside the cache (Keyformer's shared scope).
+//
+// Memory accounting: every block the index holds is *reserved* against
+// its pool shard, exactly like a scheduler admission, so placement and
+// admission see true remaining capacity; `max_blocks` caps the index's
+// total footprint and LRU entries are trimmed to fit (pinned entries —
+// ones a waiting sequence's reduced admission charge depends on — are
+// exempt until their pins drop).
+//
+// Thread safety: none. The serving engine drives the index from its
+// single scheduling thread; concurrent readers of *adopted* chains are
+// safe because chains are immutable and refcounted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "kvcache/kv_state.h"
+#include "mem/block_pool.h"
+
+namespace kf::mem {
+
+/// Token id type (mirrors model::Token without depending on model/).
+using PrefixToken = std::int32_t;
+
+struct PrefixIndexConfig {
+  /// Decoder layers per entry (one chain per layer).
+  std::size_t n_layers = 0;
+  /// Cap on blocks the index may hold across all entries and replicas;
+  /// 0 = bounded only by pool capacity (reservations still apply).
+  std::size_t max_blocks = 0;
+  /// Shortest prefix worth indexing, in tokens; rounded up to at least
+  /// one pool block.
+  std::size_t min_tokens = 0;
+};
+
+struct PrefixIndexStats {
+  std::size_t entries = 0;
+  std::size_t blocks_held = 0;  ///< across entries and shard replicas
+  std::size_t lookups = 0;
+  std::size_t lookup_hits = 0;
+  std::size_t insertions = 0;
+  std::size_t replications = 0;  ///< lazy cross-shard chain copies
+  std::size_t trims = 0;         ///< entries dropped (LRU or pressure)
+};
+
+/// One indexed prefix. Immutable after insertion; owned by the index.
+class PrefixEntry {
+ public:
+  /// Prefix length in tokens (a whole number of pool blocks).
+  std::size_t tokens() const noexcept { return run_.size(); }
+  std::size_t blocks_per_layer() const noexcept { return blocks_per_layer_; }
+  /// The exact token run this entry caches.
+  std::span<const PrefixToken> run() const noexcept { return run_; }
+  /// True when the chain has a replica on `shard` (adoptable without a
+  /// copy; admission may charge only the unshared demand there).
+  bool resident_on(std::size_t shard) const noexcept {
+    return shard < chains_.size() && !chains_[shard].empty();
+  }
+  /// Policy-exported score state captured at the boundary (may be empty).
+  std::span<const double> policy_scores() const noexcept {
+    return policy_scores_;
+  }
+  std::size_t pins() const noexcept { return pins_; }
+
+ private:
+  friend class PrefixIndex;
+  std::vector<PrefixToken> run_;
+  std::uint64_t run_hash_ = 0;
+  std::size_t blocks_per_layer_ = 0;
+  /// chains_[shard][layer] — block chain replica on that shard; outer slot
+  /// empty when the chain is not resident there.
+  std::vector<std::vector<std::vector<BlockRef>>> chains_;
+  /// scores_[layer][head][token]: accumulated score-function values at the
+  /// prefix boundary (shard-independent metadata).
+  std::vector<std::vector<std::vector<double>>> scores_;
+  std::vector<double> policy_scores_;
+  std::uint64_t last_use_ = 0;
+  std::size_t pins_ = 0;
+};
+
+class PrefixIndex {
+ public:
+  PrefixIndex(BlockPool& pool, PrefixIndexConfig cfg);
+  ~PrefixIndex();
+
+  PrefixIndex(const PrefixIndex&) = delete;
+  PrefixIndex& operator=(const PrefixIndex&) = delete;
+
+  const PrefixIndexConfig& config() const noexcept { return cfg_; }
+  PrefixIndexStats stats() const noexcept;
+  std::size_t blocks_held() const noexcept { return blocks_held_; }
+
+  /// Bumped whenever the entry set changes (insert or drop). A negative
+  /// lookup stays negative until this moves, so pollers can skip the
+  /// longest-prefix probe entirely between changes.
+  std::uint64_t revision() const noexcept { return revision_; }
+
+  /// Longest indexed prefix of `prompt` no longer than `max_tokens`, or
+  /// null. Bumps the entry's LRU stamp.
+  const PrefixEntry* lookup(std::span<const PrefixToken> prompt,
+                            std::size_t max_tokens);
+
+  /// Pins an entry against trimming (a waiting sequence's reduced
+  /// admission charge depends on the chain staying resident). Balanced by
+  /// unpin().
+  void pin(const PrefixEntry* entry);
+  void unpin(const PrefixEntry* entry);
+
+  /// Indexes the first `run.size()` tokens of `state`'s layer caches as a
+  /// new entry, *sharing* (retaining) the underlying block chain — the
+  /// donor caches keep using the same blocks, now flipped to
+  /// copy-on-write so the donor's own eviction can never corrupt the
+  /// indexed chain. Requirements: run length is a whole number of blocks
+  /// and >= min_tokens; every layer cache is paged, holds at least
+  /// run.size() rows, and its leading positions are 0..run-1.
+  /// `policy_scores` is opaque policy-exported state stored alongside.
+  /// Returns the entry (the pre-existing one for an already-indexed run),
+  /// or null when the run is ineligible or memory cannot be found even
+  /// after trimming.
+  const PrefixEntry* insert(std::span<const PrefixToken> run,
+                            kv::SequenceKvState& state,
+                            std::vector<double> policy_scores);
+
+  /// Adopts `entry` into `state`'s (empty, paged, single-shard) layer
+  /// caches: replicates the chain onto that shard first when it is not
+  /// resident there, then retains it into each cache with positions and
+  /// boundary scores seeded. False when the replica cannot be
+  /// materialized — the caller falls back to a full prefill.
+  bool adopt(const PrefixEntry* entry, kv::SequenceKvState& state);
+
+  /// Least-recently-used entry, optionally considering pinned ones; null
+  /// when none qualifies.
+  const PrefixEntry* lru_candidate(bool include_pinned) const;
+
+  /// Releases an entry's chains (all replicas) and removes it. The entry
+  /// must be unpinned.
+  void drop(const PrefixEntry* entry);
+
+  /// Drops every unpinned entry (tests and servers rotating workloads).
+  void clear();
+
+ private:
+  struct EntryPtrHashing;
+  PrefixEntry* find_mutable(const PrefixEntry* entry);
+  /// Frees enough unpinned LRU entries that `blocks` more fit under
+  /// max_blocks; true on success (always true when max_blocks == 0).
+  bool make_room(std::size_t blocks);
+  /// Reserves + allocates a chain replica of `entry` on `shard` by copying
+  /// from an existing replica; false when the shard cannot take it.
+  bool replicate(PrefixEntry& entry, std::size_t shard);
+  void release_chain(std::vector<std::vector<BlockRef>>& chain,
+                     std::size_t shard);
+  static std::uint64_t hash_run(std::span<const PrefixToken> run);
+
+  BlockPool& pool_;
+  PrefixIndexConfig cfg_;
+  std::vector<std::unique_ptr<PrefixEntry>> entries_;
+  std::size_t blocks_held_ = 0;
+  std::uint64_t tick_ = 0;
+  std::uint64_t revision_ = 0;
+  PrefixIndexStats stats_;
+};
+
+}  // namespace kf::mem

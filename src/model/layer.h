@@ -15,12 +15,16 @@ namespace kf::model {
 
 /// Runs the attention block over `x` ([n_q, d_model] residual-stream rows),
 /// updating `x` in place and returning the attention internals for score
-/// functions / instrumentation.
+/// functions / instrumentation. `force_general` pins the general kernel
+/// even for n_q == 1: chunked prompt phases use it so a one-token chunk
+/// runs the same arithmetic a monolithic prefill would have used for that
+/// row (the fused fast path matches the general path only to ~1e-5).
 AttentionResult decoder_attention(const ModelConfig& cfg,
                                   const LayerWeights& w, Tensor& x,
                                   std::span<const std::size_t> positions,
                                   kv::KvCache& cache,
-                                  AttentionTimings* timings = nullptr);
+                                  AttentionTimings* timings = nullptr,
+                                  bool force_general = false);
 
 /// Batched decode attention block: LN1 per row, one attention_decode_batch
 /// over the per-sequence caches in `slots` (row b of `x` is sequence b's

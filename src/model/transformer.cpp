@@ -91,12 +91,13 @@ Tensor Transformer::forward(kv::SequenceKvState& state, Tensor x,
                             std::span<const std::size_t> positions,
                             bool is_prompt, std::size_t t,
                             std::size_t total_steps,
-                            kv::EvictionPolicy& policy) {
+                            kv::EvictionPolicy& policy, bool force_general) {
   const std::size_t n_q = x.dim(0);
   for (std::size_t layer = 0; layer < cfg_.n_layers; ++layer) {
     kv::KvCache& cache = state.layer(layer);
-    AttentionResult attn = decoder_attention(cfg_, weights_.layers[layer], x,
-                                             positions, cache, attn_timings_);
+    AttentionResult attn =
+        decoder_attention(cfg_, weights_.layers[layer], x, positions, cache,
+                          attn_timings_, force_general);
 
     if (observer_) {
       AttentionObservation obs;
@@ -151,6 +152,34 @@ Tensor Transformer::prefill(kv::SequenceKvState& state,
   Tensor x = embed(prompt, /*first_pos=*/0);
   return forward(state, std::move(x), positions, /*is_prompt=*/true, /*t=*/0,
                  total_steps, policy);
+}
+
+Tensor Transformer::prefill_continue(kv::SequenceKvState& state,
+                                     std::span<const Token> tokens,
+                                     std::size_t first_pos,
+                                     kv::EvictionPolicy& policy,
+                                     std::size_t total_steps) {
+  if (tokens.empty()) {
+    throw std::invalid_argument("prefill_continue requires tokens");
+  }
+  if (!state.matches(cfg_.n_layers, cfg_.n_heads, cfg_.d_head())) {
+    throw std::invalid_argument(
+        "sequence state geometry does not match the model");
+  }
+  for (std::size_t l = 0; l < cfg_.n_layers; ++l) {
+    if (state.layer(l).size() != first_pos) {
+      throw std::logic_error(
+          "prefill_continue: every layer cache must hold exactly first_pos "
+          "rows");
+    }
+  }
+  std::vector<std::size_t> positions(tokens.size());
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    positions[i] = first_pos + i;
+  }
+  Tensor x = embed(tokens, first_pos);
+  return forward(state, std::move(x), positions, /*is_prompt=*/true, /*t=*/0,
+                 total_steps, policy, /*force_general=*/true);
 }
 
 std::vector<float> Transformer::decode(Token token, std::size_t position,

@@ -130,6 +130,19 @@ class Transformer {
   Tensor prefill(kv::SequenceKvState& state, std::span<const Token> prompt,
                  kv::EvictionPolicy& policy, std::size_t total_steps);
 
+  /// Prompt-phase continuation: processes `tokens` (original positions
+  /// first_pos..first_pos+n-1) against a state whose every layer already
+  /// caches exactly `first_pos` rows — an adopted shared prefix, or the
+  /// earlier chunk of a chunked prefill. Always runs the general
+  /// multi-query attention kernel, so each row's arithmetic is identical
+  /// to the corresponding row of one monolithic prefill over the full
+  /// prompt (the prefix-cache parity contract). Returns LM logits for
+  /// these rows only, shape [tokens.size(), vocab].
+  Tensor prefill_continue(kv::SequenceKvState& state,
+                          std::span<const Token> tokens,
+                          std::size_t first_pos, kv::EvictionPolicy& policy,
+                          std::size_t total_steps);
+
   /// One decode step against the default state: feeds `token` at sequence
   /// position `position` (original coordinates), decode step `t` (1-based).
   /// Returns the LM logits predicting the next token.
@@ -153,11 +166,12 @@ class Transformer {
 
  private:
   /// Shared layer stack walk. `x` holds embedded rows; returns LM logits
-  /// for every row.
+  /// for every row. `force_general` pins the general attention kernel
+  /// (chunked prompt phases; see decoder_attention).
   Tensor forward(kv::SequenceKvState& state, Tensor x,
                  std::span<const std::size_t> positions, bool is_prompt,
                  std::size_t t, std::size_t total_steps,
-                 kv::EvictionPolicy& policy);
+                 kv::EvictionPolicy& policy, bool force_general = false);
 
   Tensor embed(std::span<const Token> tokens, std::size_t first_pos) const;
   /// Embeds one token at `position` directly into `dst` (d_model floats) —

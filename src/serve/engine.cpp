@@ -7,11 +7,33 @@
 #include <utility>
 
 #include "core/timing.h"
+#include "mem/paged_kv_cache.h"
 
 namespace kf::serve {
 
 Engine::Engine(model::Transformer& model, EngineConfig cfg)
     : model_(model), cfg_(std::move(cfg)) {
+  if (cfg_.prefix.enabled && !cfg_.paged.enabled) {
+    throw std::invalid_argument(
+        "the prefix cache shares pool blocks; enable paged memory");
+  }
+  if (cfg_.prefix.enabled) {
+    // The bit-exactness contract of prefix adoption (shared-prefix decode
+    // identical to unshared) relies on score accumulation decomposing at
+    // the prefix boundary. Exponential damping breaks that: a chunked
+    // prompt phase damps the prefix contributions once more than a
+    // monolithic one. Refuse loudly rather than drift silently.
+    const bool damped =
+        (cfg_.policy.kind == kv::PolicyKind::kKeyformer &&
+         cfg_.policy.keyformer.score.damping < 1.0) ||
+        (cfg_.policy.kind == kv::PolicyKind::kH2O &&
+         cfg_.policy.h2o_damping < 1.0);
+    if (damped) {
+      throw std::invalid_argument(
+          "the prefix cache requires damping == 1.0 (prefix-boundary score "
+          "snapshots do not compose with exponential damping)");
+    }
+  }
   if (cfg_.paged.enabled) {
     if (cfg_.paged.n_shards == 0 || cfg_.paged.block_tokens == 0) {
       throw std::invalid_argument(
@@ -27,16 +49,39 @@ Engine::Engine(model::Transformer& model, EngineConfig cfg)
       // Translate the abstract token budget into physical capacity: the
       // budget is per-layer tokens across the active set, so the pool
       // holds n_layers times its block equivalent, split across shards.
+      // A bounded prefix cache rides on top, so caching prefixes never
+      // eats into the admission capacity the budget promised.
       const std::size_t budget_blocks =
           model_.config().n_layers *
-          ((cfg_.scheduler.max_concurrent_tokens + pc.block_tokens - 1) /
-           pc.block_tokens);
+              ((cfg_.scheduler.max_concurrent_tokens + pc.block_tokens - 1) /
+               pc.block_tokens) +
+          (cfg_.prefix.enabled ? cfg_.prefix.max_blocks : 0);
       pc.blocks_per_shard =
           (budget_blocks + pc.n_shards - 1) / pc.n_shards;
     }
     pool_ = std::make_unique<mem::BlockPool>(pc);
     cfg_.scheduler.pool = pool_.get();
+    if (cfg_.prefix.enabled) {
+      mem::PrefixIndexConfig ic;
+      ic.n_layers = model_.config().n_layers;
+      ic.max_blocks = cfg_.prefix.max_blocks;
+      ic.min_tokens = cfg_.prefix.min_tokens;
+      prefix_index_ = std::make_unique<mem::PrefixIndex>(*pool_, ic);
+    }
   }
+}
+
+std::size_t Engine::insertable_prefix_tokens(const Sequence& seq) const {
+  const std::size_t bt = pool_->block_tokens();
+  // At least one prompt token must stay outside the prefix: the first
+  // generated token comes from the last prompt row's logits, which must be
+  // computed, not replayed.
+  std::size_t want = seq.prompt.size() - 1;
+  if (seq.shared_prefix_hint > 0) {
+    want = std::min(want, seq.shared_prefix_hint);
+  }
+  const std::size_t m = (want / bt) * bt;
+  return m >= prefix_index_->config().min_tokens ? m : 0;
 }
 
 void Engine::start_sequence(Sequence& seq, std::size_t now_step) {
@@ -50,9 +95,70 @@ void Engine::start_sequence(Sequence& seq, std::size_t now_step) {
 
   seq.kv->clear();
   const double t0 = now_seconds();
-  const Tensor prompt_logits =
-      model_.prefill(*seq.kv, seq.prompt, *seq.policy, seq.gen.max_new_tokens);
-  seq.peak_cache_tokens = seq.prompt.size();
+  const std::span<const Token> prompt = seq.prompt;
+  std::size_t computed = prompt.size();  // prompt rows actually prefilled
+  Tensor prompt_logits;
+
+  // Resolve the prefix-cache match: the entry pinned at the admission
+  // probe, or — new this round — one an earlier sequence of the same
+  // admission batch just inserted.
+  const mem::PrefixEntry* entry = nullptr;
+  if (prefix_index_ != nullptr && seq.prefix_eligible) {
+    entry = seq.prefix_entry != nullptr
+                ? seq.prefix_entry
+                : prefix_index_->lookup(prompt, prompt.size() - 1);
+  }
+
+  bool adopted = false;
+  if (entry != nullptr && prefix_index_->adopt(entry, *seq.kv)) {
+    // Hit: the prefix K/V replays from the shared chain; only the suffix
+    // runs. Cache-resident boundary scores were seeded by adopt();
+    // policy-resident state (shared-scope Keyformer) imports here.
+    seq.policy->import_score_state(entry->policy_scores());
+    const std::size_t m = entry->tokens();
+    prompt_logits = model_.prefill_continue(
+        *seq.kv, prompt.subspan(m), m, *seq.policy, seq.gen.max_new_tokens);
+    computed = prompt.size() - m;
+    adopted = true;
+    ++stats_.prefix_hits;
+    stats_.prefix_tokens_reused += m;
+    stats_.prefix_blocks_shared +=
+        model_.config().n_layers * entry->blocks_per_layer();
+  }
+  if (seq.prefix_entry != nullptr) {
+    prefix_index_->unpin(seq.prefix_entry);
+    seq.prefix_entry = nullptr;
+    seq.prefix_blocks_per_layer = 0;
+  }
+
+  if (!adopted) {
+    const std::size_t m = prefix_index_ != nullptr && seq.prefix_eligible
+                              ? insertable_prefix_tokens(seq)
+                              : 0;
+    if (m > 0) {
+      // Miss worth caching: chunk the prefill at the shareable boundary.
+      // Chunk 1 runs with the budget masked so nothing evicts mid-prompt;
+      // the suffix chunk restores it and evicts once over the full prompt
+      // — the same single eviction, over the same accumulated scores, a
+      // monolithic prefill performs (rows and scores are bit-exact; see
+      // prefill_continue).
+      const kv::CacheBudget real_budget = seq.policy->budget();
+      seq.policy->set_budget(kv::CacheBudget{});
+      model_.prefill_continue(*seq.kv, prompt.first(m), 0, *seq.policy,
+                              seq.gen.max_new_tokens);
+      seq.policy->set_budget(real_budget);
+      prefix_index_->insert(prompt.first(m), *seq.kv,
+                            seq.policy->export_score_state(m));
+      prompt_logits = model_.prefill_continue(
+          *seq.kv, prompt.subspan(m), m, *seq.policy, seq.gen.max_new_tokens);
+      ++stats_.prefix_misses;
+    } else {
+      prompt_logits = model_.prefill(*seq.kv, prompt, *seq.policy,
+                                     seq.gen.max_new_tokens);
+    }
+  }
+
+  seq.peak_cache_tokens = prompt.size();
   seq.first_decode_step = now_step;
 
   if (seq.gen.max_new_tokens == 0) {
@@ -61,12 +167,12 @@ void Engine::start_sequence(Sequence& seq, std::size_t now_step) {
     seq.finish = FinishReason::kLength;
   } else {
     const Token first = model::select_greedy(
-        prompt_logits.row(seq.prompt.size() - 1), seq.recent_window(),
+        prompt_logits.row(prompt_logits.dim(0) - 1), seq.recent_window(),
         seq.gen.repetition_penalty, seq.gen.banned_tokens);
     seq.commit(first);
   }
   seq.prefill_seconds = now_seconds() - t0;
-  stats_.prefilled_tokens += seq.prompt.size();
+  stats_.prefilled_tokens += computed;
   stats_.prefill_seconds += seq.prefill_seconds;
 }
 
@@ -97,6 +203,11 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
       s.owned_policy = kv::make_policy(cfg_.policy);
       s.policy = s.owned_policy.get();
     }
+    // Prefix-cache participation: engine-built policies only — the cached
+    // score snapshots are specific to the engine's policy configuration,
+    // and a caller-owned instance may be anything.
+    s.prefix_eligible = prefix_index_ != nullptr && req.policy == nullptr;
+    s.shared_prefix_hint = req.shared_prefix_hint;
     if (req.kv_state != nullptr) {
       if (pool_ != nullptr) {
         // Placement decides the shard at admission; a pre-built external
@@ -171,9 +282,62 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
       seq.final_cache_sizes.push_back(seq.kv->layer_size(l));
     }
     if (pool_ != nullptr) {
+      if (prefix_index_ != nullptr) {
+        for (std::size_t l = 0; l < seq.kv->n_layers(); ++l) {
+          const auto* paged =
+              dynamic_cast<const mem::PagedKvCache*>(&seq.kv->layer(l));
+          if (paged != nullptr) stats_.prefix_cow_copies += paged->cow_copies();
+        }
+      }
       seq.owned_kv.reset();
       seq.kv = nullptr;
     }
+  };
+
+  // Admission-time prefix probe: pin a matching shared chain for every
+  // waiting eligible sequence so (a) the scheduler charges only the
+  // unshared demand on shards holding the chain and (b) the chain cannot
+  // be trimmed between the reduced charge and the adoption it promised.
+  const auto probe_waiting = [&]() {
+    if (prefix_index_ == nullptr) return;
+    for (Sequence* seq : sched.waiting()) {
+      if (!seq->prefix_eligible || seq->prefix_entry != nullptr) continue;
+      // A previous miss stays a miss until the entry set changes; skip
+      // the longest-prefix probe until the index's revision moves.
+      if (seq->prefix_probed_revision == prefix_index_->revision()) continue;
+      seq->prefix_probed_revision = prefix_index_->revision();
+      const mem::PrefixEntry* entry =
+          prefix_index_->lookup(seq->prompt, seq->prompt.size() - 1);
+      if (entry != nullptr) {
+        prefix_index_->pin(entry);
+        seq->prefix_entry = entry;
+        seq->prefix_blocks_per_layer = entry->blocks_per_layer();
+      }
+    }
+  };
+
+  // Progress guard: with the engine idle and the queue head unable to fit,
+  // the index's retained chains are the only reclaimable memory — drop
+  // them LRU-first (clearing any waiting sequence's pins on the victim)
+  // until the head fits or nothing is left to trim.
+  const auto trim_for_progress = [&]() -> bool {
+    if (prefix_index_ == nullptr) return false;
+    const mem::PrefixEntry* victim =
+        prefix_index_->lru_candidate(/*include_pinned=*/false);
+    if (victim == nullptr) {
+      victim = prefix_index_->lru_candidate(/*include_pinned=*/true);
+      if (victim == nullptr) return false;
+      for (Sequence* seq : sched.waiting()) {
+        if (seq->prefix_entry == victim) {
+          prefix_index_->unpin(victim);
+          seq->prefix_entry = nullptr;
+          seq->prefix_blocks_per_layer = 0;
+        }
+      }
+      if (victim->pins() > 0) return false;  // pinned outside our control
+    }
+    prefix_index_->drop(victim);
+    return true;
   };
   while (finished < seqs.size()) {
     // Idle engine: jump the clock to the next arrival.
@@ -188,6 +352,7 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
     bool admitted_any = true;
     while (admitted_any) {
       admitted_any = false;
+      probe_waiting();
       for (Sequence* seq : sched.admit(step)) {
         admitted_any = true;
         if (pool_ != nullptr) {
@@ -212,6 +377,14 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
           ++finished;
         }
       }
+      // Idle engine, arrived head, no admission: the prefix cache's
+      // retained blocks are squeezing the pool — reclaim and retry.
+      if (!admitted_any && sched.active_count() == 0) {
+        const auto head = sched.next_arrival();
+        if (head.has_value() && *head <= step && trim_for_progress()) {
+          admitted_any = true;
+        }
+      }
     }
 
     const std::vector<Sequence*> active(sched.active().begin(),
@@ -225,16 +398,22 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
         std::max(stats_.max_blocks_in_use, sched.blocks_in_use());
     if (pool_ != nullptr) {
       // Internal fragmentation this step: tokens actually cached vs the
-      // whole-block token slots holding them.
+      // whole-block token slots holding them. The prefix index's retained
+      // chains are excluded — they are deliberate caching, not slack (an
+      // adopted chain is double-discounted here, so the measure clamps).
+      const std::size_t index_blocks =
+          prefix_index_ != nullptr ? prefix_index_->blocks_held() : 0;
+      const std::size_t used = pool_->stats().used_blocks;
       const std::size_t used_tokens =
-          pool_->stats().used_blocks * pool_->block_tokens();
+          (used > index_blocks ? used - index_blocks : 0) *
+          pool_->block_tokens();
       if (used_tokens > 0) {
         std::size_t live = 0;
         for (const Sequence* seq : active) live += seq->kv->total_tokens();
         stats_.max_fragmentation = std::max(
             stats_.max_fragmentation,
-            1.0 - static_cast<double>(live) /
-                      static_cast<double>(used_tokens));
+            std::max(0.0, 1.0 - static_cast<double>(live) /
+                                    static_cast<double>(used_tokens)));
       }
     }
 

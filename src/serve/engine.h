@@ -29,6 +29,7 @@
 
 #include "kvcache/policy_factory.h"
 #include "mem/block_pool.h"
+#include "mem/prefix_index.h"
 #include "model/transformer.h"
 #include "serve/scheduler.h"
 #include "serve/sequence.h"
@@ -48,11 +49,30 @@ struct PagedMemoryConfig {
   std::size_t blocks_per_shard = 0;
 };
 
+/// Cross-request prefix cache (requires paged memory): prompts sharing a
+/// block-aligned prefix adopt one immutable block chain per layer instead
+/// of re-prefilling it, copy-on-write when eviction mutates a block. The
+/// index lives as long as the engine (it keeps paying off across run()
+/// calls); clear_prefix_cache() drops it. Only requests using the
+/// engine-built policy participate — the cached score snapshots are
+/// policy-specific.
+struct PrefixCacheConfig {
+  bool enabled = false;
+  /// Block budget for the index (entries + shard replicas); LRU entries
+  /// are trimmed to fit. 0 = bounded only by pool capacity. When the pool
+  /// capacity is derived from the scheduler token budget, this budget is
+  /// added on top so caching never shrinks admission capacity.
+  std::size_t max_blocks = 0;
+  /// Shortest prefix worth indexing, in tokens (default: one pool block).
+  std::size_t min_tokens = 0;
+};
+
 struct EngineConfig {
   SchedulerConfig scheduler;
   /// Built per sequence for requests that don't bring their own policy.
   kv::PolicyConfig policy;
   PagedMemoryConfig paged;
+  PrefixCacheConfig prefix;
 };
 
 /// Aggregate counters of one run() call.
@@ -70,8 +90,26 @@ struct EngineStats {
   /// Worst per-step internal fragmentation: 1 - live_tokens /
   /// (used_blocks * block_tokens) — the whole-block surcharge paging pays.
   double max_fragmentation = 0.0;
+  // Prefix-cache visibility (all zero when the prefix cache is disabled):
+  std::size_t prefix_hits = 0;    ///< prompts that adopted a shared chain
+  std::size_t prefix_misses = 0;  ///< eligible prompts that found none
+  /// Prompt tokens whose prefill was skipped (replayed from shared K/V).
+  std::size_t prefix_tokens_reused = 0;
+  /// Block adoptions served by sharing instead of fresh allocation
+  /// (layers x chain blocks, summed over hits).
+  std::size_t prefix_blocks_shared = 0;
+  /// Shared blocks privately copied when eviction/append first wrote them.
+  std::size_t prefix_cow_copies = 0;
   double prefill_seconds = 0.0;
   double decode_seconds = 0.0;  ///< summed batch-step walls
+
+  /// Fraction of prefix-eligible prompts that hit the shared index.
+  double prefix_hit_rate() const {
+    const std::size_t total = prefix_hits + prefix_misses;
+    return total > 0 ? static_cast<double>(prefix_hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
 
   /// Aggregate decode throughput across all sequences (the bench metric:
   /// total decode-produced tokens per decode-phase second).
@@ -89,10 +127,21 @@ class Engine {
   const EngineConfig& config() const noexcept { return cfg_; }
   /// Counters of the most recent run().
   const EngineStats& stats() const noexcept { return stats_; }
-  /// The engine-owned block pool; null unless cfg.paged.enabled. All
-  /// blocks are back on the free lists between run() calls (leak-checked
-  /// by tests).
+  /// The engine-owned block pool; null unless cfg.paged.enabled. Between
+  /// run() calls the only blocks off the free lists are the prefix
+  /// index's retained chains (leak-checked by tests).
   const mem::BlockPool* pool() const noexcept { return pool_.get(); }
+
+  /// The engine-owned prefix index; null unless cfg.prefix.enabled.
+  const mem::PrefixIndex* prefix_index() const noexcept {
+    return prefix_index_.get();
+  }
+
+  /// Drops every cached prefix chain (their blocks and reservations return
+  /// to the pool). Harmless when the prefix cache is disabled.
+  void clear_prefix_cache() {
+    if (prefix_index_ != nullptr) prefix_index_->clear();
+  }
 
   /// Drives every request to completion under continuous batching.
   /// Responses are returned in the order of `requests` (not completion
@@ -101,13 +150,20 @@ class Engine {
   std::vector<Response> run(std::span<const Request> requests);
 
  private:
-  /// Prefill + first-token selection for a newly admitted sequence.
+  /// Prefill + first-token selection for a newly admitted sequence. With
+  /// the prefix cache on: adopt a matching shared chain and prefill only
+  /// the suffix, or chunk the prefill at the shareable boundary and insert
+  /// the prefix chain into the index for the requests behind this one.
   void start_sequence(Sequence& seq, std::size_t now_step);
+  /// Prefix boundary this sequence would index on a miss (block-aligned,
+  /// below the prompt end, at least the index minimum); 0 = don't index.
+  std::size_t insertable_prefix_tokens(const Sequence& seq) const;
 
   model::Transformer& model_;
   EngineConfig cfg_;
   EngineStats stats_;
   std::unique_ptr<mem::BlockPool> pool_;
+  std::unique_ptr<mem::PrefixIndex> prefix_index_;
 };
 
 }  // namespace kf::serve

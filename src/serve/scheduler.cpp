@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "mem/block_pool.h"
+#include "mem/prefix_index.h"
 
 namespace kf::serve {
 
@@ -19,14 +20,19 @@ void BatchScheduler::submit(Sequence* seq) {
   waiting_.push_back(seq);
 }
 
-std::optional<std::size_t> BatchScheduler::choose_shard(
-    std::size_t demand) const {
-  const std::size_t n = cfg_.pool->n_shards();
+std::optional<std::size_t> BatchScheduler::pick_shard(
+    const std::vector<std::size_t>& candidates, std::size_t demand) const {
+  if (candidates.empty()) return std::nullopt;
   if (cfg_.placement == ShardPlacement::kRoundRobin) {
     // Pure lookup: the cursor advances only when admit() actually places
     // a sequence (fits() probes this too and must not burn a turn).
+    const std::size_t n = cfg_.pool->n_shards();
     for (std::size_t i = 0; i < n; ++i) {
       const std::size_t s = (rr_next_ + i) % n;
+      if (std::find(candidates.begin(), candidates.end(), s) ==
+          candidates.end()) {
+        continue;
+      }
       if (cfg_.pool->unreserved_blocks(s) >= demand) return s;
     }
     return std::nullopt;
@@ -35,9 +41,9 @@ std::optional<std::size_t> BatchScheduler::choose_shard(
   // so this equals most-free in bounded mode and still spreads load when
   // the pool is unbounded). Ties break to the lowest id so admission
   // stays deterministic.
-  std::size_t best = 0;
-  std::size_t best_load = cfg_.pool->shard_stats(0).reserved_blocks;
-  for (std::size_t s = 1; s < n; ++s) {
+  std::size_t best = candidates.front();
+  std::size_t best_load = cfg_.pool->shard_stats(best).reserved_blocks;
+  for (const std::size_t s : candidates) {
     const std::size_t load = cfg_.pool->shard_stats(s).reserved_blocks;
     if (load < best_load) {
       best = s;
@@ -48,14 +54,36 @@ std::optional<std::size_t> BatchScheduler::choose_shard(
   return std::nullopt;
 }
 
+std::optional<BatchScheduler::Placement> BatchScheduler::choose_shard(
+    const Sequence& seq) const {
+  const std::size_t bt = cfg_.pool->block_tokens();
+  const std::size_t n = cfg_.pool->n_shards();
+  const std::size_t full = seq.admission_cost_blocks(bt);
+  // Prefix affinity first: shards already holding the sequence's shared
+  // chain serve it at the unshared demand — both cheaper for the pool and
+  // the only placement that keeps chain reads shard-local.
+  if (seq.prefix_entry != nullptr && seq.prefix_blocks_per_layer > 0) {
+    const std::size_t reduced = seq.unshared_admission_blocks(bt);
+    std::vector<std::size_t> resident;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (seq.prefix_entry->resident_on(s)) resident.push_back(s);
+    }
+    if (const auto s = pick_shard(resident, reduced)) {
+      return Placement{*s, reduced};
+    }
+  }
+  std::vector<std::size_t> all(n);
+  for (std::size_t s = 0; s < n; ++s) all[s] = s;
+  if (const auto s = pick_shard(all, full)) return Placement{*s, full};
+  return std::nullopt;
+}
+
 bool BatchScheduler::fits(const Sequence& seq) const {
   if (cfg_.max_batch_size > 0 && active_.size() >= cfg_.max_batch_size) {
     return false;
   }
   if (cfg_.pool != nullptr) {
-    const std::size_t demand =
-        seq.admission_cost_blocks(cfg_.pool->block_tokens());
-    return choose_shard(demand).has_value();
+    return choose_shard(seq).has_value();
   }
   if (cfg_.max_concurrent_tokens == 0) return true;
   const std::size_t cost = seq.admission_cost_tokens();
@@ -73,11 +101,16 @@ std::vector<Sequence*> BatchScheduler::admit(std::size_t now_step) {
     if (cfg_.pool != nullptr) {
       // A demand above a whole (bounded) shard can never be satisfied —
       // the cap is physical, there is no run-solo override. Fail loudly
-      // instead of deadlocking the FIFO.
+      // instead of deadlocking the FIFO. The check uses the smallest
+      // conceivable charge: a pinned prefix match shrinks demand on its
+      // resident shards.
       const std::size_t per_shard = cfg_.pool->config().blocks_per_shard;
-      const std::size_t demand =
-          head->admission_cost_blocks(cfg_.pool->block_tokens());
-      if (per_shard > 0 && demand > per_shard) {
+      const std::size_t bt = cfg_.pool->block_tokens();
+      const std::size_t min_demand =
+          head->prefix_entry != nullptr
+              ? head->unshared_admission_blocks(bt)
+              : head->admission_cost_blocks(bt);
+      if (per_shard > 0 && min_demand > per_shard) {
         throw std::invalid_argument(
             "sequence KV demand exceeds a whole pool shard; grow "
             "blocks_per_shard or reduce the request");
@@ -89,17 +122,16 @@ std::vector<Sequence*> BatchScheduler::admit(std::size_t now_step) {
     head->charged_tokens = head->admission_cost_tokens();
     tokens_in_use_ += head->charged_tokens;
     if (cfg_.pool != nullptr) {
-      const std::size_t demand =
-          head->admission_cost_blocks(cfg_.pool->block_tokens());
-      const auto shard = choose_shard(demand);
+      const auto placement = choose_shard(*head);
       // fits() just said yes; nothing ran in between.
-      if (!shard.has_value() || !cfg_.pool->try_reserve(*shard, demand)) {
+      if (!placement.has_value() ||
+          !cfg_.pool->try_reserve(placement->shard, placement->demand)) {
         throw std::logic_error("block reservation failed after fits()");
       }
-      head->shard = *shard;
-      head->reserved_blocks = demand;
-      blocks_in_use_ += demand;
-      rr_next_ = (*shard + 1) % cfg_.pool->n_shards();
+      head->shard = placement->shard;
+      head->reserved_blocks = placement->demand;
+      blocks_in_use_ += placement->demand;
+      rr_next_ = (placement->shard + 1) % cfg_.pool->n_shards();
     }
     active_.push_back(head);
     admitted.push_back(head);

@@ -13,6 +13,11 @@
 //       its layers (ceil per layer — internal fragmentation is charged,
 //       not hidden), so pool capacity is an exact physical memory cap: an
 //       admitted sequence can always allocate what it was charged.
+//       When the sequence has a pinned prefix-cache match (seq.prefix_*),
+//       shards already holding the shared chain are tried first and charge
+//       only the *unshared* demand — the shared prefix blocks are resident
+//       and paid for by the index; other shards charge the full demand
+//       (the chain would have to be replicated or recomputed there).
 //   In both modes a joining sequence is charged its transient prefill
 //   peak (admission_cost: the full prompt is resident per layer until the
 //   policy trims it) and settles down to its steady-state cost once
@@ -98,6 +103,9 @@ class BatchScheduler {
   std::span<Sequence* const> active() const noexcept { return active_; }
   std::size_t active_count() const noexcept { return active_.size(); }
   std::size_t waiting_count() const noexcept { return waiting_.size(); }
+  /// The FIFO queue, head first (the engine probes it for prefix-cache
+  /// matches before each admission round).
+  const std::deque<Sequence*>& waiting() const noexcept { return waiting_; }
   /// Summed charged tokens of the active set (tracked in both modes).
   std::size_t tokens_in_use() const noexcept { return tokens_in_use_; }
   /// Summed reserved blocks of the active set (block mode; 0 otherwise).
@@ -110,9 +118,17 @@ class BatchScheduler {
 
  private:
   bool fits(const Sequence& seq) const;
-  /// Block mode: shard able to host `demand` blocks per the placement
-  /// policy, or nullopt when none currently can.
-  std::optional<std::size_t> choose_shard(std::size_t demand) const;
+  /// Block mode: a shard able to host the sequence and what admission
+  /// would charge it there (unshared demand on shards holding its shared
+  /// prefix chain, full demand elsewhere).
+  struct Placement {
+    std::size_t shard = 0;
+    std::size_t demand = 0;
+  };
+  std::optional<Placement> choose_shard(const Sequence& seq) const;
+  /// Placement policy over one candidate shard set; nullopt when none fit.
+  std::optional<std::size_t> pick_shard(
+      const std::vector<std::size_t>& candidates, std::size_t demand) const;
 
   SchedulerConfig cfg_;
   std::deque<Sequence*> waiting_;

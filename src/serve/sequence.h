@@ -21,6 +21,10 @@
 #include "kvcache/policy.h"
 #include "model/generator.h"
 
+namespace kf::mem {
+class PrefixEntry;
+}
+
 namespace kf::serve {
 
 using model::Token;
@@ -46,6 +50,12 @@ struct Request {
   /// the engine allocates one. generate() passes the model's default state
   /// so post-run cache inspection keeps working.
   kv::SequenceKvState* kv_state = nullptr;
+  /// Prompt prefix length the caller marks as shareable across requests
+  /// (the end of a system prompt / few-shot context — an explicit cache
+  /// breakpoint). 0 = let the engine index the whole prompt minus its last
+  /// token. Rounded down to whole pool blocks; only consulted when the
+  /// engine's prefix cache is enabled.
+  std::size_t shared_prefix_hint = 0;
 };
 
 /// A completed request.
@@ -158,6 +168,53 @@ struct Sequence {
   std::size_t admission_cost_blocks(std::size_t block_tokens) const {
     return n_layers *
            ((admission_cost_tokens() + block_tokens - 1) / block_tokens);
+  }
+
+  /// Prefix-cache match discovered before admission: blocks per layer
+  /// already resident in the shared index (charged to the index, not this
+  /// sequence) and the pinned entry backing them. Cleared once the prefix
+  /// is adopted at prefill.
+  const mem::PrefixEntry* prefix_entry = nullptr;
+  std::size_t prefix_blocks_per_layer = 0;
+  /// True when this request may use the engine's prefix cache (engine-
+  /// built policy; snapshots are policy-specific).
+  bool prefix_eligible = false;
+  /// Index revision at this sequence's last missed probe: a miss stays a
+  /// miss until the entry set changes, so the engine skips re-probing
+  /// in between. SIZE_MAX = never probed.
+  std::uint64_t prefix_probed_revision =
+      static_cast<std::uint64_t>(-1);
+  /// Request-declared shareable-prefix boundary (see Request).
+  std::size_t shared_prefix_hint = 0;
+
+  /// admission_cost_blocks() minus what the shared prefix already pays
+  /// for, valid on shards where the entry's chain is resident. Per layer
+  /// the unshared transient demand is the fresh suffix blocks plus the
+  /// worst-case copy-on-write conversion of the live shared blocks
+  /// (bounded by the steady footprint: eviction never keeps more), floored
+  /// at the steady footprint decode settles into; a non-evicting sequence
+  /// never mutates the chain, so its shared blocks are simply not charged.
+  std::size_t unshared_admission_blocks(std::size_t block_tokens) const {
+    const std::size_t bt = block_tokens;
+    const std::size_t full_layer = (admission_cost_tokens() + bt - 1) / bt;
+    std::size_t layer = full_layer;
+    const std::size_t prefix_toks = prefix_blocks_per_layer * bt;
+    if (prefix_blocks_per_layer > 0 && prefix_toks < prompt.size()) {
+      const std::size_t suffix_blocks =
+          (prompt.size() - prefix_toks + bt - 1) / bt;
+      const std::size_t steady_layer = (cost_tokens() + bt - 1) / bt;
+      const bool evicting =
+          budget.max_tokens > 0 && (policy == nullptr || policy->evicts());
+      const std::size_t want =
+          evicting ? std::max(suffix_blocks +
+                                  std::min(prefix_blocks_per_layer,
+                                           steady_layer),
+                              steady_layer)
+                   : full_layer - std::min(full_layer,
+                                           prefix_blocks_per_layer);
+      layer = std::min(full_layer, want);
+    }
+    return n_layers * layer;
   }
 
   /// Recent committed tokens the repetition penalty applies to.

@@ -6,6 +6,7 @@
 
 #include "kvcache/policy_factory.h"
 #include "mem/block_pool.h"
+#include "mem/prefix_index.h"
 
 namespace kf::serve {
 namespace {
@@ -297,6 +298,71 @@ TEST(BatchScheduler, RoundRobinPlacementCyclesShards) {
   EXPECT_EQ(seqs[2].shard, 2u);
 }
 
+TEST(BatchScheduler, RoundRobinSkipsShardsThatCannotFit) {
+  // Shard 0's capacity is consumed; the cursor must move on to shard 1
+  // instead of stalling the queue, and the cursor advances from the shard
+  // actually used.
+  mem::BlockPool pool(block_pool_config(3, 10));
+  ASSERT_TRUE(pool.try_reserve(0, 10));  // shard 0 full
+  SchedulerConfig cfg;
+  cfg.max_batch_size = 0;
+  cfg.pool = &pool;
+  cfg.placement = ShardPlacement::kRoundRobin;
+  BatchScheduler sched(cfg);
+
+  Sequence a = make_block_seq(40, 0.5);  // 10 admission blocks
+  Sequence b = make_block_seq(40, 0.5);
+  sched.submit(&a);
+  sched.submit(&b);
+  ASSERT_EQ(sched.admit(0).size(), 2u);
+  EXPECT_EQ(a.shard, 1u);  // skipped full shard 0
+  EXPECT_EQ(b.shard, 2u);  // cursor continued past a's placement
+  pool.unreserve(0, 10);
+}
+
+TEST(BatchScheduler, LeastLoadedPicksFewestReservedAndTieBreaksLowestId) {
+  mem::BlockPool pool(block_pool_config(3, 32));
+  ASSERT_TRUE(pool.try_reserve(0, 8));  // load: 8 / 2 / 2
+  ASSERT_TRUE(pool.try_reserve(1, 2));
+  ASSERT_TRUE(pool.try_reserve(2, 2));
+  SchedulerConfig cfg;
+  cfg.max_batch_size = 0;
+  cfg.pool = &pool;
+  BatchScheduler sched(cfg);
+
+  Sequence a = make_block_seq(16, 0.5);
+  sched.submit(&a);
+  ASSERT_EQ(sched.admit(0).size(), 1u);
+  EXPECT_EQ(a.shard, 1u);  // 1 and 2 tie at 2 reserved; lowest id wins
+  sched.release(&a);
+
+  ASSERT_TRUE(pool.try_reserve(2, 1));  // load: 8 / 2 / 3
+  Sequence b = make_block_seq(16, 0.5);
+  sched.submit(&b);
+  ASSERT_EQ(sched.admit(0).size(), 1u);
+  EXPECT_EQ(b.shard, 1u);  // strictly least loaded
+}
+
+TEST(BatchScheduler, RoundRobinVsLeastLoadedDivergeUnderAsymmetricLoad) {
+  // Same workload, same pool state: round-robin marches on (0, 1, ...)
+  // while least-loaded steers to the emptiest shard first — the
+  // observable difference between the two policies.
+  for (const bool round_robin : {false, true}) {
+    mem::BlockPool pool(block_pool_config(2, 32));
+    ASSERT_TRUE(pool.try_reserve(0, 6));  // shard 0 pre-loaded
+    SchedulerConfig cfg;
+    cfg.max_batch_size = 0;
+    cfg.pool = &pool;
+    cfg.placement = round_robin ? ShardPlacement::kRoundRobin
+                                : ShardPlacement::kLeastLoaded;
+    BatchScheduler sched(cfg);
+    Sequence s = make_block_seq(16, 0.5);
+    sched.submit(&s);
+    ASSERT_EQ(sched.admit(0).size(), 1u);
+    EXPECT_EQ(s.shard, round_robin ? 0u : 1u);
+  }
+}
+
 TEST(BatchScheduler, BlockModeOversizedDemandThrowsInsteadOfDeadlocking) {
   mem::BlockPool pool(block_pool_config(1, 4));
   SchedulerConfig cfg;
@@ -305,6 +371,105 @@ TEST(BatchScheduler, BlockModeOversizedDemandThrowsInsteadOfDeadlocking) {
   Sequence huge = make_block_seq(100, 1.0);  // far beyond 4 blocks
   sched.submit(&huge);
   EXPECT_THROW(sched.admit(0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Prefix-cache-aware admission: shared chains reduce the charged demand.
+
+/// Indexes a `tokens`-long run (must be whole blocks) built on `shard`,
+/// returning the entry (the builder state is torn down; the index keeps
+/// the chain alive).
+const mem::PrefixEntry* index_prefix(mem::BlockPool& pool,
+                                     mem::PrefixIndex& index,
+                                     std::size_t shard, std::size_t tokens) {
+  kv::SequenceKvState state(pool, shard, 2);
+  std::vector<mem::PrefixToken> run(tokens);
+  for (std::size_t i = 0; i < tokens; ++i) {
+    run[i] = static_cast<mem::PrefixToken>(i);
+  }
+  for (std::size_t l = 0; l < 2; ++l) {
+    auto& cache = state.layer(l);
+    const std::vector<float> row(cache.row_width(), 1.0F);
+    for (std::size_t t = 0; t < tokens; ++t) cache.append(row, row, t);
+  }
+  return index.insert(run, state, {});
+}
+
+TEST(SequenceCost, UnsharedAdmissionBlocksSubtractResidentPrefix) {
+  // 40-token prompt at ratio 0.5, block_tokens 8: full admission is 5
+  // blocks/layer. A 24-token (3-block) shared prefix leaves a 16-token
+  // suffix (2 blocks) plus worst-case CoW of the shared blocks, bounded
+  // by the steady footprint (3 blocks): 2 + 3 = 5... capped by full (5).
+  Sequence s = make_block_seq(40, 0.5);
+  EXPECT_EQ(s.admission_cost_blocks(8), 10u);
+  s.prefix_blocks_per_layer = 3;
+  // Without an entry the reduced form still computes (the scheduler only
+  // consults it when an entry is pinned).
+  EXPECT_EQ(s.unshared_admission_blocks(8), 10u);
+
+  // A longer prefix (32 tokens = 4 blocks): suffix 1 block + min(4,
+  // steady 3) = 4 blocks/layer -> 8 total, below the full 10.
+  s.prefix_blocks_per_layer = 4;
+  EXPECT_EQ(s.unshared_admission_blocks(8), 8u);
+
+  // Non-evicting full attention never copies: charge full minus prefix.
+  Sequence full_s = make_block_seq(40, 1.0, /*n_layers=*/2, /*max_new=*/8);
+  const auto full_policy = kv::make_policy(kv::PolicyKind::kFull);
+  full_s.policy = full_policy.get();
+  EXPECT_EQ(full_s.admission_cost_blocks(8), 12u);  // 48 tokens -> 6/layer
+  full_s.prefix_blocks_per_layer = 4;
+  EXPECT_EQ(full_s.unshared_admission_blocks(8), 4u);  // (6 - 4) * 2
+}
+
+TEST(BatchScheduler, PrefixAffinityPlacesOnResidentShardAtReducedCharge) {
+  mem::BlockPool pool(block_pool_config(2, 32));
+  mem::PrefixIndexConfig ic;
+  ic.n_layers = 2;
+  mem::PrefixIndex index(pool, ic);
+  // Chain resident on shard 1 only (least-loaded alone would pick the
+  // emptier shard 0: shard 1 already carries the index's reservation).
+  const mem::PrefixEntry* entry = index_prefix(pool, index, 1, 32);
+  ASSERT_NE(entry, nullptr);
+  ASSERT_EQ(pool.shard_stats(1).reserved_blocks, 8u);
+
+  SchedulerConfig cfg;
+  cfg.max_batch_size = 0;
+  cfg.pool = &pool;
+  BatchScheduler sched(cfg);
+
+  Sequence s = make_block_seq(40, 0.5);
+  s.prefix_entry = entry;
+  s.prefix_blocks_per_layer = 4;
+  sched.submit(&s);
+  ASSERT_EQ(sched.admit(0).size(), 1u);
+  EXPECT_EQ(s.shard, 1u);  // affinity beats least-loaded
+  EXPECT_EQ(s.reserved_blocks, s.unshared_admission_blocks(8));
+  EXPECT_LT(s.reserved_blocks, s.admission_cost_blocks(8));
+}
+
+TEST(BatchScheduler, PrefixSequenceFallsBackToFullChargeElsewhere) {
+  // The resident shard cannot take even the reduced demand; placement
+  // falls back to another shard at the full charge.
+  mem::BlockPool pool(block_pool_config(2, 12));
+  mem::PrefixIndexConfig ic;
+  ic.n_layers = 2;
+  mem::PrefixIndex index(pool, ic);
+  const mem::PrefixEntry* entry = index_prefix(pool, index, 1, 32);
+  ASSERT_NE(entry, nullptr);
+  ASSERT_TRUE(pool.try_reserve(1, 4));  // shard 1: 8 index + 4 = full
+
+  SchedulerConfig cfg;
+  cfg.max_batch_size = 0;
+  cfg.pool = &pool;
+  BatchScheduler sched(cfg);
+  Sequence s = make_block_seq(40, 0.5);
+  s.prefix_entry = entry;
+  s.prefix_blocks_per_layer = 4;
+  sched.submit(&s);
+  ASSERT_EQ(sched.admit(0).size(), 1u);
+  EXPECT_EQ(s.shard, 0u);
+  EXPECT_EQ(s.reserved_blocks, s.admission_cost_blocks(8));
+  pool.unreserve(1, 4);
 }
 
 TEST(BatchScheduler, BlockModeRequiresLayerCount) {

@@ -200,6 +200,83 @@ TEST(BlockPool, AggregatePeakIsSimultaneousNotSumOfShardPeaks) {
   EXPECT_EQ(pool.stats().peak_reserved_blocks, 4u);
 }
 
+TEST(BlockPool, RefcountRetainKeepsBlockAliveUntilLastRelease) {
+  BlockPool pool(small_config(1, 8));
+  const BlockRef r = pool.allocate(0);
+  EXPECT_EQ(pool.refcount(r), 1u);
+  pool.retain(r);
+  pool.retain(r);
+  EXPECT_EQ(pool.refcount(r), 3u);
+  pool.release(r);
+  pool.release(r);
+  // Still alive: one reader left, used still counts it once.
+  EXPECT_EQ(pool.refcount(r), 1u);
+  EXPECT_EQ(pool.shard_stats(0).used_blocks, 1u);
+  pool.release(r);
+  EXPECT_EQ(pool.refcount(r), 0u);
+  EXPECT_EQ(pool.shard_stats(0).used_blocks, 0u);
+  // Fully released: further touches are errors, and the id is reusable.
+  EXPECT_THROW(pool.retain(r), std::invalid_argument);
+  EXPECT_THROW(pool.release(r), std::invalid_argument);
+  const BlockRef again = pool.allocate(0);
+  EXPECT_EQ(again.id, r.id);
+  EXPECT_EQ(pool.refcount(again), 1u);
+  pool.release(again);
+}
+
+TEST(BlockPool, SharedBlockChargesUsedOnce) {
+  // Sharing N ways is the whole point of the prefix cache: the pool must
+  // charge the physical block once no matter how many readers hold it.
+  BlockPool pool(small_config(1, 4));
+  const BlockRef r = pool.allocate(0);
+  for (int i = 0; i < 5; ++i) pool.retain(r);
+  EXPECT_EQ(pool.shard_stats(0).used_blocks, 1u);
+  EXPECT_EQ(pool.stats().used_blocks, 1u);
+  for (int i = 0; i < 6; ++i) pool.release(r);
+  EXPECT_EQ(pool.stats().used_blocks, 0u);
+}
+
+TEST(BlockPool, RandomizedRefcountChurnNeverLeaks) {
+  // Interleaved allocate/retain/release across shards; live refcount
+  // bookkeeping mirrored locally. After draining, every block must be at
+  // refcount 0 with used back to zero — the no-leak half of the
+  // prefix-cache acceptance criteria at the pool level.
+  BlockPool pool(small_config(2, 16));
+  Rng rng(99);
+  std::vector<std::pair<BlockRef, std::size_t>> live;  // ref, local count
+  for (std::size_t step = 0; step < 2000; ++step) {
+    const std::uint64_t op = rng.uniform_u64(10);
+    if (op < 4 || live.empty()) {
+      const std::size_t shard = rng.uniform_u64(2);
+      if (pool.shard_stats(shard).used_blocks < 16) {
+        live.emplace_back(pool.allocate(shard), 1u);
+      }
+    } else if (op < 6) {
+      auto& [ref, count] = live[rng.uniform_u64(live.size())];
+      pool.retain(ref);
+      ++count;
+    } else {
+      const std::size_t pick = rng.uniform_u64(live.size());
+      auto& [ref, count] = live[pick];
+      pool.release(ref);
+      if (--count == 0) {
+        live.erase(live.begin() + static_cast<long>(pick));
+      }
+    }
+    std::size_t used = 0;
+    for (const auto& [ref, count] : live) {
+      EXPECT_EQ(pool.refcount(ref), count);
+      ++used;
+    }
+    ASSERT_EQ(pool.stats().used_blocks, used) << "step " << step;
+  }
+  for (auto& [ref, count] : live) {
+    while (count-- > 0) pool.release(ref);
+    EXPECT_EQ(pool.refcount(ref), 0u);
+  }
+  EXPECT_EQ(pool.stats().used_blocks, 0u);
+}
+
 TEST(BlockPool, StatsAggregateAcrossShards) {
   BlockPool pool(small_config(2, 8));
   const BlockRef a = pool.allocate(0);

@@ -190,5 +190,190 @@ TEST(PagedKvCache, RejectsOutOfRangeShard) {
   EXPECT_THROW(PagedKvCache(pool, 1), std::invalid_argument);
 }
 
+TEST(PagedKvCache, CompactToEmptyThenRegrow) {
+  // Satellite coverage: a cache drained to zero by compaction must return
+  // every block and then grow again from scratch exactly like a fresh
+  // cache (chain invariant, stats, and contents all intact).
+  BlockPool pool(pool_config(/*block_tokens=*/4));
+  PagedKvCache c(pool, 0);
+  for (std::size_t t = 0; t < 11; ++t) {
+    const auto k = ramp_row(c.row_width(), static_cast<float>(t));
+    c.append(k, k, t);
+  }
+  EXPECT_EQ(c.blocks_held(), 3u);
+  c.compact({});  // keep nothing
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.blocks_held(), 0u);
+  EXPECT_EQ(pool.shard_stats(0).used_blocks, 0u);
+  // Regrowth: positions may restart (the cache is empty), contents land
+  // in freshly allocated blocks.
+  for (std::size_t t = 0; t < 6; ++t) {
+    const auto k = ramp_row(c.row_width(), 100.0F + static_cast<float>(t));
+    c.append(k, k, t);
+    EXPECT_EQ(c.blocks_held(), (t + 1 + 3) / 4);
+  }
+  EXPECT_EQ(pool.shard_stats(0).used_blocks, 2u);
+  EXPECT_EQ(c.key_row(4), ramp_row(c.row_width(), 104.0F));
+  EXPECT_EQ(c.original_position(5), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Copy-on-write prefix sharing.
+
+/// Builds a donor cache holding `tokens` rows (positions 0..tokens-1) with
+/// deterministic contents and per-head scores i * (head + 1).
+void fill_prefix(PagedKvCache& c, std::size_t tokens) {
+  for (std::size_t t = 0; t < tokens; ++t) {
+    const auto k = ramp_row(c.row_width(), static_cast<float>(t));
+    const auto v = ramp_row(c.row_width(), 1000.0F + static_cast<float>(t));
+    c.append(k, v, t);
+    for (std::size_t h = 0; h < c.n_heads(); ++h) {
+      c.add_score(h, t, static_cast<double>(t * (h + 1)));
+    }
+  }
+}
+
+std::vector<std::vector<double>> snapshot_scores(const PagedKvCache& c,
+                                                 std::size_t tokens) {
+  std::vector<std::vector<double>> scores;
+  for (std::size_t h = 0; h < c.n_heads(); ++h) {
+    const auto s = c.scores(h);
+    scores.emplace_back(s.begin(), s.begin() + static_cast<long>(tokens));
+  }
+  return scores;
+}
+
+TEST(PagedKvCache, AdoptPrefixSharesBlocksAndSeedsMetadata) {
+  BlockPool pool(pool_config(/*block_tokens=*/4));
+  PagedKvCache donor(pool, 0);
+  fill_prefix(donor, 8);  // exactly 2 blocks
+  const std::vector<BlockRef> chain(donor.blocks().begin(),
+                                    donor.blocks().end());
+  const auto scores = snapshot_scores(donor, 8);
+
+  PagedKvCache reader(pool, 0);
+  reader.adopt_prefix(chain, 8, scores);
+  EXPECT_EQ(reader.size(), 8u);
+  EXPECT_EQ(reader.blocks_held(), 2u);
+  EXPECT_EQ(reader.shared_blocks(), 2u);
+  // Physically the same blocks: used counts them once, refcount twice.
+  EXPECT_EQ(pool.shard_stats(0).used_blocks, 2u);
+  EXPECT_EQ(pool.refcount(chain[0]), 2u);
+  for (std::size_t t = 0; t < 8; ++t) {
+    EXPECT_EQ(reader.key_row(t), donor.key_row(t)) << "token " << t;
+    EXPECT_EQ(reader.value_row(t), donor.value_row(t)) << "token " << t;
+    EXPECT_EQ(reader.original_position(t), t);
+  }
+  for (std::size_t h = 0; h < reader.n_heads(); ++h) {
+    EXPECT_EQ(reader.scores(h)[5], donor.scores(h)[5]);
+  }
+  // Appends open a fresh private block; the shared ones stay shared.
+  const auto k = ramp_row(reader.row_width(), 50.0F);
+  reader.append(k, k, 8);
+  EXPECT_EQ(reader.blocks_held(), 3u);
+  EXPECT_EQ(reader.shared_blocks(), 2u);
+  EXPECT_EQ(reader.cow_copies(), 0u);
+}
+
+TEST(PagedKvCache, AdoptPrefixValidatesAlignmentAndEmptiness) {
+  BlockPool pool(pool_config(/*block_tokens=*/4));
+  PagedKvCache donor(pool, 0);
+  fill_prefix(donor, 8);
+  const std::vector<BlockRef> chain(donor.blocks().begin(),
+                                    donor.blocks().end());
+  PagedKvCache reader(pool, 0);
+  // 7 tokens is not block-aligned; 8 tokens over one block is a mismatch.
+  EXPECT_THROW(reader.adopt_prefix(chain, 7, snapshot_scores(donor, 7)),
+               std::invalid_argument);
+  EXPECT_THROW(
+      reader.adopt_prefix({chain.data(), 1}, 8, snapshot_scores(donor, 8)),
+      std::invalid_argument);
+  reader.adopt_prefix(chain, 8, snapshot_scores(donor, 8));
+  EXPECT_THROW(reader.adopt_prefix(chain, 8, snapshot_scores(donor, 8)),
+               std::logic_error);
+}
+
+TEST(PagedKvCache, CompactCopiesSharedDestinationBlocksOnWrite) {
+  BlockPool pool(pool_config(/*block_tokens=*/4));
+  PagedKvCache donor(pool, 0);
+  fill_prefix(donor, 12);  // 3 blocks
+  const std::vector<BlockRef> chain(donor.blocks().begin(),
+                                    donor.blocks().end());
+  PagedKvCache reader(pool, 0);
+  reader.adopt_prefix(chain, 12, snapshot_scores(donor, 12));
+
+  // Keep rows 0..3 untouched (identity gather: block 0 stays shared) and
+  // gather 4 scattered later rows into block 1 (written: must be copied).
+  const std::vector<std::size_t> keep{0, 1, 2, 3, 5, 7, 9, 11};
+  reader.compact(keep);
+  EXPECT_EQ(reader.size(), 8u);
+  EXPECT_EQ(reader.blocks_held(), 2u);
+  EXPECT_EQ(reader.cow_copies(), 1u);
+  EXPECT_EQ(reader.shared_blocks(), 1u);  // block 0 still shared
+  EXPECT_EQ(reader.blocks()[0].id, chain[0].id);
+  EXPECT_NE(reader.blocks()[1].id, chain[1].id);
+
+  // The donor's rows are untouched by the reader's eviction.
+  for (std::size_t t = 0; t < 12; ++t) {
+    EXPECT_EQ(donor.key_row(t), ramp_row(donor.row_width(),
+                                         static_cast<float>(t)))
+        << "donor perturbed at " << t;
+  }
+  // The reader's gathered rows match the kept originals.
+  for (std::size_t j = 0; j < keep.size(); ++j) {
+    EXPECT_EQ(reader.key_row(j),
+              ramp_row(reader.row_width(), static_cast<float>(keep[j])));
+    EXPECT_EQ(reader.original_position(j), keep[j]);
+  }
+  // Drained chain tail went back: donor's block 2 ref dropped to 1.
+  EXPECT_EQ(pool.refcount(chain[2]), 1u);
+}
+
+TEST(PagedKvCache, AppendIntoSharedPartialTailCopiesFirst) {
+  BlockPool pool(pool_config(/*block_tokens=*/4));
+  PagedKvCache donor(pool, 0);
+  fill_prefix(donor, 8);
+  const std::vector<BlockRef> chain(donor.blocks().begin(),
+                                    donor.blocks().end());
+  PagedKvCache reader(pool, 0);
+  reader.adopt_prefix(chain, 8, snapshot_scores(donor, 8));
+  // Evict to 6 rows with an identity keep: both blocks stay shared, the
+  // tail block now has free slots.
+  const std::vector<std::size_t> identity{0, 1, 2, 3, 4, 5};
+  reader.compact(identity);
+  EXPECT_EQ(reader.cow_copies(), 0u);
+  EXPECT_EQ(reader.shared_blocks(), 2u);
+  // Appending into the shared tail's free slot must copy it first — the
+  // donor still reads its own rows 6 and 7 through that block.
+  const auto k = ramp_row(reader.row_width(), 77.0F);
+  reader.append(k, k, 20);
+  EXPECT_EQ(reader.cow_copies(), 1u);
+  EXPECT_EQ(reader.key_row(6), k);
+  EXPECT_EQ(donor.key_row(6), ramp_row(donor.row_width(), 6.0F));
+  EXPECT_EQ(donor.key_row(7), ramp_row(donor.row_width(), 7.0F));
+}
+
+TEST(PagedKvCache, CowSkipsCopyWhenLastReader) {
+  BlockPool pool(pool_config(/*block_tokens=*/4));
+  std::vector<BlockRef> chain;
+  {
+    PagedKvCache donor(pool, 0);
+    fill_prefix(donor, 4);
+    chain.assign(donor.blocks().begin(), donor.blocks().end());
+    for (const BlockRef r : chain) pool.retain(r);  // stand-in for an index
+  }  // donor gone; "index" still holds the chain
+  PagedKvCache reader(pool, 0);
+  const std::vector<std::vector<double>> zeros(2, std::vector<double>(4, 0.0));
+  reader.adopt_prefix(chain, 4, zeros);
+  for (const BlockRef r : chain) pool.release(r);  // index drops the entry
+  EXPECT_EQ(pool.refcount(chain[0]), 1u);  // reader is the last one
+  // A mutating compact now writes in place: no copy, block id unchanged.
+  const std::vector<std::size_t> keep{0, 2, 3};
+  reader.compact(keep);
+  EXPECT_EQ(reader.cow_copies(), 0u);
+  EXPECT_EQ(reader.shared_blocks(), 0u);
+  EXPECT_EQ(reader.blocks()[0].id, chain[0].id);
+}
+
 }  // namespace
 }  // namespace kf::mem

@@ -1,0 +1,292 @@
+#include "mem/prefix_index.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mem/paged_kv_cache.h"
+
+namespace kf::mem {
+namespace {
+
+constexpr std::size_t kLayers = 2;
+constexpr std::size_t kHeads = 2;
+constexpr std::size_t kDHead = 3;
+constexpr std::size_t kBlockTokens = 4;
+
+BlockPoolConfig pool_config(std::size_t shards = 1,
+                            std::size_t blocks_per_shard = 0) {
+  BlockPoolConfig cfg;
+  cfg.n_shards = shards;
+  cfg.blocks_per_shard = blocks_per_shard;
+  cfg.block_tokens = kBlockTokens;
+  cfg.n_heads = kHeads;
+  cfg.d_head = kDHead;
+  return cfg;
+}
+
+PrefixIndexConfig index_config(std::size_t max_blocks = 0) {
+  PrefixIndexConfig cfg;
+  cfg.n_layers = kLayers;
+  cfg.max_blocks = max_blocks;
+  return cfg;
+}
+
+/// A paged state on `shard` whose layer caches hold `run` as rows
+/// 0..run-1 (K row value encodes (layer, token)) with scores token * (h+1)
+/// + layer.
+kv::SequenceKvState fill_state(BlockPool& pool, std::size_t shard,
+                               std::span<const PrefixToken> run) {
+  kv::SequenceKvState state(pool, shard, kLayers);
+  for (std::size_t l = 0; l < kLayers; ++l) {
+    auto& cache = state.layer(l);
+    for (std::size_t t = 0; t < run.size(); ++t) {
+      std::vector<float> k(cache.row_width(),
+                           static_cast<float>(run[t]) + 0.5F * l);
+      std::vector<float> v(cache.row_width(),
+                           1000.0F + static_cast<float>(t));
+      cache.append(k, v, t);
+      for (std::size_t h = 0; h < kHeads; ++h) {
+        cache.add_score(h, t, static_cast<double>(t * (h + 1) + l));
+      }
+    }
+  }
+  return state;
+}
+
+std::vector<PrefixToken> make_run(std::size_t n, PrefixToken base = 0) {
+  std::vector<PrefixToken> run(n);
+  std::iota(run.begin(), run.end(), base);
+  return run;
+}
+
+TEST(PrefixIndex, InsertSharesTheLiveChainWithoutCopying) {
+  BlockPool pool(pool_config());
+  PrefixIndex index(pool, index_config());
+  const auto run = make_run(8);
+  auto state = fill_state(pool, 0, run);
+
+  const PrefixEntry* entry = index.insert(run, state, {});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->tokens(), 8u);
+  EXPECT_EQ(entry->blocks_per_layer(), 2u);
+  EXPECT_TRUE(entry->resident_on(0));
+  // Shared, not copied: physical used stays at the state's own blocks,
+  // each now refcounted by the index too; the index reserved its share.
+  EXPECT_EQ(pool.stats().used_blocks, kLayers * 2);
+  EXPECT_EQ(index.blocks_held(), kLayers * 2);
+  EXPECT_EQ(pool.shard_stats(0).reserved_blocks, kLayers * 2);
+  const auto* paged = dynamic_cast<const PagedKvCache*>(&state.layer(0));
+  EXPECT_EQ(pool.refcount(paged->blocks()[0]), 2u);
+  // The chain survives the inserting sequence.
+  state.clear();
+  EXPECT_EQ(pool.stats().used_blocks, kLayers * 2);
+}
+
+TEST(PrefixIndex, InsertRejectsIneligibleRuns) {
+  BlockPool pool(pool_config());
+  PrefixIndex index(pool, index_config());
+  const auto run = make_run(8);
+  auto state = fill_state(pool, 0, run);
+  // Not block-aligned.
+  EXPECT_EQ(index.insert(std::span(run).first(6), state, {}), nullptr);
+  // Shorter than one block (min_tokens floor).
+  EXPECT_EQ(index.insert(std::span(run).first(0), state, {}), nullptr);
+  // Duplicate insert returns the existing entry.
+  const PrefixEntry* a = index.insert(run, state, {});
+  const PrefixEntry* b = index.insert(run, state, {});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(index.stats().insertions, 1u);
+}
+
+TEST(PrefixIndex, LookupFindsLongestIndexedPrefix) {
+  BlockPool pool(pool_config());
+  PrefixIndex index(pool, index_config());
+  const auto long_run = make_run(12);
+  const std::span<const PrefixToken> short_run(long_run.data(), 4);
+  auto state_a = fill_state(pool, 0, short_run);
+  auto state_b = fill_state(pool, 0, long_run);
+  ASSERT_NE(index.insert(short_run, state_a, {}), nullptr);
+  const PrefixEntry* longer = index.insert(long_run, state_b, {});
+  ASSERT_NE(longer, nullptr);
+
+  // A prompt extending the long run matches the longest entry ...
+  auto prompt = make_run(20);
+  EXPECT_EQ(index.lookup(prompt, prompt.size() - 1), longer);
+  // ... unless the caller caps the match below it.
+  EXPECT_EQ(index.lookup(prompt, 11)->tokens(), 4u);
+  // A prompt diverging after 4 tokens falls back to the short entry.
+  prompt[5] = 999;
+  EXPECT_EQ(index.lookup(prompt, prompt.size() - 1)->tokens(), 4u);
+  // A prompt diverging immediately misses.
+  prompt[0] = 999;
+  EXPECT_EQ(index.lookup(prompt, prompt.size() - 1), nullptr);
+  EXPECT_EQ(index.stats().lookups, 4u);
+  EXPECT_EQ(index.stats().lookup_hits, 3u);
+}
+
+TEST(PrefixIndex, AdoptSeedsCachesFromTheSharedChain) {
+  BlockPool pool(pool_config());
+  PrefixIndex index(pool, index_config());
+  const auto run = make_run(8);
+  auto donor = fill_state(pool, 0, run);
+  const PrefixEntry* entry = index.insert(run, donor, {1.0, 2.0});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->policy_scores().size(), 2u);
+
+  kv::SequenceKvState reader(pool, 0, kLayers);
+  ASSERT_TRUE(index.adopt(entry, reader));
+  for (std::size_t l = 0; l < kLayers; ++l) {
+    const auto& cache = reader.layer(l);
+    ASSERT_EQ(cache.size(), 8u);
+    for (std::size_t t = 0; t < 8; ++t) {
+      EXPECT_EQ(cache.key_row(t), donor.layer(l).key_row(t));
+      EXPECT_EQ(cache.original_position(t), t);
+    }
+    for (std::size_t h = 0; h < kHeads; ++h) {
+      EXPECT_EQ(cache.scores(h)[7], static_cast<double>(7 * (h + 1) + l));
+    }
+  }
+  // Donor + index + reader all reference the chain; one physical copy.
+  EXPECT_EQ(pool.stats().used_blocks, kLayers * 2);
+}
+
+TEST(PrefixIndex, AdoptReplicatesAcrossShards) {
+  BlockPool pool(pool_config(/*shards=*/2, /*blocks_per_shard=*/16));
+  PrefixIndex index(pool, index_config());
+  const auto run = make_run(8);
+  auto donor = fill_state(pool, 0, run);
+  const PrefixEntry* entry = index.insert(run, donor, {});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_FALSE(entry->resident_on(1));
+
+  kv::SequenceKvState reader(pool, 1, kLayers);
+  ASSERT_TRUE(index.adopt(entry, reader));
+  EXPECT_TRUE(entry->resident_on(1));
+  EXPECT_EQ(index.stats().replications, 1u);
+  // The replica is a real copy on shard 1, reserved there.
+  EXPECT_EQ(pool.shard_stats(1).used_blocks, kLayers * 2);
+  EXPECT_EQ(pool.shard_stats(1).reserved_blocks, kLayers * 2);
+  EXPECT_EQ(reader.layer(0).key_row(3), donor.layer(0).key_row(3));
+  // A second shard-1 adopter shares the replica instead of copying again.
+  kv::SequenceKvState reader2(pool, 1, kLayers);
+  ASSERT_TRUE(index.adopt(entry, reader2));
+  EXPECT_EQ(index.stats().replications, 1u);
+  EXPECT_EQ(pool.shard_stats(1).used_blocks, kLayers * 2);
+}
+
+TEST(PrefixIndex, LruTrimUnderBlockBudgetSkipsPinned) {
+  BlockPool pool(pool_config());
+  // Budget fits exactly two 2-block-per-layer entries.
+  PrefixIndex index(pool, index_config(/*max_blocks=*/2 * kLayers * 2));
+  const auto run_a = make_run(8, 0);
+  const auto run_b = make_run(8, 100);
+  const auto run_c = make_run(8, 200);
+  auto state_a = fill_state(pool, 0, run_a);
+  auto state_b = fill_state(pool, 0, run_b);
+  auto state_c = fill_state(pool, 0, run_c);
+
+  const PrefixEntry* a = index.insert(run_a, state_a, {});
+  const PrefixEntry* b = index.insert(run_b, state_b, {});
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  // Touch a so b becomes LRU; inserting c must trim b.
+  index.lookup(run_a, run_a.size());
+  ASSERT_NE(index.insert(run_c, state_c, {}), nullptr);
+  EXPECT_EQ(index.stats().entries, 2u);
+  EXPECT_EQ(index.stats().trims, 1u);
+  EXPECT_EQ(index.lookup(run_b, run_b.size()), nullptr);
+  EXPECT_NE(index.lookup(run_a, run_a.size()), nullptr);
+
+  // Pin the LRU entry: the next insert has no victim and fails.
+  const PrefixEntry* lru = index.lru_candidate(/*include_pinned=*/false);
+  ASSERT_NE(lru, nullptr);
+  index.pin(lru);
+  const auto run_d = make_run(8, 300);
+  auto state_d = fill_state(pool, 0, run_d);
+  EXPECT_NE(index.lru_candidate(/*include_pinned=*/false), lru);
+  index.pin(index.lru_candidate(/*include_pinned=*/false));
+  EXPECT_EQ(index.insert(run_d, state_d, {}), nullptr);
+  index.unpin(lru);
+  ASSERT_NE(index.insert(run_d, state_d, {}), nullptr);
+}
+
+TEST(PrefixIndex, ReplicationUnderTightBudgetNeverDropsTheSourceEntry) {
+  // Regression: with a block budget that fits exactly one chain, adopting
+  // on a second shard needs room for a replica, and the LRU victim
+  // make_room() finds is the very entry being replicated. The replication
+  // must fail cleanly (entry intact, usable on its home shard) — not
+  // read through a freed chain.
+  BlockPool pool(pool_config(/*shards=*/2, /*blocks_per_shard=*/16));
+  PrefixIndex index(pool, index_config(/*max_blocks=*/kLayers * 2));
+  const auto run = make_run(8);
+  auto donor = fill_state(pool, 0, run);
+  const PrefixEntry* entry = index.insert(run, donor, {});
+  ASSERT_NE(entry, nullptr);
+
+  kv::SequenceKvState cross(pool, 1, kLayers);
+  EXPECT_FALSE(index.adopt(entry, cross));  // no room for a replica
+  // The entry survived and still adopts on its resident shard.
+  EXPECT_EQ(index.stats().entries, 1u);
+  EXPECT_EQ(index.lookup(run, run.size()), entry);
+  kv::SequenceKvState local(pool, 0, kLayers);
+  EXPECT_TRUE(index.adopt(entry, local));
+  EXPECT_EQ(local.layer(0).key_row(3), donor.layer(0).key_row(3));
+}
+
+TEST(PrefixIndex, RevisionMovesOnInsertAndDrop) {
+  BlockPool pool(pool_config());
+  PrefixIndex index(pool, index_config());
+  const std::uint64_t r0 = index.revision();
+  const auto run = make_run(8);
+  auto state = fill_state(pool, 0, run);
+  const PrefixEntry* entry = index.insert(run, state, {});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_GT(index.revision(), r0);
+  const std::uint64_t r1 = index.revision();
+  index.lookup(run, run.size());  // reads never move the revision
+  EXPECT_EQ(index.revision(), r1);
+  index.drop(entry);
+  EXPECT_GT(index.revision(), r1);
+}
+
+TEST(PrefixIndex, DropAndClearReturnEveryBlockAndReservation) {
+  BlockPool pool(pool_config());
+  PrefixIndex index(pool, index_config());
+  const auto run = make_run(8);
+  {
+    auto state = fill_state(pool, 0, run);
+    ASSERT_NE(index.insert(run, state, {}), nullptr);
+  }  // inserting state gone; the index holds the only references
+  EXPECT_EQ(pool.stats().used_blocks, kLayers * 2);
+  EXPECT_EQ(pool.stats().reserved_blocks, kLayers * 2);
+  index.clear();
+  EXPECT_EQ(index.stats().entries, 0u);
+  EXPECT_EQ(index.blocks_held(), 0u);
+  EXPECT_EQ(pool.stats().used_blocks, 0u);
+  EXPECT_EQ(pool.stats().reserved_blocks, 0u);
+}
+
+TEST(PrefixIndex, InsertReservationPressureTrimsResidentEntries) {
+  // Pool of 10 blocks per shard: one 4-block entry plus a 4-block state
+  // leaves 2 unreserved, so indexing a second state must trim the first
+  // entry to find room (its blocks are the only reclaimable ones).
+  BlockPool pool(pool_config(/*shards=*/1, /*blocks_per_shard=*/10));
+  PrefixIndex index(pool, index_config());
+  const auto run_a = make_run(8, 0);
+  const auto run_b = make_run(8, 100);
+  auto state_a = fill_state(pool, 0, run_a);
+  ASSERT_NE(index.insert(run_a, state_a, {}), nullptr);
+  state_a.clear();
+  auto state_b = fill_state(pool, 0, run_b);
+  ASSERT_TRUE(pool.try_reserve(0, 4));  // squeeze: 4 index + 4 fake = 8/12
+  const PrefixEntry* b = index.insert(run_b, state_b, {});
+  ASSERT_NE(b, nullptr);  // trimmed entry a to fit
+  EXPECT_EQ(index.stats().trims, 1u);
+  EXPECT_EQ(index.lookup(run_a, run_a.size()), nullptr);
+  pool.unreserve(0, 4);
+}
+
+}  // namespace
+}  // namespace kf::mem
