@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Project lint: structural checks the compiler can't make.
+
+Run from anywhere (the repo root is located relative to this file):
+
+    python3 scripts/lint.py
+
+Checks (each failure lists file and reason; exit code 1 on any):
+  1. every tests/test_*.cpp is registered in tests/CMakeLists.txt --
+     a suite that isn't in KF_TEST_SUITES builds nobody and gates nothing;
+  2. every header carries an include guard (#pragma once or #ifndef);
+  3. no std::cout in src/ library code -- the library reports through
+     return values and stderr, stdout belongs to the binaries;
+  4. no thread-safety-analysis suppressions (KF_NO_THREAD_SAFETY_ANALYSIS)
+     in src/mem, src/serve, or src/core -- the annotated subsystems stay
+     fully analyzed; a suppression is a finding, not a fix.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def check_test_registration() -> list[str]:
+    """Every tests/test_*.cpp must appear in tests/CMakeLists.txt."""
+    cmake = (REPO / "tests" / "CMakeLists.txt").read_text()
+    registered = set(re.findall(r"\btest_\w+\b", cmake))
+    errors = []
+    for path in sorted((REPO / "tests").glob("test_*.cpp")):
+        if path.stem not in registered:
+            errors.append(
+                f"{path.relative_to(REPO)}: suite not registered in "
+                "tests/CMakeLists.txt (add it to KF_TEST_SUITES)"
+            )
+    return errors
+
+
+def check_include_guards() -> list[str]:
+    """Every header needs #pragma once or a classic include guard."""
+    errors = []
+    for sub in ("src", "tests", "bench", "examples"):
+        root = REPO / sub
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*.h")):
+            text = path.read_text()
+            if "#pragma once" in text:
+                continue
+            if re.search(r"#ifndef\s+\w+\s*\n\s*#define\s+\w+", text):
+                continue
+            errors.append(
+                f"{path.relative_to(REPO)}: missing include guard "
+                "(#pragma once)"
+            )
+    return errors
+
+
+def check_no_cout_in_library() -> list[str]:
+    """src/ is library code: no std::cout (stderr diagnostics are fine)."""
+    errors = []
+    for path in sorted((REPO / "src").rglob("*.cpp")):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if "std::cout" in line.split("//")[0]:
+                errors.append(
+                    f"{path.relative_to(REPO)}:{lineno}: std::cout in "
+                    "library code (return data or write to stderr)"
+                )
+    return errors
+
+
+def check_no_tsa_suppressions() -> list[str]:
+    """The annotated concurrent subsystems carry zero analysis opt-outs."""
+    errors = []
+    definition_site = REPO / "src" / "core" / "annotations.h"
+    for sub in ("src/mem", "src/serve", "src/core"):
+        for path in sorted((REPO / sub).rglob("*")):
+            if path.suffix not in (".h", ".cpp") or path == definition_site:
+                continue
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                if "KF_NO_THREAD_SAFETY_ANALYSIS" in line.split("//")[0]:
+                    errors.append(
+                        f"{path.relative_to(REPO)}:{lineno}: thread-safety "
+                        "analysis suppressed (annotate instead)"
+                    )
+    return errors
+
+
+def main() -> int:
+    checks = [
+        ("test registration", check_test_registration),
+        ("include guards", check_include_guards),
+        ("no std::cout in src/", check_no_cout_in_library),
+        ("no TSA suppressions", check_no_tsa_suppressions),
+    ]
+    failed = False
+    for name, check in checks:
+        errors = check()
+        if errors:
+            failed = True
+            print(f"lint: {name}: {len(errors)} finding(s)")
+            for err in errors:
+                print(f"  {err}")
+        else:
+            print(f"lint: {name}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,7 +36,7 @@ void ThreadPool::worker_entry() {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -47,8 +47,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      const LockGuard lock(mutex_);
+      while (!stopping_ && tasks_.empty()) cv_.wait(mutex_);
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -81,26 +81,26 @@ void ThreadPool::parallel_for(
   // means the waiter can observe zero only after the last worker has
   // released done_mutex and touches these locals no more.
   std::size_t remaining = num_chunks;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  Mutex done_mutex;
+  CondVar done_cv;
 
   const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     for (std::size_t c = 0; c < num_chunks; ++c) {
       const std::size_t begin = c * chunk;
       const std::size_t end = std::min(n, begin + chunk);
       tasks_.push([&, begin, end] {
         if (begin < end) fn(begin, end);
-        const std::lock_guard<std::mutex> done_lock(done_mutex);
+        const LockGuard done_lock(done_mutex);
         if (--remaining == 0) done_cv.notify_all();
       });
     }
   }
   cv_.notify_all();
 
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining == 0; });
+  const LockGuard lock(done_mutex);
+  while (remaining != 0) done_cv.wait(done_mutex);
 }
 
 ThreadPool& ThreadPool::global() {

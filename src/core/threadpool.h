@@ -6,13 +6,14 @@
 // does not affect results.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "core/annotations.h"
+#include "core/mutex.h"
 
 namespace kf {
 
@@ -37,7 +38,7 @@ class ThreadPool {
   /// pool once every worker is waiting.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& fn,
-                    std::size_t grain = 1);
+                    std::size_t grain = 1) KF_EXCLUDES(mutex_);
 
   /// Process-wide shared pool (created on first use). Size defaults to
   /// hardware_concurrency; the KF_NUM_THREADS environment variable
@@ -46,13 +47,14 @@ class ThreadPool {
 
  private:
   void worker_entry();  ///< marks the thread as a pool worker, then loops
-  void worker_loop();
+  void worker_loop() KF_EXCLUDES(mutex_);
 
+  /// Immutable after construction (joined in the destructor).
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  std::queue<std::function<void()>> tasks_ KF_GUARDED_BY(mutex_);
+  CondVar cv_;
+  bool stopping_ KF_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace kf

@@ -26,7 +26,15 @@ BlockPool::BlockPool(BlockPoolConfig cfg) : cfg_(cfg) {
         cfg_.blocks_per_shard > 0
             ? (cfg_.blocks_per_shard + kBlocksPerSlab - 1) / kBlocksPerSlab
             : kUnboundedSlabs;
-    shard->slabs.resize(max_slabs);  // directory only; arenas come lazily
+    // Directory only; arenas come lazily. The base-pointer directory is
+    // what lock-free readers touch, so it is fully sized up front and
+    // its entries only ever transition nullptr -> slab base.
+    shard->slabs.resize(max_slabs);
+    shard->slab_bases = std::make_unique<std::atomic<float*>[]>(max_slabs);
+    for (std::size_t i = 0; i < max_slabs; ++i) {
+      shard->slab_bases[i].store(nullptr, std::memory_order_relaxed);
+    }
+    shard->slab_slots = max_slabs;
     shards_.push_back(std::move(shard));
   }
 }
@@ -36,8 +44,43 @@ float* BlockPool::block_base(BlockRef ref) const noexcept {
   const Shard& sh = *shards_[ref.shard];
   const std::size_t slab = ref.id / kBlocksPerSlab;
   const std::size_t offset = ref.id % kBlocksPerSlab;
-  assert(slab < sh.slabs.size() && sh.slabs[slab] != nullptr);
-  return sh.slabs[slab].get() + offset * block_floats_;
+  assert(slab < sh.slab_slots);
+  // Acquire pairs with the release store in carve_slab_locked: a reader
+  // holding a BlockRef sees the slab payload without the shard mutex.
+  float* base = sh.slab_bases[slab].load(std::memory_order_acquire);
+  assert(base != nullptr);
+  return base + offset * block_floats_;
+}
+
+void BlockPool::carve_slab_locked(Shard& sh, std::size_t shard_index) {
+  // Carve a fresh slab — unless the shard is at capacity or the
+  // directory (the unbounded mode's implementation limit) is full.
+  if (cfg_.blocks_per_shard > 0 && sh.created >= cfg_.blocks_per_shard) {
+    throw std::runtime_error(
+        "BlockPool: shard " + std::to_string(shard_index) +
+        " exhausted (" + std::to_string(cfg_.blocks_per_shard) +
+        " blocks, used " + std::to_string(sh.used) + ", reserved " +
+        std::to_string(sh.reserved) +
+        "); admission reservations should have prevented this");
+  }
+  const std::size_t slab = sh.created / kBlocksPerSlab;
+  if (slab >= sh.slab_slots) {
+    throw std::runtime_error(
+        "BlockPool: shard slab directory full; raise blocks_per_shard "
+        "or shard count");
+  }
+  assert(sh.created % kBlocksPerSlab == 0);
+  sh.slabs[slab] = std::make_unique<float[]>(kBlocksPerSlab * block_floats_);
+  sh.slab_bases[slab].store(sh.slabs[slab].get(), std::memory_order_release);
+  std::size_t batch = kBlocksPerSlab;
+  if (cfg_.blocks_per_shard > 0) {
+    batch = std::min(batch, cfg_.blocks_per_shard - sh.created);
+  }
+  // Push in reverse so blocks hand out in ascending id order.
+  for (std::size_t i = batch; i > 0; --i) {
+    sh.free_list.push_back(static_cast<std::uint32_t>(sh.created + i - 1));
+  }
+  sh.created += batch;
 }
 
 BlockRef BlockPool::allocate(std::size_t shard) {
@@ -45,35 +88,9 @@ BlockRef BlockPool::allocate(std::size_t shard) {
     throw std::invalid_argument("BlockPool::allocate: shard out of range");
   }
   Shard& sh = *shards_[shard];
-  std::scoped_lock lock(sh.mu);
+  const LockGuard lock(sh.mu);
   if (sh.free_list.empty()) {
-    // Carve a fresh slab — unless the shard is at capacity or the
-    // directory (the unbounded mode's implementation limit) is full.
-    if (cfg_.blocks_per_shard > 0 && sh.created >= cfg_.blocks_per_shard) {
-      throw std::runtime_error(
-          "BlockPool: shard " + std::to_string(shard) +
-          " exhausted (" + std::to_string(cfg_.blocks_per_shard) +
-          " blocks, used " + std::to_string(sh.used) + ", reserved " +
-          std::to_string(sh.reserved) +
-          "); admission reservations should have prevented this");
-    }
-    const std::size_t slab = sh.created / kBlocksPerSlab;
-    if (slab >= sh.slabs.size()) {
-      throw std::runtime_error(
-          "BlockPool: shard slab directory full; raise blocks_per_shard "
-          "or shard count");
-    }
-    assert(sh.created % kBlocksPerSlab == 0);
-    sh.slabs[slab] = std::make_unique<float[]>(kBlocksPerSlab * block_floats_);
-    std::size_t batch = kBlocksPerSlab;
-    if (cfg_.blocks_per_shard > 0) {
-      batch = std::min(batch, cfg_.blocks_per_shard - sh.created);
-    }
-    // Push in reverse so blocks hand out in ascending id order.
-    for (std::size_t i = batch; i > 0; --i) {
-      sh.free_list.push_back(static_cast<std::uint32_t>(sh.created + i - 1));
-    }
-    sh.created += batch;
+    carve_slab_locked(sh, shard);
   }
   const std::uint32_t id = sh.free_list.back();
   sh.free_list.pop_back();
@@ -101,7 +118,7 @@ void BlockPool::retain(BlockRef ref) {
     throw std::invalid_argument("BlockPool::retain: shard out of range");
   }
   Shard& sh = *shards_[ref.shard];
-  std::scoped_lock lock(sh.mu);
+  const LockGuard lock(sh.mu);
   if (ref.id >= sh.created || ref.id >= sh.live.size() || !sh.live[ref.id]) {
     throw std::invalid_argument(
         "BlockPool::retain: block is not currently allocated");
@@ -114,7 +131,7 @@ void BlockPool::release(BlockRef ref) {
     throw std::invalid_argument("BlockPool::release: shard out of range");
   }
   Shard& sh = *shards_[ref.shard];
-  std::scoped_lock lock(sh.mu);
+  const LockGuard lock(sh.mu);
   if (ref.id >= sh.created || ref.id >= sh.live.size() || !sh.live[ref.id]) {
     // Never-allocated or over-released: putting the id on the free list
     // twice would hand one payload to two caches.
@@ -133,7 +150,7 @@ std::uint32_t BlockPool::refcount(BlockRef ref) const {
     throw std::invalid_argument("BlockPool::refcount: shard out of range");
   }
   const Shard& sh = *shards_[ref.shard];
-  std::scoped_lock lock(sh.mu);
+  const LockGuard lock(sh.mu);
   if (ref.id >= sh.refs.size()) return 0;
   return sh.refs[ref.id];
 }
@@ -143,7 +160,7 @@ bool BlockPool::try_reserve(std::size_t shard, std::size_t blocks) {
     throw std::invalid_argument("BlockPool::try_reserve: shard out of range");
   }
   Shard& sh = *shards_[shard];
-  std::scoped_lock lock(sh.mu);
+  const LockGuard lock(sh.mu);
   if (cfg_.blocks_per_shard > 0 &&
       sh.reserved + blocks > cfg_.blocks_per_shard) {
     return false;
@@ -159,7 +176,7 @@ void BlockPool::unreserve(std::size_t shard, std::size_t blocks) {
     throw std::invalid_argument("BlockPool::unreserve: shard out of range");
   }
   Shard& sh = *shards_[shard];
-  std::scoped_lock lock(sh.mu);
+  const LockGuard lock(sh.mu);
   if (blocks > sh.reserved) {
     throw std::invalid_argument(
         "BlockPool::unreserve: releasing more than reserved");
@@ -174,7 +191,7 @@ std::size_t BlockPool::unreserved_blocks(std::size_t shard) const {
         "BlockPool::unreserved_blocks: shard out of range");
   }
   const Shard& sh = *shards_[shard];
-  std::scoped_lock lock(sh.mu);
+  const LockGuard lock(sh.mu);
   if (cfg_.blocks_per_shard == 0) return static_cast<std::size_t>(-1);
   return cfg_.blocks_per_shard - sh.reserved;
 }
@@ -206,7 +223,7 @@ ShardStats BlockPool::shard_stats(std::size_t shard) const {
     throw std::invalid_argument("BlockPool::shard_stats: shard out of range");
   }
   const Shard& sh = *shards_[shard];
-  std::scoped_lock lock(sh.mu);
+  const LockGuard lock(sh.mu);
   ShardStats st;
   st.capacity_blocks = cfg_.blocks_per_shard;
   st.allocated_blocks = sh.created;
@@ -237,7 +254,7 @@ PoolStats BlockPool::stats() const {
 
 void BlockPool::reset_peaks() {
   for (auto& shard : shards_) {
-    std::scoped_lock lock(shard->mu);
+    const LockGuard lock(shard->mu);
     shard->peak_used = shard->used;
     shard->peak_reserved = shard->reserved;
   }

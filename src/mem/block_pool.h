@@ -29,18 +29,23 @@
 // and high-water marks.
 //
 // Thread safety: allocate/free/reserve/unreserve/stats take the shard
-// mutex (sequences append concurrently in the batched decode step).
-// Block payload pointers are stable for the lifetime of the pool: arenas
-// grow by fixed-size slabs into a pre-sized slab directory, never by
-// reallocating, so readers touch blocks they own without locks.
+// mutex (sequences append concurrently in the batched decode step); the
+// guarded state is annotated for clang's -Wthread-safety, which proves
+// every access goes through it. Block payload pointers are stable for
+// the lifetime of the pool: arenas grow by fixed-size slabs into a
+// pre-sized directory of atomically published base pointers, never by
+// reallocating, so keys()/values() read blocks they own without locks
+// (acquire loads pair with the release store that carved the slab).
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "core/annotations.h"
+#include "core/mutex.h"
 
 namespace kf::mem {
 
@@ -155,24 +160,36 @@ class BlockPool {
   static constexpr std::size_t kUnboundedSlabs = 4096;
 
   struct Shard {
-    mutable std::mutex mu;
-    /// Pre-sized directory of slab arenas; entries are filled in order and
-    /// never reallocated, so payload pointers stay valid without locking.
-    std::vector<std::unique_ptr<float[]>> slabs;
-    std::vector<std::uint32_t> free_list;
+    mutable Mutex mu;
+    /// Owning slab arenas, filled in order under `mu`. Payload access
+    /// goes through `slab_bases`, not this vector.
+    std::vector<std::unique_ptr<float[]>> slabs KF_GUARDED_BY(mu);
+    /// Lock-free payload directory: slab_bases[i] is stored (release)
+    /// exactly once when slab i is carved and never changes, so
+    /// keys()/values() load (acquire) without the shard mutex. Pre-sized
+    /// in the constructor (`slab_slots` entries); entries never move.
+    std::unique_ptr<std::atomic<float*>[]> slab_bases;
+    std::size_t slab_slots = 0;  ///< immutable after construction
+    std::vector<std::uint32_t> free_list KF_GUARDED_BY(mu);
     /// live[id] is true while block id is handed out — the double-free /
     /// free-of-never-allocated guard (a duplicated id on the free list
     /// would silently alias two caches onto one payload).
-    std::vector<bool> live;
+    std::vector<bool> live KF_GUARDED_BY(mu);
     /// refs[id]: readers of block id (0 when not allocated). A block
     /// returns to the free list only when the last reader releases it.
-    std::vector<std::uint32_t> refs;
-    std::size_t created = 0;  ///< blocks ever carved from slabs
-    std::size_t used = 0;
-    std::size_t reserved = 0;
-    std::size_t peak_used = 0;
-    std::size_t peak_reserved = 0;
+    std::vector<std::uint32_t> refs KF_GUARDED_BY(mu);
+    std::size_t created KF_GUARDED_BY(mu) = 0;  ///< blocks carved so far
+    std::size_t used KF_GUARDED_BY(mu) = 0;
+    std::size_t reserved KF_GUARDED_BY(mu) = 0;
+    std::size_t peak_used KF_GUARDED_BY(mu) = 0;
+    std::size_t peak_reserved KF_GUARDED_BY(mu) = 0;
   };
+
+  /// Carves the next slab arena out of `sh` and pushes its blocks onto
+  /// the free list. Throws when the shard is at capacity or the slab
+  /// directory is full.
+  void carve_slab_locked(Shard& sh, std::size_t shard_index)
+      KF_REQUIRES(sh.mu);
 
   float* block_base(BlockRef ref) const noexcept;
   /// CAS-max of `peak` against `value` (pool-wide peaks are updated

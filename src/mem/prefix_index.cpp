@@ -18,9 +18,10 @@ PrefixIndex::PrefixIndex(BlockPool& pool, PrefixIndexConfig cfg)
 }
 
 PrefixIndex::~PrefixIndex() {
-  for (auto& entry : entries_) {
-    for (std::size_t s = 0; s < entry->chains_.size(); ++s) {
-      release_chain(entry->chains_[s], s);
+  const LockGuard lock(mu_);
+  for (EntryRec& rec : entries_) {
+    for (std::size_t s = 0; s < rec.chains.size(); ++s) {
+      release_chain_locked(rec.chains[s], s);
     }
   }
 }
@@ -51,18 +52,32 @@ std::uint64_t PrefixIndex::hash_run(std::span<const PrefixToken> run) {
   return h;
 }
 
-PrefixIndexStats PrefixIndex::stats() const noexcept {
+PrefixIndexStats PrefixIndex::stats() const {
+  const LockGuard lock(mu_);
   PrefixIndexStats st = stats_;
   st.entries = entries_.size();
   st.blocks_held = blocks_held_;
   return st;
 }
 
+std::size_t PrefixIndex::blocks_held() const {
+  const LockGuard lock(mu_);
+  return blocks_held_;
+}
+
+std::uint64_t PrefixIndex::revision() const {
+  const LockGuard lock(mu_);
+  return revision_;
+}
+
 const PrefixEntry* PrefixIndex::lookup(std::span<const PrefixToken> prompt,
                                        std::size_t max_tokens) {
+  const LockGuard lock(mu_);
   ++stats_.lookups;
   std::size_t longest = 0;
-  for (const auto& entry : entries_) longest = std::max(longest, entry->tokens());
+  for (const EntryRec& rec : entries_) {
+    longest = std::max(longest, rec.entry->tokens());
+  }
   const std::size_t probe_len =
       std::min({longest, max_tokens, prompt.size()});
 
@@ -78,63 +93,96 @@ const PrefixEntry* PrefixIndex::lookup(std::span<const PrefixToken> prompt,
     hash_at[i + 1] = h;
   }
 
-  PrefixEntry* best = nullptr;
-  for (const auto& entry : entries_) {
-    const std::size_t m = entry->tokens();
-    if (m > probe_len || entry->run_hash_ != hash_at[m]) continue;
-    if (best != nullptr && m <= best->tokens()) continue;
-    if (std::equal(entry->run_.begin(), entry->run_.end(), prompt.begin())) {
-      best = entry.get();
+  EntryRec* best = nullptr;
+  for (EntryRec& rec : entries_) {
+    const PrefixEntry& e = *rec.entry;
+    const std::size_t m = e.tokens();
+    if (m > probe_len || e.run_hash_ != hash_at[m]) continue;
+    if (best != nullptr && m <= best->entry->tokens()) continue;
+    if (std::equal(e.run_.begin(), e.run_.end(), prompt.begin())) {
+      best = &rec;
     }
   }
   if (best != nullptr) {
-    best->last_use_ = ++tick_;
+    best->last_use = ++tick_;
     ++stats_.lookup_hits;
+    return best->entry.get();
   }
-  return best;
+  return nullptr;
 }
 
-PrefixEntry* PrefixIndex::find_mutable(const PrefixEntry* entry) {
-  for (const auto& e : entries_) {
-    if (e.get() == entry) return e.get();
+PrefixIndex::EntryRec& PrefixIndex::find_rec_locked(const PrefixEntry* entry) {
+  for (EntryRec& rec : entries_) {
+    if (rec.entry.get() == entry) return rec;
   }
   throw std::invalid_argument("PrefixIndex: unknown entry");
 }
 
-void PrefixIndex::pin(const PrefixEntry* entry) { ++find_mutable(entry)->pins_; }
-
-void PrefixIndex::unpin(const PrefixEntry* entry) {
-  PrefixEntry* e = find_mutable(entry);
-  if (e->pins_ == 0) {
-    throw std::logic_error("PrefixIndex::unpin without a matching pin");
+const PrefixIndex::EntryRec& PrefixIndex::find_rec_locked(
+    const PrefixEntry* entry) const {
+  for (const EntryRec& rec : entries_) {
+    if (rec.entry.get() == entry) return rec;
   }
-  --e->pins_;
+  throw std::invalid_argument("PrefixIndex: unknown entry");
 }
 
-const PrefixEntry* PrefixIndex::lru_candidate(bool include_pinned) const {
-  const PrefixEntry* best = nullptr;
-  for (const auto& entry : entries_) {
-    if (!include_pinned && entry->pins_ > 0) continue;
-    if (best == nullptr || entry->last_use_ < best->last_use_) {
-      best = entry.get();
+void PrefixIndex::pin(const PrefixEntry* entry) {
+  const LockGuard lock(mu_);
+  ++find_rec_locked(entry).pins;
+}
+
+void PrefixIndex::unpin(const PrefixEntry* entry) {
+  const LockGuard lock(mu_);
+  EntryRec& rec = find_rec_locked(entry);
+  if (rec.pins == 0) {
+    throw std::logic_error("PrefixIndex::unpin without a matching pin");
+  }
+  --rec.pins;
+}
+
+std::size_t PrefixIndex::pins(const PrefixEntry* entry) const {
+  const LockGuard lock(mu_);
+  return find_rec_locked(entry).pins;
+}
+
+bool PrefixIndex::resident_on(const PrefixEntry* entry,
+                              std::size_t shard) const {
+  const LockGuard lock(mu_);
+  const EntryRec& rec = find_rec_locked(entry);
+  return shard < rec.chains.size() && !rec.chains[shard].empty();
+}
+
+const PrefixIndex::EntryRec* PrefixIndex::lru_candidate_locked(
+    bool include_pinned) const {
+  const EntryRec* best = nullptr;
+  for (const EntryRec& rec : entries_) {
+    if (!include_pinned && rec.pins > 0) continue;
+    if (best == nullptr || rec.last_use < best->last_use) {
+      best = &rec;
     }
   }
   return best;
 }
 
-bool PrefixIndex::make_room(std::size_t blocks) {
+const PrefixEntry* PrefixIndex::lru_candidate(bool include_pinned) const {
+  const LockGuard lock(mu_);
+  const EntryRec* rec = lru_candidate_locked(include_pinned);
+  return rec != nullptr ? rec->entry.get() : nullptr;
+}
+
+bool PrefixIndex::make_room_locked(std::size_t blocks) {
   if (cfg_.max_blocks == 0) return true;
   if (blocks > cfg_.max_blocks) return false;
   while (blocks_held_ + blocks > cfg_.max_blocks) {
-    const PrefixEntry* victim = lru_candidate(/*include_pinned=*/false);
+    const EntryRec* victim = lru_candidate_locked(/*include_pinned=*/false);
     if (victim == nullptr) return false;
-    drop(victim);
+    drop_locked(victim->entry.get());
   }
   return true;
 }
 
-void PrefixIndex::release_chain(std::vector<std::vector<BlockRef>>& chain,
-                                std::size_t shard) {
+void PrefixIndex::release_chain_locked(
+    std::vector<std::vector<BlockRef>>& chain, std::size_t shard) {
   if (chain.empty()) return;
   std::size_t released = 0;
   for (auto& layer : chain) {
@@ -148,28 +196,34 @@ void PrefixIndex::release_chain(std::vector<std::vector<BlockRef>>& chain,
   chain.clear();
 }
 
-void PrefixIndex::drop(const PrefixEntry* entry) {
-  PrefixEntry* e = find_mutable(entry);
-  if (e->pins_ > 0) {
+void PrefixIndex::drop_locked(const PrefixEntry* entry) {
+  EntryRec& rec = find_rec_locked(entry);
+  if (rec.pins > 0) {
     throw std::logic_error("PrefixIndex::drop of a pinned entry");
   }
-  for (std::size_t s = 0; s < e->chains_.size(); ++s) {
-    release_chain(e->chains_[s], s);
+  for (std::size_t s = 0; s < rec.chains.size(); ++s) {
+    release_chain_locked(rec.chains[s], s);
   }
   const auto it =
       std::find_if(entries_.begin(), entries_.end(),
-                   [&](const auto& p) { return p.get() == e; });
+                   [&](const EntryRec& r) { return &r == &rec; });
   entries_.erase(it);
   ++stats_.trims;
   ++revision_;
 }
 
+void PrefixIndex::drop(const PrefixEntry* entry) {
+  const LockGuard lock(mu_);
+  drop_locked(entry);
+}
+
 void PrefixIndex::clear() {
+  const LockGuard lock(mu_);
   std::vector<const PrefixEntry*> victims;
-  for (const auto& entry : entries_) {
-    if (entry->pins_ == 0) victims.push_back(entry.get());
+  for (const EntryRec& rec : entries_) {
+    if (rec.pins == 0) victims.push_back(rec.entry.get());
   }
-  for (const PrefixEntry* v : victims) drop(v);
+  for (const PrefixEntry* v : victims) drop_locked(v);
 }
 
 const PrefixEntry* PrefixIndex::insert(std::span<const PrefixToken> run,
@@ -183,14 +237,16 @@ const PrefixEntry* PrefixIndex::insert(std::span<const PrefixToken> run,
         "PrefixIndex::insert: state layer count does not match the index");
   }
 
+  const LockGuard lock(mu_);
   // Already indexed? The chain is immutable and content-addressed, so the
   // existing entry is exactly what this insert would produce.
   const std::uint64_t run_hash = hash_run(run);
-  for (const auto& entry : entries_) {
-    if (entry->tokens() == m && entry->run_hash_ == run_hash &&
-        std::equal(entry->run_.begin(), entry->run_.end(), run.begin())) {
-      entry->last_use_ = ++tick_;
-      return entry.get();
+  for (EntryRec& rec : entries_) {
+    const PrefixEntry& e = *rec.entry;
+    if (e.tokens() == m && e.run_hash_ == run_hash &&
+        std::equal(e.run_.begin(), e.run_.end(), run.begin())) {
+      rec.last_use = ++tick_;
+      return rec.entry.get();
     }
   }
 
@@ -216,33 +272,38 @@ const PrefixEntry* PrefixIndex::insert(std::span<const PrefixToken> run,
   }
 
   const std::size_t needed = cfg_.n_layers * bpl;
-  if (!make_room(needed)) return nullptr;
+  if (!make_room_locked(needed)) return nullptr;
   // The index is a memory tenant like any admitted sequence: its blocks
   // are reserved on the shard so placement and admission see the truth.
   // Under reservation pressure, trim LRU entries resident on this shard
   // (dropping entries elsewhere frees nothing here).
   while (!pool_.try_reserve(shard, needed)) {
-    const PrefixEntry* victim = nullptr;
-    for (const auto& entry : entries_) {
-      if (entry->pins_ > 0 || !entry->resident_on(shard)) continue;
-      if (victim == nullptr || entry->last_use_ < victim->last_use_) {
-        victim = entry.get();
+    const EntryRec* victim = nullptr;
+    for (const EntryRec& rec : entries_) {
+      if (rec.pins > 0 || shard >= rec.chains.size() ||
+          rec.chains[shard].empty()) {
+        continue;
+      }
+      if (victim == nullptr || rec.last_use < victim->last_use) {
+        victim = &rec;
       }
     }
     if (victim == nullptr) return nullptr;
-    drop(victim);
+    drop_locked(victim->entry.get());
   }
 
   auto entry = std::make_unique<PrefixEntry>();
   entry->run_.assign(run.begin(), run.end());
   entry->run_hash_ = run_hash;
   entry->blocks_per_layer_ = bpl;
-  entry->chains_.resize(pool_.n_shards());
   entry->scores_.resize(cfg_.n_layers);
   entry->policy_scores_ = std::move(policy_scores);
-  entry->last_use_ = ++tick_;
 
-  auto& chain = entry->chains_[shard];
+  EntryRec rec;
+  rec.chains.resize(pool_.n_shards());
+  rec.last_use = ++tick_;
+
+  auto& chain = rec.chains[shard];
   chain.resize(cfg_.n_layers);
   for (std::size_t l = 0; l < cfg_.n_layers; ++l) {
     const auto blocks = layers[l]->blocks();
@@ -261,15 +322,16 @@ const PrefixEntry* PrefixIndex::insert(std::span<const PrefixToken> run,
   blocks_held_ += needed;
   ++stats_.insertions;
   ++revision_;
-  entries_.push_back(std::move(entry));
-  return entries_.back().get();
+  rec.entry = std::move(entry);
+  entries_.push_back(std::move(rec));
+  return entries_.back().entry.get();
 }
 
-bool PrefixIndex::replicate(PrefixEntry& entry, std::size_t shard) {
+bool PrefixIndex::replicate_locked(EntryRec& rec, std::size_t shard) {
   if (shard >= pool_.n_shards()) return false;
   // Source: any resident replica.
   const std::vector<std::vector<BlockRef>>* src = nullptr;
-  for (const auto& chain : entry.chains_) {
+  for (const auto& chain : rec.chains) {
     if (!chain.empty()) {
       src = &chain;
       break;
@@ -277,16 +339,16 @@ bool PrefixIndex::replicate(PrefixEntry& entry, std::size_t shard) {
   }
   if (src == nullptr) return false;
 
-  const std::size_t needed = cfg_.n_layers * entry.blocks_per_layer_;
-  if (!make_room(needed)) return false;
+  const std::size_t needed = cfg_.n_layers * rec.entry->blocks_per_layer();
+  if (!make_room_locked(needed)) return false;
   if (!pool_.try_reserve(shard, needed)) return false;
 
   const std::size_t section =
       pool_.config().block_tokens * pool_.config().d_head;
-  auto& dst = entry.chains_[shard];
+  auto& dst = rec.chains[shard];
   dst.resize(cfg_.n_layers);
   for (std::size_t l = 0; l < cfg_.n_layers; ++l) {
-    dst[l].reserve(entry.blocks_per_layer_);
+    dst[l].reserve(rec.entry->blocks_per_layer());
     for (const BlockRef from : (*src)[l]) {
       const BlockRef to = pool_.allocate(shard);
       for (std::size_t h = 0; h < pool_.config().n_heads; ++h) {
@@ -302,7 +364,8 @@ bool PrefixIndex::replicate(PrefixEntry& entry, std::size_t shard) {
 }
 
 bool PrefixIndex::adopt(const PrefixEntry* entry, kv::SequenceKvState& state) {
-  PrefixEntry* e = find_mutable(entry);
+  const LockGuard lock(mu_);
+  EntryRec& rec = find_rec_locked(entry);
   if (state.n_layers() != cfg_.n_layers || !state.empty()) {
     throw std::invalid_argument(
         "PrefixIndex::adopt requires an empty state with matching layers");
@@ -312,26 +375,27 @@ bool PrefixIndex::adopt(const PrefixEntry* entry, kv::SequenceKvState& state) {
     throw std::invalid_argument("PrefixIndex::adopt requires paged caches");
   }
   const std::size_t shard = first->shard();
-  if (!e->resident_on(shard)) {
-    // Pin across replication: make_room()'s LRU trim must never pick the
-    // very entry being replicated (the caller may have reached it through
-    // an unpinned lookup), or replicate would read freed chains.
-    ++e->pins_;
-    const bool replicated = replicate(*e, shard);
-    --e->pins_;
+  if (shard >= rec.chains.size() || rec.chains[shard].empty()) {
+    // Pin across replication: make_room_locked()'s LRU trim must never
+    // pick the very entry being replicated (the caller may have reached
+    // it through an unpinned lookup), or replicate would read freed
+    // chains.
+    ++rec.pins;
+    const bool replicated = replicate_locked(rec, shard);
+    --rec.pins;
     if (!replicated) return false;
   }
 
-  const auto& chain = e->chains_[shard];
+  const auto& chain = rec.chains[shard];
   for (std::size_t l = 0; l < cfg_.n_layers; ++l) {
     auto* paged = dynamic_cast<PagedKvCache*>(&state.layer(l));
     if (paged == nullptr || paged->shard() != shard) {
       throw std::invalid_argument(
           "PrefixIndex::adopt requires paged caches on one shard");
     }
-    paged->adopt_prefix(chain[l], e->tokens(), e->scores_[l]);
+    paged->adopt_prefix(chain[l], rec.entry->tokens(), rec.entry->scores_[l]);
   }
-  e->last_use_ = ++tick_;
+  rec.last_use = ++tick_;
   return true;
 }
 

@@ -31,9 +31,18 @@
 // ones a waiting sequence's reduced admission charge depends on — are
 // exempt until their pins drop).
 //
-// Thread safety: none. The serving engine drives the index from its
-// single scheduling thread; concurrent readers of *adopted* chains are
-// safe because chains are immutable and refcounted.
+// Thread safety: internally synchronized. One index mutex guards the
+// entry set, each entry's chain replicas, the LRU stamps, pin counts,
+// the revision counter, and the stats — all annotated for clang's
+// -Wthread-safety. A PrefixEntry itself is immutable after insert(), so
+// the pointer lookup()/insert() return can be read (tokens, run,
+// boundary scores) without the lock; only its index bookkeeping —
+// residency, pins, recency — lives behind the mutex, reachable through
+// the index's own accessors. Lock ordering: the index mutex is acquired
+// BEFORE any BlockPool shard mutex (insert/adopt/drop call into the
+// pool while holding it); the pool never calls back into the index.
+// Concurrent readers of *adopted* chains are safe because chains are
+// immutable and refcounted.
 #pragma once
 
 #include <cstddef>
@@ -42,6 +51,8 @@
 #include <span>
 #include <vector>
 
+#include "core/annotations.h"
+#include "core/mutex.h"
 #include "kvcache/kv_state.h"
 #include "mem/block_pool.h"
 
@@ -71,7 +82,12 @@ struct PrefixIndexStats {
   std::size_t trims = 0;         ///< entries dropped (LRU or pressure)
 };
 
-/// One indexed prefix. Immutable after insertion; owned by the index.
+/// One indexed prefix: the immutable payload only. Everything mutable
+/// about an entry — which shards its chain is resident on, its LRU
+/// stamp, its pin count — is bookkeeping the PrefixIndex keeps under its
+/// own mutex (see PrefixIndex::resident_on / pins); keeping it out of
+/// this class is what lets entry pointers be read lock-free after
+/// lookup()/insert().
 class PrefixEntry {
  public:
   /// Prefix length in tokens (a whole number of pool blocks).
@@ -79,31 +95,20 @@ class PrefixEntry {
   std::size_t blocks_per_layer() const noexcept { return blocks_per_layer_; }
   /// The exact token run this entry caches.
   std::span<const PrefixToken> run() const noexcept { return run_; }
-  /// True when the chain has a replica on `shard` (adoptable without a
-  /// copy; admission may charge only the unshared demand there).
-  bool resident_on(std::size_t shard) const noexcept {
-    return shard < chains_.size() && !chains_[shard].empty();
-  }
   /// Policy-exported score state captured at the boundary (may be empty).
   std::span<const double> policy_scores() const noexcept {
     return policy_scores_;
   }
-  std::size_t pins() const noexcept { return pins_; }
 
  private:
   friend class PrefixIndex;
   std::vector<PrefixToken> run_;
   std::uint64_t run_hash_ = 0;
   std::size_t blocks_per_layer_ = 0;
-  /// chains_[shard][layer] — block chain replica on that shard; outer slot
-  /// empty when the chain is not resident there.
-  std::vector<std::vector<std::vector<BlockRef>>> chains_;
   /// scores_[layer][head][token]: accumulated score-function values at the
   /// prefix boundary (shard-independent metadata).
   std::vector<std::vector<std::vector<double>>> scores_;
   std::vector<double> policy_scores_;
-  std::uint64_t last_use_ = 0;
-  std::size_t pins_ = 0;
 };
 
 class PrefixIndex {
@@ -115,24 +120,32 @@ class PrefixIndex {
   PrefixIndex& operator=(const PrefixIndex&) = delete;
 
   const PrefixIndexConfig& config() const noexcept { return cfg_; }
-  PrefixIndexStats stats() const noexcept;
-  std::size_t blocks_held() const noexcept { return blocks_held_; }
+  PrefixIndexStats stats() const KF_EXCLUDES(mu_);
+  std::size_t blocks_held() const KF_EXCLUDES(mu_);
 
   /// Bumped whenever the entry set changes (insert or drop). A negative
   /// lookup stays negative until this moves, so pollers can skip the
   /// longest-prefix probe entirely between changes.
-  std::uint64_t revision() const noexcept { return revision_; }
+  std::uint64_t revision() const KF_EXCLUDES(mu_);
 
   /// Longest indexed prefix of `prompt` no longer than `max_tokens`, or
   /// null. Bumps the entry's LRU stamp.
   const PrefixEntry* lookup(std::span<const PrefixToken> prompt,
-                            std::size_t max_tokens);
+                            std::size_t max_tokens) KF_EXCLUDES(mu_);
 
   /// Pins an entry against trimming (a waiting sequence's reduced
   /// admission charge depends on the chain staying resident). Balanced by
   /// unpin().
-  void pin(const PrefixEntry* entry);
-  void unpin(const PrefixEntry* entry);
+  void pin(const PrefixEntry* entry) KF_EXCLUDES(mu_);
+  void unpin(const PrefixEntry* entry) KF_EXCLUDES(mu_);
+  /// Current pin count of an entry.
+  std::size_t pins(const PrefixEntry* entry) const KF_EXCLUDES(mu_);
+
+  /// True when the entry's chain has a replica on `shard` (adoptable
+  /// without a copy; admission may charge only the unshared demand
+  /// there).
+  bool resident_on(const PrefixEntry* entry, std::size_t shard) const
+      KF_EXCLUDES(mu_);
 
   /// Indexes the first `run.size()` tokens of `state`'s layer caches as a
   /// new entry, *sharing* (retaining) the underlying block chain — the
@@ -147,46 +160,69 @@ class PrefixIndex {
   /// after trimming.
   const PrefixEntry* insert(std::span<const PrefixToken> run,
                             kv::SequenceKvState& state,
-                            std::vector<double> policy_scores);
+                            std::vector<double> policy_scores)
+      KF_EXCLUDES(mu_);
 
   /// Adopts `entry` into `state`'s (empty, paged, single-shard) layer
   /// caches: replicates the chain onto that shard first when it is not
   /// resident there, then retains it into each cache with positions and
   /// boundary scores seeded. False when the replica cannot be
   /// materialized — the caller falls back to a full prefill.
-  bool adopt(const PrefixEntry* entry, kv::SequenceKvState& state);
+  bool adopt(const PrefixEntry* entry, kv::SequenceKvState& state)
+      KF_EXCLUDES(mu_);
 
   /// Least-recently-used entry, optionally considering pinned ones; null
   /// when none qualifies.
-  const PrefixEntry* lru_candidate(bool include_pinned) const;
+  const PrefixEntry* lru_candidate(bool include_pinned) const
+      KF_EXCLUDES(mu_);
 
   /// Releases an entry's chains (all replicas) and removes it. The entry
   /// must be unpinned.
-  void drop(const PrefixEntry* entry);
+  void drop(const PrefixEntry* entry) KF_EXCLUDES(mu_);
 
   /// Drops every unpinned entry (tests and servers rotating workloads).
-  void clear();
+  void clear() KF_EXCLUDES(mu_);
 
  private:
-  struct EntryPtrHashing;
-  PrefixEntry* find_mutable(const PrefixEntry* entry);
+  /// Index bookkeeping of one entry — the mutable half of the split: the
+  /// PrefixEntry payload is immutable and lock-free readable, the record
+  /// is guarded by mu_ like the vector holding it.
+  struct EntryRec {
+    std::unique_ptr<PrefixEntry> entry;
+    /// chains[shard][layer] — block chain replica on that shard; outer
+    /// slot empty when the chain is not resident there.
+    std::vector<std::vector<std::vector<BlockRef>>> chains;
+    std::uint64_t last_use = 0;
+    std::size_t pins = 0;
+  };
+
+  EntryRec& find_rec_locked(const PrefixEntry* entry) KF_REQUIRES(mu_);
+  const EntryRec& find_rec_locked(const PrefixEntry* entry) const
+      KF_REQUIRES(mu_);
+  const EntryRec* lru_candidate_locked(bool include_pinned) const
+      KF_REQUIRES(mu_);
   /// Frees enough unpinned LRU entries that `blocks` more fit under
   /// max_blocks; true on success (always true when max_blocks == 0).
-  bool make_room(std::size_t blocks);
-  /// Reserves + allocates a chain replica of `entry` on `shard` by copying
-  /// from an existing replica; false when the shard cannot take it.
-  bool replicate(PrefixEntry& entry, std::size_t shard);
-  void release_chain(std::vector<std::vector<BlockRef>>& chain,
-                     std::size_t shard);
+  bool make_room_locked(std::size_t blocks) KF_REQUIRES(mu_);
+  /// Reserves + allocates a chain replica of `rec`'s entry on `shard` by
+  /// copying from an existing replica; false when the shard cannot take
+  /// it.
+  bool replicate_locked(EntryRec& rec, std::size_t shard) KF_REQUIRES(mu_);
+  void release_chain_locked(std::vector<std::vector<BlockRef>>& chain,
+                            std::size_t shard) KF_REQUIRES(mu_);
+  void drop_locked(const PrefixEntry* entry) KF_REQUIRES(mu_);
   static std::uint64_t hash_run(std::span<const PrefixToken> run);
 
   BlockPool& pool_;
   PrefixIndexConfig cfg_;
-  std::vector<std::unique_ptr<PrefixEntry>> entries_;
-  std::size_t blocks_held_ = 0;
-  std::uint64_t tick_ = 0;
-  std::uint64_t revision_ = 0;
-  PrefixIndexStats stats_;
+  /// Guards every mutable member below; acquired before any BlockPool
+  /// shard mutex, never the other way around.
+  mutable Mutex mu_;
+  std::vector<EntryRec> entries_ KF_GUARDED_BY(mu_);
+  std::size_t blocks_held_ KF_GUARDED_BY(mu_) = 0;
+  std::uint64_t tick_ KF_GUARDED_BY(mu_) = 0;
+  std::uint64_t revision_ KF_GUARDED_BY(mu_) = 0;
+  PrefixIndexStats stats_ KF_GUARDED_BY(mu_);
 };
 
 }  // namespace kf::mem

@@ -67,6 +67,7 @@ Engine::Engine(model::Transformer& model, EngineConfig cfg)
       ic.max_blocks = cfg_.prefix.max_blocks;
       ic.min_tokens = cfg_.prefix.min_tokens;
       prefix_index_ = std::make_unique<mem::PrefixIndex>(*pool_, ic);
+      cfg_.scheduler.prefix_index = prefix_index_.get();
     }
   }
 }
@@ -84,7 +85,18 @@ std::size_t Engine::insertable_prefix_tokens(const Sequence& seq) const {
   return m >= prefix_index_->config().min_tokens ? m : 0;
 }
 
-void Engine::start_sequence(Sequence& seq, std::size_t now_step) {
+EngineStats Engine::stats() const {
+  const LockGuard lock(stats_mu_);
+  return stats_;
+}
+
+void Engine::publish_stats(const EngineStats& stats) {
+  const LockGuard lock(stats_mu_);
+  stats_ = stats;
+}
+
+void Engine::start_sequence(Sequence& seq, std::size_t now_step,
+                            EngineStats& stats) {
   seq.policy->set_budget(seq.budget);
   kv::SequenceInfo info;
   info.prompt_len = seq.prompt.size();
@@ -120,9 +132,9 @@ void Engine::start_sequence(Sequence& seq, std::size_t now_step) {
         *seq.kv, prompt.subspan(m), m, *seq.policy, seq.gen.max_new_tokens);
     computed = prompt.size() - m;
     adopted = true;
-    ++stats_.prefix_hits;
-    stats_.prefix_tokens_reused += m;
-    stats_.prefix_blocks_shared +=
+    ++stats.prefix_hits;
+    stats.prefix_tokens_reused += m;
+    stats.prefix_blocks_shared +=
         model_.config().n_layers * entry->blocks_per_layer();
   }
   if (seq.prefix_entry != nullptr) {
@@ -151,7 +163,7 @@ void Engine::start_sequence(Sequence& seq, std::size_t now_step) {
                             seq.policy->export_score_state(m));
       prompt_logits = model_.prefill_continue(
           *seq.kv, prompt.subspan(m), m, *seq.policy, seq.gen.max_new_tokens);
-      ++stats_.prefix_misses;
+      ++stats.prefix_misses;
     } else {
       prompt_logits = model_.prefill(*seq.kv, prompt, *seq.policy,
                                      seq.gen.max_new_tokens);
@@ -172,15 +184,18 @@ void Engine::start_sequence(Sequence& seq, std::size_t now_step) {
     seq.commit(first);
   }
   seq.prefill_seconds = now_seconds() - t0;
-  stats_.prefilled_tokens += computed;
-  stats_.prefill_seconds += seq.prefill_seconds;
+  stats.prefilled_tokens += computed;
+  stats.prefill_seconds += seq.prefill_seconds;
 }
 
 std::vector<Response> Engine::run(std::span<const Request> requests) {
-  stats_ = EngineStats{};
+  // The run accumulates into this local and publishes snapshots; readers
+  // of stats() never observe a half-updated struct.
+  EngineStats stats;
+  publish_stats(stats);
   if (pool_ != nullptr) {
     pool_->reset_peaks();
-    stats_.pool_capacity_blocks = pool_->stats().capacity_blocks;
+    stats.pool_capacity_blocks = pool_->stats().capacity_blocks;
   }
 
   // Materialize sequences (deque: stable addresses for scheduler pointers).
@@ -286,7 +301,7 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
         for (std::size_t l = 0; l < seq.kv->n_layers(); ++l) {
           const auto* paged =
               dynamic_cast<const mem::PagedKvCache*>(&seq.kv->layer(l));
-          if (paged != nullptr) stats_.prefix_cow_copies += paged->cow_copies();
+          if (paged != nullptr) stats.prefix_cow_copies += paged->cow_copies();
         }
       }
       seq.owned_kv.reset();
@@ -334,7 +349,8 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
           seq->prefix_blocks_per_layer = 0;
         }
       }
-      if (victim->pins() > 0) return false;  // pinned outside our control
+      // Pinned outside our control.
+      if (prefix_index_->pins(victim) > 0) return false;
     }
     prefix_index_->drop(victim);
     return true;
@@ -364,11 +380,11 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
         }
         // The admission charge covers the transient prefill peak; record
         // it before settling so max_tokens_in_use reflects true memory.
-        stats_.max_tokens_in_use =
-            std::max(stats_.max_tokens_in_use, sched.tokens_in_use());
-        stats_.max_blocks_in_use =
-            std::max(stats_.max_blocks_in_use, sched.blocks_in_use());
-        start_sequence(*seq, step);
+        stats.max_tokens_in_use =
+            std::max(stats.max_tokens_in_use, sched.tokens_in_use());
+        stats.max_blocks_in_use =
+            std::max(stats.max_blocks_in_use, sched.blocks_in_use());
+        start_sequence(*seq, step, stats);
         sched.settle(seq);
         if (seq->finished()) {
           seq->finish_step = step;
@@ -391,11 +407,11 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
                                         sched.active().end());
     if (active.empty()) continue;  // everything admitted so far retired
 
-    stats_.max_batch = std::max(stats_.max_batch, active.size());
-    stats_.max_tokens_in_use =
-        std::max(stats_.max_tokens_in_use, sched.tokens_in_use());
-    stats_.max_blocks_in_use =
-        std::max(stats_.max_blocks_in_use, sched.blocks_in_use());
+    stats.max_batch = std::max(stats.max_batch, active.size());
+    stats.max_tokens_in_use =
+        std::max(stats.max_tokens_in_use, sched.tokens_in_use());
+    stats.max_blocks_in_use =
+        std::max(stats.max_blocks_in_use, sched.blocks_in_use());
     if (pool_ != nullptr) {
       // Internal fragmentation this step: tokens actually cached vs the
       // whole-block token slots holding them. The prefix index's retained
@@ -410,8 +426,8 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
       if (used_tokens > 0) {
         std::size_t live = 0;
         for (const Sequence* seq : active) live += seq->kv->total_tokens();
-        stats_.max_fragmentation = std::max(
-            stats_.max_fragmentation,
+        stats.max_fragmentation = std::max(
+            stats.max_fragmentation,
             std::max(0.0, 1.0 - static_cast<double>(live) /
                                     static_cast<double>(used_tokens)));
       }
@@ -442,11 +458,11 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
           logits.row(b), seq->recent_window(), seq->gen.repetition_penalty,
           seq->gen.banned_tokens);
       seq->commit(next);
-      ++stats_.decoded_tokens;
+      ++stats.decoded_tokens;
     }
     const double dt = now_seconds() - t0;
-    stats_.decode_seconds += dt;
-    ++stats_.steps;
+    stats.decode_seconds += dt;
+    ++stats.steps;
     for (Sequence* seq : active) {
       seq->decode_seconds += dt;
       if (seq->finished()) {
@@ -460,8 +476,9 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
   }
 
   if (pool_ != nullptr) {
-    stats_.pool_peak_used_blocks = pool_->stats().peak_used_blocks;
+    stats.pool_peak_used_blocks = pool_->stats().peak_used_blocks;
   }
+  publish_stats(stats);
 
   std::vector<Response> responses;
   responses.reserve(seqs.size());

@@ -27,6 +27,8 @@
 #include <span>
 #include <vector>
 
+#include "core/annotations.h"
+#include "core/mutex.h"
 #include "kvcache/policy_factory.h"
 #include "mem/block_pool.h"
 #include "mem/prefix_index.h"
@@ -125,8 +127,11 @@ class Engine {
   explicit Engine(model::Transformer& model, EngineConfig cfg = {});
 
   const EngineConfig& config() const noexcept { return cfg_; }
-  /// Counters of the most recent run().
-  const EngineStats& stats() const noexcept { return stats_; }
+  /// Snapshot of the most recent run()'s counters. run() accumulates
+  /// into run-local state and publishes under the stats mutex (at start
+  /// and finish), so this is safe to call from any thread — the
+  /// monitoring hook the async front-end will poll mid-run.
+  EngineStats stats() const KF_EXCLUDES(stats_mu_);
   /// The engine-owned block pool; null unless cfg.paged.enabled. Between
   /// run() calls the only blocks off the free lists are the prefix
   /// index's retained chains (leak-checked by tests).
@@ -154,14 +159,20 @@ class Engine {
   /// the prefix cache on: adopt a matching shared chain and prefill only
   /// the suffix, or chunk the prefill at the shareable boundary and insert
   /// the prefix chain into the index for the requests behind this one.
-  void start_sequence(Sequence& seq, std::size_t now_step);
+  /// Counters accrue into `stats`, the run's local accumulator.
+  void start_sequence(Sequence& seq, std::size_t now_step, EngineStats& stats);
   /// Prefix boundary this sequence would index on a miss (block-aligned,
   /// below the prompt end, at least the index minimum); 0 = don't index.
   std::size_t insertable_prefix_tokens(const Sequence& seq) const;
+  /// Publishes a run's accumulator as the visible stats() snapshot.
+  void publish_stats(const EngineStats& stats) KF_EXCLUDES(stats_mu_);
 
   model::Transformer& model_;
   EngineConfig cfg_;
-  EngineStats stats_;
+  /// Guards the published stats snapshot: run() works on a local
+  /// accumulator and publishes here, so readers never see a torn update.
+  mutable Mutex stats_mu_;
+  EngineStats stats_ KF_GUARDED_BY(stats_mu_);
   std::unique_ptr<mem::BlockPool> pool_;
   std::unique_ptr<mem::PrefixIndex> prefix_index_;
 };

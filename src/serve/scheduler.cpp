@@ -62,11 +62,14 @@ std::optional<BatchScheduler::Placement> BatchScheduler::choose_shard(
   // Prefix affinity first: shards already holding the sequence's shared
   // chain serve it at the unshared demand — both cheaper for the pool and
   // the only placement that keeps chain reads shard-local.
-  if (seq.prefix_entry != nullptr && seq.prefix_blocks_per_layer > 0) {
+  if (seq.prefix_entry != nullptr && seq.prefix_blocks_per_layer > 0 &&
+      cfg_.prefix_index != nullptr) {
     const std::size_t reduced = seq.unshared_admission_blocks(bt);
     std::vector<std::size_t> resident;
     for (std::size_t s = 0; s < n; ++s) {
-      if (seq.prefix_entry->resident_on(s)) resident.push_back(s);
+      if (cfg_.prefix_index->resident_on(seq.prefix_entry, s)) {
+        resident.push_back(s);
+      }
     }
     if (const auto s = pick_shard(resident, reduced)) {
       return Placement{*s, reduced};
@@ -87,7 +90,7 @@ bool BatchScheduler::fits(const Sequence& seq) const {
   }
   if (cfg_.max_concurrent_tokens == 0) return true;
   const std::size_t cost = seq.admission_cost_tokens();
-  if (tokens_in_use_ + cost <= cfg_.max_concurrent_tokens) return true;
+  if (tokens_in_use() + cost <= cfg_.max_concurrent_tokens) return true;
   // Oversized sequences (admission cost > whole budget) run solo instead
   // of blocking the queue forever.
   return cost > cfg_.max_concurrent_tokens && active_.empty();
@@ -120,7 +123,10 @@ std::vector<Sequence*> BatchScheduler::admit(std::size_t now_step) {
     waiting_.pop_front();
     head->status = SequenceStatus::kActive;
     head->charged_tokens = head->admission_cost_tokens();
-    tokens_in_use_ += head->charged_tokens;
+    {
+      const LockGuard lock(counters_mu_);
+      tokens_in_use_ += head->charged_tokens;
+    }
     if (cfg_.pool != nullptr) {
       const auto placement = choose_shard(*head);
       // fits() just said yes; nothing ran in between.
@@ -130,7 +136,10 @@ std::vector<Sequence*> BatchScheduler::admit(std::size_t now_step) {
       }
       head->shard = placement->shard;
       head->reserved_blocks = placement->demand;
-      blocks_in_use_ += placement->demand;
+      {
+        const LockGuard lock(counters_mu_);
+        blocks_in_use_ += placement->demand;
+      }
       rr_next_ = (placement->shard + 1) % cfg_.pool->n_shards();
     }
     active_.push_back(head);
@@ -145,7 +154,11 @@ void BatchScheduler::settle(Sequence* seq) {
     throw std::invalid_argument("settle of a sequence that is not active");
   }
   const std::size_t steady = seq->cost_tokens();
-  tokens_in_use_ -= seq->charged_tokens - std::min(seq->charged_tokens, steady);
+  {
+    const LockGuard lock(counters_mu_);
+    tokens_in_use_ -=
+        seq->charged_tokens - std::min(seq->charged_tokens, steady);
+  }
   seq->charged_tokens = std::min(seq->charged_tokens, steady);
   if (cfg_.pool != nullptr && seq->shard != Sequence::kNoShard) {
     const std::size_t steady_blocks =
@@ -155,6 +168,7 @@ void BatchScheduler::settle(Sequence* seq) {
     if (excess > 0) {
       cfg_.pool->unreserve(seq->shard, excess);
       seq->reserved_blocks = steady_blocks;
+      const LockGuard lock(counters_mu_);
       blocks_in_use_ -= excess;
     }
   }
@@ -166,11 +180,17 @@ void BatchScheduler::release(Sequence* seq) {
     throw std::invalid_argument("release of a sequence that is not active");
   }
   active_.erase(it);
-  tokens_in_use_ -= seq->charged_tokens;
+  {
+    const LockGuard lock(counters_mu_);
+    tokens_in_use_ -= seq->charged_tokens;
+  }
   seq->charged_tokens = 0;
   if (cfg_.pool != nullptr && seq->shard != Sequence::kNoShard) {
     cfg_.pool->unreserve(seq->shard, seq->reserved_blocks);
-    blocks_in_use_ -= seq->reserved_blocks;
+    {
+      const LockGuard lock(counters_mu_);
+      blocks_in_use_ -= seq->reserved_blocks;
+    }
     seq->reserved_blocks = 0;
     seq->shard = Sequence::kNoShard;
   }

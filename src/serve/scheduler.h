@@ -43,10 +43,13 @@
 #include <span>
 #include <vector>
 
+#include "core/annotations.h"
+#include "core/mutex.h"
 #include "serve/sequence.h"
 
 namespace kf::mem {
 class BlockPool;
+class PrefixIndex;
 }
 
 namespace kf::serve {
@@ -67,6 +70,9 @@ struct SchedulerConfig {
   /// Block mode: admission reserves blocks against this pool's shards.
   /// The pool must outlive the scheduler. Null = token mode.
   mem::BlockPool* pool = nullptr;
+  /// The engine's prefix index (for chain-residency placement queries);
+  /// null when the prefix cache is disabled. Must outlive the scheduler.
+  const mem::PrefixIndex* prefix_index = nullptr;
   ShardPlacement placement = ShardPlacement::kLeastLoaded;
 };
 
@@ -107,9 +113,18 @@ class BatchScheduler {
   /// matches before each admission round).
   const std::deque<Sequence*>& waiting() const noexcept { return waiting_; }
   /// Summed charged tokens of the active set (tracked in both modes).
-  std::size_t tokens_in_use() const noexcept { return tokens_in_use_; }
+  /// Guarded: safe to read from a monitoring thread while the engine loop
+  /// admits/settles/releases.
+  std::size_t tokens_in_use() const KF_EXCLUDES(counters_mu_) {
+    const LockGuard lock(counters_mu_);
+    return tokens_in_use_;
+  }
   /// Summed reserved blocks of the active set (block mode; 0 otherwise).
-  std::size_t blocks_in_use() const noexcept { return blocks_in_use_; }
+  /// Guarded like tokens_in_use().
+  std::size_t blocks_in_use() const KF_EXCLUDES(counters_mu_) {
+    const LockGuard lock(counters_mu_);
+    return blocks_in_use_;
+  }
 
   /// Arrival step of the queue head (the next sequence to admit), empty
   /// when no sequence is waiting. The engine jumps its clock here when the
@@ -131,10 +146,14 @@ class BatchScheduler {
       const std::vector<std::size_t>& candidates, std::size_t demand) const;
 
   SchedulerConfig cfg_;
+  /// Queue/active-set structure is engine-loop-only (single writer, no
+  /// concurrent readers); only the in-use counters below are shared with
+  /// monitoring readers and guarded.
   std::deque<Sequence*> waiting_;
   std::vector<Sequence*> active_;
-  std::size_t tokens_in_use_ = 0;
-  std::size_t blocks_in_use_ = 0;
+  mutable Mutex counters_mu_;
+  std::size_t tokens_in_use_ KF_GUARDED_BY(counters_mu_) = 0;
+  std::size_t blocks_in_use_ KF_GUARDED_BY(counters_mu_) = 0;
   std::size_t rr_next_ = 0;  ///< round-robin cursor (advances on placement)
 };
 

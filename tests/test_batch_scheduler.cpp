@@ -435,6 +435,7 @@ TEST(BatchScheduler, PrefixAffinityPlacesOnResidentShardAtReducedCharge) {
   SchedulerConfig cfg;
   cfg.max_batch_size = 0;
   cfg.pool = &pool;
+  cfg.prefix_index = &index;
   BatchScheduler sched(cfg);
 
   Sequence s = make_block_seq(40, 0.5);
@@ -461,6 +462,7 @@ TEST(BatchScheduler, PrefixSequenceFallsBackToFullChargeElsewhere) {
   SchedulerConfig cfg;
   cfg.max_batch_size = 0;
   cfg.pool = &pool;
+  cfg.prefix_index = &index;
   BatchScheduler sched(cfg);
   Sequence s = make_block_seq(40, 0.5);
   s.prefix_entry = entry;

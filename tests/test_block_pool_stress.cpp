@@ -1,0 +1,222 @@
+// Randomized multi-threaded stress of the BlockPool: the regression net
+// for the pool's concurrency contract (shard-mutex-guarded bookkeeping,
+// lock-free slab-directory publication for payload access). Run under
+// ThreadSanitizer in CI; single-threaded runs still exercise the
+// invariants.
+//
+// Each worker loops: reserve a random claim on a random shard, allocate
+// blocks against it, stamp and verify payloads (catches two owners
+// aliasing one block and a torn slab publication alike), churn refcounts,
+// release everything, unreserve. A dedicated observer hammers the stats
+// accessors, asserting the per-shard invariant used <= reserved <=
+// capacity on every consistent snapshot. After the join the pool must be
+// empty: every block back on a free list, every reservation returned.
+#include "mem/block_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+namespace kf::mem {
+namespace {
+
+constexpr std::size_t kShards = 3;
+constexpr std::size_t kBlocksPerShard = 24;
+
+BlockPoolConfig stress_config() {
+  BlockPoolConfig cfg;
+  cfg.n_shards = kShards;
+  cfg.blocks_per_shard = kBlocksPerShard;
+  cfg.block_tokens = 4;
+  cfg.n_heads = 2;
+  cfg.d_head = 3;
+  return cfg;
+}
+
+// A value no other block's stamp collides with.
+float stamp_of(BlockRef ref) {
+  return static_cast<float>(ref.shard) * 1000.0F +
+         static_cast<float>(ref.id) + 0.5F;
+}
+
+void stamp(BlockPool& pool, BlockRef ref) {
+  const std::size_t heads = pool.config().n_heads;
+  const std::size_t section = pool.config().block_tokens * pool.config().d_head;
+  for (std::size_t h = 0; h < heads; ++h) {
+    float* k = pool.keys(ref, h);
+    float* v = pool.values(ref, h);
+    for (std::size_t i = 0; i < section; ++i) {
+      k[i] = stamp_of(ref);
+      v[i] = -stamp_of(ref);
+    }
+  }
+}
+
+bool verify_stamp(const BlockPool& pool, BlockRef ref) {
+  const std::size_t heads = pool.config().n_heads;
+  const std::size_t section = pool.config().block_tokens * pool.config().d_head;
+  for (std::size_t h = 0; h < heads; ++h) {
+    const float* k = pool.keys(ref, h);
+    const float* v = pool.values(ref, h);
+    for (std::size_t i = 0; i < section; ++i) {
+      if (k[i] != stamp_of(ref) || v[i] != -stamp_of(ref)) return false;
+    }
+  }
+  return true;
+}
+
+TEST(BlockPoolStress, ConcurrentReserveAllocateChurnLeavesPoolEmpty) {
+  BlockPool pool(stress_config());
+
+  // One pre-shared block per shard: workers retain/release and read it
+  // concurrently, stressing refcounts above 1 the way prefix-cache chains
+  // do. Backed by a reservation so used <= reserved holds throughout.
+  std::vector<BlockRef> shared;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    ASSERT_TRUE(pool.try_reserve(s, 1));
+    shared.push_back(pool.allocate(s));
+    stamp(pool, shared.back());
+  }
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRounds = 300;
+  std::atomic<bool> failed{false};
+  std::atomic<bool> stop_observer{false};
+
+  const auto worker = [&](std::size_t tid) {
+    std::mt19937 rng(static_cast<std::mt19937::result_type>(tid) + 1);
+    std::uniform_int_distribution<std::size_t> shard_dist(0, kShards - 1);
+    std::uniform_int_distribution<std::size_t> claim_dist(1, 3);
+    for (std::size_t round = 0; round < kRounds && !failed; ++round) {
+      const std::size_t s = shard_dist(rng);
+      const std::size_t claim = claim_dist(rng);
+      if (!pool.try_reserve(s, claim)) continue;  // shard contended: skip
+      std::vector<BlockRef> mine;
+      for (std::size_t i = 0; i < claim; ++i) {
+        mine.push_back(pool.allocate(s));
+        stamp(pool, mine.back());
+      }
+      // Refcount churn on an owned block and on the shared one.
+      pool.retain(mine.front());
+      pool.retain(shared[s]);
+      if (!verify_stamp(pool, shared[s])) failed = true;
+      pool.release(shared[s]);
+      pool.release(mine.front());
+      // Nobody else may have written our blocks: aliasing (a block handed
+      // to two owners) or a mis-published slab shows up here.
+      for (const BlockRef ref : mine) {
+        if (!verify_stamp(pool, ref)) failed = true;
+      }
+      for (const BlockRef ref : mine) pool.release(ref);
+      pool.unreserve(s, claim);
+    }
+  };
+
+  // Stats observer: every consistent snapshot must satisfy the accounting
+  // invariant; allocate/release never run outside a reservation here.
+  const auto observer = [&] {
+    while (!stop_observer) {
+      for (std::size_t s = 0; s < kShards; ++s) {
+        const ShardStats st = pool.shard_stats(s);
+        if (st.used_blocks > st.reserved_blocks ||
+            st.reserved_blocks > st.capacity_blocks) {
+          failed = true;
+        }
+      }
+      const PoolStats total = pool.stats();
+      if (total.used_blocks > total.reserved_blocks) failed = true;
+      std::this_thread::yield();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  threads.emplace_back(observer);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back(worker, t);
+  }
+  for (std::size_t t = 1; t < threads.size(); ++t) threads[t].join();
+  stop_observer = true;
+  threads.front().join();
+
+  EXPECT_FALSE(failed) << "invariant violated or payload corrupted";
+
+  // The shared chains survived the churn intact at refcount 1.
+  for (std::size_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(pool.refcount(shared[s]), 1u);
+    EXPECT_TRUE(verify_stamp(pool, shared[s]));
+    pool.release(shared[s]);
+    pool.unreserve(s, 1);
+  }
+
+  // Empty pool: every block returned, every claim released, peaks sane.
+  const PoolStats st = pool.stats();
+  EXPECT_EQ(st.used_blocks, 0u);
+  EXPECT_EQ(st.reserved_blocks, 0u);
+  EXPECT_LE(st.peak_used_blocks, st.peak_reserved_blocks);
+  EXPECT_LE(st.peak_reserved_blocks, kShards * kBlocksPerShard);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const ShardStats ss = pool.shard_stats(s);
+    EXPECT_EQ(ss.used_blocks, 0u);
+    EXPECT_EQ(ss.reserved_blocks, 0u);
+    EXPECT_LE(ss.allocated_blocks, ss.capacity_blocks);
+  }
+
+  // Emptied means reusable: a full-capacity sweep still succeeds.
+  std::vector<BlockRef> sweep;
+  ASSERT_TRUE(pool.try_reserve(0, kBlocksPerShard));
+  for (std::size_t i = 0; i < kBlocksPerShard; ++i) {
+    sweep.push_back(pool.allocate(0));
+  }
+  for (const BlockRef ref : sweep) pool.release(ref);
+  pool.unreserve(0, kBlocksPerShard);
+}
+
+// Unbounded shards grow by slabs while readers touch already-published
+// payloads: the acquire/release slab-directory handshake under fire.
+TEST(BlockPoolStress, ConcurrentSlabGrowthKeepsPublishedPayloadsStable) {
+  BlockPoolConfig cfg = stress_config();
+  cfg.n_shards = 1;
+  cfg.blocks_per_shard = 0;  // unbounded: every carve goes through a slab
+  BlockPool pool(cfg);
+
+  constexpr std::size_t kThreads = 6;
+  constexpr std::size_t kPerThread = 100;  // > kBlocksPerSlab total: grows
+  std::atomic<bool> failed{false};
+
+  const auto worker = [&](std::size_t tid) {
+    std::mt19937 rng(static_cast<std::mt19937::result_type>(tid) + 101);
+    std::uniform_int_distribution<int> coin(0, 3);
+    std::vector<BlockRef> mine;
+    for (std::size_t i = 0; i < kPerThread && !failed; ++i) {
+      mine.push_back(pool.allocate(0));
+      stamp(pool, mine.back());
+      // Re-read a random earlier block: its slab may have been published
+      // long ago or by another thread a moment ago.
+      const std::size_t pick = rng() % mine.size();
+      if (!verify_stamp(pool, mine[pick])) failed = true;
+      if (coin(rng) == 0 && mine.size() > 1) {
+        pool.release(mine.back());
+        mine.pop_back();
+      }
+    }
+    for (const BlockRef ref : mine) pool.release(ref);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) threads.emplace_back(worker, t);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_FALSE(failed) << "payload corrupted across slab growth";
+  EXPECT_EQ(pool.stats().used_blocks, 0u);
+  EXPECT_GT(pool.stats().allocated_blocks, 64u);  // really grew past 1 slab
+}
+
+}  // namespace
+}  // namespace kf::mem

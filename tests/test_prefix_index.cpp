@@ -71,7 +71,7 @@ TEST(PrefixIndex, InsertSharesTheLiveChainWithoutCopying) {
   ASSERT_NE(entry, nullptr);
   EXPECT_EQ(entry->tokens(), 8u);
   EXPECT_EQ(entry->blocks_per_layer(), 2u);
-  EXPECT_TRUE(entry->resident_on(0));
+  EXPECT_TRUE(index.resident_on(entry, 0));
   // Shared, not copied: physical used stays at the state's own blocks,
   // each now refcounted by the index too; the index reserved its share.
   EXPECT_EQ(pool.stats().used_blocks, kLayers * 2);
@@ -159,11 +159,11 @@ TEST(PrefixIndex, AdoptReplicatesAcrossShards) {
   auto donor = fill_state(pool, 0, run);
   const PrefixEntry* entry = index.insert(run, donor, {});
   ASSERT_NE(entry, nullptr);
-  EXPECT_FALSE(entry->resident_on(1));
+  EXPECT_FALSE(index.resident_on(entry, 1));
 
   kv::SequenceKvState reader(pool, 1, kLayers);
   ASSERT_TRUE(index.adopt(entry, reader));
-  EXPECT_TRUE(entry->resident_on(1));
+  EXPECT_TRUE(index.resident_on(entry, 1));
   EXPECT_EQ(index.stats().replications, 1u);
   // The replica is a real copy on shard 1, reserved there.
   EXPECT_EQ(pool.shard_stats(1).used_blocks, kLayers * 2);
