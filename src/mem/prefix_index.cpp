@@ -217,6 +217,13 @@ void PrefixIndex::drop(const PrefixEntry* entry) {
   drop_locked(entry);
 }
 
+bool PrefixIndex::try_drop(const PrefixEntry* entry) {
+  const LockGuard lock(mu_);
+  if (find_rec_locked(entry).pins > 0) return false;
+  drop_locked(entry);
+  return true;
+}
+
 void PrefixIndex::clear() {
   const LockGuard lock(mu_);
   std::vector<const PrefixEntry*> victims;

@@ -47,6 +47,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <span>
 #include <vector>
@@ -180,13 +181,19 @@ class PrefixIndex {
   /// must be unpinned.
   void drop(const PrefixEntry* entry) KF_EXCLUDES(mu_);
 
+  /// drop() iff the entry is unpinned, with the pin check and the drop
+  /// under ONE mutex acquisition — no window for a concurrent pin to land
+  /// between them (a separate pins()-then-drop() has exactly that race).
+  /// True when the entry was dropped.
+  bool try_drop(const PrefixEntry* entry) KF_EXCLUDES(mu_);
+
   /// Drops every unpinned entry (tests and servers rotating workloads).
   void clear() KF_EXCLUDES(mu_);
 
  private:
   /// Index bookkeeping of one entry — the mutable half of the split: the
   /// PrefixEntry payload is immutable and lock-free readable, the record
-  /// is guarded by mu_ like the vector holding it.
+  /// is guarded by mu_ like the list holding it.
   struct EntryRec {
     std::unique_ptr<PrefixEntry> entry;
     /// chains[shard][layer] — block chain replica on that shard; outer
@@ -218,7 +225,11 @@ class PrefixIndex {
   /// Guards every mutable member below; acquired before any BlockPool
   /// shard mutex, never the other way around.
   mutable Mutex mu_;
-  std::vector<EntryRec> entries_ KF_GUARDED_BY(mu_);
+  /// A list, not a vector, on purpose: adopt()/replicate_locked() hold an
+  /// EntryRec& across make_room_locked(), whose LRU trim erases *other*
+  /// records. List erasure leaves surviving records address-stable; a
+  /// vector would shift them and leave the held reference dangling.
+  std::list<EntryRec> entries_ KF_GUARDED_BY(mu_);
   std::size_t blocks_held_ KF_GUARDED_BY(mu_) = 0;
   std::uint64_t tick_ KF_GUARDED_BY(mu_) = 0;
   std::uint64_t revision_ KF_GUARDED_BY(mu_) = 0;

@@ -349,11 +349,11 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
           seq->prefix_blocks_per_layer = 0;
         }
       }
-      // Pinned outside our control.
-      if (prefix_index_->pins(victim) > 0) return false;
     }
-    prefix_index_->drop(victim);
-    return true;
+    // try_drop keeps the pin check and the drop under one index-mutex
+    // acquisition: a pin landing in between (ours above are cleared, but
+    // external pinners exist) makes this a clean false, never a throw.
+    return prefix_index_->try_drop(victim);
   };
   while (finished < seqs.size()) {
     // Idle engine: jump the clock to the next arrival.
@@ -463,6 +463,10 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
     const double dt = now_seconds() - t0;
     stats.decode_seconds += dt;
     ++stats.steps;
+    // Keep stats() live mid-run: one snapshot per decode step is the
+    // granularity an async front-end polls at (per-token would publish
+    // the same struct under the same lock anyway).
+    publish_stats(stats);
     for (Sequence* seq : active) {
       seq->decode_seconds += dt;
       if (seq->finished()) {

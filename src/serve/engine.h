@@ -128,9 +128,10 @@ class Engine {
 
   const EngineConfig& config() const noexcept { return cfg_; }
   /// Snapshot of the most recent run()'s counters. run() accumulates
-  /// into run-local state and publishes under the stats mutex (at start
-  /// and finish), so this is safe to call from any thread — the
-  /// monitoring hook the async front-end will poll mid-run.
+  /// into run-local state and publishes under the stats mutex — at start,
+  /// after every decode step, and at finish — so this is safe to call
+  /// from any thread and tracks a run in flight at decode-step
+  /// granularity: the monitoring hook the async front-end will poll.
   EngineStats stats() const KF_EXCLUDES(stats_mu_);
   /// The engine-owned block pool; null unless cfg.paged.enabled. Between
   /// run() calls the only blocks off the free lists are the prefix

@@ -235,6 +235,68 @@ TEST(PrefixIndex, ReplicationUnderTightBudgetNeverDropsTheSourceEntry) {
   EXPECT_EQ(local.layer(0).key_row(3), donor.layer(0).key_row(3));
 }
 
+TEST(PrefixIndex, AdoptReplicationTrimKeepsSurvivingRecordsStable) {
+  // Regression: adopt() holds the adoptee's EntryRec across
+  // replicate_locked() -> make_room_locked(), which erases the LRU victim
+  // from the entry container. When entries lived in a std::vector, erasing
+  // a victim inserted *earlier* than the adoptee shifted the vector and
+  // left the held reference dangling — the post-replication pin decrement
+  // and chain read then touched the wrong record (pins(B) stuck at 1
+  // below, chains corrupted). Records must stay address-stable across
+  // trims of other entries.
+  BlockPool pool(pool_config(/*shards=*/2, /*blocks_per_shard=*/16));
+  // Budget fits exactly two 2-block-per-layer chains: A plus B, no replica.
+  PrefixIndex index(pool, index_config(/*max_blocks=*/2 * kLayers * 2));
+  const auto run_a = make_run(8, 0);
+  const auto run_b = make_run(8, 100);
+  auto state_a = fill_state(pool, 0, run_a);
+  auto state_b = fill_state(pool, 0, run_b);
+  const PrefixEntry* a = index.insert(run_a, state_a, {});
+  const PrefixEntry* b = index.insert(run_b, state_b, {});
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);  // b is newer, so a is the LRU victim
+
+  // Replicating b onto shard 1 needs 4 blocks over budget: make_room
+  // drops a (the earlier-inserted record) mid-adopt.
+  kv::SequenceKvState reader(pool, 1, kLayers);
+  ASSERT_TRUE(index.adopt(b, reader));
+  EXPECT_EQ(index.stats().entries, 1u);
+  EXPECT_EQ(index.stats().trims, 1u);
+  EXPECT_TRUE(index.resident_on(b, 1));
+  // The adopt-internal pin was taken and released on the SAME record.
+  EXPECT_EQ(index.pins(b), 0u);
+  // The adopted rows came from b's chain, untouched by the trim.
+  for (std::size_t l = 0; l < kLayers; ++l) {
+    ASSERT_EQ(reader.layer(l).size(), 8u);
+    for (std::size_t t = 0; t < 8; ++t) {
+      EXPECT_EQ(reader.layer(l).key_row(t), state_b.layer(l).key_row(t));
+    }
+  }
+  // b's bookkeeping is intact: recency, lookup, and a clean drop.
+  EXPECT_EQ(index.lookup(run_b, run_b.size()), b);
+  EXPECT_EQ(index.lookup(run_a, run_a.size()), nullptr);
+  reader.clear();
+  EXPECT_NO_THROW(index.drop(b));
+  EXPECT_EQ(index.blocks_held(), 0u);
+  EXPECT_EQ(pool.stats().reserved_blocks, 0u);
+}
+
+TEST(PrefixIndex, TryDropIsAtomicOnPinState) {
+  BlockPool pool(pool_config());
+  PrefixIndex index(pool, index_config());
+  const auto run = make_run(8);
+  auto state = fill_state(pool, 0, run);
+  const PrefixEntry* entry = index.insert(run, state, {});
+  ASSERT_NE(entry, nullptr);
+  index.pin(entry);
+  EXPECT_FALSE(index.try_drop(entry));  // pinned: refused, never throws
+  EXPECT_EQ(index.stats().entries, 1u);
+  index.unpin(entry);
+  EXPECT_TRUE(index.try_drop(entry));
+  EXPECT_EQ(index.stats().entries, 0u);
+  EXPECT_EQ(index.blocks_held(), 0u);
+}
+
 TEST(PrefixIndex, RevisionMovesOnInsertAndDrop) {
   BlockPool pool(pool_config());
   PrefixIndex index(pool, index_config());
