@@ -203,8 +203,12 @@ int main(int argc, char** argv) {
            Table::num(static_cast<long long>(r.arrival_step)),
            Table::num(static_cast<long long>(r.first_decode_step)),
            Table::num(static_cast<long long>(r.finish_step)),
-           Table::num(
-               static_cast<long long>(r.first_decode_step - r.arrival_step)),
+           // Rejected/timed-out requests may never reach decode; clamp so
+           // the ledger doesn't print a negative queue time.
+           Table::num(static_cast<long long>(
+               r.first_decode_step > r.arrival_step
+                   ? r.first_decode_step - r.arrival_step
+                   : 0)),
            Table::num(1e3 * r.prefill_seconds, 2),
            Table::num(1e3 * r.decode_seconds, 2),
            Table::num(r.decode_tokens_per_s(), 1),
@@ -212,8 +216,38 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
 
+  // Per-finish-reason summary: under deadlines, faults, or preemption
+  // pressure not every request ends in kLength, and this line is where
+  // the split shows up.
+  std::size_t n_length = 0;
+  std::size_t n_eos = 0;
+  std::size_t n_rejected = 0;
+  std::size_t n_timeout = 0;
+  for (const auto& r : responses) {
+    switch (r.finish) {
+      case serve::FinishReason::kLength: ++n_length; break;
+      case serve::FinishReason::kEos: ++n_eos; break;
+      case serve::FinishReason::kRejected: ++n_rejected; break;
+      case serve::FinishReason::kTimeout: ++n_timeout; break;
+      case serve::FinishReason::kRunning: break;  // impossible post-run
+    }
+  }
+  std::cout << "\nfinish reasons: " << n_length << " length, " << n_eos
+            << " eos, " << n_rejected << " rejected, " << n_timeout
+            << " timeout\n";
+
   const auto& st = engine.stats();
-  std::cout << "\nengine: " << st.steps << " decode steps, peak batch "
+  if (st.preemptions + st.timeouts + st.rejections + st.reservation_retries +
+          st.alloc_failures >
+      0) {
+    std::cout << "robustness: " << st.preemptions << " preemption(s) ("
+              << st.resume_replayed_tokens << " tokens replayed on resume), "
+              << st.timeouts << " timeout(s), " << st.rejections
+              << " rejection(s), " << st.reservation_retries
+              << " reservation retry(ies), " << st.alloc_failures
+              << " emergency alloc fallback(s)\n";
+  }
+  std::cout << "engine: " << st.steps << " decode steps, peak batch "
             << st.max_batch << ", peak KV in use " << st.max_tokens_in_use
             << " tokens, aggregate decode throughput "
             << Table::num(st.decode_tokens_per_s(), 1) << " tok/s\n";

@@ -13,7 +13,12 @@ Checks (each failure lists file and reason; exit code 1 on any):
      return values and stderr, stdout belongs to the binaries;
   4. no thread-safety-analysis suppressions (KF_NO_THREAD_SAFETY_ANALYSIS)
      in src/mem, src/serve, or src/core -- the annotated subsystems stay
-     fully analyzed; a suppression is a finding, not a fix.
+     fully analyzed; a suppression is a finding, not a fix;
+  5. no `throw` inside the engine's per-request paths (Engine::run,
+     Engine::start_sequence, BatchScheduler::admit) -- run() promises a
+     definite finish reason for every request, and a throw in a
+     ThreadPool::parallel_for worker is std::terminate, so per-request
+     failures must be contained (kRejected/kTimeout/park), never thrown.
 """
 
 from __future__ import annotations
@@ -89,12 +94,72 @@ def check_no_tsa_suppressions() -> list[str]:
     return errors
 
 
+def _strip_comments(text: str) -> str:
+    """Removes // and /* */ comments (keeps newlines for line numbers)."""
+    text = re.sub(r"//[^\n]*", "", text)
+    return re.sub(
+        r"/\*.*?\*/", lambda m: "\n" * m.group(0).count("\n"), text,
+        flags=re.S,
+    )
+
+
+def _function_body(text: str, signature_re: str) -> tuple[int, str] | None:
+    """Extracts the brace-matched body of the first definition matching
+    `signature_re`, returning (first line number, body) or None."""
+    match = re.search(signature_re, text)
+    if match is None:
+        return None
+    open_brace = text.find("{", match.end())
+    if open_brace < 0:
+        return None
+    depth = 0
+    for i in range(open_brace, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return (
+                    text.count("\n", 0, open_brace) + 1,
+                    text[open_brace : i + 1],
+                )
+    return None
+
+
+def check_no_throw_in_request_paths() -> list[str]:
+    """Engine::run's per-request paths contain no `throw` statement."""
+    targets = [
+        ("src/serve/engine.cpp", r"std::vector<Response>\s+Engine::run\b"),
+        ("src/serve/engine.cpp", r"void\s+Engine::start_sequence\b"),
+        ("src/serve/scheduler.cpp",
+         r"std::vector<Sequence\*>\s+BatchScheduler::admit\b"),
+    ]
+    errors = []
+    for rel, signature in targets:
+        text = _strip_comments((REPO / rel).read_text())
+        extracted = _function_body(text, signature)
+        if extracted is None:
+            errors.append(f"{rel}: definition matching {signature!r} not "
+                          "found (lint check out of date?)")
+            continue
+        start_line, body = extracted
+        for offset, line in enumerate(body.splitlines()):
+            if re.search(r"\bthrow\b", line):
+                errors.append(
+                    f"{rel}:{start_line + offset}: `throw` inside a "
+                    "per-request engine path (contain as kRejected/"
+                    "kTimeout instead; run() must not throw)"
+                )
+    return errors
+
+
 def main() -> int:
     checks = [
         ("test registration", check_test_registration),
         ("include guards", check_include_guards),
         ("no std::cout in src/", check_no_cout_in_library),
         ("no TSA suppressions", check_no_tsa_suppressions),
+        ("no throw in request paths", check_no_throw_in_request_paths),
     ]
     failed = False
     for name, check in checks:

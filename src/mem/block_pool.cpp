@@ -52,23 +52,14 @@ float* BlockPool::block_base(BlockRef ref) const noexcept {
   return base + offset * block_floats_;
 }
 
-void BlockPool::carve_slab_locked(Shard& sh, std::size_t shard_index) {
+bool BlockPool::carve_slab_locked(Shard& sh) {
   // Carve a fresh slab — unless the shard is at capacity or the
   // directory (the unbounded mode's implementation limit) is full.
   if (cfg_.blocks_per_shard > 0 && sh.created >= cfg_.blocks_per_shard) {
-    throw std::runtime_error(
-        "BlockPool: shard " + std::to_string(shard_index) +
-        " exhausted (" + std::to_string(cfg_.blocks_per_shard) +
-        " blocks, used " + std::to_string(sh.used) + ", reserved " +
-        std::to_string(sh.reserved) +
-        "); admission reservations should have prevented this");
+    return false;
   }
   const std::size_t slab = sh.created / kBlocksPerSlab;
-  if (slab >= sh.slab_slots) {
-    throw std::runtime_error(
-        "BlockPool: shard slab directory full; raise blocks_per_shard "
-        "or shard count");
-  }
+  if (slab >= sh.slab_slots) return false;
   assert(sh.created % kBlocksPerSlab == 0);
   sh.slabs[slab] = std::make_unique<float[]>(kBlocksPerSlab * block_floats_);
   sh.slab_bases[slab].store(sh.slabs[slab].get(), std::memory_order_release);
@@ -81,17 +72,33 @@ void BlockPool::carve_slab_locked(Shard& sh, std::size_t shard_index) {
     sh.free_list.push_back(static_cast<std::uint32_t>(sh.created + i - 1));
   }
   sh.created += batch;
+  return true;
 }
 
 BlockRef BlockPool::allocate(std::size_t shard) {
+  const auto ref = try_allocate(shard);
+  if (!ref.has_value()) {
+    const ShardStats st = shard_stats(shard);
+    throw std::runtime_error(
+        "BlockPool: shard " + std::to_string(shard) + " exhausted (" +
+        std::to_string(cfg_.blocks_per_shard) + " blocks, used " +
+        std::to_string(st.used_blocks) + ", reserved " +
+        std::to_string(st.reserved_blocks) +
+        "); admission reservations should have prevented this");
+  }
+  return *ref;
+}
+
+std::optional<BlockRef> BlockPool::try_allocate(std::size_t shard) {
   if (shard >= shards_.size()) {
     throw std::invalid_argument("BlockPool::allocate: shard out of range");
   }
   Shard& sh = *shards_[shard];
   const LockGuard lock(sh.mu);
-  if (sh.free_list.empty()) {
-    carve_slab_locked(sh, shard);
+  if (auto* injector = injector_.load(std::memory_order_acquire)) {
+    if (injector->should_fail(FaultOp::kAllocate, shard)) return std::nullopt;
   }
+  if (sh.free_list.empty() && !carve_slab_locked(sh)) return std::nullopt;
   const std::uint32_t id = sh.free_list.back();
   sh.free_list.pop_back();
   if (sh.live.size() < sh.created) {
@@ -164,6 +171,9 @@ bool BlockPool::try_reserve(std::size_t shard, std::size_t blocks) {
   if (cfg_.blocks_per_shard > 0 &&
       sh.reserved + blocks > cfg_.blocks_per_shard) {
     return false;
+  }
+  if (auto* injector = injector_.load(std::memory_order_acquire)) {
+    if (injector->should_fail(FaultOp::kReserve, shard)) return false;
   }
   sh.reserved += blocks;
   if (sh.reserved > sh.peak_reserved) sh.peak_reserved = sh.reserved;

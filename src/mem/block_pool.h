@@ -42,6 +42,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/annotations.h"
@@ -65,6 +66,25 @@ struct BlockPoolConfig {
 struct BlockRef {
   std::uint32_t shard = 0;
   std::uint32_t id = 0;
+};
+
+/// Which pool operation a fault-injection decision is gating.
+enum class FaultOp {
+  kReserve,   ///< try_reserve: an admission claim
+  kAllocate,  ///< try_allocate: handing out a physical block
+};
+
+/// Failure-injection hook for chaos testing: when installed on a pool,
+/// should_fail() is consulted on the success path of try_reserve and
+/// try_allocate, and a true verdict makes the operation report failure
+/// without touching pool state. Implementations must be thread-safe —
+/// the pool calls them under a shard mutex from concurrently appending
+/// sequences — and should be seeded/deterministic so chaos runs replay
+/// (see serve::SeededFaultInjector).
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  virtual bool should_fail(FaultOp op, std::size_t shard) = 0;
 };
 
 /// Point-in-time counters for one shard.
@@ -115,6 +135,12 @@ class BlockPool {
   /// scheduler reservations this never fires.
   BlockRef allocate(std::size_t shard);
 
+  /// Non-throwing allocate: nullopt when the shard is exhausted or the
+  /// installed fault injector vetoes the allocation. The variant callers
+  /// on no-throw paths (appends inside the parallel decode step, where an
+  /// escaping exception would terminate the process) must use.
+  std::optional<BlockRef> try_allocate(std::size_t shard);
+
   /// Adds a reference to a live block (a new reader of a shared chain).
   void retain(BlockRef ref);
 
@@ -151,6 +177,13 @@ class BlockPool {
   /// Resets peak_used/peak_reserved to current levels (start of a run).
   void reset_peaks();
 
+  /// Installs (nullptr: clears) the fault injector consulted by
+  /// try_reserve/try_allocate. The injector must outlive its installation;
+  /// atomic, so it can be swapped while sequences run.
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    injector_.store(injector, std::memory_order_release);
+  }
+
  private:
   /// Blocks per arena slab: small enough that an unbounded shard does not
   /// over-commit, large enough that slab allocation stays off the hot path.
@@ -186,10 +219,9 @@ class BlockPool {
   };
 
   /// Carves the next slab arena out of `sh` and pushes its blocks onto
-  /// the free list. Throws when the shard is at capacity or the slab
-  /// directory is full.
-  void carve_slab_locked(Shard& sh, std::size_t shard_index)
-      KF_REQUIRES(sh.mu);
+  /// the free list. False when the shard is at capacity or the slab
+  /// directory is full (the shard is exhausted).
+  bool carve_slab_locked(Shard& sh) KF_REQUIRES(sh.mu);
 
   float* block_base(BlockRef ref) const noexcept;
   /// CAS-max of `peak` against `value` (pool-wide peaks are updated
@@ -205,6 +237,9 @@ class BlockPool {
   std::atomic<std::size_t> total_reserved_{0};
   std::atomic<std::size_t> peak_total_used_{0};
   std::atomic<std::size_t> peak_total_reserved_{0};
+  /// Chaos hook; null in production. Read with acquire on the reserve/
+  /// allocate paths, swapped with release by set_fault_injector.
+  std::atomic<FaultInjector*> injector_{nullptr};
 };
 
 }  // namespace kf::mem

@@ -16,7 +16,43 @@ PagedKvCache::PagedKvCache(BlockPool& pool, std::size_t shard)
 }
 
 PagedKvCache::~PagedKvCache() {
-  for (const BlockRef ref : blocks_) pool_.release(ref);
+  for (const BlockRef ref : blocks_) release_ref(ref);
+}
+
+BlockRef PagedKvCache::new_block() {
+  if (const auto ref = pool_.try_allocate(shard_)) return *ref;
+  // Pool refusal (exhaustion or injected fault): fall back to a private
+  // heap block so the in-flight decode step completes with exact rows,
+  // and latch the failure for the engine's next-step-boundary check.
+  ++alloc_failures_;
+  emergency_.push_back(
+      std::make_unique<float[]>(2 * pool_.section_floats()));
+  return BlockRef{kEmergencyShard,
+                  static_cast<std::uint32_t>(emergency_.size() - 1)};
+}
+
+void PagedKvCache::release_ref(BlockRef ref) {
+  if (is_emergency(ref)) {
+    emergency_[ref.id].reset();
+    return;
+  }
+  pool_.release(ref);
+}
+
+float* PagedKvCache::keys_of(BlockRef ref, std::size_t head) const {
+  if (is_emergency(ref)) {
+    return emergency_[ref.id].get() +
+           head * pool_.block_tokens() * d_head();
+  }
+  return pool_.keys(ref, head);
+}
+
+float* PagedKvCache::values_of(BlockRef ref, std::size_t head) const {
+  if (is_emergency(ref)) {
+    return emergency_[ref.id].get() + pool_.section_floats() +
+           head * pool_.block_tokens() * d_head();
+  }
+  return pool_.values(ref, head);
 }
 
 void PagedKvCache::adopt_prefix(std::span<const BlockRef> chain,
@@ -58,11 +94,11 @@ void PagedKvCache::cow_block(std::size_t chain_idx) {
   // The prefix index (and every other reader) holds its own reference, so
   // refcount 1 means this cache became the sole owner — write in place.
   if (pool_.refcount(old) > 1) {
-    const BlockRef fresh = pool_.allocate(shard_);
+    const BlockRef fresh = new_block();
     const std::size_t section = pool_.block_tokens() * d_head();
     for (std::size_t h = 0; h < n_heads(); ++h) {
-      std::copy_n(pool_.keys(old, h), section, pool_.keys(fresh, h));
-      std::copy_n(pool_.values(old, h), section, pool_.values(fresh, h));
+      std::copy_n(keys_of(old, h), section, keys_of(fresh, h));
+      std::copy_n(values_of(old, h), section, values_of(fresh, h));
     }
     pool_.release(old);
     blocks_[chain_idx] = fresh;
@@ -77,7 +113,7 @@ void PagedKvCache::append_rows(std::span<const float> k_row,
   const std::size_t t = size();  // metadata not pushed yet: t is our index
   const std::size_t slot = t % bt;
   if (slot == 0) {
-    blocks_.push_back(pool_.allocate(shard_));
+    blocks_.push_back(new_block());
     shared_.push_back(false);
   } else if (shared_.back()) {
     // A partially filled shared tail (left by a compact that kept a prefix
@@ -88,9 +124,9 @@ void PagedKvCache::append_rows(std::span<const float> k_row,
   const BlockRef ref = blocks_.back();
   for (std::size_t h = 0; h < n_heads(); ++h) {
     std::copy_n(k_row.data() + h * d_head(), d_head(),
-                pool_.keys(ref, h) + slot * d_head());
+                keys_of(ref, h) + slot * d_head());
     std::copy_n(v_row.data() + h * d_head(), d_head(),
-                pool_.values(ref, h) + slot * d_head());
+                values_of(ref, h) + slot * d_head());
   }
 }
 
@@ -98,7 +134,7 @@ std::span<const float> PagedKvCache::key_head(std::size_t idx,
                                               std::size_t head) const {
   assert(idx < size() && head < n_heads());
   const std::size_t bt = pool_.block_tokens();
-  return {pool_.keys(blocks_[idx / bt], head) + (idx % bt) * d_head(),
+  return {keys_of(blocks_[idx / bt], head) + (idx % bt) * d_head(),
           d_head()};
 }
 
@@ -106,7 +142,7 @@ std::span<const float> PagedKvCache::value_head(std::size_t idx,
                                                 std::size_t head) const {
   assert(idx < size() && head < n_heads());
   const std::size_t bt = pool_.block_tokens();
-  return {pool_.values(blocks_[idx / bt], head) + (idx % bt) * d_head(),
+  return {values_of(blocks_[idx / bt], head) + (idx % bt) * d_head(),
           d_head()};
 }
 
@@ -114,8 +150,8 @@ kv::KvSegment PagedKvCache::segment(std::size_t head, std::size_t s) const {
   assert(head < n_heads() && s < blocks_.size());
   const std::size_t bt = pool_.block_tokens();
   kv::KvSegment seg;
-  seg.keys = pool_.keys(blocks_[s], head);
-  seg.values = pool_.values(blocks_[s], head);
+  seg.keys = keys_of(blocks_[s], head);
+  seg.values = values_of(blocks_[s], head);
   seg.first = s * bt;
   seg.count = std::min(bt, size() - seg.first);
   return seg;
@@ -143,10 +179,10 @@ void PagedKvCache::compact_rows(std::span<const std::size_t> keep) {
       const std::size_t s_off = (idx % bt) * d_head();
       const std::size_t d_off = (out % bt) * d_head();
       for (std::size_t h = 0; h < n_heads(); ++h) {
-        std::copy_n(pool_.keys(src, h) + s_off, d_head(),
-                    pool_.keys(dst, h) + d_off);
-        std::copy_n(pool_.values(src, h) + s_off, d_head(),
-                    pool_.values(dst, h) + d_off);
+        std::copy_n(keys_of(src, h) + s_off, d_head(),
+                    keys_of(dst, h) + d_off);
+        std::copy_n(values_of(src, h) + s_off, d_head(),
+                    values_of(dst, h) + d_off);
       }
     }
     ++out;
@@ -160,7 +196,7 @@ void PagedKvCache::free_blocks_beyond(std::size_t live_tokens) {
   const std::size_t bt = pool_.block_tokens();
   const std::size_t live_blocks = (live_tokens + bt - 1) / bt;
   while (blocks_.size() > live_blocks) {
-    pool_.release(blocks_.back());
+    release_ref(blocks_.back());
     blocks_.pop_back();
     shared_.pop_back();
   }

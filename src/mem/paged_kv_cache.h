@@ -15,6 +15,17 @@
 // reservations can hand it to another sequence — the mechanism that turns
 // Keyformer's discarded tokens into serving capacity.
 //
+// No-throw growth: append_rows and the copy-on-write path run inside the
+// batched decode step's parallel_for workers, where an escaping exception
+// would take the whole process down — so block acquisition never throws.
+// When the pool cannot hand out a block (shard exhausted mid-decode, or a
+// chaos-test FaultInjector vetoed it), the cache falls back to a private
+// heap "emergency block" (sentinel shard id, same payload layout) and
+// latches alloc_failed(). The step's numerics stay exact — the rows are
+// real, just not pool-backed — but the sequence is now over its physical
+// budget, so the engine preempts it at the next step boundary and resumes
+// it by recompute once a reservation is granted again.
+//
 // Copy-on-write sharing: adopt_prefix() lets an empty cache take over an
 // immutable block chain (a prompt prefix another sequence already
 // prefilled, handed out by the mem::PrefixIndex) by retaining each block
@@ -28,6 +39,8 @@
 // long as the index or any reader holds it.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "kvcache/kv_cache.h"
@@ -73,6 +86,13 @@ class PagedKvCache final : public kv::KvCache {
   /// Blocks privately copied by the copy-on-write path so far.
   std::size_t cow_copies() const noexcept { return cow_copies_; }
 
+  /// True once any block acquisition fell back to emergency heap memory:
+  /// this cache holds rows the pool never granted, so its sequence must be
+  /// preempted (or retired) rather than keep decoding past the cap.
+  bool alloc_failed() const noexcept { return alloc_failures_ > 0; }
+  /// Emergency fallbacks taken so far.
+  std::size_t alloc_failures() const noexcept { return alloc_failures_; }
+
   std::span<const float> key_head(std::size_t idx,
                                   std::size_t head) const override;
   std::span<const float> value_head(std::size_t idx,
@@ -90,10 +110,25 @@ class PagedKvCache final : public kv::KvCache {
   void clear_rows() override;
 
  private:
+  /// Sentinel BlockRef::shard for emergency heap blocks (never a valid
+  /// pool shard: pools are bounded far below 2^32 shards).
+  static constexpr std::uint32_t kEmergencyShard = 0xffffffffU;
+  static bool is_emergency(BlockRef ref) noexcept {
+    return ref.shard == kEmergencyShard;
+  }
+
   void free_blocks_beyond(std::size_t live_tokens);
   /// Replaces a (possibly) shared chain block with a private copy before a
   /// write; no-op beyond unmarking when this cache is the last reader.
   void cow_block(std::size_t chain_idx);
+  /// A fresh private block: from the pool, or — on failure — an emergency
+  /// heap block (latches alloc_failed). Never throws for capacity.
+  BlockRef new_block();
+  /// Releases one chain block back to where it came from.
+  void release_ref(BlockRef ref);
+  /// Payload access that dispatches on pool vs emergency blocks.
+  float* keys_of(BlockRef ref, std::size_t head) const;
+  float* values_of(BlockRef ref, std::size_t head) const;
 
   BlockPool& pool_;
   std::size_t shard_;
@@ -101,7 +136,12 @@ class PagedKvCache final : public kv::KvCache {
   /// shared_[i]: blocks_[i] was adopted and may still have other readers —
   /// mutations must go through cow_block() first. Parallel to blocks_.
   std::vector<bool> shared_;
+  /// Emergency heap payloads, indexed by the ref id; slots null once
+  /// released. Only this cache ever sees these blocks — they are invisible
+  /// to the pool, the scheduler, and the prefix index.
+  std::vector<std::unique_ptr<float[]>> emergency_;
   std::size_t cow_copies_ = 0;
+  std::size_t alloc_failures_ = 0;
 };
 
 }  // namespace kf::mem

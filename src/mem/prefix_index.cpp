@@ -266,6 +266,10 @@ const PrefixEntry* PrefixIndex::insert(std::span<const PrefixToken> run,
   for (std::size_t l = 0; l < cfg_.n_layers; ++l) {
     auto* paged = dynamic_cast<PagedKvCache*>(&state.layer(l));
     if (paged == nullptr || paged->size() < m) return nullptr;
+    // A donor that fell back to emergency heap blocks holds refs the pool
+    // does not own; indexing such a chain would retain unretainable
+    // blocks. Treat it as uncacheable.
+    if (paged->alloc_failed()) return nullptr;
     if (l == 0) {
       shard = paged->shard();
     } else if (paged->shard() != shard) {
@@ -357,12 +361,25 @@ bool PrefixIndex::replicate_locked(EntryRec& rec, std::size_t shard) {
   for (std::size_t l = 0; l < cfg_.n_layers; ++l) {
     dst[l].reserve(rec.entry->blocks_per_layer());
     for (const BlockRef from : (*src)[l]) {
-      const BlockRef to = pool_.allocate(shard);
-      for (std::size_t h = 0; h < pool_.config().n_heads; ++h) {
-        std::copy_n(pool_.keys(from, h), section, pool_.keys(to, h));
-        std::copy_n(pool_.values(from, h), section, pool_.values(to, h));
+      // Allocation can fail even under a successful reservation (a fault
+      // injector vetoes individual allocations); roll the half-built
+      // replica back and report a clean miss rather than throw out of
+      // adopt() on the engine thread.
+      const auto to = pool_.try_allocate(shard);
+      if (!to.has_value()) {
+        for (auto& layer_chain : dst) {
+          for (const BlockRef ref : layer_chain) pool_.release(ref);
+          layer_chain.clear();
+        }
+        dst.clear();
+        pool_.unreserve(shard, needed);
+        return false;
       }
-      dst[l].push_back(to);
+      for (std::size_t h = 0; h < pool_.config().n_heads; ++h) {
+        std::copy_n(pool_.keys(from, h), section, pool_.keys(*to, h));
+        std::copy_n(pool_.values(from, h), section, pool_.values(*to, h));
+      }
+      dst[l].push_back(*to);
     }
   }
   blocks_held_ += needed;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <unordered_set>
 #include <utility>
 
@@ -97,6 +98,10 @@ void Engine::publish_stats(const EngineStats& stats) {
 
 void Engine::start_sequence(Sequence& seq, std::size_t now_step,
                             EngineStats& stats) {
+  // Re-admission after a preemption: the prompt re-prefills exactly like
+  // the first time (policies reset in begin_sequence and are deterministic
+  // per sequence), then the parked tokens replay below.
+  const bool resume = !seq.tokens.empty();
   seq.policy->set_budget(seq.budget);
   kv::SequenceInfo info;
   info.prompt_len = seq.prompt.size();
@@ -170,10 +175,25 @@ void Engine::start_sequence(Sequence& seq, std::size_t now_step,
     }
   }
 
-  seq.peak_cache_tokens = prompt.size();
-  seq.first_decode_step = now_step;
+  seq.peak_cache_tokens = std::max(seq.peak_cache_tokens, prompt.size());
+  if (!resume) seq.first_decode_step = now_step;
 
-  if (seq.gen.max_new_tokens == 0) {
+  if (resume) {
+    // Replay the committed tokens through the ordinary decode path:
+    // tokens[0] came from the prompt logits (already committed), each
+    // later tokens[i] from feeding tokens[i-1] at decode step i. The
+    // logits are recomputed and discarded — only the KV/score state the
+    // eviction policy built alongside them matters, and this stepwise
+    // replay reproduces it exactly (a prompt-phase prefill over the same
+    // tokens would evict once at the end instead of once per step).
+    for (std::size_t i = 1; i < seq.tokens.size(); ++i) {
+      model_.decode(*seq.kv, seq.tokens[i - 1], seq.prompt.size() + i - 1,
+                    i, seq.gen.max_new_tokens, *seq.policy);
+    }
+    stats.resume_replayed_tokens += seq.tokens.size() - 1;
+    seq.peak_cache_tokens =
+        std::max(seq.peak_cache_tokens, seq.kv->max_layer_tokens());
+  } else if (seq.gen.max_new_tokens == 0) {
     // Nothing to generate: matches generate(), whose loop never runs.
     seq.status = SequenceStatus::kFinished;
     seq.finish = FinishReason::kLength;
@@ -183,9 +203,10 @@ void Engine::start_sequence(Sequence& seq, std::size_t now_step,
         seq.gen.repetition_penalty, seq.gen.banned_tokens);
     seq.commit(first);
   }
-  seq.prefill_seconds = now_seconds() - t0;
+  const double wall = now_seconds() - t0;
+  seq.prefill_seconds += wall;
   stats.prefilled_tokens += computed;
-  stats.prefill_seconds += seq.prefill_seconds;
+  stats.prefill_seconds += wall;
 }
 
 std::vector<Response> Engine::run(std::span<const Request> requests) {
@@ -198,20 +219,30 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
     stats.pool_capacity_blocks = pool_->stats().capacity_blocks;
   }
 
+  // Containment: an invalid request becomes a kRejected Response with an
+  // error string instead of an exception killing the whole batch. The
+  // rejected sequence is finished before it is ever submitted; everything
+  // else proceeds normally.
+  const auto reject = [&stats](Sequence& s, std::string why) {
+    s.status = SequenceStatus::kFinished;
+    s.finish = FinishReason::kRejected;
+    s.error = std::move(why);
+    ++stats.rejections;
+  };
+
   // Materialize sequences (deque: stable addresses for scheduler pointers).
   std::deque<Sequence> seqs;
   for (const Request& req : requests) {
-    if (req.prompt.empty()) {
-      throw std::invalid_argument("serve request requires a non-empty prompt");
-    }
     Sequence s;
     s.id = req.id;
     s.prompt = req.prompt;
     s.gen = req.gen;
     s.arrival_step = req.arrival_step;
+    s.deadline_steps = req.deadline_steps;
+    s.max_queue_steps = req.max_queue_steps;
     s.n_layers = model_.config().n_layers;
-    s.budget = kv::make_budget(s.prompt.size(), s.gen.cache_ratio,
-                               s.gen.recent_ratio);
+    s.budget = kv::make_budget(s.prompt.empty() ? 1 : s.prompt.size(),
+                               s.gen.cache_ratio, s.gen.recent_ratio);
     if (req.policy != nullptr) {
       s.policy = req.policy;
     } else {
@@ -223,18 +254,25 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
     // and a caller-owned instance may be anything.
     s.prefix_eligible = prefix_index_ != nullptr && req.policy == nullptr;
     s.shared_prefix_hint = req.shared_prefix_hint;
+    if (req.prompt.empty()) {
+      reject(s, "serve request requires a non-empty prompt");
+      seqs.push_back(std::move(s));
+      continue;
+    }
     if (req.kv_state != nullptr) {
       if (pool_ != nullptr) {
         // Placement decides the shard at admission; a pre-built external
         // state would bypass the pool's accounting entirely.
-        throw std::invalid_argument(
-            "paged memory mode cannot take external kv_state instances");
+        reject(s, "paged memory mode cannot take external kv_state instances");
+        seqs.push_back(std::move(s));
+        continue;
       }
       if (!req.kv_state->matches(model_.config().n_layers,
                                  model_.config().n_heads,
                                  model_.config().d_head())) {
-        throw std::invalid_argument(
-            "external kv_state geometry does not match the model");
+        reject(s, "external kv_state geometry does not match the model");
+        seqs.push_back(std::move(s));
+        continue;
       }
       s.kv = req.kv_state;
     } else if (pool_ == nullptr) {
@@ -251,27 +289,29 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
     seqs.push_back(std::move(s));
   }
 
-  // Reject shared state up front: two requests on one kv_state (or one
-  // policy instance) would clobber each other's caches/score state, and
-  // step_batch's own distinctness check only fires mid-run when their
-  // lifetimes happen to overlap — long after start_sequence() wiped the
-  // other request's in-flight caches.
+  // Reject shared state up front (first request keeps the instance): two
+  // requests on one kv_state (or one policy instance) would clobber each
+  // other's caches/score state, and step_batch's own distinctness check
+  // only fires mid-run when their lifetimes happen to overlap — long
+  // after start_sequence() wiped the other request's in-flight caches.
   {
     std::unordered_set<const void*> kv_seen;
     std::unordered_set<const void*> policy_seen;
-    for (const Sequence& s : seqs) {
-      if (s.kv != nullptr && !kv_seen.insert(s.kv).second) {
-        throw std::invalid_argument(
-            "serve requests must use distinct kv_state instances");
+    for (Sequence& s : seqs) {
+      if (s.finished()) continue;
+      if (s.kv != nullptr && s.owned_kv == nullptr &&
+          !kv_seen.insert(s.kv).second) {
+        reject(s, "serve requests must use distinct kv_state instances");
+        continue;
       }
-      if (!policy_seen.insert(s.policy).second) {
-        throw std::invalid_argument(
-            "serve requests must use distinct policy instances");
+      if (s.owned_policy == nullptr && !policy_seen.insert(s.policy).second) {
+        reject(s, "serve requests must use distinct policy instances");
       }
     }
   }
 
-  // Submit in arrival order (stable: ties keep request order).
+  // Submit the survivors in arrival order (stable: ties keep request
+  // order); pre-rejected sequences are already finished.
   std::vector<std::size_t> order(seqs.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::stable_sort(order.begin(), order.end(),
@@ -279,9 +319,16 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
                      return seqs[a].arrival_step < seqs[b].arrival_step;
                    });
   BatchScheduler sched(cfg_.scheduler);
-  for (const std::size_t i : order) sched.submit(&seqs[i]);
-
   std::size_t finished = 0;
+  for (const std::size_t i : order) {
+    if (seqs[i].finished()) {
+      ++finished;
+    } else {
+      sched.submit(&seqs[i]);
+    }
+  }
+  publish_stats(stats);
+
   std::size_t step = 0;
   std::vector<model::DecodeSlot> slots;
 
@@ -293,20 +340,37 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
   // the run.
   const auto retire = [&](Sequence& seq) {
     seq.final_cache_sizes.clear();
+    if (seq.kv == nullptr) return;  // never started (queue-time timeout)
     for (std::size_t l = 0; l < seq.kv->n_layers(); ++l) {
       seq.final_cache_sizes.push_back(seq.kv->layer_size(l));
     }
     if (pool_ != nullptr) {
-      if (prefix_index_ != nullptr) {
-        for (std::size_t l = 0; l < seq.kv->n_layers(); ++l) {
-          const auto* paged =
-              dynamic_cast<const mem::PagedKvCache*>(&seq.kv->layer(l));
-          if (paged != nullptr) stats.prefix_cow_copies += paged->cow_copies();
+      for (std::size_t l = 0; l < seq.kv->n_layers(); ++l) {
+        const auto* paged =
+            dynamic_cast<const mem::PagedKvCache*>(&seq.kv->layer(l));
+        if (paged == nullptr) continue;
+        if (prefix_index_ != nullptr) {
+          stats.prefix_cow_copies += paged->cow_copies();
         }
+        stats.alloc_failures += paged->alloc_failures();
       }
       seq.owned_kv.reset();
       seq.kv = nullptr;
     }
+  };
+
+  // Did any layer outgrow its reservation into emergency heap memory?
+  // Latched by the no-throw allocation fallback; checked at every step
+  // boundary (an escaping exception inside the parallel decode workers
+  // is not an option — it would terminate the process).
+  const auto kv_alloc_failed = [this](const Sequence& seq) -> bool {
+    if (pool_ == nullptr || seq.kv == nullptr) return false;
+    for (std::size_t l = 0; l < seq.kv->n_layers(); ++l) {
+      const auto* paged =
+          dynamic_cast<const mem::PagedKvCache*>(&seq.kv->layer(l));
+      if (paged != nullptr && paged->alloc_failed()) return true;
+    }
+    return false;
   };
 
   // Admission-time prefix probe: pin a matching shared chain for every
@@ -355,12 +419,125 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
     // external pinners exist) makes this a clean false, never a throw.
     return prefix_index_->try_drop(victim);
   };
+
+  // Preemption: release everything the sequence holds — paged state torn
+  // down first so its blocks return while the reservation still backs
+  // them, mirroring retire() — but keep its committed tokens and re-queue
+  // it. Re-admission resumes it by recompute (see start_sequence).
+  const auto park = [&](Sequence& seq) {
+    if (pool_ != nullptr && seq.kv != nullptr) {
+      for (std::size_t l = 0; l < seq.kv->n_layers(); ++l) {
+        const auto* paged =
+            dynamic_cast<const mem::PagedKvCache*>(&seq.kv->layer(l));
+        if (paged != nullptr) stats.alloc_failures += paged->alloc_failures();
+      }
+      seq.owned_kv.reset();
+      seq.kv = nullptr;
+    } else if (seq.kv != nullptr) {
+      // Token mode: the arena stays with the sequence (it is re-sized
+      // state, not shared capacity); dropping the rows releases the
+      // abstract budget the scheduler uncharges below.
+      seq.kv->clear();
+    }
+    sched.preempt(&seq, step);
+    ++stats.preemptions;
+  };
+
+  // A sequence whose pool refused it memory mid-flight parks for a resume
+  // under a fresh reservation — unless it already exhausted its preemption
+  // cap, in which case it is contained as kRejected (keeping the tokens
+  // generated so far) rather than thrash forever.
+  const auto park_or_reject = [&](Sequence& seq) {
+    if (cfg_.preempt.max_per_sequence > 0 &&
+        seq.preemptions >= cfg_.preempt.max_per_sequence) {
+      seq.status = SequenceStatus::kFinished;
+      seq.finish = FinishReason::kRejected;
+      seq.error = "KV block allocation kept failing after " +
+                  std::to_string(seq.preemptions) + " preemptions";
+      seq.finish_step = step;
+      retire(seq);
+      sched.release(&seq);
+      ++finished;
+      ++stats.rejections;
+      return;
+    }
+    park(seq);
+  };
+
+  // Deadline enforcement in the engine's virtual clock: shed expired
+  // sequences — waiting ones that overstayed deadline_steps or
+  // max_queue_steps, active ones past deadline_steps (they keep their
+  // generated-so-far tokens) — so a stuck queue frees budget instead of
+  // growing.
+  const auto past_deadline = [&](const Sequence& seq) {
+    return seq.deadline_steps > 0 &&
+           step >= seq.arrival_step + seq.deadline_steps;
+  };
+  const auto shed_timeouts = [&]() {
+    const std::vector<Sequence*> waiting(sched.waiting().begin(),
+                                         sched.waiting().end());
+    for (Sequence* seq : waiting) {
+      const bool wait_exceeded =
+          seq->max_queue_steps > 0 && step >= seq->queue_enter_step &&
+          step - seq->queue_enter_step >= seq->max_queue_steps;
+      if (!past_deadline(*seq) && !wait_exceeded) continue;
+      sched.remove_waiting(seq);
+      if (seq->prefix_entry != nullptr) {
+        prefix_index_->unpin(seq->prefix_entry);
+        seq->prefix_entry = nullptr;
+        seq->prefix_blocks_per_layer = 0;
+      }
+      seq->status = SequenceStatus::kFinished;
+      seq->finish = FinishReason::kTimeout;
+      seq->error = past_deadline(*seq)
+                       ? "deadline_steps expired while queued"
+                       : "queue wait exceeded max_queue_steps";
+      seq->finish_step = step;
+      ++finished;
+      ++stats.timeouts;
+    }
+    const std::vector<Sequence*> active(sched.active().begin(),
+                                        sched.active().end());
+    for (Sequence* seq : active) {
+      if (!past_deadline(*seq)) continue;
+      seq->status = SequenceStatus::kFinished;
+      seq->finish = FinishReason::kTimeout;
+      seq->error = "deadline_steps expired";
+      seq->finish_step = step;
+      retire(*seq);
+      sched.release(seq);
+      ++finished;
+      ++stats.timeouts;
+    }
+  };
+
+  // Admission pressure: the queue head has been starved long enough —
+  // park the scheduler's chosen victim so the head can take its budget.
+  const auto pressure_preempt = [&]() -> bool {
+    if (!cfg_.preempt.enabled) return false;
+    if (sched.waiting().empty()) return false;
+    Sequence* head = sched.waiting().front();
+    if (head->arrival_step > step) return false;
+    if (step < head->queue_enter_step + cfg_.preempt.queue_pressure_steps) {
+      return false;
+    }
+    Sequence* victim =
+        sched.pick_victim(step, cfg_.preempt.min_victim_age_steps,
+                          cfg_.preempt.max_per_sequence);
+    if (victim == nullptr) return false;
+    park(*victim);
+    return true;
+  };
   while (finished < seqs.size()) {
     // Idle engine: jump the clock to the next arrival.
     if (sched.active_count() == 0) {
       const auto next = sched.next_arrival();
       if (next.has_value() && *next > step) step = *next;
     }
+
+    // Shed expired sequences first: their freed budget is admissible this
+    // same step.
+    shed_timeouts();
 
     // Admit + prefill newly eligible sequences; a sequence that finishes
     // during prefill (eos first token, max_new_tokens 0) retires at once,
@@ -385,6 +562,13 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
         stats.max_blocks_in_use =
             std::max(stats.max_blocks_in_use, sched.blocks_in_use());
         start_sequence(*seq, step, stats);
+        if (!seq->finished() && kv_alloc_failed(*seq)) {
+          // Prefill (or resume replay) outgrew its reservation into
+          // emergency memory — an injected fault or a capacity race.
+          // Park it for a later, fully pool-backed retry.
+          park_or_reject(*seq);
+          continue;
+        }
         sched.settle(seq);
         if (seq->finished()) {
           seq->finish_step = step;
@@ -393,11 +577,29 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
           ++finished;
         }
       }
-      // Idle engine, arrived head, no admission: the prefix cache's
-      // retained blocks are squeezing the pool — reclaim and retry.
-      if (!admitted_any && sched.active_count() == 0) {
+      // Drain admission rejections (demand above a whole shard, or a
+      // reservation denied past the retry cap): each becomes a kRejected
+      // response, and the queue behind it keeps moving.
+      for (Sequence* seq : sched.take_rejected()) {
+        if (seq->prefix_entry != nullptr) {
+          prefix_index_->unpin(seq->prefix_entry);
+          seq->prefix_entry = nullptr;
+          seq->prefix_blocks_per_layer = 0;
+        }
+        seq->finish_step = step;
+        ++finished;
+        ++stats.rejections;
+      }
+      if (!admitted_any) {
         const auto head = sched.next_arrival();
-        if (head.has_value() && *head <= step && trim_for_progress()) {
+        const bool head_ready = head.has_value() && *head <= step;
+        // Idle engine, arrived head, no admission: the prefix cache's
+        // retained blocks are squeezing the pool — reclaim and retry.
+        if (head_ready && sched.active_count() == 0 && trim_for_progress()) {
+          admitted_any = true;
+        } else if (head_ready && pressure_preempt()) {
+          // Starved head under admission pressure: a victim was parked;
+          // retry admission against the freed budget.
           admitted_any = true;
         }
       }
@@ -466,6 +668,7 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
     // Keep stats() live mid-run: one snapshot per decode step is the
     // granularity an async front-end polls at (per-token would publish
     // the same struct under the same lock anyway).
+    stats.reservation_retries = sched.reservation_retries();
     publish_stats(stats);
     for (Sequence* seq : active) {
       seq->decode_seconds += dt;
@@ -474,6 +677,11 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
         retire(*seq);
         sched.release(seq);
         ++finished;
+      } else if (kv_alloc_failed(*seq)) {
+        // The step completed exactly (emergency memory holds real rows),
+        // but the sequence is over its physical budget: park it and
+        // recompute under a fresh reservation.
+        park_or_reject(*seq);
       }
     }
     ++step;
@@ -482,6 +690,7 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
   if (pool_ != nullptr) {
     stats.pool_peak_used_blocks = pool_->stats().peak_used_blocks;
   }
+  stats.reservation_retries = sched.reservation_retries();
   publish_stats(stats);
 
   std::vector<Response> responses;
@@ -495,6 +704,8 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
     r.final_cache_sizes = std::move(seq.final_cache_sizes);
     r.peak_cache_tokens = seq.peak_cache_tokens;
     r.finish = seq.finish;
+    r.error = std::move(seq.error);
+    r.preemptions = seq.preemptions;
     r.arrival_step = seq.arrival_step;
     r.first_decode_step = seq.first_decode_step;
     r.finish_step = seq.finish_step;

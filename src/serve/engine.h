@@ -69,12 +69,41 @@ struct PrefixCacheConfig {
   std::size_t min_tokens = 0;
 };
 
+/// Decode-phase preemption with recompute-based resume. When admission
+/// pressure leaves the queue head starved, the engine parks a victim —
+/// youngest arrival first — releasing its blocks/budget while keeping its
+/// generated tokens; re-admission re-prefills the prompt and replays the
+/// parked tokens step by step, which is token-exact (the decode path is
+/// bit-exact regardless of batch composition, and policies are
+/// deterministic given the sequence seed). The age floor and per-sequence
+/// cap bound the recompute overhead and guarantee forward progress: each
+/// preemption cycle a victim pays for has committed at least
+/// min_victim_age_steps new tokens, at most max_per_sequence times.
+struct PreemptionConfig {
+  /// Master switch for pressure-triggered preemption. Forced parking on a
+  /// mid-decode allocation failure is always on — a sequence holding
+  /// emergency (non-pool) memory cannot keep decoding past the cap.
+  bool enabled = true;
+  /// Steps the queue head must sit arrived-but-unadmitted before the
+  /// engine preempts a victim for it.
+  std::size_t queue_pressure_steps = 8;
+  /// Steps a sequence must have been active before it qualifies as a
+  /// victim.
+  std::size_t min_victim_age_steps = 4;
+  /// Preemptions one sequence tolerates; past the cap it is no longer
+  /// victimized, and a forced park instead rejects it. 0 = unlimited
+  /// (not recommended: a permanently failing pool could then park the
+  /// same sequence forever).
+  std::size_t max_per_sequence = 8;
+};
+
 struct EngineConfig {
   SchedulerConfig scheduler;
   /// Built per sequence for requests that don't bring their own policy.
   kv::PolicyConfig policy;
   PagedMemoryConfig paged;
   PrefixCacheConfig prefix;
+  PreemptionConfig preempt;
 };
 
 /// Aggregate counters of one run() call.
@@ -102,6 +131,20 @@ struct EngineStats {
   std::size_t prefix_blocks_shared = 0;
   /// Shared blocks privately copied when eviction/append first wrote them.
   std::size_t prefix_cow_copies = 0;
+  // Robustness counters (published mid-run like everything else):
+  std::size_t preemptions = 0;  ///< sequences parked mid-decode
+  std::size_t timeouts = 0;     ///< kTimeout finishes (deadline/queue cap)
+  std::size_t rejections = 0;   ///< kRejected finishes (containment)
+  /// Generated tokens recomputed by preempt/resume replays — the decode
+  /// work paid twice, the price of recompute-based resume.
+  std::size_t resume_replayed_tokens = 0;
+  /// Admissions rolled back because a block reservation failed after
+  /// fits() (TOCTOU losses against prefix-index activity, injected
+  /// faults); each retried cleanly on a later round.
+  std::size_t reservation_retries = 0;
+  /// Block allocations that fell back to emergency heap memory (the
+  /// no-throw decode path); every one forces a park or retirement.
+  std::size_t alloc_failures = 0;
   double prefill_seconds = 0.0;
   double decode_seconds = 0.0;  ///< summed batch-step walls
 
@@ -151,16 +194,29 @@ class Engine {
 
   /// Drives every request to completion under continuous batching.
   /// Responses are returned in the order of `requests` (not completion
-  /// order). Throws std::invalid_argument on an empty prompt, a mismatched
-  /// external KV state, or two requests sharing a kv_state/policy instance.
+  /// order). Every request terminates with a definite finish reason:
+  /// invalid or un-servable requests (empty prompt, mismatched external
+  /// KV state, shared kv_state/policy instances, demand above a whole
+  /// shard) are contained as kRejected responses with an error string —
+  /// they never throw, and the rest of the batch keeps decoding.
   std::vector<Response> run(std::span<const Request> requests);
+
+  /// Installs (nullptr: clears) a fault injector on the engine-owned
+  /// block pool — the chaos-testing hook (see serve/fault.h). No-op when
+  /// paged memory is disabled. The injector must outlive its installation.
+  void set_fault_injector(mem::FaultInjector* injector) noexcept {
+    if (pool_ != nullptr) pool_->set_fault_injector(injector);
+  }
 
  private:
   /// Prefill + first-token selection for a newly admitted sequence. With
   /// the prefix cache on: adopt a matching shared chain and prefill only
   /// the suffix, or chunk the prefill at the shareable boundary and insert
   /// the prefix chain into the index for the requests behind this one.
-  /// Counters accrue into `stats`, the run's local accumulator.
+  /// Re-admission of a preempted sequence (seq.tokens non-empty) prefills
+  /// the prompt the same way, then replays the parked tokens through
+  /// single-sequence decode steps — exact recomputation of the evicted
+  /// state. Counters accrue into `stats`, the run's local accumulator.
   void start_sequence(Sequence& seq, std::size_t now_step, EngineStats& stats);
   /// Prefix boundary this sequence would index on a miss (block-aligned,
   /// below the prompt end, at least the index minimum); 0 = don't index.

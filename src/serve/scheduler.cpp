@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "mem/block_pool.h"
 #include "mem/prefix_index.h"
@@ -17,6 +18,7 @@ void BatchScheduler::submit(Sequence* seq) {
         "block-mode scheduling requires seq->n_layers > 0");
   }
   seq->status = SequenceStatus::kWaiting;
+  seq->queue_enter_step = seq->arrival_step;
   waiting_.push_back(seq);
 }
 
@@ -103,8 +105,9 @@ std::vector<Sequence*> BatchScheduler::admit(std::size_t now_step) {
     if (head->arrival_step > now_step) break;
     if (cfg_.pool != nullptr) {
       // A demand above a whole (bounded) shard can never be satisfied —
-      // the cap is physical, there is no run-solo override. Fail loudly
-      // instead of deadlocking the FIFO. The check uses the smallest
+      // the cap is physical, there is no run-solo override. Reject the
+      // request instead of deadlocking the FIFO; admission moves on to
+      // the next waiting sequence. The check uses the smallest
       // conceivable charge: a pinned prefix match shrinks demand on its
       // resident shards.
       const std::size_t per_shard = cfg_.pool->config().blocks_per_shard;
@@ -114,9 +117,14 @@ std::vector<Sequence*> BatchScheduler::admit(std::size_t now_step) {
               ? head->unshared_admission_blocks(bt)
               : head->admission_cost_blocks(bt);
       if (per_shard > 0 && min_demand > per_shard) {
-        throw std::invalid_argument(
+        waiting_.pop_front();
+        head->status = SequenceStatus::kFinished;
+        head->finish = FinishReason::kRejected;
+        head->error =
             "sequence KV demand exceeds a whole pool shard; grow "
-            "blocks_per_shard or reduce the request");
+            "blocks_per_shard or reduce the request";
+        rejected_.push_back(head);
+        continue;
       }
     }
     if (!fits(*head)) break;
@@ -129,11 +137,36 @@ std::vector<Sequence*> BatchScheduler::admit(std::size_t now_step) {
     }
     if (cfg_.pool != nullptr) {
       const auto placement = choose_shard(*head);
-      // fits() just said yes; nothing ran in between.
+      // fits() said yes a moment ago, but the reservation can still be
+      // refused: a prefix-index insert/replication on another code path
+      // claimed the capacity in between (TOCTOU), or a fault injector
+      // vetoed it. Roll the admission back and retry next round — or
+      // reject once the same sequence has lost too many rounds in a row
+      // for a race to be the explanation.
       if (!placement.has_value() ||
           !cfg_.pool->try_reserve(placement->shard, placement->demand)) {
-        throw std::logic_error("block reservation failed after fits()");
+        {
+          const LockGuard lock(counters_mu_);
+          tokens_in_use_ -= head->charged_tokens;
+          ++reservation_retries_;
+        }
+        head->charged_tokens = 0;
+        ++head->reserve_failures;
+        if (cfg_.max_reserve_retries > 0 &&
+            head->reserve_failures > cfg_.max_reserve_retries) {
+          head->status = SequenceStatus::kFinished;
+          head->finish = FinishReason::kRejected;
+          head->error = "block reservation denied " +
+                        std::to_string(head->reserve_failures) +
+                        " consecutive admission rounds";
+          rejected_.push_back(head);
+          continue;
+        }
+        head->status = SequenceStatus::kWaiting;
+        waiting_.push_front(head);
+        break;
       }
+      head->reserve_failures = 0;
       head->shard = placement->shard;
       head->reserved_blocks = placement->demand;
       {
@@ -142,10 +175,72 @@ std::vector<Sequence*> BatchScheduler::admit(std::size_t now_step) {
       }
       rr_next_ = (placement->shard + 1) % cfg_.pool->n_shards();
     }
+    head->admitted_step = now_step;
     active_.push_back(head);
     admitted.push_back(head);
   }
   return admitted;
+}
+
+std::vector<Sequence*> BatchScheduler::take_rejected() {
+  std::vector<Sequence*> out;
+  out.swap(rejected_);
+  return out;
+}
+
+void BatchScheduler::preempt(Sequence* seq, std::size_t now_step) {
+  const auto it = std::find(active_.begin(), active_.end(), seq);
+  if (it == active_.end()) {
+    throw std::invalid_argument("preempt of a sequence that is not active");
+  }
+  active_.erase(it);
+  {
+    const LockGuard lock(counters_mu_);
+    tokens_in_use_ -= seq->charged_tokens;
+  }
+  seq->charged_tokens = 0;
+  if (cfg_.pool != nullptr && seq->shard != Sequence::kNoShard) {
+    cfg_.pool->unreserve(seq->shard, seq->reserved_blocks);
+    {
+      const LockGuard lock(counters_mu_);
+      blocks_in_use_ -= seq->reserved_blocks;
+    }
+    seq->reserved_blocks = 0;
+    seq->shard = Sequence::kNoShard;
+  }
+  ++seq->preemptions;
+  seq->status = SequenceStatus::kWaiting;
+  seq->queue_enter_step = now_step;
+  // Re-queue behind every already-arrived waiter — the starved head that
+  // triggered the preemption must get the freed budget, not the victim
+  // right back — but ahead of arrivals still in the future, preserving
+  // the queue's arrival ordering for next_arrival() clock jumps.
+  const auto pos =
+      std::find_if(waiting_.begin(), waiting_.end(), [&](const Sequence* w) {
+        return w->arrival_step > now_step;
+      });
+  waiting_.insert(pos, seq);
+}
+
+Sequence* BatchScheduler::pick_victim(std::size_t now_step,
+                                      std::size_t min_age_steps,
+                                      std::size_t max_preemptions) const {
+  Sequence* best = nullptr;
+  for (Sequence* s : active_) {
+    if (max_preemptions > 0 && s->preemptions >= max_preemptions) continue;
+    if (now_step - s->admitted_step < min_age_steps) continue;
+    // Youngest arrival pays; >= breaks ties toward the latest admission
+    // (active_ is admission-ordered), i.e. the least sunk work.
+    if (best == nullptr || s->arrival_step >= best->arrival_step) best = s;
+  }
+  return best;
+}
+
+bool BatchScheduler::remove_waiting(Sequence* seq) {
+  const auto it = std::find(waiting_.begin(), waiting_.end(), seq);
+  if (it == waiting_.end()) return false;
+  waiting_.erase(it);
+  return true;
 }
 
 void BatchScheduler::settle(Sequence* seq) {

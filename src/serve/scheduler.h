@@ -33,8 +33,22 @@
 // an oversized sequence (cost above the entire budget) is admitted only
 // when the active set is empty, running solo rather than deadlocking the
 // queue. In block mode there is no such override — the cap is physical —
-// so a sequence whose admission demand exceeds a whole shard is rejected
-// with an exception instead of deadlocking.
+// so a sequence whose admission demand exceeds a whole shard is marked
+// kRejected and parked on the rejected list (take_rejected()) instead of
+// deadlocking; admission moves on to the next waiting sequence.
+//
+// Robustness hooks (PR 7):
+//   - A block reservation that fails after fits() said yes (a TOCTOU
+//     against concurrent prefix-index trims/inserts, or an injected
+//     fault) rolls the admission back and retries next round; after
+//     max_reserve_retries consecutive losses the sequence is rejected so
+//     a shard that never grants the claim cannot spin the engine forever.
+//   - preempt() is release()'s mid-flight sibling: it frees an active
+//     sequence's charges/blocks but re-queues it (keeping its generated
+//     tokens) behind every already-arrived waiter, so the starved head
+//     gets the freed budget. pick_victim() chooses who pays: the
+//     youngest-by-arrival active sequence old enough (victim-age floor)
+//     and under its preemption cap — both bounds guarantee progress.
 #pragma once
 
 #include <cstddef>
@@ -74,6 +88,11 @@ struct SchedulerConfig {
   /// null when the prefix cache is disabled. Must outlive the scheduler.
   const mem::PrefixIndex* prefix_index = nullptr;
   ShardPlacement placement = ShardPlacement::kLeastLoaded;
+  /// Consecutive failed block reservations (fits() said yes, try_reserve
+  /// said no) a sequence tolerates before admission rejects it. Generous:
+  /// a genuine TOCTOU loss resolves in one round; only a pathological
+  /// injector (or bug) reaches the cap. 0 = retry forever.
+  std::size_t max_reserve_retries = 64;
 };
 
 class BatchScheduler {
@@ -90,10 +109,36 @@ class BatchScheduler {
   /// Moves every admissible waiting sequence (arrived by `now_step`, fits
   /// both limits) into the active set and returns the newly admitted ones
   /// in admission order. Block mode: each admitted sequence has its shard
-  /// chosen and its admission block demand reserved; throws
-  /// std::invalid_argument for a sequence whose demand exceeds a whole
-  /// shard (it could never run).
+  /// chosen and its admission block demand reserved. A sequence whose
+  /// demand exceeds a whole shard (it could never run) is marked
+  /// kRejected and moved to the rejected list instead of blocking the
+  /// queue; a reservation lost to a TOCTOU race rolls back and retries
+  /// next round (see the header comment).
   std::vector<Sequence*> admit(std::size_t now_step);
+
+  /// Sequences admission rejected since the last call (status kFinished,
+  /// finish kRejected, error set). The engine drains this after admit()
+  /// and turns each into a Response.
+  std::vector<Sequence*> take_rejected();
+
+  /// Parks an active sequence back into the waiting queue: frees its
+  /// token charge and block reservation exactly like release(), but keeps
+  /// its committed tokens and re-queues it (behind already-arrived
+  /// waiters, ahead of future arrivals) for recompute-based resume.
+  /// Bumps seq->preemptions and stamps seq->queue_enter_step.
+  void preempt(Sequence* seq, std::size_t now_step);
+
+  /// The preemption victim admission pressure should evict: the active
+  /// sequence with the latest arrival (ties: latest admission) that has
+  /// been active at least `min_age_steps` and has fewer than
+  /// `max_preemptions` preemptions (0 = uncapped). Null when nobody
+  /// qualifies.
+  Sequence* pick_victim(std::size_t now_step, std::size_t min_age_steps,
+                        std::size_t max_preemptions) const;
+
+  /// Removes a sequence from the waiting queue (deadline shedding);
+  /// false when it is not waiting.
+  bool remove_waiting(Sequence* seq);
 
   /// Drops an active sequence's charge from its admission cost (transient
   /// prefill peak) to its steady-state cost. The engine calls this once
@@ -125,6 +170,12 @@ class BatchScheduler {
     const LockGuard lock(counters_mu_);
     return blocks_in_use_;
   }
+  /// Admissions rolled back because a block reservation failed after
+  /// fits() (TOCTOU losses and injected faults). Guarded for monitors.
+  std::size_t reservation_retries() const KF_EXCLUDES(counters_mu_) {
+    const LockGuard lock(counters_mu_);
+    return reservation_retries_;
+  }
 
   /// Arrival step of the queue head (the next sequence to admit), empty
   /// when no sequence is waiting. The engine jumps its clock here when the
@@ -151,9 +202,12 @@ class BatchScheduler {
   /// monitoring readers and guarded.
   std::deque<Sequence*> waiting_;
   std::vector<Sequence*> active_;
+  /// Admission-rejected sequences awaiting the engine's drain.
+  std::vector<Sequence*> rejected_;
   mutable Mutex counters_mu_;
   std::size_t tokens_in_use_ KF_GUARDED_BY(counters_mu_) = 0;
   std::size_t blocks_in_use_ KF_GUARDED_BY(counters_mu_) = 0;
+  std::size_t reservation_retries_ KF_GUARDED_BY(counters_mu_) = 0;
   std::size_t rr_next_ = 0;  ///< round-robin cursor (advances on placement)
 };
 

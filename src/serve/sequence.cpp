@@ -7,6 +7,8 @@ std::string to_string(FinishReason reason) {
     case FinishReason::kRunning: return "running";
     case FinishReason::kLength: return "length";
     case FinishReason::kEos: return "eos";
+    case FinishReason::kRejected: return "rejected";
+    case FinishReason::kTimeout: return "timeout";
   }
   return "unknown";
 }

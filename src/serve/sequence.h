@@ -29,8 +29,18 @@ namespace kf::serve {
 
 using model::Token;
 
-/// Why a sequence stopped.
-enum class FinishReason { kRunning, kLength, kEos };
+/// Why a sequence stopped. Every request submitted to Engine::run()
+/// terminates with a definite reason — containment (kRejected) and
+/// deadline enforcement (kTimeout) replace the pre-robustness behavior of
+/// throwing out of the run and killing the whole batch.
+enum class FinishReason {
+  kRunning,
+  kLength,    ///< hit max_new_tokens
+  kEos,       ///< emitted the stop token
+  kRejected,  ///< un-servable (invalid request, oversized, repeated
+              ///< allocation failure); Response::error says why
+  kTimeout,   ///< deadline_steps / max_queue_steps expired
+};
 
 std::string to_string(FinishReason reason);
 
@@ -56,6 +66,15 @@ struct Request {
   /// token. Rounded down to whole pool blocks; only consulted when the
   /// engine's prefix cache is enabled.
   std::size_t shared_prefix_hint = 0;
+  /// End-to-end deadline in engine steps counted from arrival_step: once
+  /// the clock reaches arrival_step + deadline_steps the sequence finishes
+  /// with kTimeout (keeping any tokens generated so far) and frees its
+  /// budget. 0 = no deadline.
+  std::size_t deadline_steps = 0;
+  /// Queue-wait cap in engine steps: a request still waiting this many
+  /// steps after it arrived is shed with kTimeout instead of growing the
+  /// queue. 0 = wait forever.
+  std::size_t max_queue_steps = 0;
 };
 
 /// A completed request.
@@ -67,8 +86,14 @@ struct Response {
   std::vector<std::size_t> final_cache_sizes;  ///< per layer, at finish
   std::size_t peak_cache_tokens = 0;
   FinishReason finish = FinishReason::kLength;
+  /// Human-readable cause when finish == kRejected / kTimeout; empty
+  /// otherwise.
+  std::string error;
+  /// Times this sequence was preempted (parked mid-decode and resumed by
+  /// recompute). Its token stream is identical either way.
+  std::size_t preemptions = 0;
   std::size_t arrival_step = 0;
-  std::size_t first_decode_step = 0;  ///< step at which prefill ran
+  std::size_t first_decode_step = 0;  ///< step at which prefill first ran
   std::size_t finish_step = 0;
   double prefill_seconds = 0.0;  ///< prompt phase incl. first-token select
   /// Sum of the walls of every batch step this sequence was active in —
@@ -92,8 +117,32 @@ struct Sequence {
 
   SequenceStatus status = SequenceStatus::kWaiting;
   FinishReason finish = FinishReason::kRunning;
+  /// Cause recorded when the engine rejects or times out the sequence.
+  std::string error;
   kv::CacheBudget budget;
   std::vector<Token> tokens;  ///< committed generated tokens
+
+  /// Deadline / queue-wait caps copied from the Request (0 = none).
+  std::size_t deadline_steps = 0;
+  std::size_t max_queue_steps = 0;
+
+  /// Times this sequence was preempted (its blocks released, its tokens
+  /// parked). Bounded by the engine's per-sequence cap so parking always
+  /// converges to a definite finish.
+  std::size_t preemptions = 0;
+  /// Step the scheduler last moved this sequence into the active set;
+  /// the victim-age floor reads it (a just-admitted sequence is not worth
+  /// preempting: it has produced almost nothing since its prefill).
+  std::size_t admitted_step = 0;
+  /// Step this sequence last (re)entered the waiting queue: arrival for a
+  /// fresh submit, the preemption step for a parked one. Admission
+  /// pressure is measured from here.
+  std::size_t queue_enter_step = 0;
+  /// Consecutive admission rounds lost to a failed block reservation
+  /// (fits() said yes, try_reserve lost the race — or a fault injector
+  /// vetoed it). Cleared on successful admission; capped by the scheduler
+  /// so a shard that never grants the claim rejects instead of spinning.
+  std::size_t reserve_failures = 0;
 
   /// Cache/policy used for this sequence; point at the owned_* members or
   /// at externally-owned objects from the Request.

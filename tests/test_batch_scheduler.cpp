@@ -363,14 +363,29 @@ TEST(BatchScheduler, RoundRobinVsLeastLoadedDivergeUnderAsymmetricLoad) {
   }
 }
 
-TEST(BatchScheduler, BlockModeOversizedDemandThrowsInsteadOfDeadlocking) {
+TEST(BatchScheduler, BlockModeOversizedDemandIsRejectedNotDeadlocked) {
+  // A demand above a whole shard can never be satisfied; the scheduler
+  // marks it kRejected and moves on so the FIFO head cannot deadlock the
+  // queue — and the sequence behind it is admitted in the same round.
   mem::BlockPool pool(block_pool_config(1, 4));
   SchedulerConfig cfg;
   cfg.pool = &pool;
   BatchScheduler sched(cfg);
   Sequence huge = make_block_seq(100, 1.0);  // far beyond 4 blocks
+  Sequence ok = make_block_seq(8, 1.0);
   sched.submit(&huge);
-  EXPECT_THROW(sched.admit(0), std::invalid_argument);
+  sched.submit(&ok);
+  const auto admitted = sched.admit(0);
+  ASSERT_EQ(admitted.size(), 1u);
+  EXPECT_EQ(admitted[0], &ok);
+  const auto rejected = sched.take_rejected();
+  ASSERT_EQ(rejected.size(), 1u);
+  EXPECT_EQ(rejected[0], &huge);
+  EXPECT_EQ(huge.status, SequenceStatus::kFinished);
+  EXPECT_EQ(huge.finish, FinishReason::kRejected);
+  EXPECT_FALSE(huge.error.empty());
+  // Drained: a second take returns nothing.
+  EXPECT_TRUE(sched.take_rejected().empty());
 }
 
 // ---------------------------------------------------------------------------
@@ -481,6 +496,115 @@ TEST(BatchScheduler, BlockModeRequiresLayerCount) {
   BatchScheduler sched(cfg);
   Sequence s = make_seq(8, 0.5);  // n_layers left 0
   EXPECT_THROW(sched.submit(&s), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: preemption bookkeeping, victim selection, reservation retry.
+
+TEST(BatchScheduler, PreemptFreesChargesAndRequeuesBehindArrivedWaiters) {
+  mem::BlockPool pool(block_pool_config(1, 12));
+  SchedulerConfig cfg;
+  cfg.pool = &pool;
+  BatchScheduler sched(cfg);
+  Sequence a = make_block_seq(40, 0.5);  // 10 admission blocks: fills pool
+  Sequence b = make_block_seq(40, 0.5, 2, 8);
+  b.arrival_step = 1;
+  Sequence late = make_block_seq(8, 0.5, 2, 8);
+  late.arrival_step = 100;  // still in the future at preemption time
+  sched.submit(&a);
+  sched.submit(&b);
+  sched.submit(&late);
+  ASSERT_EQ(sched.admit(0).size(), 1u);
+  EXPECT_EQ(sched.blocks_in_use(), 10u);
+  ASSERT_EQ(sched.admit(5).size(), 0u);  // b starved behind a
+
+  sched.preempt(&a, 5);
+  EXPECT_EQ(a.status, SequenceStatus::kWaiting);
+  EXPECT_EQ(a.preemptions, 1u);
+  EXPECT_EQ(a.queue_enter_step, 5u);
+  EXPECT_EQ(a.charged_tokens, 0u);
+  EXPECT_EQ(a.reserved_blocks, 0u);
+  EXPECT_EQ(a.shard, Sequence::kNoShard);
+  EXPECT_EQ(sched.blocks_in_use(), 0u);
+  EXPECT_EQ(sched.tokens_in_use(), 0u);
+  EXPECT_EQ(pool.stats().reserved_blocks, 0u);
+  // Victim re-queues behind the arrived waiter b but ahead of the future
+  // arrival `late`: the starved head gets the freed budget first.
+  ASSERT_EQ(sched.waiting_count(), 3u);
+  EXPECT_EQ(sched.waiting()[0], &b);
+  EXPECT_EQ(sched.waiting()[1], &a);
+  EXPECT_EQ(sched.waiting()[2], &late);
+  const auto admitted = sched.admit(5);
+  ASSERT_EQ(admitted.size(), 1u);
+  EXPECT_EQ(admitted[0], &b);
+}
+
+TEST(BatchScheduler, PickVictimHonorsAgeFloorAndPreemptionCap) {
+  mem::BlockPool pool(block_pool_config(1, 32));
+  SchedulerConfig cfg;
+  cfg.pool = &pool;
+  BatchScheduler sched(cfg);
+  Sequence a = make_block_seq(16, 0.5);  // arrival 0
+  Sequence b = make_block_seq(16, 0.5, 2, 8);
+  b.arrival_step = 2;
+  sched.submit(&a);
+  sched.submit(&b);
+  ASSERT_EQ(sched.admit(0).size(), 1u);
+  ASSERT_EQ(sched.admit(2).size(), 1u);
+
+  // Youngest arrival (b) pays, but only once old enough.
+  EXPECT_EQ(sched.pick_victim(3, /*min_age=*/4, /*max_preempt=*/8), nullptr);
+  EXPECT_EQ(sched.pick_victim(6, 4, 8), &b);
+  // At its preemption cap, b is shielded and the pick falls back to a.
+  b.preemptions = 8;
+  EXPECT_EQ(sched.pick_victim(6, 4, 8), &a);
+  // Cap 0 = uncapped: b is the victim again.
+  EXPECT_EQ(sched.pick_victim(6, 4, 0), &b);
+  // Nobody qualifies when everyone is capped.
+  a.preemptions = 8;
+  EXPECT_EQ(sched.pick_victim(6, 4, 8), nullptr);
+}
+
+/// Injector that vetoes every reservation, forever.
+class AlwaysFailReserve final : public mem::FaultInjector {
+ public:
+  bool should_fail(mem::FaultOp op, std::size_t /*shard*/) override {
+    return op == mem::FaultOp::kReserve;
+  }
+};
+
+TEST(BatchScheduler, ReservationDeniedRetriesThenRejectsAtCap) {
+  mem::BlockPool pool(block_pool_config(1, 12));
+  AlwaysFailReserve inject;
+  pool.set_fault_injector(&inject);
+  SchedulerConfig cfg;
+  cfg.pool = &pool;
+  cfg.max_reserve_retries = 3;
+  BatchScheduler sched(cfg);
+  Sequence s = make_block_seq(16, 0.5);
+  sched.submit(&s);
+  // Rounds 1..3: fits() says yes, try_reserve loses; the admission rolls
+  // back cleanly each time and the sequence stays at the queue head.
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_TRUE(sched.admit(0).empty());
+    EXPECT_EQ(s.status, SequenceStatus::kWaiting);
+    EXPECT_EQ(s.charged_tokens, 0u);
+    EXPECT_EQ(sched.tokens_in_use(), 0u);
+    EXPECT_EQ(sched.waiting_count(), 1u);
+  }
+  EXPECT_EQ(sched.reservation_retries(), 3u);
+  // Round 4 crosses max_reserve_retries: rejected, queue drained.
+  EXPECT_TRUE(sched.admit(0).empty());
+  EXPECT_EQ(s.finish, FinishReason::kRejected);
+  EXPECT_FALSE(s.error.empty());
+  EXPECT_EQ(sched.waiting_count(), 0u);
+  ASSERT_EQ(sched.take_rejected().size(), 1u);
+  // The moment the faults stop, a fresh sequence admits normally.
+  pool.set_fault_injector(nullptr);
+  Sequence ok = make_block_seq(16, 0.5);
+  sched.submit(&ok);
+  EXPECT_EQ(sched.admit(0).size(), 1u);
+  sched.release(&ok);
 }
 
 }  // namespace

@@ -277,6 +277,74 @@ TEST(BlockPool, RandomizedRefcountChurnNeverLeaks) {
   EXPECT_EQ(pool.stats().used_blocks, 0u);
 }
 
+TEST(BlockPool, TryAllocateReturnsNulloptAtCapacityInsteadOfThrowing) {
+  BlockPool pool(small_config(1, 2));
+  std::vector<BlockRef> held;
+  for (;;) {
+    const auto ref = pool.try_allocate(0);
+    if (!ref.has_value()) break;
+    held.push_back(*ref);
+  }
+  EXPECT_EQ(held.size(), 2u);
+  EXPECT_EQ(pool.shard_stats(0).used_blocks, 2u);
+  // Freeing one makes try_allocate succeed again.
+  pool.free(held.back());
+  held.pop_back();
+  const auto again = pool.try_allocate(0);
+  ASSERT_TRUE(again.has_value());
+  held.push_back(*again);
+  for (const BlockRef r : held) pool.free(r);
+  EXPECT_EQ(pool.stats().used_blocks, 0u);
+}
+
+/// Scripted injector: fails the next `n` calls of the given op.
+class CountdownInjector final : public FaultInjector {
+ public:
+  CountdownInjector(FaultOp op, std::size_t n) : op_(op), left_(n) {}
+  bool should_fail(FaultOp op, std::size_t /*shard*/) override {
+    if (op != op_ || left_ == 0) return false;
+    --left_;
+    return true;
+  }
+
+ private:
+  const FaultOp op_;
+  std::size_t left_;
+};
+
+TEST(BlockPool, FaultInjectorVetoesReserveThenRecovers) {
+  BlockPool pool(small_config(1, 8));
+  CountdownInjector inject(FaultOp::kReserve, 2);
+  pool.set_fault_injector(&inject);
+  // Capacity is plentiful, but the injector vetoes the first two claims —
+  // and a vetoed reserve must leave the counters untouched.
+  EXPECT_FALSE(pool.try_reserve(0, 2));
+  EXPECT_FALSE(pool.try_reserve(0, 2));
+  EXPECT_EQ(pool.shard_stats(0).reserved_blocks, 0u);
+  EXPECT_TRUE(pool.try_reserve(0, 2));
+  EXPECT_EQ(pool.shard_stats(0).reserved_blocks, 2u);
+  pool.unreserve(0, 2);
+  pool.set_fault_injector(nullptr);
+}
+
+TEST(BlockPool, FaultInjectorVetoesAllocateThenRecovers) {
+  BlockPool pool(small_config(1, 8));
+  CountdownInjector inject(FaultOp::kAllocate, 1);
+  pool.set_fault_injector(&inject);
+  EXPECT_FALSE(pool.try_allocate(0).has_value());
+  EXPECT_EQ(pool.shard_stats(0).used_blocks, 0u);
+  const auto ref = pool.try_allocate(0);
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(pool.shard_stats(0).used_blocks, 1u);
+  // Clearing the injector stops all vetoes; allocate() (the throwing
+  // wrapper) also works again.
+  pool.set_fault_injector(nullptr);
+  const BlockRef b = pool.allocate(0);
+  pool.free(*ref);
+  pool.free(b);
+  EXPECT_EQ(pool.stats().used_blocks, 0u);
+}
+
 TEST(BlockPool, StatsAggregateAcrossShards) {
   BlockPool pool(small_config(2, 8));
   const BlockRef a = pool.allocate(0);

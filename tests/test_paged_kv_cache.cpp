@@ -375,5 +375,52 @@ TEST(PagedKvCache, CowSkipsCopyWhenLastReader) {
   EXPECT_EQ(reader.blocks()[0].id, chain[0].id);
 }
 
+/// Injector that vetoes every allocation, forever.
+class AlwaysFailAllocate final : public FaultInjector {
+ public:
+  bool should_fail(FaultOp op, std::size_t /*shard*/) override {
+    return op == FaultOp::kAllocate;
+  }
+};
+
+TEST(PagedKvCache, AllocationFailureFallsBackToEmergencyBlocksExactly) {
+  // When the pool denies a block mid-append, the cache latches
+  // alloc_failed() and keeps the step numerically exact on emergency heap
+  // memory — reads return the real rows, and teardown never touches the
+  // pool for emergency refs.
+  BlockPool pool(pool_config(/*block_tokens=*/4));
+  PagedKvCache c(pool, 0);
+  // First block from the pool, then cut the supply.
+  for (std::size_t t = 0; t < 4; ++t) {
+    const auto k = ramp_row(c.row_width(), static_cast<float>(t));
+    c.append(k, k, t);
+  }
+  EXPECT_FALSE(c.alloc_failed());
+  AlwaysFailAllocate inject;
+  pool.set_fault_injector(&inject);
+  for (std::size_t t = 4; t < 7; ++t) {
+    const auto k = ramp_row(c.row_width(), static_cast<float>(t));
+    c.append(k, k, t);
+  }
+  EXPECT_TRUE(c.alloc_failed());
+  EXPECT_EQ(c.alloc_failures(), 1u);  // one emergency block covers 4..6
+  EXPECT_EQ(c.size(), 7u);
+  // The pool only ever granted the first block.
+  EXPECT_EQ(pool.shard_stats(0).used_blocks, 1u);
+  // Every row — pool-backed and emergency alike — reads back exactly.
+  for (std::size_t t = 0; t < 7; ++t) {
+    const auto expect = ramp_row(c.row_width(), static_cast<float>(t));
+    for (std::size_t h = 0; h < c.n_heads(); ++h) {
+      const auto k = c.key_head(t, h);
+      const auto v = c.value_head(t, h);
+      for (std::size_t i = 0; i < c.d_head(); ++i) {
+        EXPECT_EQ(k[i], expect[h * c.d_head() + i]) << "t " << t;
+        EXPECT_EQ(v[i], expect[h * c.d_head() + i]) << "t " << t;
+      }
+    }
+  }
+  pool.set_fault_injector(nullptr);
+}
+
 }  // namespace
 }  // namespace kf::mem

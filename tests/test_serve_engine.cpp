@@ -292,11 +292,23 @@ TEST(Engine, ZeroMaxNewTokensFinishesWithoutDecoding) {
   EXPECT_EQ(engine.stats().steps, 0u);
 }
 
-TEST(Engine, RejectsEmptyPrompt) {
+TEST(Engine, RejectsEmptyPromptAndBatchKeepsDecoding) {
+  // An empty prompt is contained as a kRejected response — never an
+  // exception — and the valid request next to it decodes normally.
   Transformer model(tiny_config());
   Engine engine(model, EngineConfig{});
-  Request req;  // empty prompt
-  EXPECT_THROW(engine.run({&req, 1}), std::invalid_argument);
+  std::vector<Request> requests(2);
+  // requests[0]: empty prompt.
+  requests[1].prompt = make_prompt(8);
+  requests[1].gen.max_new_tokens = 4;
+  const auto responses = engine.run(requests);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].finish, FinishReason::kRejected);
+  EXPECT_FALSE(responses[0].error.empty());
+  EXPECT_TRUE(responses[0].tokens.empty());
+  EXPECT_NE(responses[1].finish, FinishReason::kRejected);
+  EXPECT_EQ(responses[1].tokens.size(), 4u);
+  EXPECT_EQ(engine.stats().rejections, 1u);
 }
 
 TEST(Engine, RejectsExternalKvStateWithWrongGeometry) {
@@ -309,24 +321,33 @@ TEST(Engine, RejectsExternalKvStateWithWrongGeometry) {
   // Wrong layer count.
   kv::SequenceKvState wrong_layers(1, 2, 8);
   req.kv_state = &wrong_layers;
-  EXPECT_THROW(engine.run({&req, 1}), std::invalid_argument);
+  auto responses = engine.run({&req, 1});
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].finish, FinishReason::kRejected);
+  EXPECT_FALSE(responses[0].error.empty());
 
   // Same layer count and same row width (4x4 == 2x8 == 16 floats), but a
   // different head split — must be rejected, not silently misread.
   kv::SequenceKvState wrong_split(2, 4, 4);
   req.kv_state = &wrong_split;
-  EXPECT_THROW(engine.run({&req, 1}), std::invalid_argument);
+  responses = engine.run({&req, 1});
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].finish, FinishReason::kRejected);
 
   // Matching geometry passes.
   kv::SequenceKvState ok(2, 2, 8);
   req.kv_state = &ok;
-  EXPECT_NO_THROW(engine.run({&req, 1}));
+  responses = engine.run({&req, 1});
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_NE(responses[0].finish, FinishReason::kRejected);
+  EXPECT_EQ(responses[0].tokens.size(), 2u);
 }
 
 TEST(Engine, RejectsSharedKvStateOrPolicyAcrossRequests) {
   // Two live requests on one kv_state (or one policy) would clobber each
-  // other's caches/score state; the engine must refuse up front instead of
-  // failing deep inside step_batch after wasted prefill work.
+  // other's caches/score state; the engine rejects the duplicates up
+  // front (first claimant wins) instead of failing deep inside
+  // step_batch after wasted prefill work.
   Transformer model(tiny_config());
   Engine engine(model, EngineConfig{});
   std::vector<Request> requests(2);
@@ -338,14 +359,23 @@ TEST(Engine, RejectsSharedKvStateOrPolicyAcrossRequests) {
   kv::SequenceKvState shared(2, 2, 8);
   requests[0].kv_state = &shared;
   requests[1].kv_state = &shared;
-  EXPECT_THROW(engine.run(requests), std::invalid_argument);
+  auto responses = engine.run(requests);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_NE(responses[0].finish, FinishReason::kRejected);  // first wins
+  EXPECT_EQ(responses[0].tokens.size(), 2u);
+  EXPECT_EQ(responses[1].finish, FinishReason::kRejected);
+  EXPECT_FALSE(responses[1].error.empty());
 
   requests[0].kv_state = nullptr;
   requests[1].kv_state = nullptr;
   auto shared_policy = kv::make_policy(kv::PolicyKind::kKeyformer);
   requests[0].policy = shared_policy.get();
   requests[1].policy = shared_policy.get();
-  EXPECT_THROW(engine.run(requests), std::invalid_argument);
+  responses = engine.run(requests);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_NE(responses[0].finish, FinishReason::kRejected);
+  EXPECT_EQ(responses[1].finish, FinishReason::kRejected);
+  EXPECT_FALSE(responses[1].error.empty());
 }
 
 // ---------------------------------------------------------------------------
@@ -462,7 +492,10 @@ TEST(Engine, PagedModeRejectsExternalKvState) {
   req.gen.max_new_tokens = 2;
   kv::SequenceKvState external(2, 2, 8);
   req.kv_state = &external;
-  EXPECT_THROW(engine.run({&req, 1}), std::invalid_argument);
+  const auto responses = engine.run({&req, 1});
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].finish, FinishReason::kRejected);
+  EXPECT_FALSE(responses[0].error.empty());
 }
 
 TEST(Engine, GenerateStillWorksWhilePagedEngineExists) {
@@ -502,6 +535,132 @@ TEST(Engine, AggregateStatsAreConsistent) {
     EXPECT_GT(r.decode_tokens_per_s(), 0.0);
     EXPECT_GT(r.prefill_seconds, 0.0);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: preemption/resume, deadlines, oversized containment.
+
+TEST(EngineRobustness, PreemptResumeIsTokenExactAcrossPolicies) {
+  // Admission pressure parks a decoding victim and later resumes it by
+  // recompute; its token stream must be identical to an unpressured solo
+  // run — for more than one eviction policy, since resume replays the
+  // policy's trims step by step.
+  for (const auto kind : {kv::PolicyKind::kKeyformer, kv::PolicyKind::kH2O}) {
+    Transformer model(tiny_config());
+    std::vector<Request> requests(2);
+    requests[0].prompt = make_prompt(32, 0);
+    requests[0].gen.max_new_tokens = 16;
+    requests[0].gen.cache_ratio = 0.5;
+    requests[1].prompt = make_prompt(32, 1);
+    requests[1].gen.max_new_tokens = 6;
+    requests[1].gen.cache_ratio = 0.5;
+    requests[1].arrival_step = 4;  // starved behind request 0
+
+    EngineConfig ec;
+    ec.policy.kind = kind;
+    ec.paged.enabled = true;
+    ec.paged.n_shards = 1;
+    ec.paged.block_tokens = 8;
+    // One shard, room for one 32-token prompt (8 blocks) but not two.
+    ec.paged.blocks_per_shard = 10;
+    ec.preempt.queue_pressure_steps = 2;
+    ec.preempt.min_victim_age_steps = 2;
+    Engine engine(model, ec);
+    const auto mixed = engine.run(requests);
+    ASSERT_EQ(mixed.size(), 2u);
+    EXPECT_GE(engine.stats().preemptions, 1u);
+    EXPECT_GT(engine.stats().resume_replayed_tokens, 0u);
+    EXPECT_GE(mixed[0].preemptions, 1u);
+    EXPECT_EQ(mixed[0].tokens.size(), 16u);
+    EXPECT_EQ(mixed[1].tokens.size(), 6u);
+
+    // Solo, unpressured runs: identical streams.
+    for (std::size_t i = 0; i < 2; ++i) {
+      EngineConfig solo_cfg = ec;
+      solo_cfg.paged.blocks_per_shard = 0;  // derive: effectively unbounded
+      Engine solo(model, solo_cfg);
+      Request alone = requests[i];
+      alone.arrival_step = 0;
+      const auto solo_resp = solo.run({&alone, 1});
+      EXPECT_EQ(solo_resp[0].preemptions, 0u);
+      EXPECT_EQ(mixed[i].tokens, solo_resp[0].tokens)
+          << "req " << i << " policy " << static_cast<int>(kind);
+    }
+  }
+}
+
+TEST(EngineRobustness, DeadlineStepsTimesOutActiveSequence) {
+  Transformer model(tiny_config());
+  std::vector<Request> requests(2);
+  requests[0].prompt = make_prompt(16, 0);
+  requests[0].gen.max_new_tokens = 20;
+  requests[0].deadline_steps = 5;  // far below 20 decode steps
+  requests[1].prompt = make_prompt(16, 1);
+  requests[1].gen.max_new_tokens = 8;
+  Engine engine(model, EngineConfig{});
+  const auto responses = engine.run(requests);
+  EXPECT_EQ(responses[0].finish, FinishReason::kTimeout);
+  EXPECT_FALSE(responses[0].error.empty());
+  EXPECT_LT(responses[0].tokens.size(), 20u);
+  // The neighbor is untouched by the shed.
+  EXPECT_EQ(responses[1].tokens.size(), 8u);
+  EXPECT_NE(responses[1].finish, FinishReason::kTimeout);
+  EXPECT_EQ(engine.stats().timeouts, 1u);
+}
+
+TEST(EngineRobustness, MaxQueueStepsTimesOutStarvedWaiter) {
+  Transformer model(tiny_config());
+  std::vector<Request> requests(2);
+  requests[0].prompt = make_prompt(24, 0);
+  requests[0].gen.max_new_tokens = 20;
+  requests[0].gen.cache_ratio = 0.5;
+  requests[1].prompt = make_prompt(24, 1);
+  requests[1].gen.max_new_tokens = 4;
+  requests[1].gen.cache_ratio = 0.5;
+  requests[1].max_queue_steps = 6;  // gives up long before 0 finishes
+  EngineConfig ec;
+  ec.preempt.enabled = false;  // starve honestly; no preemption rescue
+  ec.scheduler.max_batch_size = 1;
+  Engine engine(model, ec);
+  const auto responses = engine.run(requests);
+  EXPECT_EQ(responses[0].tokens.size(), 20u);
+  EXPECT_EQ(responses[1].finish, FinishReason::kTimeout);
+  EXPECT_TRUE(responses[1].tokens.empty());
+  EXPECT_FALSE(responses[1].error.empty());
+  EXPECT_EQ(engine.stats().timeouts, 1u);
+}
+
+TEST(EngineRobustness, OversizedForShardRejectedRestOfBatchCompletes) {
+  // PR 4 threw out of run() for a demand above a whole shard; now the
+  // request is contained as kRejected and its batchmates still decode —
+  // token-exactly.
+  Transformer model(tiny_config());
+  std::vector<Request> requests(2);
+  requests[0].prompt = make_prompt(128, 0);  // 16 blocks/layer: hopeless
+  requests[0].gen.max_new_tokens = 4;
+  requests[1].prompt = make_prompt(16, 1);
+  requests[1].gen.max_new_tokens = 6;
+  requests[1].gen.cache_ratio = 0.5;
+  EngineConfig ec;
+  ec.policy.kind = kv::PolicyKind::kKeyformer;
+  ec.paged.enabled = true;
+  ec.paged.n_shards = 1;
+  ec.paged.block_tokens = 8;
+  ec.paged.blocks_per_shard = 8;
+  Engine engine(model, ec);
+  const auto responses = engine.run(requests);
+  EXPECT_EQ(responses[0].finish, FinishReason::kRejected);
+  EXPECT_FALSE(responses[0].error.empty());
+  EXPECT_TRUE(responses[0].tokens.empty());
+  EXPECT_EQ(responses[1].tokens.size(), 6u);
+  EXPECT_EQ(engine.stats().rejections, 1u);
+  // The survivor's stream matches its solo run.
+  Engine solo(model, ec);
+  const auto solo_resp = solo.run({&requests[1], 1});
+  EXPECT_EQ(responses[1].tokens, solo_resp[0].tokens);
+  // Nothing leaked: only free blocks remain in the pool.
+  EXPECT_EQ(engine.pool()->stats().used_blocks, 0u);
+  EXPECT_EQ(engine.pool()->stats().reserved_blocks, 0u);
 }
 
 }  // namespace
