@@ -79,6 +79,9 @@ inline Options parse_options(int argc, char** argv) {
     o.samples = std::max<std::size_t>(2, o.samples / 4);
     o.gen_tokens = std::max<std::size_t>(8, o.gen_tokens / 2);
   }
+  // One-line dispatch banner so every bench artifact records which kernel
+  // variants actually ran (detected ISA, active choice, any override).
+  std::cout << cpu::describe() << '\n';
   return o;
 }
 

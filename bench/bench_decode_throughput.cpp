@@ -35,6 +35,7 @@ namespace {
 
 struct PathResult {
   std::string name;
+  std::string isa;  ///< kernel ISA the path dispatched to
   double tokens_per_s = 0.0;
   double ms_per_token = 0.0;
   double project_ms = 0.0;  // per token
@@ -85,6 +86,7 @@ PathResult run_path(const std::string& name, bool fast_path,
   m.reset();
   PathResult r;
   r.name = name;
+  r.isa = cpu::isa_name(cpu::active_isa());
   double t0 = now_seconds();
   m.prefill(prompt, *policy, s.gen_tokens);
   r.prefill_seconds = now_seconds() - t0;
@@ -154,15 +156,27 @@ int main(int argc, char** argv) {
                              /*append_rotation=*/true, s));
   results.push_back(run_path("fast", /*fast=*/true,
                              /*append_rotation=*/true, s));
+  // ISA sweep of the fast path: one extra row per available kernel ISA
+  // below the active one, so the artifact records the SIMD speedup matrix
+  // alongside the fast-path-vs-general one.
+  const cpu::CpuIsa ambient = cpu::active_isa();
+  for (int i = 0; i < cpu::kIsaCount; ++i) {
+    const auto isa = static_cast<cpu::CpuIsa>(i);
+    if (isa == ambient || !cpu::isa_available(isa)) continue;
+    cpu::set_isa_override(isa);
+    results.push_back(run_path(std::string("fast_") + cpu::isa_name(isa),
+                               /*fast=*/true, /*append_rotation=*/true, s));
+    cpu::clear_isa_override();
+  }
   for (auto& r : results) r.max_logit_delta = max_delta(results.front(), r);
 
   const double base_tps = results.front().tokens_per_s;
   Table t("decode fast path: tokens/s and per-step latency breakdown");
-  t.header({"path", "tok_per_s", "speedup", "ms_per_tok", "project_ms",
-            "attend_ms", "score_ms", "evict_ms", "other_ms",
+  t.header({"path", "isa", "tok_per_s", "speedup", "ms_per_tok",
+            "project_ms", "attend_ms", "score_ms", "evict_ms", "other_ms",
             "max_logit_delta"});
   for (const auto& r : results) {
-    t.row({r.name, Table::num(r.tokens_per_s, 1),
+    t.row({r.name, r.isa, Table::num(r.tokens_per_s, 1),
            Table::num(r.tokens_per_s / base_tps, 2) + "x",
            Table::num(r.ms_per_token, 3), Table::num(r.project_ms, 3),
            Table::num(r.attend_ms, 3), Table::num(r.score_ms, 3),
@@ -181,6 +195,7 @@ int main(int argc, char** argv) {
       for (std::size_t i = 0; i < results.size(); ++i) {
         const auto& r = results[i];
         out << (i > 0 ? "," : "") << "\n    {\"name\": \"" << r.name
+            << "\", \"isa\": \"" << r.isa
             << "\", \"tokens_per_s\": " << r.tokens_per_s
             << ", \"speedup\": " << r.tokens_per_s / base_tps
             << ", \"ms_per_token\": " << r.ms_per_token
@@ -198,9 +213,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  const double speedup = results.back().tokens_per_s / base_tps;
+  // results[2] is the ambient-ISA "fast" row (the sweep rows follow it).
+  const PathResult& fast = results[2];
+  const double speedup = fast.tokens_per_s / base_tps;
   std::cout << "fast path speedup vs pre-change general path: "
-            << Table::num(speedup, 2) << "x; max logit delta "
-            << Table::num(results.back().max_logit_delta, 7) << '\n';
+            << Table::num(speedup, 2) << "x (isa " << fast.isa
+            << "); max logit delta "
+            << Table::num(fast.max_logit_delta, 7) << '\n';
   return 0;
 }

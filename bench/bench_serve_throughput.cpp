@@ -156,15 +156,16 @@ int main(int argc, char** argv) {
   // Sweep 1: batch scaling at fixed cache_ratio.
   const double fixed_ratio = 0.5;
   Table t1("aggregate decode throughput vs batch size (cache_ratio 0.5)");
-  t1.header({"max_batch", "decode_tok_per_s", "speedup_vs_b1", "steps",
-             "peak_batch", "peak_kv_tokens", "pool_util", "frag"});
+  t1.header({"max_batch", "isa", "decode_tok_per_s", "speedup_vs_b1",
+             "steps", "peak_batch", "peak_kv_tokens", "pool_util", "frag"});
   double base_tps = 0.0;
   for (const std::size_t b : batches) {
     const serve::EngineStats stats =
         run_cell(m, wl, fixed_ratio, b, /*max_tokens=*/0, po);
     const double tps = stats.decode_tokens_per_s();
     if (b == batches.front()) base_tps = tps;
-    t1.row({Table::num(static_cast<long long>(b)), Table::num(tps, 1),
+    t1.row({Table::num(static_cast<long long>(b)), stats.isa,
+            Table::num(tps, 1),
             Table::num(base_tps > 0.0 ? tps / base_tps : 0.0, 2) + "x",
             Table::num(static_cast<long long>(stats.steps)),
             Table::num(static_cast<long long>(stats.max_batch)),
@@ -185,7 +186,7 @@ int main(int argc, char** argv) {
                 : std::vector<double>{1.0, 0.75, 0.5, 0.25};
   Table t2("fixed KV-memory budget (" + std::to_string(kv_budget) +
            " tokens): cache_ratio buys batch size");
-  t2.header({"cache_ratio", "achieved_batch", "decode_tok_per_s",
+  t2.header({"cache_ratio", "isa", "achieved_batch", "decode_tok_per_s",
              "speedup_vs_full", "peak_kv_tokens", "pool_util", "frag"});
   double full_tps = 0.0;
   for (const double r : ratios) {
@@ -193,7 +194,7 @@ int main(int argc, char** argv) {
         run_cell(m, wl, r, /*max_batch=*/0, kv_budget, po);
     const double tps = stats.decode_tokens_per_s();
     if (r == ratios.front()) full_tps = tps;
-    t2.row({Table::num(r, 2),
+    t2.row({Table::num(r, 2), stats.isa,
             Table::num(static_cast<long long>(stats.max_batch)),
             Table::num(tps, 1),
             Table::num(full_tps > 0.0 ? tps / full_tps : 0.0, 2) + "x",
@@ -209,7 +210,7 @@ int main(int argc, char** argv) {
     std::cout << '\n';
     Table t3("aggregate decode throughput vs pool shard count (batch " +
              std::to_string(batches.back()) + ", cache_ratio 0.5)");
-    t3.header({"shards", "decode_tok_per_s", "speedup_vs_s1",
+    t3.header({"shards", "isa", "decode_tok_per_s", "speedup_vs_s1",
                "peak_blocks_reserved", "pool_util", "frag"});
     double s1_tps = 0.0;
     // Doubling steps, but always ending exactly at the requested count
@@ -224,7 +225,8 @@ int main(int argc, char** argv) {
           m, wl, fixed_ratio, batches.back(), /*max_tokens=*/0, cell);
       const double tps = stats.decode_tokens_per_s();
       if (s == 1) s1_tps = tps;
-      t3.row({Table::num(static_cast<long long>(s)), Table::num(tps, 1),
+      t3.row({Table::num(static_cast<long long>(s)), stats.isa,
+              Table::num(tps, 1),
               Table::num(s1_tps > 0.0 ? tps / s1_tps : 0.0, 2) + "x",
               Table::num(static_cast<long long>(stats.max_blocks_in_use)),
               Table::num(pool_util(stats), 3),

@@ -129,6 +129,11 @@ int main(int argc, char** argv) {
                "pool blocks)");
   }
 
+  // Which kernel variants this run dispatches to (detected ISA, active
+  // choice, any KF_CPU_ISA override) — printed once so logs are
+  // comparable across hosts.
+  std::cout << cpu::describe() << '\n';
+
   model::ModelConfig cfg = model::ModelConfig::gptj_like();
   cfg.max_seq_len = 4096;
   model::Transformer m(cfg);
@@ -250,7 +255,8 @@ int main(int argc, char** argv) {
   std::cout << "engine: " << st.steps << " decode steps, peak batch "
             << st.max_batch << ", peak KV in use " << st.max_tokens_in_use
             << " tokens, aggregate decode throughput "
-            << Table::num(st.decode_tokens_per_s(), 1) << " tok/s\n";
+            << Table::num(st.decode_tokens_per_s(), 1) << " tok/s (isa "
+            << st.isa << ")\n";
   if (shards > 0) {
     const double util =
         st.pool_capacity_blocks > 0

@@ -18,7 +18,14 @@ Checks (each failure lists file and reason; exit code 1 on any):
      Engine::start_sequence, BatchScheduler::admit) -- run() promises a
      definite finish reason for every request, and a throw in a
      ThreadPool::parallel_for worker is std::terminate, so per-request
-     failures must be contained (kRejected/kTimeout/park), never thrown.
+     failures must be contained (kRejected/kTimeout/park), never thrown;
+  6. SIMD variant TUs stay behind the dispatch table -- nobody #includes
+     a *_avx2.cpp / *_avx512.cpp file (their per-file -m flags only apply
+     when they compile as their own TU; textual inclusion would leak AVX
+     instructions into a generic object), and the avx2:: / avx512::
+     variant namespaces are only named inside src/cpu (everyone else goes
+     through the cpu::*_stub tables, which is what keeps the binary
+     portable).
 """
 
 from __future__ import annotations
@@ -153,6 +160,37 @@ def check_no_throw_in_request_paths() -> list[str]:
     return errors
 
 
+def check_simd_variants_behind_dispatch() -> list[str]:
+    """ISA variant TUs are linked, never included, and only src/cpu names
+    the variant namespaces directly."""
+    errors = []
+    include_re = re.compile(r"#include\s*[<\"][^<\">]*_avx(2|512)\.cpp")
+    variant_ns_re = re.compile(r"\bavx(2|512)\s*::")
+    cpu_dir = REPO / "src" / "cpu"
+    for sub in ("src", "tests", "bench", "examples"):
+        root = REPO / sub
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix not in (".h", ".cpp"):
+                continue
+            text = _strip_comments(path.read_text())
+            for lineno, line in enumerate(text.splitlines(), 1):
+                if include_re.search(line):
+                    errors.append(
+                        f"{path.relative_to(REPO)}:{lineno}: #include of an "
+                        "ISA variant TU (variant files must compile as their "
+                        "own translation units with per-file -m flags)"
+                    )
+                if cpu_dir not in path.parents and variant_ns_re.search(line):
+                    errors.append(
+                        f"{path.relative_to(REPO)}:{lineno}: direct use of a "
+                        "SIMD variant namespace outside src/cpu (call "
+                        "through the cpu::*_stub dispatch tables)"
+                    )
+    return errors
+
+
 def main() -> int:
     checks = [
         ("test registration", check_test_registration),
@@ -160,6 +198,7 @@ def main() -> int:
         ("no std::cout in src/", check_no_cout_in_library),
         ("no TSA suppressions", check_no_tsa_suppressions),
         ("no throw in request paths", check_no_throw_in_request_paths),
+        ("SIMD variants behind dispatch", check_simd_variants_behind_dispatch),
     ]
     failed = False
     for name, check in checks:

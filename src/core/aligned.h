@@ -1,0 +1,76 @@
+// 64-byte-aligned allocation helpers for KV float storage.
+//
+// The dispatched SIMD kernels (src/cpu) use unaligned loads, so
+// alignment is never a correctness requirement — but a 64-byte
+// allocation base means AVX-512 loads on head-major segment starts never
+// straddle a cache line, and keeps K/V rows from sharing lines with
+// unrelated heap data. BlockPool slabs and ContiguousKvCache arenas
+// allocate through these helpers and assert the base alignment in debug
+// builds (pinned by the randomized property tests).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace kf {
+
+/// Allocation alignment for KV float storage: one cache line, and the
+/// widest vector width the dispatcher selects (AVX-512).
+inline constexpr std::size_t kSimdAlign = 64;
+
+/// True when `p` sits on a kSimdAlign boundary.
+inline bool is_simd_aligned(const void* p) noexcept {
+  return reinterpret_cast<std::uintptr_t>(p) % kSimdAlign == 0;
+}
+
+struct AlignedFloatDeleter {
+  void operator()(float* p) const noexcept {
+    ::operator delete[](p, std::align_val_t{kSimdAlign});
+  }
+};
+
+/// Owning pointer to a kSimdAlign-aligned float array.
+using AlignedFloatArray = std::unique_ptr<float[], AlignedFloatDeleter>;
+
+/// Allocates `n` zero-initialized floats at kSimdAlign (the drop-in
+/// replacement for std::make_unique<float[]>(n), which value-initializes
+/// too).
+inline AlignedFloatArray make_aligned_floats(std::size_t n) {
+  auto* p = static_cast<float*>(
+      ::operator new[](n * sizeof(float), std::align_val_t{kSimdAlign}));
+  for (std::size_t i = 0; i < n; ++i) p[i] = 0.0F;
+  return AlignedFloatArray{p};
+}
+
+/// Minimal stateless allocator handing out kSimdAlign-aligned storage;
+/// all instances are interchangeable.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  explicit AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kSimdAlign}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kSimdAlign});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+/// std::vector whose data() is always kSimdAlign-aligned.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace kf

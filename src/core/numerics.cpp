@@ -2,61 +2,35 @@
 
 #include <cassert>
 #include <cmath>
-#include <limits>
+
+#include "cpu/kernels.h"
 
 namespace kf {
 
+// max_value/logsumexp/softmax bodies live in the per-ISA variants under
+// src/cpu (the scalar variant is the historical loop, moved verbatim);
+// these wrappers keep the spans/asserts and resolve the dispatch table.
+
 float max_value(std::span<const float> x) {
   assert(!x.empty());
-  float m = x[0];
-  for (const float v : x) m = v > m ? v : m;
-  return m;
+  return cpu::max_value_stub.get()(x.data(), x.size());
 }
 
 double logsumexp(std::span<const float> x) {
-  const float m = max_value(x);
-  double acc = 0.0;
-  for (const float v : x) acc += std::exp(static_cast<double>(v - m));
-  return static_cast<double>(m) + std::log(acc);
+  return cpu::logsumexp_stub.get()(x.data(), x.size());
 }
 
 void softmax(std::span<const float> x, std::span<float> out) {
   assert(x.size() == out.size() && !x.empty());
-  const float m = max_value(x);
-  // Every entry masked to -inf: there is no distribution to normalize
-  // (and -inf - -inf below would be NaN). Return the all-zero row
-  // (matching the "masked entries are 0" convention) instead of fanning
-  // NaN out through the caller.
-  if (m == -std::numeric_limits<float>::infinity()) {
-    for (float& v : out) v = 0.0F;
-    return;
-  }
-  double sum = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double e = std::exp(static_cast<double>(x[i] - m));
-    out[i] = static_cast<float>(e);
-    sum += e;
-  }
-  const float inv = static_cast<float>(1.0 / sum);
-  for (float& v : out) v *= inv;
+  // tau == 1.0 divides exactly: the temperature kernel with unit tau IS
+  // the plain softmax, bit for bit.
+  cpu::softmax_stub.get()(x.data(), out.data(), x.size(), 1.0);
 }
 
 void softmax_temperature(std::span<const float> x, std::span<float> out,
                          double tau) {
   assert(tau > 0.0 && x.size() == out.size() && !x.empty());
-  const float m = max_value(x);
-  if (m == -std::numeric_limits<float>::infinity()) {
-    for (float& v : out) v = 0.0F;  // all--inf row, see softmax()
-    return;
-  }
-  double sum = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double e = std::exp(static_cast<double>(x[i] - m) / tau);
-    out[i] = static_cast<float>(e);
-    sum += e;
-  }
-  const float inv = static_cast<float>(1.0 / sum);
-  for (float& v : out) v *= inv;
+  cpu::softmax_stub.get()(x.data(), out.data(), x.size(), tau);
 }
 
 void log_softmax(std::span<const float> x, std::span<float> out) {
@@ -70,7 +44,9 @@ void log_softmax(std::span<const float> x, std::span<float> out) {
 double entropy(std::span<const float> p) {
   double h = 0.0;
   for (const float v : p) {
-    if (v > 0.0F) h -= static_cast<double>(v) * std::log(static_cast<double>(v));
+    if (v > 0.0F) {
+      h -= static_cast<double>(v) * std::log(static_cast<double>(v));
+    }
   }
   return h;
 }

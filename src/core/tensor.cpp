@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/threadpool.h"
+#include "cpu/kernels.h"
 
 namespace kf {
 
@@ -125,13 +126,11 @@ void matmul_transposed_b(std::span<const float> a, std::span<const float> b,
 void matvec(std::span<const float> a, std::span<const float> x,
             std::span<float> y, std::size_t n, std::size_t k) {
   assert(a.size() >= n * k && x.size() >= k && y.size() >= n);
-  const auto kernel = [&](std::size_t r0, std::size_t r1) {
-    for (std::size_t i = r0; i < r1; ++i) {
-      const float* arow = a.data() + i * k;
-      float acc = 0.0F;
-      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * x[kk];
-      y[i] = acc;
-    }
+  // ISA resolved once per call (one relaxed load); the row kernel runs
+  // unchanged on every worker of a parallel split.
+  const cpu::MatvecRowsFn rows = cpu::matvec_rows_stub.get();
+  const auto kernel = [&, rows](std::size_t r0, std::size_t r1) {
+    rows(a.data(), x.data(), y.data(), r0, r1, k);
   };
   if (n * k > (1u << 18)) {
     ThreadPool::global().parallel_for(n, kernel, /*grain=*/16);
@@ -146,14 +145,9 @@ void vecmat(std::span<const float> x, std::span<const float> a,
   // Each chunk owns a column range [j0, j1): it walks every row but only
   // touches its own slice of y, so chunks are independent and the row
   // slices it reads stay contiguous.
-  const auto kernel = [&](std::size_t j0, std::size_t j1) {
-    for (std::size_t j = j0; j < j1; ++j) y[j] = 0.0F;
-    for (std::size_t i = 0; i < n; ++i) {
-      const float xi = x[i];
-      if (xi == 0.0F) continue;
-      const float* arow = a.data() + i * k;
-      for (std::size_t j = j0; j < j1; ++j) y[j] += xi * arow[j];
-    }
+  const cpu::VecmatColsFn cols = cpu::vecmat_cols_stub.get();
+  const auto kernel = [&, cols](std::size_t j0, std::size_t j1) {
+    cols(x.data(), a.data(), y.data(), n, k, j0, j1);
   };
   if (n * k > (1u << 18) && k > 1) {
     ThreadPool::global().parallel_for(k, kernel, /*grain=*/64);
@@ -164,25 +158,12 @@ void vecmat(std::span<const float> x, std::span<const float> a,
 
 float dot(std::span<const float> a, std::span<const float> b) {
   assert(a.size() == b.size());
-  const std::size_t n = a.size();
-  // Four independent accumulators break the loop-carried dependence so the
-  // compiler can keep several FMA lanes in flight.
-  float acc0 = 0.0F, acc1 = 0.0F, acc2 = 0.0F, acc3 = 0.0F;
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    acc0 += a[i] * b[i];
-    acc1 += a[i + 1] * b[i + 1];
-    acc2 += a[i + 2] * b[i + 2];
-    acc3 += a[i + 3] * b[i + 3];
-  }
-  float acc = (acc0 + acc1) + (acc2 + acc3);
-  for (; i < n; ++i) acc += a[i] * b[i];
-  return acc;
+  return cpu::dot_stub.get()(a.data(), b.data(), a.size());
 }
 
 void axpy(float a, std::span<const float> x, std::span<float> y) {
   assert(y.size() == x.size());
-  for (std::size_t i = 0; i < y.size(); ++i) y[i] += a * x[i];
+  cpu::axpy_stub.get()(a, x.data(), y.data(), y.size());
 }
 
 void add_inplace(std::span<float> y, std::span<const float> x) {

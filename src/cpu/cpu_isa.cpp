@@ -1,0 +1,146 @@
+#include "cpu/cpu_isa.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace kf::cpu {
+
+namespace {
+
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+bool host_has_avx2() {
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+bool host_has_avx512() {
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512dq") &&
+         __builtin_cpu_supports("avx512vl");
+}
+#else
+bool host_has_avx2() { return false; }
+bool host_has_avx512() { return false; }
+#endif
+
+CpuIsa probe_detected() {
+#if defined(KF_BUILD_AVX512)
+  if (host_has_avx512()) return CpuIsa::kAvx512;
+#endif
+#if defined(KF_BUILD_AVX2)
+  if (host_has_avx2()) return CpuIsa::kAvx2;
+#endif
+  return CpuIsa::kScalar;
+}
+
+/// Detection + env parsing, run once (thread-safe magic static). The
+/// describe() banner is materialized here too so callers get a stable
+/// C string.
+struct IsaState {
+  CpuIsa detected = CpuIsa::kScalar;
+  CpuIsa env_default = CpuIsa::kScalar;
+  std::string banner;
+
+  IsaState() {
+    detected = probe_detected();
+    env_default = detected;
+    const char* requested = nullptr;
+    if (const char* env = std::getenv("KF_CPU_ISA")) {
+      CpuIsa parsed = CpuIsa::kScalar;
+      if (!parse_isa(env, parsed)) {
+        std::fprintf(stderr,
+                     "kf: KF_CPU_ISA=%s not recognized "
+                     "(scalar|avx2|avx512); using detected %s\n",
+                     env, isa_name(detected));
+      } else if (parsed > detected) {
+        std::fprintf(stderr,
+                     "kf: KF_CPU_ISA=%s exceeds what this host/build "
+                     "supports; clamping to %s\n",
+                     env, isa_name(detected));
+      } else {
+        env_default = parsed;
+        requested = env;
+      }
+    }
+    banner = std::string("cpu: detected ") + isa_name(detected) +
+             ", dispatching " + isa_name(env_default) +
+             (requested != nullptr ? " (KF_CPU_ISA)" : "");
+  }
+};
+
+IsaState& state() {
+  static IsaState s;
+  return s;
+}
+
+/// Index of the ISA dispatch currently routes to; -1 until the first
+/// active_isa() call resolves env + detection. Relaxed everywhere: the
+/// value is a plain selector, and every variant is correct on any host
+/// it can be selected on.
+std::atomic<int> g_active{-1};
+
+int ensure_active() {
+  int cur = g_active.load(std::memory_order_relaxed);
+  if (cur >= 0) return cur;
+  int fresh = static_cast<int>(state().env_default);
+  // First resolver wins; a racing set_isa_override simply lands after.
+  g_active.compare_exchange_strong(cur, fresh, std::memory_order_relaxed);
+  return g_active.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+CpuIsa detected_isa() { return state().detected; }
+
+CpuIsa active_isa() { return static_cast<CpuIsa>(ensure_active()); }
+
+void set_isa_override(CpuIsa isa) {
+  const CpuIsa clamped = isa > state().detected ? state().detected : isa;
+  ensure_active();
+  g_active.store(static_cast<int>(clamped), std::memory_order_relaxed);
+}
+
+void clear_isa_override() {
+  g_active.store(static_cast<int>(state().env_default),
+                 std::memory_order_relaxed);
+}
+
+bool isa_available(CpuIsa isa) { return isa <= state().detected; }
+
+const char* isa_name(CpuIsa isa) {
+  switch (isa) {
+    case CpuIsa::kScalar:
+      return "scalar";
+    case CpuIsa::kAvx2:
+      return "avx2";
+    case CpuIsa::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+bool parse_isa(const char* text, CpuIsa& out) {
+  if (text == nullptr) return false;
+  if (std::strcmp(text, "scalar") == 0) {
+    out = CpuIsa::kScalar;
+    return true;
+  }
+  if (std::strcmp(text, "avx2") == 0) {
+    out = CpuIsa::kAvx2;
+    return true;
+  }
+  if (std::strcmp(text, "avx512") == 0) {
+    out = CpuIsa::kAvx512;
+    return true;
+  }
+  return false;
+}
+
+const char* describe() { return state().banner.c_str(); }
+
+}  // namespace kf::cpu

@@ -1,0 +1,64 @@
+// Runtime CPU-ISA selection for the dispatched kernels (src/cpu/kernels.h).
+//
+// The library ships one portable binary: every hot kernel exists as a
+// scalar variant plus, when the compiler supports the per-file flags,
+// AVX2 and AVX-512 variants built in their own translation units (only
+// those TUs are compiled with -mavx2/-mavx512*, so the generic objects
+// never contain illegal instructions). At first use the dispatcher probes
+// the host with __builtin_cpu_supports and picks the widest variant both
+// compiled in and supported; every later call is one relaxed atomic load
+// plus an indexed function-pointer call.
+//
+// Selection order (first wins):
+//   1. KF_CPU_ISA environment variable ("scalar" | "avx2" | "avx512"),
+//      clamped down to the detected ISA with a one-time stderr warning
+//      when it asks for more than the host/build provides;
+//   2. the detected ISA (widest supported).
+// Tests and benches that sweep variants in-process use set_isa_override()
+// (also clamped) and clear_isa_override() to return to the env/detected
+// default.
+#pragma once
+
+namespace kf::cpu {
+
+/// Instruction sets the dispatcher distinguishes, narrowest first. The
+/// integer values index dispatch tables; keep them dense.
+enum class CpuIsa : int {
+  kScalar = 0,
+  kAvx2 = 1,    ///< AVX2 + FMA
+  kAvx512 = 2,  ///< AVX-512 F/BW/DQ/VL + FMA
+};
+
+inline constexpr int kIsaCount = 3;
+
+/// Widest ISA both compiled into this binary and supported by this host.
+CpuIsa detected_isa();
+
+/// The ISA dispatch currently routes to (env override, programmatic
+/// override, or detected, in that precedence).
+CpuIsa active_isa();
+
+/// Routes subsequent dispatched calls to `isa`, clamped down to
+/// detected_isa(). For in-process variant sweeps (parity tests, the
+/// micro-kernel bench); not thread-safe against concurrent kernel calls
+/// expecting a *specific* variant.
+void set_isa_override(CpuIsa isa);
+
+/// Returns dispatch to the env/detected default.
+void clear_isa_override();
+
+/// True when `isa`'s variants are compiled in and the host executes them.
+bool isa_available(CpuIsa isa);
+
+/// Short stable name: "scalar" | "avx2" | "avx512".
+const char* isa_name(CpuIsa isa);
+
+/// Parses an isa_name() string; false on unrecognized input (`out`
+/// untouched).
+bool parse_isa(const char* text, CpuIsa& out);
+
+/// One-line human banner, e.g.
+/// "cpu: detected avx512, dispatching avx2 (KF_CPU_ISA)".
+const char* describe();
+
+}  // namespace kf::cpu

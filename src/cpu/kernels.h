@@ -1,0 +1,104 @@
+// Dispatch tables for the decode hot-path kernels.
+//
+// Each kernel is a DispatchStub-style table: one function-pointer slot
+// per CpuIsa, filled at static-init time with the widest variant compiled
+// in (narrower slots fall back to the next variant down, so every slot is
+// callable on any host that can select it). A call resolves the active
+// ISA (one relaxed atomic load, see cpu_isa.h) and jumps through the
+// table — the portable wrappers in core/tensor.h, core/numerics.h and the
+// fused decode attend in model/attention.cpp all route through here.
+//
+// Variant TUs (kernels_scalar.cpp / kernels_avx2.cpp / kernels_avx512.cpp)
+// are compiled with per-file flags and must only be reached through these
+// tables (scripts/lint.py check 6 enforces it); nothing outside src/cpu
+// names a variant namespace.
+//
+// Contracts shared by every variant (the scalar variant is the
+// semantics reference — it is the pre-dispatch code moved verbatim, so a
+// KF_CPU_ISA=scalar run is bit-identical to the historical scalar build):
+//   - softmax: tau == 1.0 is the plain softmax; an all-(-inf) input row
+//     produces an all-zero output (no NaN), and any individually -inf
+//     entry produces an exactly-0.0f probability. in == out aliasing is
+//     allowed.
+//   - decode_attend: one query head against `count`-row head-major
+//     [count, dh] K/V segment streams; logits are pre-scaled/biased by
+//     the caller-provided scale and optional bias row, then one fused
+//     pass does stable softmax + weighted-V accumulation.
+#pragma once
+
+#include <cstddef>
+
+#include "cpu/cpu_isa.h"
+
+namespace kf::cpu {
+
+/// POD mirror of kv::KvSegment (src/cpu stays dependency-free): one
+/// contiguous [count, dh] run of a head's K and V rows covering cache
+/// indices [first, first + count).
+struct KvSegmentView {
+  const float* keys = nullptr;
+  const float* values = nullptr;
+  std::size_t first = 0;
+  std::size_t count = 0;
+};
+
+/// y[i] = dot(a_row_i, x) for rows [r0, r1) of the [*, k] matrix `a`.
+using MatvecRowsFn = void (*)(const float* a, const float* x, float* y,
+                              std::size_t r0, std::size_t r1, std::size_t k);
+
+/// y[j] = sum_i x[i] * a[i][j] for columns [j0, j1) of the [n, k] matrix.
+using VecmatColsFn = void (*)(const float* x, const float* a, float* y,
+                              std::size_t n, std::size_t k, std::size_t j0,
+                              std::size_t j1);
+
+using DotFn = float (*)(const float* a, const float* b, std::size_t n);
+
+/// y[i] += a * x[i].
+using AxpyFn = void (*)(float a, const float* x, float* y, std::size_t n);
+
+using MaxValueFn = float (*)(const float* x, std::size_t n);
+
+using LogsumexpFn = double (*)(const float* x, std::size_t n);
+
+/// out = softmax(x / tau); see the aliasing / -inf contract above.
+using SoftmaxFn = void (*)(const float* x, float* out, std::size_t n,
+                           double tau);
+
+/// Fused single-query decode attend for ONE head:
+///   - `segs`/`n_segs`: the head's K/V segment streams, jointly covering
+///     [0, key_len);
+///   - `q_head`: the (already rotated, if RoPE) dh-float query;
+///   - logits[i] = dot(K_i, q) * scale (+ bias[i] when bias != nullptr);
+///   - `keys_override`, when non-null, is a contiguous [key_len, dh] key
+///     matrix replacing the segments' key streams (the RoPE + kNew
+///     rotated-scratch path); V still streams from the segments;
+///   - writes logits to `lrow`, normalized probabilities to `prow`
+///     (both key_len floats) and the normalized context to `ctx`
+///     (dh floats).
+using DecodeAttendFn = void (*)(const KvSegmentView* segs, std::size_t n_segs,
+                                const float* q_head, std::size_t dh,
+                                float scale, const float* bias,
+                                const float* keys_override, float* lrow,
+                                float* prow, float* ctx, std::size_t key_len);
+
+/// One function-pointer slot per CpuIsa. Slots are filled once during
+/// static initialization (narrow fallbacks for variants not compiled in)
+/// and never change, so lookups are data-race free without atomics.
+template <typename Fn>
+struct DispatchStub {
+  Fn table[kIsaCount];
+
+  Fn get() const { return table[static_cast<int>(active_isa())]; }
+  Fn get(CpuIsa isa) const { return table[static_cast<int>(isa)]; }
+};
+
+extern const DispatchStub<MatvecRowsFn> matvec_rows_stub;
+extern const DispatchStub<VecmatColsFn> vecmat_cols_stub;
+extern const DispatchStub<DotFn> dot_stub;
+extern const DispatchStub<AxpyFn> axpy_stub;
+extern const DispatchStub<MaxValueFn> max_value_stub;
+extern const DispatchStub<LogsumexpFn> logsumexp_stub;
+extern const DispatchStub<SoftmaxFn> softmax_stub;
+extern const DispatchStub<DecodeAttendFn> decode_attend_stub;
+
+}  // namespace kf::cpu

@@ -1,0 +1,294 @@
+// AVX2 + FMA kernel variants. This TU (alone) is compiled with
+// -mavx2 -mfma; it is only ever reached through the dispatch tables,
+// and only on hosts where cpu_isa.cpp detected AVX2 support.
+//
+// Numerics: dots/accumulations run 8 float lanes with FMA; exp runs a
+// Cephes-style degree-5 polynomial (~1 ulp over the reduced range), and
+// softmax/logsumexp sums accumulate in double lanes, keeping every
+// variant within the 1e-5 parity budget against the scalar reference
+// (pinned by test_simd_kernels). Inputs below the exp underflow cutoff
+// flush to exactly 0.0f — masked (-inf) logits must produce probability
+// exactly 0, same as the scalar std::exp(-inf) path.
+//
+// All loads/stores are unaligned (loadu/storeu): the 64-byte allocation
+// alignment of KV arenas (core/aligned.h) makes segment *starts* cheap,
+// but interior rows land wherever d_head puts them.
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "cpu/variants.h"
+
+namespace kf::cpu::avx2 {
+
+namespace {
+
+/// Horizontal sum of 8 float lanes, in double (the callers accumulate
+/// sums in double; summing lanes pairwise in double keeps the order
+/// deterministic).
+inline double hsum_pd(__m256 v) {
+  const __m256d lo = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+  const __m256d hi = _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1));
+  const __m256d s = _mm256_add_pd(lo, hi);
+  const __m128d s2 =
+      _mm_add_pd(_mm256_castpd256_pd128(s), _mm256_extractf128_pd(s, 1));
+  return _mm_cvtsd_f64(_mm_add_sd(s2, _mm_unpackhi_pd(s2, s2)));
+}
+
+/// Horizontal sum of 8 float lanes in float.
+inline float hsum_ps(__m256 v) {
+  const __m128 s =
+      _mm_add_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
+  const __m128 s2 = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  return _mm_cvtss_f32(_mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 1)));
+}
+
+/// Horizontal max of 8 float lanes.
+inline float hmax_ps(__m256 v) {
+  const __m128 m =
+      _mm_max_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
+  const __m128 m2 = _mm_max_ps(m, _mm_movehl_ps(m, m));
+  return _mm_cvtss_f32(_mm_max_ss(m2, _mm_shuffle_ps(m2, m2, 1)));
+}
+
+/// e^x for 8 lanes: Cephes-style range reduction (two-part ln 2) plus a
+/// degree-5 polynomial. Lanes below kExpLowest — including -inf — return
+/// exactly 0.0f; lanes above kExpHighest saturate near FLT_MAX.
+inline __m256 exp256_ps(__m256 x) {
+  const __m256 k_log2e = _mm256_set1_ps(1.44269504088896341F);
+  const __m256 k_c1 = _mm256_set1_ps(0.693359375F);
+  const __m256 k_c2 = _mm256_set1_ps(-2.12194440e-4F);
+  const __m256 k_p0 = _mm256_set1_ps(1.9875691500e-4F);
+  const __m256 k_p1 = _mm256_set1_ps(1.3981999507e-3F);
+  const __m256 k_p2 = _mm256_set1_ps(8.3334519073e-3F);
+  const __m256 k_p3 = _mm256_set1_ps(4.1665795894e-2F);
+  const __m256 k_p4 = _mm256_set1_ps(1.6666665459e-1F);
+  const __m256 k_p5 = _mm256_set1_ps(5.0000001201e-1F);
+  const __m256 k_one = _mm256_set1_ps(1.0F);
+  const __m256 k_lowest = _mm256_set1_ps(-87.33654F);
+  const __m256 k_highest = _mm256_set1_ps(88.72283F);
+
+  // Underflow lanes (and -inf, whose reduced form below is NaN) are
+  // forced to exactly zero at the end.
+  const __m256 zero_mask = _mm256_cmp_ps(x, k_lowest, _CMP_LT_OQ);
+  x = _mm256_min_ps(x, k_highest);
+
+  // n = round(x * log2 e); r = x - n*ln2 in two parts for accuracy.
+  const __m256 n = _mm256_round_ps(
+      _mm256_mul_ps(x, k_log2e), _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256 r = _mm256_fnmadd_ps(n, k_c1, x);
+  r = _mm256_fnmadd_ps(n, k_c2, r);
+  const __m256 r2 = _mm256_mul_ps(r, r);
+
+  __m256 p = k_p0;
+  p = _mm256_fmadd_ps(p, r, k_p1);
+  p = _mm256_fmadd_ps(p, r, k_p2);
+  p = _mm256_fmadd_ps(p, r, k_p3);
+  p = _mm256_fmadd_ps(p, r, k_p4);
+  p = _mm256_fmadd_ps(p, r, k_p5);
+  p = _mm256_fmadd_ps(p, r2, _mm256_add_ps(r, k_one));
+
+  // Scale by 2^n via exponent-bit construction (n stays in [-126, 128]
+  // after the clamps above, so the biased exponent never wraps).
+  const __m256i biased =
+      _mm256_add_epi32(_mm256_cvtps_epi32(n), _mm256_set1_epi32(127));
+  const __m256 pow2 = _mm256_castsi256_ps(_mm256_slli_epi32(biased, 23));
+  p = _mm256_mul_ps(p, pow2);
+  return _mm256_andnot_ps(zero_mask, p);
+}
+
+}  // namespace
+
+float dot(const float* a, const float* b, std::size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+  }
+  float acc = hsum_ps(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void matvec_rows(const float* a, const float* x, float* y, std::size_t r0,
+                 std::size_t r1, std::size_t k) {
+  for (std::size_t i = r0; i < r1; ++i) y[i] = dot(a + i * k, x, k);
+}
+
+void vecmat_cols(const float* x, const float* a, float* y, std::size_t n,
+                 std::size_t k, std::size_t j0, std::size_t j1) {
+  for (std::size_t j = j0; j < j1; ++j) y[j] = 0.0F;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float xi = x[i];
+    if (xi == 0.0F) continue;
+    const float* arow = a + i * k;
+    const __m256 vx = _mm256_set1_ps(xi);
+    std::size_t j = j0;
+    for (; j + 8 <= j1; j += 8) {
+      const __m256 vy = _mm256_fmadd_ps(vx, _mm256_loadu_ps(arow + j),
+                                        _mm256_loadu_ps(y + j));
+      _mm256_storeu_ps(y + j, vy);
+    }
+    for (; j < j1; ++j) y[j] += xi * arow[j];
+  }
+}
+
+void axpy(float a, const float* x, float* y, std::size_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vy =
+        _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i));
+    _mm256_storeu_ps(y + i, vy);
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+float max_value(const float* x, std::size_t n) {
+  float m = x[0];
+  std::size_t i = 0;
+  if (n >= 8) {
+    __m256 vm = _mm256_loadu_ps(x);
+    for (i = 8; i + 8 <= n; i += 8) {
+      vm = _mm256_max_ps(vm, _mm256_loadu_ps(x + i));
+    }
+    m = hmax_ps(vm);
+  }
+  for (; i < n; ++i) m = x[i] > m ? x[i] : m;
+  return m;
+}
+
+double logsumexp(const float* x, std::size_t n) {
+  const float m = max_value(x, n);
+  if (m == -std::numeric_limits<float>::infinity()) {
+    // Degenerate all-(-inf) input: reproduce the scalar NaN propagation.
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += std::exp(static_cast<double>(x[i] - m));
+    }
+    return static_cast<double>(m) + std::log(acc);
+  }
+  const __m256 vm = _mm256_set1_ps(m);
+  double sum = 0.0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    sum += hsum_pd(exp256_ps(_mm256_sub_ps(_mm256_loadu_ps(x + i), vm)));
+  }
+  for (; i < n; ++i) sum += std::exp(static_cast<double>(x[i] - m));
+  return static_cast<double>(m) + std::log(sum);
+}
+
+void softmax(const float* x, float* out, std::size_t n, double tau) {
+  const float m = max_value(x, n);
+  if (m == -std::numeric_limits<float>::infinity()) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = 0.0F;
+    return;
+  }
+  const __m256 vm = _mm256_set1_ps(m);
+  const float inv_tau_f = static_cast<float>(1.0 / tau);
+  const __m256 v_inv_tau = _mm256_set1_ps(inv_tau_f);
+  const bool unit_tau = tau == 1.0;
+  double sum = 0.0;
+  std::size_t i = 0;
+  // x is read before out is written at every index, so out == x aliasing
+  // (softmax in place) is fine.
+  for (; i + 8 <= n; i += 8) {
+    __m256 t = _mm256_sub_ps(_mm256_loadu_ps(x + i), vm);
+    if (!unit_tau) t = _mm256_mul_ps(t, v_inv_tau);
+    const __m256 e = exp256_ps(t);
+    _mm256_storeu_ps(out + i, e);
+    sum += hsum_pd(e);
+  }
+  for (; i < n; ++i) {
+    const double e = std::exp(static_cast<double>(x[i] - m) / tau);
+    out[i] = static_cast<float>(e);
+    sum += e;
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  const __m256 vinv = _mm256_set1_ps(inv);
+  i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_loadu_ps(out + i), vinv));
+  }
+  for (; i < n; ++i) out[i] *= inv;
+}
+
+void decode_attend(const KvSegmentView* segs, std::size_t n_segs,
+                   const float* q_head, std::size_t dh, float scale,
+                   const float* bias, const float* keys_override, float* lrow,
+                   float* prow, float* ctx, std::size_t key_len) {
+  if (keys_override != nullptr) {
+    matvec_rows(keys_override, q_head, lrow, 0, key_len, dh);
+  } else {
+    for (std::size_t s = 0; s < n_segs; ++s) {
+      const KvSegmentView& seg = segs[s];
+      matvec_rows(seg.keys, q_head, lrow + seg.first, 0, seg.count, dh);
+    }
+  }
+
+  const __m256 vscale = _mm256_set1_ps(scale);
+  std::size_t i = 0;
+  if (bias != nullptr) {
+    for (; i + 8 <= key_len; i += 8) {
+      const __m256 v = _mm256_fmadd_ps(_mm256_loadu_ps(lrow + i), vscale,
+                                       _mm256_loadu_ps(bias + i));
+      _mm256_storeu_ps(lrow + i, v);
+    }
+    for (; i < key_len; ++i) lrow[i] = lrow[i] * scale + bias[i];
+  } else {
+    for (; i + 8 <= key_len; i += 8) {
+      _mm256_storeu_ps(lrow + i,
+                       _mm256_mul_ps(_mm256_loadu_ps(lrow + i), vscale));
+    }
+    for (; i < key_len; ++i) lrow[i] *= scale;
+  }
+
+  // Unnormalized softmax over the logits (decode rows are never masked,
+  // so no -inf handling is needed here), then a second pass accumulates
+  // p_i * V_i with vectorized row axpys; one final 1/sum normalizes
+  // probabilities and context together.
+  const float m = max_value(lrow, key_len);
+  const __m256 vm = _mm256_set1_ps(m);
+  double sum = 0.0;
+  i = 0;
+  for (; i + 8 <= key_len; i += 8) {
+    const __m256 e = exp256_ps(_mm256_sub_ps(_mm256_loadu_ps(lrow + i), vm));
+    _mm256_storeu_ps(prow + i, e);
+    sum += hsum_pd(e);
+  }
+  for (; i < key_len; ++i) {
+    const double e = std::exp(static_cast<double>(lrow[i] - m));
+    prow[i] = static_cast<float>(e);
+    sum += e;
+  }
+
+  for (std::size_t j = 0; j < dh; ++j) ctx[j] = 0.0F;
+  for (std::size_t s = 0; s < n_segs; ++s) {
+    const KvSegmentView& seg = segs[s];
+    for (std::size_t r = 0; r < seg.count; ++r) {
+      axpy(prow[seg.first + r], seg.values + r * dh, ctx, dh);
+    }
+  }
+
+  const float inv = static_cast<float>(1.0 / sum);
+  const __m256 vinv = _mm256_set1_ps(inv);
+  i = 0;
+  for (; i + 8 <= key_len; i += 8) {
+    _mm256_storeu_ps(prow + i, _mm256_mul_ps(_mm256_loadu_ps(prow + i), vinv));
+  }
+  for (; i < key_len; ++i) prow[i] *= inv;
+  for (std::size_t j = 0; j < dh; ++j) ctx[j] *= inv;
+}
+
+}  // namespace kf::cpu::avx2

@@ -1,0 +1,145 @@
+// Scalar kernel variants: the semantics (and bit-pattern) reference for
+// every wider variant. These bodies are the pre-dispatch scalar loops
+// moved here verbatim — same expression shapes, same accumulator
+// widths — so a KF_CPU_ISA=scalar run reproduces the historical scalar
+// build bit for bit.
+
+#include <cmath>
+#include <limits>
+
+#include "cpu/variants.h"
+
+namespace kf::cpu::scalar {
+
+void matvec_rows(const float* a, const float* x, float* y, std::size_t r0,
+                 std::size_t r1, std::size_t k) {
+  for (std::size_t i = r0; i < r1; ++i) {
+    const float* arow = a + i * k;
+    float acc = 0.0F;
+    for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * x[kk];
+    y[i] = acc;
+  }
+}
+
+void vecmat_cols(const float* x, const float* a, float* y, std::size_t n,
+                 std::size_t k, std::size_t j0, std::size_t j1) {
+  for (std::size_t j = j0; j < j1; ++j) y[j] = 0.0F;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float xi = x[i];
+    if (xi == 0.0F) continue;
+    const float* arow = a + i * k;
+    for (std::size_t j = j0; j < j1; ++j) y[j] += xi * arow[j];
+  }
+}
+
+float dot(const float* a, const float* b, std::size_t n) {
+  // Four independent accumulators break the loop-carried dependence so the
+  // compiler can keep several FMA lanes in flight.
+  float acc0 = 0.0F;
+  float acc1 = 0.0F;
+  float acc2 = 0.0F;
+  float acc3 = 0.0F;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  float acc = (acc0 + acc1) + (acc2 + acc3);
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void axpy(float a, const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+float max_value(const float* x, std::size_t n) {
+  float m = x[0];
+  for (std::size_t i = 0; i < n; ++i) m = x[i] > m ? x[i] : m;
+  return m;
+}
+
+double logsumexp(const float* x, std::size_t n) {
+  const float m = max_value(x, n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += std::exp(static_cast<double>(x[i] - m));
+  }
+  return static_cast<double>(m) + std::log(acc);
+}
+
+void softmax(const float* x, float* out, std::size_t n, double tau) {
+  const float m = max_value(x, n);
+  // Every entry masked to -inf: there is no distribution to normalize
+  // (and -inf - -inf below would be NaN). Return the all-zero row
+  // (matching the "masked entries are 0" convention) instead of fanning
+  // NaN out through the caller.
+  if (m == -std::numeric_limits<float>::infinity()) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = 0.0F;
+    return;
+  }
+  // Division by tau == 1.0 is exact, so the plain softmax and the
+  // temperature form share this one body bit-identically.
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = std::exp(static_cast<double>(x[i] - m) / tau);
+    out[i] = static_cast<float>(e);
+    sum += e;
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (std::size_t i = 0; i < n; ++i) out[i] *= inv;
+}
+
+void decode_attend(const KvSegmentView* segs, std::size_t n_segs,
+                   const float* q_head, std::size_t dh, float scale,
+                   const float* bias, const float* keys_override, float* lrow,
+                   float* prow, float* ctx, std::size_t key_len) {
+  // Dot products, streaming the head's contiguous segments (one segment
+  // for the classic arena, one per block for a paged cache). Each output
+  // logit is an independent row dot, so segmentation never changes the
+  // arithmetic — paged and contiguous caches are bit-exact.
+  if (keys_override != nullptr) {
+    matvec_rows(keys_override, q_head, lrow, 0, key_len, dh);
+  } else {
+    for (std::size_t s = 0; s < n_segs; ++s) {
+      const KvSegmentView& seg = segs[s];
+      matvec_rows(seg.keys, q_head, lrow + seg.first, 0, seg.count, dh);
+    }
+  }
+
+  if (bias != nullptr) {
+    for (std::size_t i = 0; i < key_len; ++i) {
+      lrow[i] = lrow[i] * scale + bias[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < key_len; ++i) lrow[i] *= scale;
+  }
+
+  // Fused pass: stable softmax and weighted-value accumulation together.
+  // exp terms accumulate into the context unnormalized; one final scale
+  // by 1/sum normalizes probs and context alike. V rows stream segment
+  // by segment in ascending index order — the same accumulation sequence
+  // as a single contiguous run.
+  float m = lrow[0];
+  for (std::size_t i = 1; i < key_len; ++i) m = lrow[i] > m ? lrow[i] : m;
+  for (std::size_t j = 0; j < dh; ++j) ctx[j] = 0.0F;
+  double sum = 0.0;
+  for (std::size_t s = 0; s < n_segs; ++s) {
+    const KvSegmentView& seg = segs[s];
+    for (std::size_t r = 0; r < seg.count; ++r) {
+      const std::size_t i = seg.first + r;
+      const double e = std::exp(static_cast<double>(lrow[i] - m));
+      const float ef = static_cast<float>(e);
+      prow[i] = ef;
+      sum += e;
+      axpy(ef, seg.values + r * dh, ctx, dh);
+    }
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (std::size_t i = 0; i < key_len; ++i) prow[i] *= inv;
+  for (std::size_t j = 0; j < dh; ++j) ctx[j] *= inv;
+}
+
+}  // namespace kf::cpu::scalar

@@ -1,0 +1,50 @@
+// Declarations of the per-ISA kernel variants. Included only by the
+// variant TUs (which define their namespace's entries) and by
+// dispatch.cpp (which wires them into the tables) — never by code
+// outside src/cpu (scripts/lint.py check 6).
+//
+// Every namespace implements the same eight signatures from kernels.h;
+// the scalar namespace is the semantics reference.
+#pragma once
+
+#include <cstddef>
+
+#include "cpu/kernels.h"
+
+namespace kf::cpu {
+
+#define KF_CPU_DECLARE_VARIANTS                                               \
+  void matvec_rows(const float* a, const float* x, float* y, std::size_t r0,  \
+                   std::size_t r1, std::size_t k);                            \
+  void vecmat_cols(const float* x, const float* a, float* y, std::size_t n,   \
+                   std::size_t k, std::size_t j0, std::size_t j1);            \
+  float dot(const float* a, const float* b, std::size_t n);                   \
+  void axpy(float a, const float* x, float* y, std::size_t n);                \
+  float max_value(const float* x, std::size_t n);                             \
+  double logsumexp(const float* x, std::size_t n);                            \
+  void softmax(const float* x, float* out, std::size_t n, double tau);        \
+  void decode_attend(const KvSegmentView* segs, std::size_t n_segs,           \
+                     const float* q_head, std::size_t dh, float scale,        \
+                     const float* bias, const float* keys_override,           \
+                     float* lrow, float* prow, float* ctx,                    \
+                     std::size_t key_len)
+
+namespace scalar {
+KF_CPU_DECLARE_VARIANTS;
+}  // namespace scalar
+
+#if defined(KF_BUILD_AVX2)
+namespace avx2 {
+KF_CPU_DECLARE_VARIANTS;
+}  // namespace avx2
+#endif
+
+#if defined(KF_BUILD_AVX512)
+namespace avx512 {
+KF_CPU_DECLARE_VARIANTS;
+}  // namespace avx512
+#endif
+
+#undef KF_CPU_DECLARE_VARIANTS
+
+}  // namespace kf::cpu

@@ -18,6 +18,7 @@
 #include "core/tensor.h"
 #include "core/threadpool.h"
 #include "core/timing.h"
+#include "cpu/cpu_isa.h"
 #include "data/fewshot.h"
 #include "data/synthetic.h"
 #include "data/vocab.h"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <numeric>
 #include <stdexcept>
 
 namespace kf::kv {
@@ -154,9 +155,17 @@ void ContiguousKvCache::ensure_capacity(std::size_t need) {
   if (need <= capacity_) return;
   // Geometric growth: at least double every reallocation, so an append
   // stream costs O(log n) full-segment copies, not O(n).
-  const std::size_t new_cap = std::max({need, capacity_ * 2, std::size_t{16}});
-  std::vector<float> new_keys(n_heads() * new_cap * d_head());
-  std::vector<float> new_values(n_heads() * new_cap * d_head());
+  std::size_t new_cap = std::max({need, capacity_ * 2, std::size_t{16}});
+  // Round the per-head stride up so capacity * d_head is a multiple of
+  // kSimdAlign floats: with the arena base 64-byte aligned, every head's
+  // segment then starts on an alignment boundary too.
+  const std::size_t align_floats = kSimdAlign / sizeof(float);
+  const std::size_t mult = align_floats / std::gcd(d_head(), align_floats);
+  new_cap = (new_cap + mult - 1) / mult * mult;
+  AlignedVector<float> new_keys(n_heads() * new_cap * d_head());
+  AlignedVector<float> new_values(n_heads() * new_cap * d_head());
+  assert(is_simd_aligned(new_keys.data()) &&
+         is_simd_aligned(new_values.data()));
   const std::size_t live = size() * d_head();
   for (std::size_t h = 0; h < n_heads(); ++h) {
     std::copy_n(keys_.data() + h * capacity_ * d_head(), live,

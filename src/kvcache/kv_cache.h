@@ -38,6 +38,8 @@
 #include <span>
 #include <vector>
 
+#include "core/aligned.h"
+
 namespace kf::kv {
 
 /// One maximal contiguous run of a head's cached rows: `count` K rows and
@@ -201,8 +203,10 @@ class ContiguousKvCache final : public KvCache {
   std::size_t capacity_ = 0;  ///< tokens per head segment
   std::size_t reallocations_ = 0;
   /// Head-major: head h's token t lives at (h * capacity_ + t) * d_head_.
-  std::vector<float> keys_;
-  std::vector<float> values_;
+  /// 64-byte-aligned arenas with capacity_ rounded so every head's
+  /// segment also starts on an alignment boundary (see ensure_capacity).
+  AlignedVector<float> keys_;
+  AlignedVector<float> values_;
 };
 
 }  // namespace kf::kv

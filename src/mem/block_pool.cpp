@@ -61,7 +61,10 @@ bool BlockPool::carve_slab_locked(Shard& sh) {
   const std::size_t slab = sh.created / kBlocksPerSlab;
   if (slab >= sh.slab_slots) return false;
   assert(sh.created % kBlocksPerSlab == 0);
-  sh.slabs[slab] = std::make_unique<float[]>(kBlocksPerSlab * block_floats_);
+  // 64-byte-aligned (and zeroed) slab so SIMD loads on head-major block
+  // payloads start on cache-line boundaries.
+  sh.slabs[slab] = make_aligned_floats(kBlocksPerSlab * block_floats_);
+  assert(is_simd_aligned(sh.slabs[slab].get()));
   sh.slab_bases[slab].store(sh.slabs[slab].get(), std::memory_order_release);
   std::size_t batch = kBlocksPerSlab;
   if (cfg_.blocks_per_shard > 0) {

@@ -45,6 +45,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/aligned.h"
 #include "core/annotations.h"
 #include "core/mutex.h"
 
@@ -194,9 +195,10 @@ class BlockPool {
 
   struct Shard {
     mutable Mutex mu;
-    /// Owning slab arenas, filled in order under `mu`. Payload access
-    /// goes through `slab_bases`, not this vector.
-    std::vector<std::unique_ptr<float[]>> slabs KF_GUARDED_BY(mu);
+    /// Owning slab arenas (64-byte aligned, see core/aligned.h), filled
+    /// in order under `mu`. Payload access goes through `slab_bases`,
+    /// not this vector.
+    std::vector<AlignedFloatArray> slabs KF_GUARDED_BY(mu);
     /// Lock-free payload directory: slab_bases[i] is stored (release)
     /// exactly once when slab i is carved and never changes, so
     /// keys()/values() load (acquire) without the shard mutex. Pre-sized

@@ -25,8 +25,7 @@ BlockRef PagedKvCache::new_block() {
   // heap block so the in-flight decode step completes with exact rows,
   // and latch the failure for the engine's next-step-boundary check.
   ++alloc_failures_;
-  emergency_.push_back(
-      std::make_unique<float[]>(2 * pool_.section_floats()));
+  emergency_.push_back(make_aligned_floats(2 * pool_.section_floats()));
   return BlockRef{kEmergencyShard,
                   static_cast<std::uint32_t>(emergency_.size() - 1)};
 }

@@ -136,10 +136,11 @@ class PagedKvCache final : public kv::KvCache {
   /// shared_[i]: blocks_[i] was adopted and may still have other readers —
   /// mutations must go through cow_block() first. Parallel to blocks_.
   std::vector<bool> shared_;
-  /// Emergency heap payloads, indexed by the ref id; slots null once
-  /// released. Only this cache ever sees these blocks — they are invisible
-  /// to the pool, the scheduler, and the prefix index.
-  std::vector<std::unique_ptr<float[]>> emergency_;
+  /// Emergency heap payloads (64-byte aligned like pool slabs), indexed
+  /// by the ref id; slots null once released. Only this cache ever sees
+  /// these blocks — they are invisible to the pool, the scheduler, and
+  /// the prefix index.
+  std::vector<AlignedFloatArray> emergency_;
   std::size_t cow_copies_ = 0;
   std::size_t alloc_failures_ = 0;
 };

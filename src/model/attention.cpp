@@ -9,6 +9,7 @@
 #include "core/numerics.h"
 #include "core/threadpool.h"
 #include "core/timing.h"
+#include "cpu/kernels.h"
 #include "model/positional.h"
 
 namespace kf::model {
@@ -80,21 +81,45 @@ void fused_decode_attend(const ModelConfig& cfg, std::span<const float> q_row,
                                 : key_len - 1;
 
   std::vector<float> q_head(dh);
-  std::vector<float> ctx_head(dh);
   // Scratch for the one storage mode that cannot pre-rotate (RoPE + kNew).
   std::vector<float> rotated_scratch;
   if (use_rope && !stored_rotated) rotated_scratch.resize(key_len * dh);
+
+  // Per-head segment views handed to the dispatched kernel (POD mirror of
+  // kv::KvSegment, resolved fresh per head).
+  std::vector<cpu::KvSegmentView> segs(n_segs);
+
+  // ALiBi: effective key positions are head-independent; the bias row is
+  // refilled per head (the slope changes) with the exact float-cast
+  // expression the fused loop historically applied inline.
+  std::vector<std::size_t> kpos;
+  std::vector<float> bias;
+  if (use_alibi) {
+    kpos.resize(key_len);
+    for (std::size_t i = 0; i < key_len; ++i) {
+      kpos[i] = key_position(cfg, cache, i);
+    }
+    bias.resize(key_len);
+  }
+
+  const cpu::DecodeAttendFn attend = cpu::decode_attend_stub.get();
 
   for (std::size_t h = 0; h < h_count; ++h) {
     const float* q_src = q_row.data() + h * dh;
     for (std::size_t j = 0; j < dh; ++j) q_head[j] = q_src[j];
     if (use_rope) rope_rotate({q_head.data(), dh}, q_eff, cfg.rope_base);
 
-    // Dot products, streaming the head's contiguous segments (one segment
-    // for the classic arena, one per block for a paged cache). Each output
-    // logit is an independent row dot, so segmentation never changes the
-    // arithmetic — paged and contiguous caches are bit-exact.
-    float* lrow = out.logits.data() + h * key_len;
+    for (std::size_t s = 0; s < n_segs; ++s) {
+      const kv::KvSegment seg = cache.segment(h, s);
+      segs[s] = {seg.keys, seg.values, seg.first, seg.count};
+    }
+
+    // RoPE + kNew cannot pre-rotate stored keys: rotate a contiguous
+    // scratch copy and let the kernel dot against it (V still streams
+    // from the segments). Every other mode dots the segments directly —
+    // per-row dots are independent, so segmentation never changes the
+    // arithmetic and paged/contiguous caches stay bit-exact.
+    const float* keys_override = nullptr;
     if (use_rope && !stored_rotated) {
       for (std::size_t s = 0; s < n_segs; ++s) {
         const kv::KvSegment seg = cache.segment(h, s);
@@ -105,52 +130,25 @@ void fused_decode_attend(const ModelConfig& cfg, std::span<const float> q_row,
           rope_rotate({dst, dh}, key_position(cfg, cache, i), cfg.rope_base);
         }
       }
-      matvec({rotated_scratch.data(), key_len * dh}, {q_head.data(), dh},
-             {lrow, key_len}, key_len, dh);
-    } else {
-      for (std::size_t s = 0; s < n_segs; ++s) {
-        const kv::KvSegment seg = cache.segment(h, s);
-        matvec({seg.keys, seg.count * dh}, {q_head.data(), dh},
-               {lrow + seg.first, seg.count}, seg.count, dh);
-      }
+      keys_override = rotated_scratch.data();
     }
 
+    const float* bias_ptr = nullptr;
     if (use_alibi) {
       const double slope = alibi_slope(h, h_count);
       for (std::size_t i = 0; i < key_len; ++i) {
-        const std::size_t kp = key_position(cfg, cache, i);
-        lrow[i] = lrow[i] * inv_sqrt_dh +
-                  static_cast<float>(-slope * static_cast<double>(q_eff - kp));
+        bias[i] = static_cast<float>(
+            -slope * static_cast<double>(q_eff - kpos[i]));
       }
-    } else {
-      for (std::size_t i = 0; i < key_len; ++i) lrow[i] *= inv_sqrt_dh;
+      bias_ptr = bias.data();
     }
 
-    // Fused pass: stable softmax and weighted-value accumulation together.
-    // exp terms accumulate into the context unnormalized; one final scale
-    // by 1/sum normalizes probs and context alike. V rows stream segment
-    // by segment in ascending index order — the same accumulation sequence
-    // as a single contiguous run.
-    float m = lrow[0];
-    for (std::size_t i = 1; i < key_len; ++i) m = lrow[i] > m ? lrow[i] : m;
-    float* prow = out.probs.data() + h * key_len;
-    for (std::size_t j = 0; j < dh; ++j) ctx_head[j] = 0.0F;
-    double sum = 0.0;
-    for (std::size_t s = 0; s < n_segs; ++s) {
-      const kv::KvSegment seg = cache.segment(h, s);
-      for (std::size_t r = 0; r < seg.count; ++r) {
-        const std::size_t i = seg.first + r;
-        const double e = std::exp(static_cast<double>(lrow[i] - m));
-        const float ef = static_cast<float>(e);
-        prow[i] = ef;
-        sum += e;
-        axpy(ef, {seg.values + r * dh, dh}, ctx_head);
-      }
-    }
-    const float inv = static_cast<float>(1.0 / sum);
-    for (std::size_t i = 0; i < key_len; ++i) prow[i] *= inv;
-    float* ctx_dst = out.context.data() + h * dh;
-    for (std::size_t j = 0; j < dh; ++j) ctx_dst[j] = ctx_head[j] * inv;
+    // Dispatched fused kernel: per-row QK dots over the segment streams,
+    // scale/bias, then one pass of stable softmax + weighted-V accumulate.
+    attend(segs.data(), n_segs, q_head.data(), dh, inv_sqrt_dh, bias_ptr,
+           keys_override, out.logits.data() + h * key_len,
+           out.probs.data() + h * key_len, out.context.data() + h * dh,
+           key_len);
   }
 }
 

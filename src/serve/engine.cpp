@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/timing.h"
+#include "cpu/cpu_isa.h"
 #include "mem/paged_kv_cache.h"
 
 namespace kf::serve {
@@ -213,6 +214,7 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
   // The run accumulates into this local and publishes snapshots; readers
   // of stats() never observe a half-updated struct.
   EngineStats stats;
+  stats.isa = cpu::isa_name(cpu::active_isa());
   publish_stats(stats);
   if (pool_ != nullptr) {
     pool_->reset_peaks();

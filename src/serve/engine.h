@@ -147,6 +147,11 @@ struct EngineStats {
   std::size_t alloc_failures = 0;
   double prefill_seconds = 0.0;
   double decode_seconds = 0.0;  ///< summed batch-step walls
+  /// CPU ISA the kernel dispatcher routed this run to (cpu::isa_name of
+  /// the active ISA — "scalar"/"avx2"/"avx512"), so throughput artifacts
+  /// stay comparable across heterogeneous CI runners. Static-storage
+  /// string; safe to copy around.
+  const char* isa = "";
 
   /// Fraction of prefix-eligible prompts that hit the shared index.
   double prefix_hit_rate() const {

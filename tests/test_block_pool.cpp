@@ -79,6 +79,26 @@ TEST(BlockPool, PayloadPointersAreStableAndDisjoint) {
   }
 }
 
+TEST(BlockPool, SlabAllocationsAre64ByteAligned) {
+  // Slab arenas allocate at kSimdAlign (core/aligned.h) so SIMD loads on
+  // head-major block payloads start cache-line aligned. Block 0 of every
+  // slab IS the slab base; the property must hold across slab growth and
+  // across shards.
+  BlockPoolConfig cfg = small_config(2, 0);  // unbounded: slabs on demand
+  BlockPool pool(cfg);
+  for (std::size_t s = 0; s < 2; ++s) {
+    std::vector<BlockRef> refs;
+    for (std::size_t i = 0; i < 130; ++i) refs.push_back(pool.allocate(s));
+    for (const BlockRef r : refs) {
+      if (r.id % 64 == 0) {  // kBlocksPerSlab: this block is a slab base
+        EXPECT_TRUE(is_simd_aligned(pool.keys(r, 0)))
+            << "shard " << s << " block " << r.id;
+      }
+    }
+    for (const BlockRef r : refs) pool.free(r);
+  }
+}
+
 TEST(BlockPool, ExhaustionThrowsAndFreeRecovers) {
   BlockPool pool(small_config(1, 3));
   std::vector<BlockRef> refs;

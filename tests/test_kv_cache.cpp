@@ -263,6 +263,25 @@ TEST(KvCache, GrowthIsGeometricAndHintedCachesNeverReallocate) {
   EXPECT_EQ(hinted.reallocations(), 0u);
 }
 
+TEST(KvCache, ArenasAndHeadSegmentsAre64ByteAligned) {
+  // The contiguous arenas allocate at kSimdAlign and capacity is rounded
+  // so every head's segment base lands on an alignment boundary — across
+  // geometric regrowth and for d_head values that do not divide the
+  // alignment width.
+  for (const std::size_t d_head : {3UL, 4UL, 16UL, 20UL}) {
+    ContiguousKvCache c(3, d_head, /*capacity_hint=*/2);
+    std::vector<float> row(c.row_width(), 1.0F);
+    for (std::size_t t = 0; t < 200; ++t) {
+      c.append(row, row, t);
+      for (std::size_t h = 0; h < c.n_heads(); ++h) {
+        ASSERT_TRUE(is_simd_aligned(c.keys_head(h).data()))
+            << "d_head " << d_head << " head " << h << " after " << t;
+        ASSERT_TRUE(is_simd_aligned(c.values_head(h).data()));
+      }
+    }
+  }
+}
+
 TEST(KvCache, ClearResetsEverything) {
   ContiguousKvCache c(2, 2);
   c.append(row_of(4, 1.0F), row_of(4, 1.0F), 0);
