@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/parse.h"
+#include "obs/metrics.h"
 
 #include "keyformer/keyformer.h"
 
@@ -146,6 +147,27 @@ inline void maybe_write_csv(const Options& o, const Table& table,
 /// Percentage string helper.
 inline std::string pct(double ratio) {
   return Table::num(static_cast<long long>(ratio * 100 + 0.5)) + "%";
+}
+
+/// Appends the canonical TTFT + inter-token latency columns (ttft_p50_ms
+/// ... itl_p99_ms) to a header row. Shared with serve_sim --metrics-csv so
+/// every serving artifact carries one column schema.
+inline void append_latency_columns(std::vector<std::string>& header) {
+  for (const char* prefix : {"ttft", "itl"}) {
+    for (std::string& c : obs::percentile_columns(prefix)) {
+      header.push_back(std::move(c));
+    }
+  }
+}
+
+/// The matching TTFT + inter-token cells from an engine-stats snapshot.
+inline void append_latency_cells(std::vector<std::string>& row,
+                                 const serve::EngineStats& stats) {
+  for (const obs::Percentiles* p : {&stats.ttft, &stats.inter_token}) {
+    for (std::string& c : obs::percentile_cells(*p)) {
+      row.push_back(std::move(c));
+    }
+  }
 }
 
 }  // namespace kf::bench

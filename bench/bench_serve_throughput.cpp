@@ -156,22 +156,27 @@ int main(int argc, char** argv) {
   // Sweep 1: batch scaling at fixed cache_ratio.
   const double fixed_ratio = 0.5;
   Table t1("aggregate decode throughput vs batch size (cache_ratio 0.5)");
-  t1.header({"max_batch", "isa", "decode_tok_per_s", "speedup_vs_b1",
-             "steps", "peak_batch", "peak_kv_tokens", "pool_util", "frag"});
+  std::vector<std::string> h1{"max_batch", "isa", "decode_tok_per_s",
+                              "speedup_vs_b1", "steps", "peak_batch",
+                              "peak_kv_tokens", "pool_util", "frag"};
+  bench::append_latency_columns(h1);
+  t1.header(h1);
   double base_tps = 0.0;
   for (const std::size_t b : batches) {
     const serve::EngineStats stats =
         run_cell(m, wl, fixed_ratio, b, /*max_tokens=*/0, po);
     const double tps = stats.decode_tokens_per_s();
     if (b == batches.front()) base_tps = tps;
-    t1.row({Table::num(static_cast<long long>(b)), stats.isa,
-            Table::num(tps, 1),
-            Table::num(base_tps > 0.0 ? tps / base_tps : 0.0, 2) + "x",
-            Table::num(static_cast<long long>(stats.steps)),
-            Table::num(static_cast<long long>(stats.max_batch)),
-            Table::num(static_cast<long long>(stats.max_tokens_in_use)),
-            Table::num(pool_util(stats), 3),
-            Table::num(stats.max_fragmentation, 3)});
+    std::vector<std::string> row{
+        Table::num(static_cast<long long>(b)), stats.isa, Table::num(tps, 1),
+        Table::num(base_tps > 0.0 ? tps / base_tps : 0.0, 2) + "x",
+        Table::num(static_cast<long long>(stats.steps)),
+        Table::num(static_cast<long long>(stats.max_batch)),
+        Table::num(static_cast<long long>(stats.max_tokens_in_use)),
+        Table::num(pool_util(stats), 3),
+        Table::num(stats.max_fragmentation, 3)};
+    bench::append_latency_cells(row, stats);
+    t1.row(row);
   }
   t1.print(std::cout);
   bench::maybe_write_csv(opt, t1, "serve_throughput");
@@ -186,21 +191,27 @@ int main(int argc, char** argv) {
                 : std::vector<double>{1.0, 0.75, 0.5, 0.25};
   Table t2("fixed KV-memory budget (" + std::to_string(kv_budget) +
            " tokens): cache_ratio buys batch size");
-  t2.header({"cache_ratio", "isa", "achieved_batch", "decode_tok_per_s",
-             "speedup_vs_full", "peak_kv_tokens", "pool_util", "frag"});
+  std::vector<std::string> h2{"cache_ratio", "isa", "achieved_batch",
+                              "decode_tok_per_s", "speedup_vs_full",
+                              "peak_kv_tokens", "pool_util", "frag"};
+  bench::append_latency_columns(h2);
+  t2.header(h2);
   double full_tps = 0.0;
   for (const double r : ratios) {
     const serve::EngineStats stats =
         run_cell(m, wl, r, /*max_batch=*/0, kv_budget, po);
     const double tps = stats.decode_tokens_per_s();
     if (r == ratios.front()) full_tps = tps;
-    t2.row({Table::num(r, 2), stats.isa,
-            Table::num(static_cast<long long>(stats.max_batch)),
-            Table::num(tps, 1),
-            Table::num(full_tps > 0.0 ? tps / full_tps : 0.0, 2) + "x",
-            Table::num(static_cast<long long>(stats.max_tokens_in_use)),
-            Table::num(pool_util(stats), 3),
-            Table::num(stats.max_fragmentation, 3)});
+    std::vector<std::string> row{
+        Table::num(r, 2), stats.isa,
+        Table::num(static_cast<long long>(stats.max_batch)),
+        Table::num(tps, 1),
+        Table::num(full_tps > 0.0 ? tps / full_tps : 0.0, 2) + "x",
+        Table::num(static_cast<long long>(stats.max_tokens_in_use)),
+        Table::num(pool_util(stats), 3),
+        Table::num(stats.max_fragmentation, 3)};
+    bench::append_latency_cells(row, stats);
+    t2.row(row);
   }
   t2.print(std::cout);
   bench::maybe_write_csv(opt, t2, "serve_frontier");

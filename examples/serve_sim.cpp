@@ -9,7 +9,8 @@
 //
 //   ./examples/serve_sim [--max-batch N] [--kv-budget N]
 //                        [--shards N] [--block-tokens N]
-//                        [--shared-prefix N]
+//                        [--shared-prefix N] [--trace FILE]
+//                        [--metrics] [--metrics-csv FILE]
 //     --max-batch N       max concurrent sequences (default 4)
 //     --kv-budget N       scheduler memory budget in per-layer tokens;
 //                         0 = unlimited (default 600)
@@ -22,6 +23,14 @@
 //                         prefix cache replays it instead of re-prefilling
 //                         (requires --shards; prints hit-rate / blocks-
 //                         saved summary)
+//     --trace FILE        record engine/kernel spans and write a Chrome
+//                         trace-event JSON to FILE (open in Perfetto or
+//                         chrome://tracing)
+//     --metrics           print the engine's latency percentile table
+//                         (TTFT, inter-token, queue wait, per-step decode)
+//                         and the full metrics-registry counter dump
+//     --metrics-csv FILE  write a one-row CSV of the canonical latency
+//                         columns (ttft/itl/queue_wait/step x p50/p95/p99)
 //
 // With --shards the budget stops being an abstract token count: admission
 // reserves real blocks on a shard, and the summary reports pool
@@ -32,11 +41,15 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/csv.h"
 #include "core/parse.h"
 #include "data/fewshot.h"
 #include "keyformer/keyformer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 using namespace kf;
 
@@ -98,6 +111,9 @@ int main(int argc, char** argv) {
   std::size_t shards = 0;
   std::size_t block_tokens = 16;
   std::size_t shared_prefix = 0;
+  std::string trace_path;
+  std::string metrics_csv_path;
+  bool print_metrics = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&](const char* name) -> const char* {
@@ -116,9 +132,20 @@ int main(int argc, char** argv) {
     } else if (arg == "--shared-prefix") {
       shared_prefix =
           parse_count_arg(next("--shared-prefix"), "--shared-prefix");
+    } else if (arg == "--trace") {
+      trace_path = next("--trace");
+      if (trace_path.empty()) usage_exit("--trace expects a file path");
+    } else if (arg == "--metrics") {
+      print_metrics = true;
+    } else if (arg == "--metrics-csv") {
+      metrics_csv_path = next("--metrics-csv");
+      if (metrics_csv_path.empty()) {
+        usage_exit("--metrics-csv expects a file path");
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: serve_sim [--max-batch N] [--kv-budget N] "
-                   "[--shards N] [--block-tokens N] [--shared-prefix N]\n";
+                   "[--shards N] [--block-tokens N] [--shared-prefix N] "
+                   "[--trace FILE] [--metrics] [--metrics-csv FILE]\n";
       return 0;
     } else {
       usage_exit("unknown argument \"" + arg + "\"");
@@ -196,7 +223,9 @@ int main(int argc, char** argv) {
                     : std::string())
             << ")\n\n";
 
+  if (!trace_path.empty()) obs::set_trace_enabled(true);
   const auto responses = engine.run(requests);
+  if (!trace_path.empty()) obs::set_trace_enabled(false);
 
   Table t("per-request latency ledger (steps are engine decode ticks)");
   t.header({"req", "prompt", "tokens", "arrive", "start", "finish",
@@ -287,6 +316,89 @@ int main(int argc, char** argv) {
               << " block adoptions served by sharing, "
               << st.prefix_cow_copies << " copy-on-write block copies\n";
   }
+  if (print_metrics) {
+    // Latency percentile table from the engine's real histograms (the
+    // same Percentiles snapshots EngineStats carries).
+    Table lt("latency percentiles (engine histograms, wall time)");
+    lt.header({"metric", "count", "p50_ms", "p95_ms", "p99_ms", "mean_ms",
+               "max_ms"});
+    const auto latency_row = [&lt](const char* name,
+                                   const obs::Percentiles& p) {
+      std::vector<std::string> cells{name, Table::num(static_cast<long long>(
+                                               p.count))};
+      for (const std::string& c : obs::percentile_cells(p)) {
+        cells.push_back(c);
+      }
+      cells.push_back(Table::num(1e3 * p.mean, 3));
+      cells.push_back(Table::num(1e3 * p.max, 3));
+      lt.row(cells);
+    };
+    latency_row("ttft", st.ttft);
+    latency_row("inter_token", st.inter_token);
+    latency_row("queue_wait", st.queue_wait);
+    latency_row("step", st.step_latency);
+    std::cout << '\n';
+    lt.print(std::cout);
+
+    Table mt("metrics registry");
+    mt.header({"metric", "kind", "value"});
+    for (const auto& row : engine.metrics().rows()) {
+      switch (row.kind) {
+        case obs::MetricRow::Kind::kCounter:
+          mt.row({row.name, "counter",
+                  Table::num(static_cast<long long>(row.count))});
+          break;
+        case obs::MetricRow::Kind::kGauge:
+          mt.row({row.name, "gauge", Table::num(row.value, 3)});
+          break;
+        case obs::MetricRow::Kind::kHistogram:
+          mt.row({row.name, "histogram",
+                  Table::num(static_cast<long long>(row.count)) +
+                      " samples, p99 " +
+                      Table::num(1e3 * row.percentiles.p99, 3) + " ms"});
+          break;
+      }
+    }
+    std::cout << '\n';
+    mt.print(std::cout);
+  }
+
+  if (!metrics_csv_path.empty()) {
+    std::vector<std::string> header;
+    std::vector<std::string> cells;
+    const std::vector<std::pair<const char*, const obs::Percentiles*>> series =
+        {{"ttft", &st.ttft},
+         {"itl", &st.inter_token},
+         {"queue_wait", &st.queue_wait},
+         {"step", &st.step_latency}};
+    for (const auto& [prefix, p] : series) {
+      for (const std::string& col : obs::percentile_columns(prefix)) {
+        header.push_back(col);
+      }
+      for (const std::string& c : obs::percentile_cells(*p)) {
+        cells.push_back(c);
+      }
+    }
+    CsvWriter csv(header);
+    csv.add_row(cells);
+    if (!csv.write_file(metrics_csv_path)) {
+      std::cerr << "error: cannot write " << metrics_csv_path << '\n';
+      return 1;
+    }
+    std::cout << "\nmetrics csv written to " << metrics_csv_path << '\n';
+  }
+
+  if (!trace_path.empty()) {
+    if (!obs::write_chrome_trace(trace_path)) {
+      std::cerr << "error: cannot write " << trace_path << '\n';
+      return 1;
+    }
+    std::cout << "\ntrace: " << obs::trace_event_count() << " span(s) ("
+              << obs::trace_dropped_count()
+              << " dropped) written to " << trace_path
+              << " -- load it in Perfetto or chrome://tracing\n";
+  }
+
   std::cout << "Queued steps show admission control at work: requests wait "
                "when the batch or the KV-memory budget is full, and join "
                "mid-stream as earlier sequences retire. Lowering the cache "

@@ -9,11 +9,14 @@ Checks (each failure lists file and reason; exit code 1 on any):
   1. every tests/test_*.cpp is registered in tests/CMakeLists.txt --
      a suite that isn't in KF_TEST_SUITES builds nobody and gates nothing;
   2. every header carries an include guard (#pragma once or #ifndef);
-  3. no std::cout in src/ library code -- the library reports through
-     return values and stderr, stdout belongs to the binaries;
+  3. no direct console output (std::cout, std::cerr, printf, fprintf) in
+     src/ library code -- the library reports through return values; the
+     one sanctioned diagnostic path is kf::obs::diag (src/obs/log.cpp
+     holds the single allowlisted fprintf);
   4. no thread-safety-analysis suppressions (KF_NO_THREAD_SAFETY_ANALYSIS)
-     in src/mem, src/serve, or src/core -- the annotated subsystems stay
-     fully analyzed; a suppression is a finding, not a fix;
+     in src/mem, src/serve, src/core, or src/obs -- the annotated
+     subsystems stay fully analyzed; a suppression is a finding, not a
+     fix;
   5. no `throw` inside the engine's per-request paths (Engine::run,
      Engine::start_sequence, BatchScheduler::admit) -- run() promises a
      definite finish reason for every request, and a throw in a
@@ -25,7 +28,11 @@ Checks (each failure lists file and reason; exit code 1 on any):
      instructions into a generic object), and the avx2:: / avx512::
      variant namespaces are only named inside src/cpu (everyone else goes
      through the cpu::*_stub tables, which is what keeps the binary
-     portable).
+     portable);
+  7. no KF_TRACE_SCOPE / KF_TRACE_INSTANT in the per-ISA variant TUs
+     (src/cpu/kernels_avx2.cpp, kernels_avx512.cpp) -- the innermost SIMD
+     loops must stay branch-free of tracing; kernel time reaches the
+     tracer through the AttentionTimings / PolicyTimings sinks instead.
 """
 
 from __future__ import annotations
@@ -71,15 +78,26 @@ def check_include_guards() -> list[str]:
     return errors
 
 
-def check_no_cout_in_library() -> list[str]:
-    """src/ is library code: no std::cout (stderr diagnostics are fine)."""
+def check_no_console_io_in_library() -> list[str]:
+    """src/ is library code: no std::cout/std::cerr/printf/fprintf.
+
+    Diagnostics go through kf::obs::diag so tests can observe them and a
+    future logging backend swaps in at one site; src/obs/log.cpp is that
+    site and holds the single allowlisted fprintf.
+    """
+    allowlist = {REPO / "src" / "obs" / "log.cpp"}
+    print_re = re.compile(r"\b(?:std::)?(?:printf|fprintf)\s*\(")
     errors = []
     for path in sorted((REPO / "src").rglob("*.cpp")):
+        if path in allowlist:
+            continue
         for lineno, line in enumerate(path.read_text().splitlines(), 1):
-            if "std::cout" in line.split("//")[0]:
+            code = line.split("//")[0]
+            if "std::cout" in code or "std::cerr" in code or print_re.search(code):
                 errors.append(
-                    f"{path.relative_to(REPO)}:{lineno}: std::cout in "
-                    "library code (return data or write to stderr)"
+                    f"{path.relative_to(REPO)}:{lineno}: console output in "
+                    "library code (return data, or diagnose via "
+                    "kf::obs::diag)"
                 )
     return errors
 
@@ -88,7 +106,7 @@ def check_no_tsa_suppressions() -> list[str]:
     """The annotated concurrent subsystems carry zero analysis opt-outs."""
     errors = []
     definition_site = REPO / "src" / "core" / "annotations.h"
-    for sub in ("src/mem", "src/serve", "src/core"):
+    for sub in ("src/mem", "src/serve", "src/core", "src/obs"):
         for path in sorted((REPO / sub).rglob("*")):
             if path.suffix not in (".h", ".cpp") or path == definition_site:
                 continue
@@ -191,14 +209,34 @@ def check_simd_variants_behind_dispatch() -> list[str]:
     return errors
 
 
+def check_no_tracing_in_isa_variants() -> list[str]:
+    """The per-ISA kernel TUs never carry trace macros: the hot SIMD loops
+    stay identical across variants, and kernel time flows to the tracer
+    through the timing sinks the generic layer reads."""
+    errors = []
+    for rel in ("src/cpu/kernels_avx2.cpp", "src/cpu/kernels_avx512.cpp"):
+        path = REPO / rel
+        if not path.is_file():
+            continue
+        text = _strip_comments(path.read_text())
+        for lineno, line in enumerate(text.splitlines(), 1):
+            if "KF_TRACE_SCOPE" in line or "KF_TRACE_INSTANT" in line:
+                errors.append(
+                    f"{rel}:{lineno}: trace macro in a per-ISA variant TU "
+                    "(report kernel time through the timing sinks instead)"
+                )
+    return errors
+
+
 def main() -> int:
     checks = [
         ("test registration", check_test_registration),
         ("include guards", check_include_guards),
-        ("no std::cout in src/", check_no_cout_in_library),
+        ("no console output in src/", check_no_console_io_in_library),
         ("no TSA suppressions", check_no_tsa_suppressions),
         ("no throw in request paths", check_no_throw_in_request_paths),
         ("SIMD variants behind dispatch", check_simd_variants_behind_dispatch),
+        ("no tracing in ISA variant TUs", check_no_tracing_in_isa_variants),
     ]
     failed = False
     for name, check in checks:

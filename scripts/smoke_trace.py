@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Smoke-test serve_sim's observability surface.
+
+Runs serve_sim with --trace / --metrics / --metrics-csv, then checks
+that the artifacts actually round-trip:
+
+  1. the Chrome trace file parses as JSON, has the Trace Event envelope
+     (displayTimeUnit + traceEvents), and contains complete ("X") spans
+     with non-negative durations covering the engine phases;
+  2. the metrics CSV carries the shared percentile-column schema
+     ({series}_p50_ms/_p95_ms/_p99_ms for ttft/itl/queue_wait/step) and
+     one data row of finite numbers;
+  3. the --metrics stdout report prints the latency-percentile table.
+
+Usage: smoke_trace.py /path/to/serve_sim
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REQUIRED_SPANS = {"engine.run", "prefill", "step_batch", "sample", "retire"}
+SERIES = ("ttft", "itl", "queue_wait", "step")
+SUFFIXES = ("_p50_ms", "_p95_ms", "_p99_ms")
+
+
+def fail(msg: str) -> None:
+    print(f"smoke_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path: Path) -> None:
+    with path.open() as f:
+        doc = json.load(f)
+    if doc.get("displayTimeUnit") != "ms":
+        fail(f"displayTimeUnit missing/unexpected: {doc.get('displayTimeUnit')!r}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+    names = set()
+    for ev in events:
+        for key in ("name", "cat", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                fail(f"event missing {key!r}: {ev}")
+        if ev["ph"] == "X":
+            if ev.get("dur", -1) < 0:
+                fail(f"complete span with negative/missing dur: {ev}")
+            names.add(ev["name"])
+        if ev["ts"] < 0:
+            fail(f"negative timestamp: {ev}")
+    missing = REQUIRED_SPANS - names
+    if missing:
+        fail(f"trace lacks expected spans: {sorted(missing)}")
+    print(f"smoke_trace: trace OK ({len(events)} events, "
+          f"{len(names)} distinct span names)")
+
+
+def check_csv(path: Path) -> None:
+    lines = path.read_text().splitlines()
+    if len(lines) < 2:
+        fail(f"metrics CSV has {len(lines)} line(s); want header + row")
+    header = lines[0].split(",")
+    expected = [s + suf for s in SERIES for suf in SUFFIXES]
+    for col in expected:
+        if col not in header:
+            fail(f"metrics CSV missing column {col!r} (header: {header})")
+    row = lines[1].split(",")
+    if len(row) != len(header):
+        fail(f"metrics CSV row width {len(row)} != header width {len(header)}")
+    for col, cell in zip(header, row):
+        try:
+            value = float(cell)
+        except ValueError:
+            fail(f"metrics CSV cell {col}={cell!r} is not numeric")
+        if not (value >= 0.0):
+            fail(f"metrics CSV cell {col}={cell!r} is negative/NaN")
+    print(f"smoke_trace: metrics CSV OK ({len(header)} columns)")
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: smoke_trace.py /path/to/serve_sim")
+    serve_sim = sys.argv[1]
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "trace.json"
+        csv_path = Path(tmp) / "metrics.csv"
+        cmd = [
+            serve_sim, "--shards", "2", "--block-tokens", "16",
+            "--kv-budget", "1200", "--metrics",
+            "--trace", str(trace_path), "--metrics-csv", str(csv_path),
+        ]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout + proc.stderr)
+            fail(f"serve_sim exited {proc.returncode}")
+        if "latency percentiles" not in proc.stdout:
+            fail("--metrics report missing the latency-percentiles table")
+        if "metrics registry" not in proc.stdout:
+            fail("--metrics report missing the registry dump")
+        check_trace(trace_path)
+        check_csv(csv_path)
+    print("smoke_trace: PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,10 +1,11 @@
 #include "core/threadpool.h"
 
 #include "core/parse.h"
+#include "obs/log.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <cstdlib>
+#include <string>
 
 namespace kf {
 
@@ -115,10 +116,8 @@ ThreadPool& ThreadPool::global() {
     constexpr unsigned long long kMaxPoolThreads = 256;
     const auto parsed = parse_count(env, kMaxPoolThreads);
     if (!parsed.has_value() || *parsed == 0) {
-      std::fprintf(stderr,
-                   "warning: ignoring KF_NUM_THREADS=\"%s\" (want 1..%llu); "
-                   "using hardware_concurrency\n",
-                   env, kMaxPoolThreads);
+      obs::diag("ignoring KF_NUM_THREADS=\"" + std::string(env) + "\" (want 1.." +
+                std::to_string(kMaxPoolThreads) + "); using hardware_concurrency");
       return std::size_t{0};
     }
     return static_cast<std::size_t>(*parsed);

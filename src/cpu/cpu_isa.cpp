@@ -1,10 +1,11 @@
 #include "cpu/cpu_isa.h"
 
 #include <atomic>
-#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+
+#include "obs/log.h"
 
 namespace kf::cpu {
 
@@ -53,15 +54,13 @@ struct IsaState {
     if (const char* env = std::getenv("KF_CPU_ISA")) {
       CpuIsa parsed = CpuIsa::kScalar;
       if (!parse_isa(env, parsed)) {
-        std::fprintf(stderr,
-                     "kf: KF_CPU_ISA=%s not recognized "
-                     "(scalar|avx2|avx512); using detected %s\n",
-                     env, isa_name(detected));
+        obs::diag(std::string("KF_CPU_ISA=") + env +
+                  " not recognized (scalar|avx2|avx512); using detected " +
+                  isa_name(detected));
       } else if (parsed > detected) {
-        std::fprintf(stderr,
-                     "kf: KF_CPU_ISA=%s exceeds what this host/build "
-                     "supports; clamping to %s\n",
-                     env, isa_name(detected));
+        obs::diag(std::string("KF_CPU_ISA=") + env +
+                  " exceeds what this host/build supports; clamping to " +
+                  isa_name(detected));
       } else {
         env_default = parsed;
         requested = env;

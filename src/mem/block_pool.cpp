@@ -4,11 +4,20 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace kf::mem {
 
 BlockPool::BlockPool(BlockPoolConfig cfg) : cfg_(cfg) {
   if (cfg_.n_shards == 0) {
     throw std::invalid_argument("BlockPool requires n_shards > 0");
+  }
+  if (cfg_.metrics != nullptr) {
+    ctr_allocs_ = &cfg_.metrics->counter("pool.allocs");
+    ctr_alloc_failures_ = &cfg_.metrics->counter("pool.alloc_failures");
+    ctr_reserves_ = &cfg_.metrics->counter("pool.reserves");
+    ctr_reserve_failures_ = &cfg_.metrics->counter("pool.reserve_failures");
+    ctr_emergency_ = &cfg_.metrics->counter("pool.emergency_blocks");
   }
   if (cfg_.block_tokens == 0) {
     throw std::invalid_argument("BlockPool requires block_tokens > 0");
@@ -99,9 +108,15 @@ std::optional<BlockRef> BlockPool::try_allocate(std::size_t shard) {
   Shard& sh = *shards_[shard];
   const LockGuard lock(sh.mu);
   if (auto* injector = injector_.load(std::memory_order_acquire)) {
-    if (injector->should_fail(FaultOp::kAllocate, shard)) return std::nullopt;
+    if (injector->should_fail(FaultOp::kAllocate, shard)) {
+      if (ctr_alloc_failures_ != nullptr) ctr_alloc_failures_->add();
+      return std::nullopt;
+    }
   }
-  if (sh.free_list.empty() && !carve_slab_locked(sh)) return std::nullopt;
+  if (sh.free_list.empty() && !carve_slab_locked(sh)) {
+    if (ctr_alloc_failures_ != nullptr) ctr_alloc_failures_->add();
+    return std::nullopt;
+  }
   const std::uint32_t id = sh.free_list.back();
   sh.free_list.pop_back();
   if (sh.live.size() < sh.created) {
@@ -113,6 +128,7 @@ std::optional<BlockRef> BlockPool::try_allocate(std::size_t shard) {
   ++sh.used;
   if (sh.used > sh.peak_used) sh.peak_used = sh.used;
   raise_peak(peak_total_used_, total_used_.fetch_add(1) + 1);
+  if (ctr_allocs_ != nullptr) ctr_allocs_->add();
   return BlockRef{static_cast<std::uint32_t>(shard), id};
 }
 
@@ -173,15 +189,24 @@ bool BlockPool::try_reserve(std::size_t shard, std::size_t blocks) {
   const LockGuard lock(sh.mu);
   if (cfg_.blocks_per_shard > 0 &&
       sh.reserved + blocks > cfg_.blocks_per_shard) {
+    if (ctr_reserve_failures_ != nullptr) ctr_reserve_failures_->add();
     return false;
   }
   if (auto* injector = injector_.load(std::memory_order_acquire)) {
-    if (injector->should_fail(FaultOp::kReserve, shard)) return false;
+    if (injector->should_fail(FaultOp::kReserve, shard)) {
+      if (ctr_reserve_failures_ != nullptr) ctr_reserve_failures_->add();
+      return false;
+    }
   }
   sh.reserved += blocks;
   if (sh.reserved > sh.peak_reserved) sh.peak_reserved = sh.reserved;
   raise_peak(peak_total_reserved_, total_reserved_.fetch_add(blocks) + blocks);
+  if (ctr_reserves_ != nullptr) ctr_reserves_->add();
   return true;
+}
+
+void BlockPool::note_emergency_block() noexcept {
+  if (ctr_emergency_ != nullptr) ctr_emergency_->add();
 }
 
 void BlockPool::unreserve(std::size_t shard, std::size_t blocks) {

@@ -49,6 +49,11 @@
 #include "core/annotations.h"
 #include "core/mutex.h"
 
+namespace kf::obs {
+class Counter;
+class MetricsRegistry;
+}
+
 namespace kf::mem {
 
 struct BlockPoolConfig {
@@ -61,6 +66,11 @@ struct BlockPoolConfig {
   /// Row geometry shared by every cache built on this pool.
   std::size_t n_heads = 0;
   std::size_t d_head = 0;
+  /// Observability registry for allocation/reservation counters
+  /// (pool.allocs, pool.alloc_failures, pool.reserves,
+  /// pool.reserve_failures, pool.emergency_blocks); null disables them.
+  /// Must outlive the pool.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Handle to one block: the owning shard and its block id within it.
@@ -185,6 +195,12 @@ class BlockPool {
     injector_.store(injector, std::memory_order_release);
   }
 
+  /// Observability hook for PagedKvCache's emergency-heap fallback: a
+  /// cache that could not get a pool block and fell back to owned heap
+  /// memory reports it here (the pool never sees that allocation
+  /// otherwise). No-op without a metrics registry.
+  void note_emergency_block() noexcept;
+
  private:
   /// Blocks per arena slab: small enough that an unbounded shard does not
   /// over-commit, large enough that slab allocation stays off the hot path.
@@ -242,6 +258,13 @@ class BlockPool {
   /// Chaos hook; null in production. Read with acquire on the reserve/
   /// allocate paths, swapped with release by set_fault_injector.
   std::atomic<FaultInjector*> injector_{nullptr};
+  /// Registry-owned counters (null when cfg_.metrics is null): sharded
+  /// relaxed adds, cheap enough for the allocate hot path.
+  obs::Counter* ctr_allocs_ = nullptr;
+  obs::Counter* ctr_alloc_failures_ = nullptr;
+  obs::Counter* ctr_reserves_ = nullptr;
+  obs::Counter* ctr_reserve_failures_ = nullptr;
+  obs::Counter* ctr_emergency_ = nullptr;
 };
 
 }  // namespace kf::mem

@@ -25,6 +25,7 @@ BlockRef PagedKvCache::new_block() {
   // heap block so the in-flight decode step completes with exact rows,
   // and latch the failure for the engine's next-step-boundary check.
   ++alloc_failures_;
+  pool_.note_emergency_block();
   emergency_.push_back(make_aligned_floats(2 * pool_.section_floats()));
   return BlockRef{kEmergencyShard,
                   static_cast<std::uint32_t>(emergency_.size() - 1)};

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "mem/paged_kv_cache.h"
+#include "obs/metrics.h"
 
 namespace kf::mem {
 
@@ -14,6 +15,13 @@ PrefixIndex::PrefixIndex(BlockPool& pool, PrefixIndexConfig cfg)
   }
   if (cfg_.min_tokens < pool_.block_tokens()) {
     cfg_.min_tokens = pool_.block_tokens();
+  }
+  if (cfg_.metrics != nullptr) {
+    ctr_hits_ = &cfg_.metrics->counter("prefix.hits");
+    ctr_misses_ = &cfg_.metrics->counter("prefix.misses");
+    ctr_insertions_ = &cfg_.metrics->counter("prefix.insertions");
+    ctr_replications_ = &cfg_.metrics->counter("prefix.replications");
+    ctr_trims_ = &cfg_.metrics->counter("prefix.trims");
   }
 }
 
@@ -106,8 +114,10 @@ const PrefixEntry* PrefixIndex::lookup(std::span<const PrefixToken> prompt,
   if (best != nullptr) {
     best->last_use = ++tick_;
     ++stats_.lookup_hits;
+    if (ctr_hits_ != nullptr) ctr_hits_->add();
     return best->entry.get();
   }
+  if (ctr_misses_ != nullptr) ctr_misses_->add();
   return nullptr;
 }
 
@@ -209,6 +219,7 @@ void PrefixIndex::drop_locked(const PrefixEntry* entry) {
                    [&](const EntryRec& r) { return &r == &rec; });
   entries_.erase(it);
   ++stats_.trims;
+  if (ctr_trims_ != nullptr) ctr_trims_->add();
   ++revision_;
 }
 
@@ -332,6 +343,7 @@ const PrefixEntry* PrefixIndex::insert(std::span<const PrefixToken> run,
   }
   blocks_held_ += needed;
   ++stats_.insertions;
+  if (ctr_insertions_ != nullptr) ctr_insertions_->add();
   ++revision_;
   rec.entry = std::move(entry);
   entries_.push_back(std::move(rec));
@@ -384,6 +396,7 @@ bool PrefixIndex::replicate_locked(EntryRec& rec, std::size_t shard) {
   }
   blocks_held_ += needed;
   ++stats_.replications;
+  if (ctr_replications_ != nullptr) ctr_replications_->add();
   return true;
 }
 

@@ -71,6 +71,9 @@ struct PrefixIndexConfig {
   /// Shortest prefix worth indexing, in tokens; rounded up to at least
   /// one pool block.
   std::size_t min_tokens = 0;
+  /// Observability registry for hit/miss/insert/replicate/trim counters
+  /// (prefix.*); null disables them. Must outlive the index.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct PrefixIndexStats {
@@ -234,6 +237,13 @@ class PrefixIndex {
   std::uint64_t tick_ KF_GUARDED_BY(mu_) = 0;
   std::uint64_t revision_ KF_GUARDED_BY(mu_) = 0;
   PrefixIndexStats stats_ KF_GUARDED_BY(mu_);
+  /// Registry-owned counters mirroring stats_ for the metrics surface;
+  /// null when cfg_.metrics is null.
+  obs::Counter* ctr_hits_ = nullptr;
+  obs::Counter* ctr_misses_ = nullptr;
+  obs::Counter* ctr_insertions_ = nullptr;
+  obs::Counter* ctr_replications_ = nullptr;
+  obs::Counter* ctr_trims_ = nullptr;
 };
 
 }  // namespace kf::mem

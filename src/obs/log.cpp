@@ -1,0 +1,26 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace kf::obs {
+
+namespace {
+std::atomic<unsigned long long> g_diag_count{0};
+}  // namespace
+
+void diag(std::string_view message) {
+  // Allowlisted in scripts/lint.py: the single fprintf in library code.
+  std::string line = "kf: ";
+  line.append(message);
+  line.push_back('\n');
+  std::fprintf(stderr, "%s", line.c_str());
+  g_diag_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+unsigned long long diag_count() {
+  return g_diag_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace kf::obs

@@ -1,0 +1,19 @@
+// The one sanctioned stderr diagnostic sink for library code. scripts/
+// lint.py forbids std::cout/std::cerr/printf/fprintf everywhere under src/
+// except obs/log.cpp, so every rare human-facing warning (bad env override,
+// clamped thread count) funnels through diag() and stays greppable.
+#pragma once
+
+#include <string_view>
+
+namespace kf::obs {
+
+/// Writes one diagnostic line to stderr ("kf: <message>\n"). Thread-safe
+/// (single stdio call). For rare, human-facing conditions only -- metrics
+/// and traces carry machine-facing telemetry.
+void diag(std::string_view message);
+
+/// Number of diagnostics emitted since process start (test hook).
+unsigned long long diag_count();
+
+}  // namespace kf::obs

@@ -1,0 +1,27 @@
+#include "obs/timeline.h"
+
+namespace kf::obs {
+
+const char* to_string(TimelineEventKind kind) noexcept {
+  switch (kind) {
+    case TimelineEventKind::kQueued:
+      return "queued";
+    case TimelineEventKind::kAdmitted:
+      return "admitted";
+    case TimelineEventKind::kPrefillStart:
+      return "prefill_start";
+    case TimelineEventKind::kPrefillEnd:
+      return "prefill_end";
+    case TimelineEventKind::kFirstToken:
+      return "first_token";
+    case TimelineEventKind::kPreempted:
+      return "preempted";
+    case TimelineEventKind::kResumed:
+      return "resumed";
+    case TimelineEventKind::kFinished:
+      return "finished";
+  }
+  return "unknown";
+}
+
+}  // namespace kf::obs

@@ -1,0 +1,113 @@
+// Per-request lifecycle timeline: wall-clock stamps for the events a
+// request passes through (queued -> admitted -> prefill -> first token ->
+// ... -> finished), distilled into the latency figures a serving SLO is
+// written against (TTFT, queue wait, inter-token gaps). The engine stamps
+// these from its single scheduling thread; the finished timeline rides on
+// Response for callers.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace kf::obs {
+
+enum class TimelineEventKind {
+  kQueued,        ///< engine first saw the request at its arrival step
+  kAdmitted,      ///< scheduler granted a batch slot + KV reservation
+  kPrefillStart,  ///< prompt prefill (or resume replay) began
+  kPrefillEnd,    ///< prompt fully prefilled
+  kFirstToken,    ///< first generated token committed
+  kPreempted,     ///< parked under memory pressure (KV released)
+  kResumed,       ///< re-admitted; recompute replay about to run
+  kFinished,      ///< terminal: completed, rejected, or timed out
+};
+
+const char* to_string(TimelineEventKind kind) noexcept;
+
+struct TimelineEvent {
+  TimelineEventKind kind{};
+  double t = 0.0;  ///< kf::now_seconds() stamp (differences meaningful)
+};
+
+/// Running min/mean/max over a small stream (per-request inter-token
+/// gaps). Single-writer; no synchronization.
+struct StreamStats {
+  std::size_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  void add(double v) noexcept {
+    min = count == 0 ? v : std::min(min, v);
+    max = count == 0 ? v : std::max(max, v);
+    sum += v;
+    ++count;
+  }
+  double mean() const noexcept {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// Ordered event list for one request. Events append in stamp order;
+/// kPreempted/kResumed may repeat, the rest appear at most once.
+class RequestTimeline {
+ public:
+  void mark(TimelineEventKind kind, double t) { events_.push_back({kind, t}); }
+
+  const std::vector<TimelineEvent>& events() const noexcept {
+    return events_;
+  }
+
+  bool has(TimelineEventKind kind) const noexcept {
+    return first(kind).has_value();
+  }
+
+  std::optional<double> first(TimelineEventKind kind) const noexcept {
+    for (const TimelineEvent& e : events_) {
+      if (e.kind == kind) {
+        return e.t;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<double> last(TimelineEventKind kind) const noexcept {
+    for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+      if (it->kind == kind) {
+        return it->t;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// first token - queued; 0 when either stamp is missing.
+  double ttft_seconds() const noexcept {
+    return delta(TimelineEventKind::kQueued, TimelineEventKind::kFirstToken);
+  }
+
+  /// first admission - queued; 0 when either stamp is missing.
+  double queue_wait_seconds() const noexcept {
+    return delta(TimelineEventKind::kQueued, TimelineEventKind::kAdmitted);
+  }
+
+  /// finished - queued; 0 when either stamp is missing.
+  double e2e_seconds() const noexcept {
+    return delta(TimelineEventKind::kQueued, TimelineEventKind::kFinished);
+  }
+
+ private:
+  double delta(TimelineEventKind from, TimelineEventKind to) const noexcept {
+    const std::optional<double> a = first(from);
+    const std::optional<double> b = first(to);
+    if (!a.has_value() || !b.has_value()) {
+      return 0.0;
+    }
+    return *b - *a;
+  }
+
+  std::vector<TimelineEvent> events_;
+};
+
+}  // namespace kf::obs

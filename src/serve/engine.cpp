@@ -10,11 +10,20 @@
 #include "core/timing.h"
 #include "cpu/cpu_isa.h"
 #include "mem/paged_kv_cache.h"
+#include "obs/trace.h"
 
 namespace kf::serve {
 
+using obs::TimelineEventKind;
+
 Engine::Engine(model::Transformer& model, EngineConfig cfg)
-    : model_(model), cfg_(std::move(cfg)) {
+    : model_(model),
+      cfg_(std::move(cfg)),
+      hist_ttft_(metrics_.histogram("serve.ttft_seconds")),
+      hist_inter_token_(metrics_.histogram("serve.inter_token_seconds")),
+      hist_queue_wait_(metrics_.histogram("serve.queue_wait_seconds")),
+      hist_step_(metrics_.histogram("serve.step_seconds")) {
+  cfg_.scheduler.metrics = &metrics_;
   if (cfg_.prefix.enabled && !cfg_.paged.enabled) {
     throw std::invalid_argument(
         "the prefix cache shares pool blocks; enable paged memory");
@@ -47,6 +56,7 @@ Engine::Engine(model::Transformer& model, EngineConfig cfg)
     pc.n_heads = model_.config().n_heads;
     pc.d_head = model_.config().d_head();
     pc.blocks_per_shard = cfg_.paged.blocks_per_shard;
+    pc.metrics = &metrics_;
     if (pc.blocks_per_shard == 0 && cfg_.scheduler.max_concurrent_tokens > 0) {
       // Translate the abstract token budget into physical capacity: the
       // budget is per-layer tokens across the active set, so the pool
@@ -68,6 +78,7 @@ Engine::Engine(model::Transformer& model, EngineConfig cfg)
       ic.n_layers = model_.config().n_layers;
       ic.max_blocks = cfg_.prefix.max_blocks;
       ic.min_tokens = cfg_.prefix.min_tokens;
+      ic.metrics = &metrics_;
       prefix_index_ = std::make_unique<mem::PrefixIndex>(*pool_, ic);
       cfg_.scheduler.prefix_index = prefix_index_.get();
     }
@@ -93,8 +104,13 @@ EngineStats Engine::stats() const {
 }
 
 void Engine::publish_stats(const EngineStats& stats) {
+  EngineStats snap = stats;
+  snap.ttft = hist_ttft_.snapshot();
+  snap.inter_token = hist_inter_token_.snapshot();
+  snap.queue_wait = hist_queue_wait_.snapshot();
+  snap.step_latency = hist_step_.snapshot();
   const LockGuard lock(stats_mu_);
-  stats_ = stats;
+  stats_ = snap;
 }
 
 void Engine::start_sequence(Sequence& seq, std::size_t now_step,
@@ -103,6 +119,7 @@ void Engine::start_sequence(Sequence& seq, std::size_t now_step,
   // the first time (policies reset in begin_sequence and are deterministic
   // per sequence), then the parked tokens replay below.
   const bool resume = !seq.tokens.empty();
+  KF_TRACE_SCOPE(resume ? "resume_prefill" : "prefill");
   seq.policy->set_budget(seq.budget);
   kv::SequenceInfo info;
   info.prompt_len = seq.prompt.size();
@@ -113,6 +130,8 @@ void Engine::start_sequence(Sequence& seq, std::size_t now_step,
 
   seq.kv->clear();
   const double t0 = now_seconds();
+  if (resume) seq.timeline.mark(TimelineEventKind::kResumed, t0);
+  seq.timeline.mark(TimelineEventKind::kPrefillStart, t0);
   const std::span<const Token> prompt = seq.prompt;
   std::size_t computed = prompt.size();  // prompt rows actually prefilled
   Tensor prompt_logits;
@@ -167,6 +186,11 @@ void Engine::start_sequence(Sequence& seq, std::size_t now_step,
       seq.policy->set_budget(real_budget);
       prefix_index_->insert(prompt.first(m), *seq.kv,
                             seq.policy->export_score_state(m));
+      // Chunk boundary: publish so the monitoring surface moves during a
+      // long prefill instead of freezing at the last decode step.
+      stats.prefilled_tokens += m;
+      publish_stats(stats);
+      stats.prefilled_tokens -= m;
       prompt_logits = model_.prefill_continue(
           *seq.kv, prompt.subspan(m), m, *seq.policy, seq.gen.max_new_tokens);
       ++stats.prefix_misses;
@@ -179,7 +203,10 @@ void Engine::start_sequence(Sequence& seq, std::size_t now_step,
   seq.peak_cache_tokens = std::max(seq.peak_cache_tokens, prompt.size());
   if (!resume) seq.first_decode_step = now_step;
 
+  seq.timeline.mark(TimelineEventKind::kPrefillEnd, now_seconds());
+
   if (resume) {
+    KF_TRACE_SCOPE("resume_replay");
     // Replay the committed tokens through the ordinary decode path:
     // tokens[0] came from the prompt logits (already committed), each
     // later tokens[i] from feeding tokens[i-1] at decode step i. The
@@ -204,6 +231,18 @@ void Engine::start_sequence(Sequence& seq, std::size_t now_step,
         seq.gen.repetition_penalty, seq.gen.banned_tokens);
     seq.commit(first);
   }
+  if (!seq.tokens.empty()) {
+    const double t_token = now_seconds();
+    if (!seq.ttft_recorded) {
+      seq.ttft_recorded = true;
+      seq.timeline.mark(TimelineEventKind::kFirstToken, t_token);
+      hist_ttft_.record(t_token -
+                        (seq.queued_stamped ? seq.queued_seconds : t0));
+    }
+    // Inter-token gaps restart here: after a resume replay the next decode
+    // step measures from the replay's end, not across the parked interval.
+    seq.last_token_seconds = t_token;
+  }
   const double wall = now_seconds() - t0;
   seq.prefill_seconds += wall;
   stats.prefilled_tokens += computed;
@@ -211,6 +250,24 @@ void Engine::start_sequence(Sequence& seq, std::size_t now_step,
 }
 
 std::vector<Response> Engine::run(std::span<const Request> requests) {
+  KF_TRACE_SCOPE("engine.run");
+  // Kernel-level visibility while tracing: the attention timings sink is
+  // updated only on the batch-step's calling thread (one shared sink is
+  // safe); policy timings are written per sequence inside parallel_for
+  // workers, so each sequence carries its own sink (seq.policy_timings,
+  // installed at admission). Their deltas become synthetic child spans of
+  // each step — the per-ISA kernels themselves stay trace-free.
+  const bool tracing = obs::trace_enabled();
+  model::AttentionTimings attn_timings;
+  struct AttnSinkGuard {
+    model::Transformer& model;
+    bool active;
+    ~AttnSinkGuard() {
+      if (active) model.set_attention_timings(nullptr);
+    }
+  } attn_guard{model_, tracing};
+  if (tracing) model_.set_attention_timings(&attn_timings);
+
   // The run accumulates into this local and publishes snapshots; readers
   // of stats() never observe a half-updated struct.
   EngineStats stats;
@@ -229,6 +286,7 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
     s.status = SequenceStatus::kFinished;
     s.finish = FinishReason::kRejected;
     s.error = std::move(why);
+    s.timeline.mark(TimelineEventKind::kFinished, now_seconds());
     ++stats.rejections;
   };
 
@@ -341,6 +399,9 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
   // external kv_state callers (generate() among them) inspect them after
   // the run.
   const auto retire = [&](Sequence& seq) {
+    KF_TRACE_SCOPE("retire", "sched");
+    seq.timeline.mark(TimelineEventKind::kFinished, now_seconds());
+    if (tracing && seq.policy != nullptr) seq.policy->set_timing_sink(nullptr);
     seq.final_cache_sizes.clear();
     if (seq.kv == nullptr) return;  // never started (queue-time timeout)
     for (std::size_t l = 0; l < seq.kv->n_layers(); ++l) {
@@ -427,6 +488,12 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
   // them, mirroring retire() — but keep its committed tokens and re-queue
   // it. Re-admission resumes it by recompute (see start_sequence).
   const auto park = [&](Sequence& seq) {
+    KF_TRACE_INSTANT("preempt", "sched");
+    const double t_park = now_seconds();
+    seq.timeline.mark(TimelineEventKind::kPreempted, t_park);
+    // Re-queue waits measure from the park, not the original arrival.
+    seq.queued_seconds = t_park;
+    if (tracing && seq.policy != nullptr) seq.policy->set_timing_sink(nullptr);
     if (pool_ != nullptr && seq.kv != nullptr) {
       for (std::size_t l = 0; l < seq.kv->n_layers(); ++l) {
         const auto* paged =
@@ -495,6 +562,8 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
                        ? "deadline_steps expired while queued"
                        : "queue wait exceeded max_queue_steps";
       seq->finish_step = step;
+      seq->timeline.mark(TimelineEventKind::kFinished, now_seconds());
+      KF_TRACE_INSTANT("timeout", "sched");
       ++finished;
       ++stats.timeouts;
     }
@@ -506,6 +575,7 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
       seq->finish = FinishReason::kTimeout;
       seq->error = "deadline_steps expired";
       seq->finish_step = step;
+      KF_TRACE_INSTANT("timeout", "sched");
       retire(*seq);
       sched.release(seq);
       ++finished;
@@ -530,12 +600,28 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
     park(*victim);
     return true;
   };
+
+  // Timeline origin: stamp kQueued the first time the engine sees a
+  // sequence arrived (the waiting queue is arrival-ordered, so stop at the
+  // first future arrival). TTFT and queue wait measure from this stamp.
+  const auto stamp_arrivals = [&]() {
+    const double t_now = now_seconds();
+    for (Sequence* seq : sched.waiting()) {
+      if (seq->arrival_step > step) break;
+      if (!seq->queued_stamped) {
+        seq->queued_stamped = true;
+        seq->queued_seconds = t_now;
+        seq->timeline.mark(TimelineEventKind::kQueued, t_now);
+      }
+    }
+  };
   while (finished < seqs.size()) {
     // Idle engine: jump the clock to the next arrival.
     if (sched.active_count() == 0) {
       const auto next = sched.next_arrival();
       if (next.has_value() && *next > step) step = *next;
     }
+    stamp_arrivals();
 
     // Shed expired sequences first: their freed budget is admissible this
     // same step.
@@ -547,9 +633,16 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
     bool admitted_any = true;
     while (admitted_any) {
       admitted_any = false;
+      KF_TRACE_SCOPE("admit");
       probe_waiting();
       for (Sequence* seq : sched.admit(step)) {
         admitted_any = true;
+        const double t_admit = now_seconds();
+        seq->timeline.mark(TimelineEventKind::kAdmitted, t_admit);
+        if (seq->queued_stamped) {
+          hist_queue_wait_.record(t_admit - seq->queued_seconds);
+        }
+        if (tracing) seq->policy->set_timing_sink(&seq->policy_timings);
         if (pool_ != nullptr) {
           // Materialize the placement decision: layer caches drawing
           // blocks from the shard the scheduler just reserved on.
@@ -571,7 +664,10 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
           park_or_reject(*seq);
           continue;
         }
-        sched.settle(seq);
+        {
+          KF_TRACE_SCOPE("settle");
+          sched.settle(seq);
+        }
         if (seq->finished()) {
           seq->finish_step = step;
           retire(*seq);
@@ -589,6 +685,8 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
           seq->prefix_blocks_per_layer = 0;
         }
         seq->finish_step = step;
+        seq->timeline.mark(TimelineEventKind::kFinished, now_seconds());
+        KF_TRACE_INSTANT("reject", "sched");
         ++finished;
         ++stats.rejections;
       }
@@ -653,20 +751,73 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
       slot.policy = seq->policy;
       slots.push_back(slot);
     }
-    const Tensor logits = model_.step_batch(slots);
-    for (std::size_t b = 0; b < active.size(); ++b) {
-      Sequence* seq = active[b];
-      seq->peak_cache_tokens =
-          std::max(seq->peak_cache_tokens, seq->kv->max_layer_tokens());
-      const Token next = model::select_greedy(
-          logits.row(b), seq->recent_window(), seq->gen.repetition_penalty,
-          seq->gen.banned_tokens);
-      seq->commit(next);
-      ++stats.decoded_tokens;
+    // Kernel-sink baselines: what the timing sinks held before this step,
+    // so the step's own project/attend/policy time can be carved into
+    // synthetic child spans below.
+    std::uint64_t step_ticks0 = 0;
+    model::AttentionTimings attn_before = attn_timings;
+    double policy_before = 0.0;
+    if (tracing) {
+      step_ticks0 = trace_ticks();
+      for (const Sequence* seq : active) {
+        policy_before +=
+            seq->policy_timings.score_seconds + seq->policy_timings.evict_seconds;
+      }
+    }
+    Tensor logits;
+    {
+      KF_TRACE_SCOPE("step_batch");
+      logits = model_.step_batch(slots);
+    }
+    if (tracing) {
+      double policy_after = 0.0;
+      for (const Sequence* seq : active) {
+        policy_after +=
+            seq->policy_timings.score_seconds + seq->policy_timings.evict_seconds;
+      }
+      // Sequential pseudo-spans laid out from the step start: aggregate
+      // sink deltas, not real thread-local intervals (policy observe runs
+      // per sequence in parallel, so its span can exceed the step wall).
+      std::uint64_t t = step_ticks0;
+      const auto emit = [&t](const char* name, double seconds) {
+        const std::uint64_t d = trace_seconds_to_ticks(seconds);
+        obs::trace_complete(name, "kernel", t, t + d);
+        t += d;
+      };
+      emit("attn.project",
+           attn_timings.project_seconds - attn_before.project_seconds);
+      emit("attn.attend",
+           attn_timings.attend_seconds - attn_before.attend_seconds);
+      emit("policy.observe", policy_after - policy_before);
+    }
+    {
+      KF_TRACE_SCOPE("sample");
+      for (std::size_t b = 0; b < active.size(); ++b) {
+        Sequence* seq = active[b];
+        seq->peak_cache_tokens =
+            std::max(seq->peak_cache_tokens, seq->kv->max_layer_tokens());
+        const Token next = model::select_greedy(
+            logits.row(b), seq->recent_window(), seq->gen.repetition_penalty,
+            seq->gen.banned_tokens);
+        seq->commit(next);
+        ++stats.decoded_tokens;
+      }
     }
     const double dt = now_seconds() - t0;
     stats.decode_seconds += dt;
     ++stats.steps;
+    hist_step_.record(dt);
+    // Every active sequence committed one token this step: one shared
+    // timestamp bounds the per-sequence inter-token gaps.
+    const double t_tokens = t0 + dt;
+    for (Sequence* seq : active) {
+      if (seq->last_token_seconds > 0.0) {
+        const double gap = t_tokens - seq->last_token_seconds;
+        hist_inter_token_.record(gap);
+        seq->inter_token.add(gap);
+      }
+      seq->last_token_seconds = t_tokens;
+    }
     // Keep stats() live mid-run: one snapshot per decode step is the
     // granularity an async front-end polls at (per-token would publish
     // the same struct under the same lock anyway).
@@ -713,6 +864,10 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
     r.finish_step = seq.finish_step;
     r.prefill_seconds = seq.prefill_seconds;
     r.decode_seconds = seq.decode_seconds;
+    r.timeline = std::move(seq.timeline);
+    r.ttft_seconds = r.timeline.ttft_seconds();
+    r.queue_wait_seconds = r.timeline.queue_wait_seconds();
+    r.inter_token = seq.inter_token;
     responses.push_back(std::move(r));
   }
   return responses;

@@ -33,6 +33,7 @@
 #include "mem/block_pool.h"
 #include "mem/prefix_index.h"
 #include "model/transformer.h"
+#include "obs/metrics.h"
 #include "serve/scheduler.h"
 #include "serve/sequence.h"
 
@@ -147,6 +148,14 @@ struct EngineStats {
   std::size_t alloc_failures = 0;
   double prefill_seconds = 0.0;
   double decode_seconds = 0.0;  ///< summed batch-step walls
+  // Latency distributions (seconds), extracted from the engine's metrics
+  // histograms at every publish point. The histograms accumulate over the
+  // engine's *lifetime* — a monitoring surface, like the prefix index —
+  // so across several run() calls these summarize all of them.
+  obs::Percentiles ttft;          ///< first token minus first-seen-queued
+  obs::Percentiles inter_token;   ///< gaps between committed decode tokens
+  obs::Percentiles queue_wait;    ///< admission minus queued (per admission)
+  obs::Percentiles step_latency;  ///< per batched decode step wall
   /// CPU ISA the kernel dispatcher routed this run to (cpu::isa_name of
   /// the active ISA — "scalar"/"avx2"/"avx512"), so throughput artifacts
   /// stay comparable across heterogeneous CI runners. Static-storage
@@ -175,6 +184,12 @@ class Engine {
   explicit Engine(model::Transformer& model, EngineConfig cfg = {});
 
   const EngineConfig& config() const noexcept { return cfg_; }
+  /// The engine's metrics registry: serving counters and the latency
+  /// histograms behind EngineStats' percentile fields. The scheduler,
+  /// block pool, and prefix index it owns record here too. Internally
+  /// synchronized — safe to read from a monitoring thread mid-run.
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
   /// Snapshot of the most recent run()'s counters. run() accumulates
   /// into run-local state and publishes under the stats mutex — at start,
   /// after every decode step, and at finish — so this is safe to call
@@ -235,6 +250,14 @@ class Engine {
   /// accumulator and publishes here, so readers never see a torn update.
   mutable Mutex stats_mu_;
   EngineStats stats_ KF_GUARDED_BY(stats_mu_);
+  /// Declared before the pool/index so it outlives them on destruction
+  /// (they hold counter pointers into it).
+  obs::MetricsRegistry metrics_;
+  /// Latency histograms, resolved once (registry lookups lock).
+  obs::Histogram& hist_ttft_;
+  obs::Histogram& hist_inter_token_;
+  obs::Histogram& hist_queue_wait_;
+  obs::Histogram& hist_step_;
   std::unique_ptr<mem::BlockPool> pool_;
   std::unique_ptr<mem::PrefixIndex> prefix_index_;
 };

@@ -6,10 +6,18 @@
 
 #include "mem/block_pool.h"
 #include "mem/prefix_index.h"
+#include "obs/metrics.h"
 
 namespace kf::serve {
 
-BatchScheduler::BatchScheduler(SchedulerConfig cfg) : cfg_(cfg) {}
+BatchScheduler::BatchScheduler(SchedulerConfig cfg) : cfg_(cfg) {
+  if (cfg_.metrics != nullptr) {
+    ctr_admitted_ = &cfg_.metrics->counter("sched.admitted");
+    ctr_rejected_ = &cfg_.metrics->counter("sched.rejected");
+    ctr_preempted_ = &cfg_.metrics->counter("sched.preempted");
+    ctr_retries_ = &cfg_.metrics->counter("sched.reservation_retries");
+  }
+}
 
 void BatchScheduler::submit(Sequence* seq) {
   if (seq == nullptr) throw std::invalid_argument("submit(nullptr)");
@@ -124,6 +132,7 @@ std::vector<Sequence*> BatchScheduler::admit(std::size_t now_step) {
             "sequence KV demand exceeds a whole pool shard; grow "
             "blocks_per_shard or reduce the request";
         rejected_.push_back(head);
+        if (ctr_rejected_ != nullptr) ctr_rejected_->add();
         continue;
       }
     }
@@ -150,6 +159,7 @@ std::vector<Sequence*> BatchScheduler::admit(std::size_t now_step) {
           tokens_in_use_ -= head->charged_tokens;
           ++reservation_retries_;
         }
+        if (ctr_retries_ != nullptr) ctr_retries_->add();
         head->charged_tokens = 0;
         ++head->reserve_failures;
         if (cfg_.max_reserve_retries > 0 &&
@@ -160,6 +170,7 @@ std::vector<Sequence*> BatchScheduler::admit(std::size_t now_step) {
                         std::to_string(head->reserve_failures) +
                         " consecutive admission rounds";
           rejected_.push_back(head);
+          if (ctr_rejected_ != nullptr) ctr_rejected_->add();
           continue;
         }
         head->status = SequenceStatus::kWaiting;
@@ -178,6 +189,7 @@ std::vector<Sequence*> BatchScheduler::admit(std::size_t now_step) {
     head->admitted_step = now_step;
     active_.push_back(head);
     admitted.push_back(head);
+    if (ctr_admitted_ != nullptr) ctr_admitted_->add();
   }
   return admitted;
 }
@@ -209,6 +221,7 @@ void BatchScheduler::preempt(Sequence* seq, std::size_t now_step) {
     seq->shard = Sequence::kNoShard;
   }
   ++seq->preemptions;
+  if (ctr_preempted_ != nullptr) ctr_preempted_->add();
   seq->status = SequenceStatus::kWaiting;
   seq->queue_enter_step = now_step;
   // Re-queue behind every already-arrived waiter — the starved head that

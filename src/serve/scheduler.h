@@ -66,6 +66,11 @@ class BlockPool;
 class PrefixIndex;
 }
 
+namespace kf::obs {
+class Counter;
+class MetricsRegistry;
+}
+
 namespace kf::serve {
 
 /// How block mode picks a shard for a joining sequence.
@@ -93,6 +98,10 @@ struct SchedulerConfig {
   /// a genuine TOCTOU loss resolves in one round; only a pathological
   /// injector (or bug) reaches the cap. 0 = retry forever.
   std::size_t max_reserve_retries = 64;
+  /// Observability registry for admission counters (sched.admitted /
+  /// sched.rejected / sched.preempted / sched.reservation_retries); null
+  /// disables them. Must outlive the scheduler.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class BatchScheduler {
@@ -209,6 +218,13 @@ class BatchScheduler {
   std::size_t blocks_in_use_ KF_GUARDED_BY(counters_mu_) = 0;
   std::size_t reservation_retries_ KF_GUARDED_BY(counters_mu_) = 0;
   std::size_t rr_next_ = 0;  ///< round-robin cursor (advances on placement)
+  /// Registry-owned counters, resolved once in the constructor; null when
+  /// cfg_.metrics is null. The engine-loop-only call sites bump them with
+  /// one relaxed sharded add.
+  obs::Counter* ctr_admitted_ = nullptr;
+  obs::Counter* ctr_rejected_ = nullptr;
+  obs::Counter* ctr_preempted_ = nullptr;
+  obs::Counter* ctr_retries_ = nullptr;
 };
 
 }  // namespace kf::serve

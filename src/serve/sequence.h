@@ -20,6 +20,7 @@
 #include "kvcache/kv_state.h"
 #include "kvcache/policy.h"
 #include "model/generator.h"
+#include "obs/timeline.h"
 
 namespace kf::mem {
 class PrefixEntry;
@@ -100,6 +101,18 @@ struct Response {
   /// its decode latency under whatever batch it shared the engine with.
   double decode_seconds = 0.0;
 
+  /// Wall-clock lifecycle events the engine stamped for this request
+  /// (queued, admitted, prefill start/end, first token, preempted/resumed,
+  /// finished) — the raw record behind the latency fields below.
+  obs::RequestTimeline timeline;
+  /// Time to first token: first generated token committed minus the moment
+  /// the engine first saw the request (0 when no token was produced).
+  double ttft_seconds = 0.0;
+  /// First admission minus queued (0 when never admitted).
+  double queue_wait_seconds = 0.0;
+  /// Wall-clock gaps between consecutive committed decode tokens.
+  obs::StreamStats inter_token;
+
   /// See model::decode_throughput() (same rule as GenerationResult).
   double decode_tokens_per_s() const;
 };
@@ -156,6 +169,26 @@ struct Sequence {
   std::size_t finish_step = 0;
   double prefill_seconds = 0.0;
   double decode_seconds = 0.0;
+
+  /// Lifecycle stamps accumulating toward Response::timeline.
+  obs::RequestTimeline timeline;
+  /// True once kQueued was stamped (the engine first saw the sequence
+  /// arrived); queued_seconds then holds the wall clock of that moment —
+  /// reset by a preemption so re-admission queue waits measure the park.
+  bool queued_stamped = false;
+  double queued_seconds = 0.0;
+  /// Wall clock of the last committed token (prefill first token included);
+  /// 0 until one exists. Decode steps measure inter-token gaps from here.
+  double last_token_seconds = 0.0;
+  /// TTFT is recorded once per request — a resume replay re-commits old
+  /// tokens and must not re-record it.
+  bool ttft_recorded = false;
+  /// Wall-clock gaps between consecutive committed decode tokens.
+  obs::StreamStats inter_token;
+  /// Per-sequence policy timing sink, installed while tracing is enabled
+  /// (policy observe() runs per sequence inside the batched decode step's
+  /// parallel_for, so sequences cannot share one sink).
+  kv::PolicyTimings policy_timings;
 
   /// Per-layer cache sizes captured at retirement. The engine records
   /// these the moment a sequence finishes because a paged sequence's

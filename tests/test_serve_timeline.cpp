@@ -1,0 +1,191 @@
+// Engine-level observability: per-request timelines on Response, the
+// engine's latency histograms, the metrics registry counters, and span
+// tracing across a real run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
+#include "serve/engine.h"
+
+namespace kf::serve {
+namespace {
+
+using model::ModelConfig;
+using model::Token;
+using model::Transformer;
+using obs::TimelineEventKind;
+
+ModelConfig tiny_config() {
+  ModelConfig cfg;
+  cfg.vocab_size = 64;
+  cfg.d_model = 16;
+  cfg.n_layers = 2;
+  cfg.n_heads = 2;
+  cfg.d_ff = 32;
+  cfg.max_seq_len = 512;
+  return cfg;
+}
+
+std::vector<Token> make_prompt(std::size_t n, std::uint64_t seed = 0) {
+  std::vector<Token> p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = static_cast<Token>((i * 11 + 3 + seed * 7) % 64);
+  }
+  return p;
+}
+
+std::vector<Request> make_requests(std::size_t n, std::size_t prompt_len,
+                                   std::size_t gen_tokens) {
+  std::vector<Request> reqs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    reqs[i].id = i;
+    reqs[i].arrival_step = i;  // staggered so queue waits are non-trivial
+    reqs[i].prompt = make_prompt(prompt_len, i);
+    reqs[i].gen.max_new_tokens = gen_tokens;
+    reqs[i].gen.cache_ratio = 0.5;
+  }
+  return reqs;
+}
+
+TEST(ServeTimeline, ResponsesCarryCompleteTimelines) {
+  ModelConfig cfg = tiny_config();
+  Transformer m(cfg);
+  EngineConfig ec;
+  ec.scheduler.max_batch_size = 2;
+  Engine engine(m, ec);
+
+  const auto responses = engine.run(make_requests(4, 24, 8));
+  ASSERT_EQ(responses.size(), 4u);
+  for (const Response& r : responses) {
+    ASSERT_EQ(r.finish, FinishReason::kLength) << "request " << r.id;
+    EXPECT_TRUE(r.timeline.has(TimelineEventKind::kQueued));
+    EXPECT_TRUE(r.timeline.has(TimelineEventKind::kAdmitted));
+    EXPECT_TRUE(r.timeline.has(TimelineEventKind::kPrefillStart));
+    EXPECT_TRUE(r.timeline.has(TimelineEventKind::kPrefillEnd));
+    EXPECT_TRUE(r.timeline.has(TimelineEventKind::kFirstToken));
+    EXPECT_TRUE(r.timeline.has(TimelineEventKind::kFinished));
+    // Stamps are monotone along the lifecycle.
+    EXPECT_LE(*r.timeline.first(TimelineEventKind::kQueued),
+              *r.timeline.first(TimelineEventKind::kAdmitted));
+    EXPECT_LE(*r.timeline.first(TimelineEventKind::kAdmitted),
+              *r.timeline.first(TimelineEventKind::kPrefillStart));
+    EXPECT_LE(*r.timeline.first(TimelineEventKind::kPrefillStart),
+              *r.timeline.first(TimelineEventKind::kFirstToken));
+    EXPECT_LE(*r.timeline.first(TimelineEventKind::kFirstToken),
+              *r.timeline.first(TimelineEventKind::kFinished));
+    // The distilled figures ride along and agree with the timeline.
+    EXPECT_GT(r.ttft_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(r.ttft_seconds, r.timeline.ttft_seconds());
+    EXPECT_GE(r.queue_wait_seconds, 0.0);
+    // 8 generated tokens -> 7 inter-token gaps.
+    EXPECT_EQ(r.inter_token.count, r.tokens.size() - 1);
+    EXPECT_GE(r.inter_token.min, 0.0);
+  }
+}
+
+TEST(ServeTimeline, EngineHistogramsMatchWorkload) {
+  ModelConfig cfg = tiny_config();
+  Transformer m(cfg);
+  EngineConfig ec;
+  ec.scheduler.max_batch_size = 4;
+  Engine engine(m, ec);
+
+  const auto responses = engine.run(make_requests(4, 24, 8));
+  const EngineStats st = engine.stats();
+  // One TTFT and one queue-wait sample per completed request; one step
+  // sample per decode step; inter-token gaps sum over requests.
+  EXPECT_EQ(st.ttft.count, 4u);
+  EXPECT_EQ(st.queue_wait.count, 4u);
+  EXPECT_EQ(st.step_latency.count, st.steps);
+  std::size_t gaps = 0;
+  for (const Response& r : responses) gaps += r.inter_token.count;
+  EXPECT_EQ(st.inter_token.count, gaps);
+  EXPECT_GT(st.ttft.p99, 0.0);
+  EXPECT_LE(st.ttft.p50, st.ttft.p99);
+  EXPECT_GT(st.step_latency.max, 0.0);
+
+  // The same distributions are reachable through the registry by name.
+  const obs::Percentiles reg_ttft =
+      engine.metrics().histogram("serve.ttft_seconds").snapshot();
+  EXPECT_EQ(reg_ttft.count, st.ttft.count);
+  EXPECT_DOUBLE_EQ(reg_ttft.p99, st.ttft.p99);
+}
+
+TEST(ServeTimeline, SchedulerCountersInRegistry) {
+  ModelConfig cfg = tiny_config();
+  Transformer m(cfg);
+  EngineConfig ec;
+  ec.scheduler.max_batch_size = 2;
+  Engine engine(m, ec);
+  engine.run(make_requests(5, 16, 4));
+  EXPECT_EQ(engine.metrics().counter("sched.admitted").value(), 5u);
+  EXPECT_EQ(engine.metrics().counter("sched.rejected").value(), 0u);
+}
+
+TEST(ServeTimeline, PoolCountersUnderPagedMemory) {
+  ModelConfig cfg = tiny_config();
+  Transformer m(cfg);
+  EngineConfig ec;
+  ec.scheduler.max_batch_size = 2;
+  ec.scheduler.max_concurrent_tokens = 256;
+  ec.paged.enabled = true;
+  ec.paged.n_shards = 2;
+  ec.paged.block_tokens = 8;
+  Engine engine(m, ec);
+  engine.run(make_requests(4, 24, 8));
+  EXPECT_GT(engine.metrics().counter("pool.allocs").value(), 0u);
+  EXPECT_GT(engine.metrics().counter("pool.reserves").value(), 0u);
+  EXPECT_EQ(engine.metrics().counter("pool.emergency_blocks").value(), 0u);
+}
+
+TEST(ServeTimeline, TraceSpansCoverARun) {
+  obs::set_trace_enabled(false);
+  obs::trace_reset();
+
+  ModelConfig cfg = tiny_config();
+  Transformer m(cfg);
+  EngineConfig ec;
+  ec.scheduler.max_batch_size = 2;
+  Engine engine(m, ec);
+
+  obs::set_trace_enabled(true);
+  engine.run(make_requests(3, 16, 4));
+  obs::set_trace_enabled(false);
+  EXPECT_GT(obs::trace_event_count(), 0u);
+
+  const std::string path = testing::TempDir() + "kf_engine_trace.json";
+  ASSERT_TRUE(obs::write_chrome_trace(path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  for (const char* span : {"\"engine.run\"", "\"prefill\"", "\"step_batch\"",
+                           "\"sample\"", "\"attn.project\"",
+                           "\"attn.attend\"", "\"retire\""}) {
+    EXPECT_NE(json.find(span), std::string::npos) << span;
+  }
+  std::remove(path.c_str());
+  obs::trace_reset();
+}
+
+TEST(ServeTimeline, TracingDisabledAddsNoSpans) {
+  obs::set_trace_enabled(false);
+  obs::trace_reset();
+  ModelConfig cfg = tiny_config();
+  Transformer m(cfg);
+  EngineConfig ec;
+  Engine engine(m, ec);
+  engine.run(make_requests(2, 16, 4));
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+}  // namespace
+}  // namespace kf::serve
