@@ -21,17 +21,25 @@
 //   ./bench/bench_serve_throughput [--quick] [--gen N] [--seed S]
 //                                  [--csv DIR] [--shards N]
 //                                  [--block-tokens N]
+//                                  [--monitor-period-ms N]
+//                                  [--prom-out FILE] [--timeseries-out FILE]
 //
 // --shards N additionally switches sweeps 1-2 onto the paged allocator so
 // their pool_util / frag columns are live (0 under contiguous caches).
 // --csv DIR writes serve_throughput.csv + serve_frontier.csv (+
 // serve_shards.csv with --shards) — the CI artifact recording the
 // serving-throughput trajectory.
+// --monitor-period-ms N attaches a background Monitor thread to every
+// cell's engine run; --prom-out / --timeseries-out write that cell's
+// metrics registry / time-series rings after each cell (last cell wins),
+// so the files describe the final — largest — configuration.
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/export.h"
+#include "obs/monitor.h"
 
 using namespace kf;
 
@@ -47,6 +55,12 @@ struct Workload {
 struct PagedOptions {
   std::size_t shards = 0;  ///< 0 = contiguous caches
   std::size_t block_tokens = 16;
+};
+
+struct MonitorOptions {
+  std::size_t period_ms = 0;  ///< 0 = no monitor
+  std::string prom_path;
+  std::string timeseries_path;
 };
 
 std::vector<serve::Request> make_requests(const model::ModelConfig& cfg,
@@ -66,7 +80,8 @@ std::vector<serve::Request> make_requests(const model::ModelConfig& cfg,
 
 serve::EngineStats run_cell(model::Transformer& m, const Workload& wl,
                             double cache_ratio, std::size_t max_batch,
-                            std::size_t max_tokens, const PagedOptions& po) {
+                            std::size_t max_tokens, const PagedOptions& po,
+                            const MonitorOptions& mo) {
   std::vector<serve::Request> requests = make_requests(m.config(), wl);
   for (auto& r : requests) r.gen.cache_ratio = cache_ratio;
 
@@ -80,7 +95,26 @@ serve::EngineStats run_cell(model::Transformer& m, const Workload& wl,
     ec.paged.block_tokens = po.block_tokens;
   }
   serve::Engine engine(m, ec);
+  obs::Monitor monitor(
+      {.period_ms = static_cast<double>(mo.period_ms)});
+  if (mo.period_ms > 0) {
+    serve::add_engine_probes(monitor, engine);
+    monitor.start();
+  }
   engine.run(requests);
+  monitor.stop();
+  if (!mo.prom_path.empty()) {
+    if (!obs::write_prometheus(engine.metrics(), mo.prom_path)) {
+      std::cerr << "error: cannot write " << mo.prom_path << '\n';
+      std::exit(1);
+    }
+  }
+  if (mo.period_ms > 0 && !mo.timeseries_path.empty()) {
+    if (!obs::write_timeseries_json(monitor, mo.timeseries_path)) {
+      std::cerr << "error: cannot write " << mo.timeseries_path << '\n';
+      std::exit(1);
+    }
+  }
   return engine.stats();
 }
 
@@ -98,6 +132,7 @@ double pool_util(const serve::EngineStats& stats) {
 int main(int argc, char** argv) {
   const bench::Options opt = bench::parse_options(argc, argv);
   PagedOptions po;
+  MonitorOptions mo;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next_count = [&](const char* flag) -> std::size_t {
@@ -111,6 +146,14 @@ int main(int argc, char** argv) {
       }
       return static_cast<std::size_t>(*v);
     };
+    const auto next_path = [&](const char* flag) -> std::string {
+      const std::string value = i + 1 < argc ? argv[++i] : "";
+      if (value.empty()) {
+        std::cerr << "error: " << flag << " expects a file path\n";
+        std::exit(1);
+      }
+      return value;
+    };
     if (arg == "--shards") {
       po.shards = next_count("--shards");
     } else if (arg == "--block-tokens") {
@@ -119,7 +162,16 @@ int main(int argc, char** argv) {
         std::cerr << "error: --block-tokens must be positive\n";
         return 1;
       }
+    } else if (arg == "--monitor-period-ms") {
+      mo.period_ms = next_count("--monitor-period-ms");
+    } else if (arg == "--prom-out") {
+      mo.prom_path = next_path("--prom-out");
+    } else if (arg == "--timeseries-out") {
+      mo.timeseries_path = next_path("--timeseries-out");
     }
+  }
+  if (mo.period_ms == 0 && !mo.timeseries_path.empty()) {
+    mo.period_ms = 5;  // --timeseries-out needs samples to dump
   }
 
   Workload wl;
@@ -164,7 +216,7 @@ int main(int argc, char** argv) {
   double base_tps = 0.0;
   for (const std::size_t b : batches) {
     const serve::EngineStats stats =
-        run_cell(m, wl, fixed_ratio, b, /*max_tokens=*/0, po);
+        run_cell(m, wl, fixed_ratio, b, /*max_tokens=*/0, po, mo);
     const double tps = stats.decode_tokens_per_s();
     if (b == batches.front()) base_tps = tps;
     std::vector<std::string> row{
@@ -199,7 +251,7 @@ int main(int argc, char** argv) {
   double full_tps = 0.0;
   for (const double r : ratios) {
     const serve::EngineStats stats =
-        run_cell(m, wl, r, /*max_batch=*/0, kv_budget, po);
+        run_cell(m, wl, r, /*max_batch=*/0, kv_budget, po, mo);
     const double tps = stats.decode_tokens_per_s();
     if (r == ratios.front()) full_tps = tps;
     std::vector<std::string> row{
@@ -233,7 +285,7 @@ int main(int argc, char** argv) {
       PagedOptions cell = po;
       cell.shards = s;
       const serve::EngineStats stats = run_cell(
-          m, wl, fixed_ratio, batches.back(), /*max_tokens=*/0, cell);
+          m, wl, fixed_ratio, batches.back(), /*max_tokens=*/0, cell, mo);
       const double tps = stats.decode_tokens_per_s();
       if (s == 1) s1_tps = tps;
       t3.row({Table::num(static_cast<long long>(s)), stats.isa,

@@ -31,6 +31,14 @@
 //                         and the full metrics-registry counter dump
 //     --metrics-csv FILE  write a one-row CSV of the canonical latency
 //                         columns (ttft/itl/queue_wait/step x p50/p95/p99)
+//     --monitor-period-ms N  start a background Monitor thread polling
+//                         engine/pool/prefix probes every N ms while the
+//                         run is live (0 = off, the default)
+//     --prom-out FILE     after the run, write the metrics registry in
+//                         Prometheus text-exposition format to FILE
+//     --timeseries-out FILE  write the monitor's time-series rings as
+//                         JSON to FILE (implies a 5 ms monitor period
+//                         when --monitor-period-ms is not given)
 //
 // With --shards the budget stops being an abstract token count: admission
 // reserves real blocks on a shard, and the summary reports pool
@@ -48,7 +56,10 @@
 #include "core/parse.h"
 #include "data/fewshot.h"
 #include "keyformer/keyformer.h"
+#include "kvcache/eviction_telemetry.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/monitor.h"
 #include "obs/trace.h"
 
 using namespace kf;
@@ -113,6 +124,9 @@ int main(int argc, char** argv) {
   std::size_t shared_prefix = 0;
   std::string trace_path;
   std::string metrics_csv_path;
+  std::string prom_path;
+  std::string timeseries_path;
+  std::size_t monitor_period_ms = 0;
   bool print_metrics = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -142,10 +156,23 @@ int main(int argc, char** argv) {
       if (metrics_csv_path.empty()) {
         usage_exit("--metrics-csv expects a file path");
       }
+    } else if (arg == "--monitor-period-ms") {
+      monitor_period_ms = parse_count_arg(next("--monitor-period-ms"),
+                                          "--monitor-period-ms");
+    } else if (arg == "--prom-out") {
+      prom_path = next("--prom-out");
+      if (prom_path.empty()) usage_exit("--prom-out expects a file path");
+    } else if (arg == "--timeseries-out") {
+      timeseries_path = next("--timeseries-out");
+      if (timeseries_path.empty()) {
+        usage_exit("--timeseries-out expects a file path");
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: serve_sim [--max-batch N] [--kv-budget N] "
                    "[--shards N] [--block-tokens N] [--shared-prefix N] "
-                   "[--trace FILE] [--metrics] [--metrics-csv FILE]\n";
+                   "[--trace FILE] [--metrics] [--metrics-csv FILE] "
+                   "[--monitor-period-ms N] [--prom-out FILE] "
+                   "[--timeseries-out FILE]\n";
       return 0;
     } else {
       usage_exit("unknown argument \"" + arg + "\"");
@@ -223,9 +250,19 @@ int main(int argc, char** argv) {
                     : std::string())
             << ")\n\n";
 
+  if (monitor_period_ms == 0 && !timeseries_path.empty()) {
+    monitor_period_ms = 5;  // --timeseries-out needs samples to dump
+  }
+  obs::Monitor monitor({.period_ms = static_cast<double>(monitor_period_ms)});
+  if (monitor_period_ms > 0) {
+    serve::add_engine_probes(monitor, engine);
+    monitor.start();
+  }
+
   if (!trace_path.empty()) obs::set_trace_enabled(true);
   const auto responses = engine.run(requests);
   if (!trace_path.empty()) obs::set_trace_enabled(false);
+  monitor.stop();
 
   Table t("per-request latency ledger (steps are engine decode ticks)");
   t.header({"req", "prompt", "tokens", "arrive", "start", "finish",
@@ -361,6 +398,39 @@ int main(int argc, char** argv) {
     }
     std::cout << '\n';
     mt.print(std::cout);
+
+    // Eviction introspection: the fig-3 position distribution, measured
+    // on this serving run instead of the offline sweep.
+    const kv::EvictionTelemetry report = engine.eviction_report();
+    if (report.decisions() > 0) {
+      const auto& totals = report.position_totals();
+      std::uint64_t total = 0;
+      for (const std::uint64_t c : totals) total += c;
+      Table et("evicted-token positions (fraction of prompt+gen span)");
+      et.header({"span", "evicted", "share"});
+      constexpr std::size_t kB = kv::EvictionSummary::kPositionBuckets;
+      for (std::size_t b = 0; b < kB; ++b) {
+        const double lo = static_cast<double>(b) / kB;
+        const double hi = static_cast<double>(b + 1) / kB;
+        et.row({Table::num(lo, 3) + "-" + Table::num(hi, 3),
+                Table::num(static_cast<long long>(totals[b])),
+                Table::num(total > 0 ? 100.0 * static_cast<double>(totals[b]) /
+                                           static_cast<double>(total)
+                                     : 0.0,
+                           1) +
+                    "%"});
+      }
+      std::cout << '\n';
+      et.print(std::cout);
+      const kv::EvictionSummary es = report.summary();
+      std::cout << "evictions: " << es.decisions << " decisions, "
+                << es.tokens_evicted << " tokens evicted / " << es.tokens_kept
+                << " kept; score at eviction min "
+                << Table::num(es.score_min, 3) << ", p50 ~"
+                << Table::num(es.score_p50, 3) << ", p90 ~"
+                << Table::num(es.score_p90, 3) << ", max "
+                << Table::num(es.score_max, 3) << '\n';
+    }
   }
 
   if (!metrics_csv_path.empty()) {
@@ -386,6 +456,27 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << "\nmetrics csv written to " << metrics_csv_path << '\n';
+  }
+
+  if (!prom_path.empty()) {
+    if (!obs::write_prometheus(engine.metrics(), prom_path)) {
+      std::cerr << "error: cannot write " << prom_path << '\n';
+      return 1;
+    }
+    std::cout << "\nprometheus metrics written to " << prom_path << '\n';
+  }
+
+  if (!timeseries_path.empty()) {
+    if (!obs::write_timeseries_json(monitor, timeseries_path)) {
+      std::cerr << "error: cannot write " << timeseries_path << '\n';
+      return 1;
+    }
+    std::cout << "\ntimeseries json (" << monitor.polls() << " poll(s) @ "
+              << monitor_period_ms << " ms) written to " << timeseries_path
+              << '\n';
+  } else if (monitor_period_ms > 0) {
+    std::cout << "\nmonitor: " << monitor.polls() << " poll(s) @ "
+              << monitor_period_ms << " ms\n";
   }
 
   if (!trace_path.empty()) {

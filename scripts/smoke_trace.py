@@ -10,7 +10,12 @@ that the artifacts actually round-trip:
   2. the metrics CSV carries the shared percentile-column schema
      ({series}_p50_ms/_p95_ms/_p99_ms for ttft/itl/queue_wait/step) and
      one data row of finite numbers;
-  3. the --metrics stdout report prints the latency-percentile table.
+  3. the --metrics stdout report prints the latency-percentile table;
+  4. the Prometheus text exposition has well-formed # TYPE lines and
+     counter/histogram families with cumulative le= buckets, +Inf,
+     _sum and _count;
+  5. the monitor time-series JSON parses, reports polls > 0, and every
+     series carries [t, value] sample pairs with monotone timestamps.
 
 Usage: smoke_trace.py /path/to/serve_sim
 """
@@ -79,6 +84,100 @@ def check_csv(path: Path) -> None:
     print(f"smoke_trace: metrics CSV OK ({len(header)} columns)")
 
 
+def check_prometheus(path: Path) -> None:
+    lines = path.read_text().splitlines()
+    if not lines:
+        fail("prometheus exposition is empty")
+    types = {}     # metric family -> declared type
+    histograms = {}  # family -> {"buckets": [(le, count)], "sum": ..., "count": ...}
+    samples = 0
+    for line in lines:
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        samples += 1
+        name = line.split("{", 1)[0].split(" ", 1)[0]
+        if not name.startswith("kf_"):
+            fail(f"sample without kf_ prefix: {line!r}")
+        try:
+            value = float(line.rsplit(" ", 1)[1])
+        except ValueError:
+            fail(f"non-numeric sample value: {line!r}")
+        if name.endswith("_bucket"):
+            family = name[: -len("_bucket")]
+            le = line.split('le="', 1)[1].split('"', 1)[0]
+            bound = float("inf") if le == "+Inf" else float(le)
+            histograms.setdefault(family, {"buckets": []})["buckets"].append(
+                (bound, value))
+        elif name.endswith("_sum"):
+            histograms.setdefault(name[:-4], {"buckets": []})["sum"] = value
+        elif name.endswith("_count"):
+            histograms.setdefault(name[:-6], {"buckets": []})["count"] = value
+    if samples == 0:
+        fail("prometheus exposition has no samples")
+    counters = [m for m, t in types.items() if t == "counter"]
+    if not counters:
+        fail("prometheus exposition declares no counters")
+    for name in counters:
+        if not name.endswith("_total"):
+            fail(f"counter family {name!r} lacks the _total suffix")
+    hist_families = [m for m, t in types.items() if t == "histogram"]
+    if not hist_families:
+        fail("prometheus exposition declares no histograms")
+    for family in hist_families:
+        h = histograms.get(family)
+        if h is None or not h["buckets"]:
+            fail(f"histogram {family!r} has no _bucket samples")
+        if "sum" not in h or "count" not in h:
+            fail(f"histogram {family!r} missing _sum/_count")
+        bounds = [b for b, _ in h["buckets"]]
+        counts = [c for _, c in h["buckets"]]
+        if bounds != sorted(bounds) or bounds[-1] != float("inf"):
+            fail(f"histogram {family!r} buckets not sorted / missing +Inf")
+        if counts != sorted(counts):
+            fail(f"histogram {family!r} bucket counts not cumulative")
+        if counts[-1] != h["count"]:
+            fail(f"histogram {family!r}: +Inf bucket {counts[-1]} != "
+                 f"_count {h['count']}")
+    print(f"smoke_trace: prometheus OK ({samples} samples, "
+          f"{len(counters)} counters, {len(hist_families)} histograms)")
+
+
+def check_timeseries(path: Path) -> None:
+    with path.open() as f:
+        doc = json.load(f)
+    for key in ("period_ms", "polls", "series"):
+        if key not in doc:
+            fail(f"timeseries JSON missing {key!r}")
+    if doc["polls"] <= 0:
+        fail(f"timeseries JSON reports polls={doc['polls']}; monitor never ran")
+    series = doc["series"]
+    if not isinstance(series, list) or not series:
+        fail("timeseries JSON has no series")
+    for s in series:
+        for key in ("name", "dropped", "samples"):
+            if key not in s:
+                fail(f"series entry missing {key!r}: {s}")
+        last_t = float("-inf")
+        for sample in s["samples"]:
+            if (not isinstance(sample, list) or len(sample) != 2
+                    or not all(isinstance(v, (int, float)) for v in sample)):
+                fail(f"series {s['name']!r} has malformed sample {sample!r}")
+            if sample[0] < last_t:
+                fail(f"series {s['name']!r} timestamps not monotone")
+            last_t = sample[0]
+    names = {s["name"] for s in series}
+    for required in ("engine.steps", "pool.used_blocks"):
+        if required not in names:
+            fail(f"timeseries JSON lacks the {required!r} probe")
+    print(f"smoke_trace: timeseries OK ({len(series)} series, "
+          f"{doc['polls']} polls)")
+
+
 def main() -> None:
     if len(sys.argv) != 2:
         fail("usage: smoke_trace.py /path/to/serve_sim")
@@ -86,10 +185,14 @@ def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         trace_path = Path(tmp) / "trace.json"
         csv_path = Path(tmp) / "metrics.csv"
+        prom_path = Path(tmp) / "metrics.prom"
+        ts_path = Path(tmp) / "timeseries.json"
         cmd = [
             serve_sim, "--shards", "2", "--block-tokens", "16",
             "--kv-budget", "1200", "--metrics",
             "--trace", str(trace_path), "--metrics-csv", str(csv_path),
+            "--monitor-period-ms", "5", "--prom-out", str(prom_path),
+            "--timeseries-out", str(ts_path),
         ]
         proc = subprocess.run(cmd, capture_output=True, text=True)
         if proc.returncode != 0:
@@ -101,6 +204,8 @@ def main() -> None:
             fail("--metrics report missing the registry dump")
         check_trace(trace_path)
         check_csv(csv_path)
+        check_prometheus(prom_path)
+        check_timeseries(ts_path)
     print("smoke_trace: PASS")
 
 

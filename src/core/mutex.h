@@ -11,6 +11,7 @@
 // BasicLockable — here the raw std::mutex inside kf::Mutex).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -72,6 +73,17 @@ class CondVar {
   /// return. Spurious wakeups are possible — always re-check the
   /// predicate in a loop.
   void wait(Mutex& mu) KF_REQUIRES(mu) { cv_.wait(mu.mu_); }
+
+  /// Blocks until notified or `seconds` elapse; `mu` must be held and is
+  /// held again on return. Returns true when the wait timed out, false
+  /// when it was (possibly spuriously) notified — either way, re-check
+  /// the predicate. This is the periodic-worker primitive: a monitor
+  /// thread sleeps its poll period here and shutdown interrupts it
+  /// immediately via notify.
+  bool wait_for(Mutex& mu, double seconds) KF_REQUIRES(mu) {
+    return cv_.wait_for(mu.mu_, std::chrono::duration<double>(seconds)) ==
+           std::cv_status::timeout;
+  }
 
  private:
   std::condition_variable_any cv_;

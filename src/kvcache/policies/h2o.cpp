@@ -31,7 +31,7 @@ void H2OPolicy::observe(const PolicyContext& ctx) {
 
   const std::vector<double> total = head_aggregated_scores(cache);
   const auto keep = keep_topk_plus_recent(total, n, prefix, k - w);
-  cache.compact(keep);
+  compact_cache(ctx, keep);
   if (timings_sink_ != nullptr) {
     timings_sink_->evict_seconds += now_seconds() - t0;
   }

@@ -29,7 +29,7 @@ void KeyAttentionPolicy::observe(const PolicyContext& ctx) {
   // No protected recent window: pure top-k over the whole cache.
   const auto keep = keep_topk_plus_recent(total, cache.size(), cache.size(),
                                           budget_.max_tokens);
-  cache.compact(keep);
+  compact_cache(ctx, keep);
 }
 
 }  // namespace kf::kv

@@ -92,7 +92,7 @@ void KeyformerPolicy::observe(const PolicyContext& ctx) {
     }
   }
   const auto keep = keep_topk_plus_recent(ranking, n, prefix, k - w);
-  cache.compact(keep);
+  compact_cache(ctx, keep);
   if (timings_sink_ != nullptr) {
     timings_sink_->evict_seconds += now_seconds() - t0;
   }

@@ -29,7 +29,7 @@ void RandomEvictPolicy::observe(const PolicyContext& ctx) {
   idx.resize(std::min(keep_from_prefix, prefix));
   std::sort(idx.begin(), idx.end());
   for (std::size_t i = prefix; i < n; ++i) idx.push_back(i);
-  cache.compact(idx);
+  compact_cache(ctx, idx);
 }
 
 }  // namespace kf::kv

@@ -31,7 +31,7 @@ void StreamingLlmPolicy::observe(const PolicyContext& ctx) {
   }
   // Deduplicate the corner case where sinks overlap the recent range.
   keep.erase(std::unique(keep.begin(), keep.end()), keep.end());
-  cache.compact(keep);
+  compact_cache(ctx, keep);
 }
 
 }  // namespace kf::kv

@@ -35,7 +35,7 @@ void WindowPolicy::observe(const PolicyContext& ctx) {
     }
   }
   std::sort(keep.begin(), keep.end());
-  cache.compact(keep);
+  compact_cache(ctx, keep);
 }
 
 }  // namespace kf::kv

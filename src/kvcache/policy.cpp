@@ -4,7 +4,17 @@
 #include <cassert>
 #include <cmath>
 
+#include "kvcache/eviction_telemetry.h"
+
 namespace kf::kv {
+
+void EvictionPolicy::compact_cache(const PolicyContext& ctx,
+                                   std::span<const std::size_t> keep) {
+  if (eviction_sink_ != nullptr) {
+    eviction_sink_->record_decision(*ctx.cache, ctx.layer, keep);
+  }
+  ctx.cache->compact(keep);
+}
 
 CacheBudget make_budget(std::size_t prompt_len, double cache_ratio,
                         double recent_ratio) {

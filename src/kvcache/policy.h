@@ -23,6 +23,8 @@
 
 namespace kf::kv {
 
+class EvictionTelemetry;  // kvcache/eviction_telemetry.h
+
 /// Static cache budget for one generation.
 struct CacheBudget {
   std::size_t max_tokens = 0;     ///< k; 0 means unlimited (full attention)
@@ -111,8 +113,21 @@ class EvictionPolicy {
   /// (Keyformer, H2O) split observe() time into score vs evict phases.
   void set_timing_sink(PolicyTimings* sink) { timings_sink_ = sink; }
 
+  /// Installs an eviction-introspection sink (nullptr disables): every
+  /// keep/evict decision this policy executes is recorded into it before
+  /// the cache is compacted (see kvcache/eviction_telemetry.h). Same
+  /// per-sequence, single-writer contract as the timing sink.
+  void set_eviction_sink(EvictionTelemetry* sink) { eviction_sink_ = sink; }
+
  protected:
   PolicyTimings* timings_sink_ = nullptr;
+  EvictionTelemetry* eviction_sink_ = nullptr;
+
+  /// Records the decision into the eviction sink (when installed) and
+  /// compacts `ctx.cache` to the sorted `keep` set — the one funnel every
+  /// evicting policy's observe() routes its compaction through.
+  void compact_cache(const PolicyContext& ctx,
+                     std::span<const std::size_t> keep);
   /// True when the cache is over budget and eviction applies.
   bool over_budget(const KvCache& cache) const {
     return budget_.max_tokens > 0 && cache.size() > budget_.max_tokens;

@@ -5,6 +5,7 @@
 
 #include "mem/paged_kv_cache.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace kf::mem {
 
@@ -207,6 +208,7 @@ void PrefixIndex::release_chain_locked(
 }
 
 void PrefixIndex::drop_locked(const PrefixEntry* entry) {
+  KF_TRACE_SCOPE("prefix.trim", "prefix");
   EntryRec& rec = find_rec_locked(entry);
   if (rec.pins > 0) {
     throw std::logic_error("PrefixIndex::drop of a pinned entry");
@@ -256,6 +258,7 @@ const PrefixEntry* PrefixIndex::insert(std::span<const PrefixToken> run,
   }
 
   const LockGuard lock(mu_);
+  KF_TRACE_SCOPE("prefix.insert", "prefix");
   // Already indexed? The chain is immutable and content-addressed, so the
   // existing entry is exactly what this insert would produce.
   const std::uint64_t run_hash = hash_run(run);
@@ -402,6 +405,7 @@ bool PrefixIndex::replicate_locked(EntryRec& rec, std::size_t shard) {
 
 bool PrefixIndex::adopt(const PrefixEntry* entry, kv::SequenceKvState& state) {
   const LockGuard lock(mu_);
+  KF_TRACE_SCOPE("prefix.adopt", "prefix");
   EntryRec& rec = find_rec_locked(entry);
   if (state.n_layers() != cfg_.n_layers || !state.empty()) {
     throw std::invalid_argument(

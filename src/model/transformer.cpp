@@ -7,6 +7,7 @@
 
 #include "core/threadpool.h"
 #include "model/layer.h"
+#include "obs/trace.h"
 
 namespace kf::model {
 
@@ -162,6 +163,7 @@ Tensor Transformer::prefill_continue(kv::SequenceKvState& state,
   if (tokens.empty()) {
     throw std::invalid_argument("prefill_continue requires tokens");
   }
+  KF_TRACE_SCOPE("prefill_chunk", "model");
   if (!state.matches(cfg_.n_layers, cfg_.n_heads, cfg_.d_head())) {
     throw std::invalid_argument(
         "sequence state geometry does not match the model");

@@ -1,0 +1,44 @@
+// Exporters for the observability layer: Prometheus text-exposition
+// format for a MetricsRegistry, and a JSON time-series dump for a
+// Monitor's rings.
+//
+// Prometheus mapping (text format 0.0.4, promtool-checkable):
+//   - metric names are `<prefix>_<name>` with every non-[a-zA-Z0-9_:]
+//     character of the registry name replaced by '_'
+//     ("sched.admitted" -> kf_sched_admitted_total);
+//   - Counter  -> `# TYPE ... counter` + a `_total`-suffixed sample;
+//   - Gauge    -> `# TYPE ... gauge` + one sample;
+//   - Histogram-> `# TYPE ... histogram` + cumulative `_bucket{le="..."}`
+//     samples (seconds; only occupied buckets are emitted — cumulative
+//     buckets make any subset of the boundaries valid — plus the
+//     mandatory `le="+Inf"`), `_sum` (seconds) and `_count`.
+//
+// Time-series JSON shape:
+//   { "period_ms": 5.0, "polls": N,
+//     "series": [ { "name": "...", "dropped": 0,
+//                   "samples": [[t_seconds, value], ...] }, ... ] }
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/monitor.h"
+
+namespace kf::obs {
+
+/// Renders the registry in Prometheus text-exposition format.
+std::string to_prometheus(const MetricsRegistry& registry,
+                          const std::string& prefix = "kf");
+
+/// Writes to_prometheus(registry) to `path`; false on I/O failure.
+bool write_prometheus(const MetricsRegistry& registry,
+                      const std::string& path,
+                      const std::string& prefix = "kf");
+
+/// Renders the monitor's retained series windows as JSON.
+std::string to_timeseries_json(const Monitor& monitor);
+
+/// Writes to_timeseries_json(monitor) to `path`; false on I/O failure.
+bool write_timeseries_json(const Monitor& monitor, const std::string& path);
+
+}  // namespace kf::obs

@@ -138,6 +138,80 @@ Percentiles Histogram::snapshot() const noexcept {
   return p;
 }
 
+HistogramSnapshot Histogram::full_snapshot() const noexcept {
+  HistogramSnapshot snap;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_ns = sum_ns_.load(std::memory_order_relaxed);
+  snap.min_ns = min_ns_.load(std::memory_order_relaxed);
+  snap.max_ns = max_ns_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double HistogramSnapshot::percentile(double q) const noexcept {
+  if (count == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      if (i == Histogram::kBucketCount - 1) {
+        return max();  // saturated overflow bucket (see Histogram)
+      }
+      const double upper =
+          static_cast<double>(Histogram::bucket_upper_ns(i)) * 1e-9;
+      return std::min(upper, max());
+    }
+  }
+  return max();  // count raced ahead of its bucket in the source histogram
+}
+
+Percentiles HistogramSnapshot::percentiles() const noexcept {
+  Percentiles p;
+  p.count = count;
+  if (p.count == 0) {
+    return p;
+  }
+  p.p50 = percentile(0.50);
+  p.p95 = percentile(0.95);
+  p.p99 = percentile(0.99);
+  p.mean = sum() / static_cast<double>(p.count);
+  p.max = max();
+  return p;
+}
+
+HistogramSnapshot snapshot_diff(const HistogramSnapshot& newer,
+                                const HistogramSnapshot& older) noexcept {
+  HistogramSnapshot d;
+  std::size_t first = Histogram::kBucketCount;
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    const std::uint64_t n = newer.buckets[i];
+    const std::uint64_t o = older.buckets[i];
+    d.buckets[i] = n > o ? n - o : 0;
+    if (d.buckets[i] > 0) {
+      if (first == Histogram::kBucketCount) first = i;
+      last = i;
+    }
+  }
+  d.count = newer.count > older.count ? newer.count - older.count : 0;
+  d.sum_ns = newer.sum_ns > older.sum_ns ? newer.sum_ns - older.sum_ns : 0;
+  if (first < Histogram::kBucketCount) {
+    d.min_ns = first == 0 ? 0 : Histogram::bucket_upper_ns(first - 1) + 1;
+    d.min_ns = std::max(d.min_ns, newer.min_ns);
+    d.max_ns = std::min(Histogram::bucket_upper_ns(last), newer.max_ns);
+    d.max_ns = std::max(d.max_ns, d.min_ns);
+  }
+  return d;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   LockGuard lock(mu_);
   return find_or_create<decltype(counters_), Counter>(counters_, name);
@@ -177,6 +251,17 @@ std::vector<MetricRow> MetricsRegistry::rows() const {
     row.count = h->count();
     row.percentiles = h->snapshot();
     out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+MetricsRegistry::histogram_snapshots() const {
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  LockGuard lock(mu_);
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.emplace_back(name, h->full_snapshot());
   }
   return out;
 }

@@ -85,6 +85,8 @@ struct Percentiles {
   double max = 0.0;
 };
 
+struct HistogramSnapshot;
+
 /// Log-bucketed concurrent histogram of durations in seconds.
 ///
 /// record() is wait-free (relaxed atomics only); percentile extraction
@@ -116,15 +118,23 @@ class Histogram {
   /// One consistent-enough snapshot of count/p50/p95/p99/mean/max.
   Percentiles snapshot() const noexcept;
 
+  /// Full-resolution copy of the bucket array and registers — the input
+  /// to exporters (Prometheus `_bucket` series) and to per-window deltas
+  /// (snapshot_diff). Same consistency model as snapshot().
+  HistogramSnapshot full_snapshot() const noexcept;
+
   static constexpr std::size_t kSubBits = 3;  ///< 8 sub-buckets per octave.
   static constexpr std::size_t kSubCount = std::size_t{1} << kSubBits;
   static constexpr std::size_t kMaxShift = 39;  ///< top octave ~2^42 ns.
   static constexpr std::size_t kBucketCount =
       (kMaxShift + 2) << kSubBits;  ///< 328 buckets.
 
+  /// Inclusive upper bound, in ns, of bucket `index`. The last bucket is
+  /// a saturation bucket whose nominal bound understates its contents.
+  static std::uint64_t bucket_upper_ns(std::size_t index) noexcept;
+
  private:
   static std::size_t bucket_index(std::uint64_t ns) noexcept;
-  static std::uint64_t bucket_upper_ns(std::size_t index) noexcept;
 
   std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
   std::atomic<std::uint64_t> count_{0};
@@ -132,6 +142,42 @@ class Histogram {
   std::atomic<std::uint64_t> min_ns_{~std::uint64_t{0}};
   std::atomic<std::uint64_t> max_ns_{0};
 };
+
+/// Plain-value copy of a Histogram: per-bucket counts plus the count /
+/// sum / min / max registers. Two uses:
+///   - exporters walk `buckets` to emit cumulative Prometheus `_bucket`
+///     series;
+///   - a monitor keeps the previous snapshot and calls snapshot_diff()
+///     to get the *window's* distribution — per-window rates and
+///     percentiles instead of run-cumulative ones.
+struct HistogramSnapshot {
+  std::array<std::uint64_t, Histogram::kBucketCount> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;
+  std::uint64_t min_ns = ~std::uint64_t{0};
+  std::uint64_t max_ns = 0;
+
+  /// Nearest-rank percentile in seconds over the snapshot's buckets,
+  /// same contract as Histogram::percentile.
+  double percentile(double q) const noexcept;
+  /// count/p50/p95/p99/mean/max distilled from this snapshot.
+  Percentiles percentiles() const noexcept;
+
+  double sum() const noexcept { return static_cast<double>(sum_ns) * 1e-9; }
+  double min() const noexcept {
+    return min_ns == ~std::uint64_t{0} ? 0.0
+                                       : static_cast<double>(min_ns) * 1e-9;
+  }
+  double max() const noexcept { return static_cast<double>(max_ns) * 1e-9; }
+};
+
+/// The per-window delta `newer - older` (bucket-wise, saturating at 0, so
+/// a torn concurrent pair can never underflow). min/max are recovered
+/// from the window's occupied bucket bounds — within one bucket width of
+/// the true window extremes — because the cumulative registers only track
+/// lifetime extremes.
+HistogramSnapshot snapshot_diff(const HistogramSnapshot& newer,
+                                const HistogramSnapshot& older) noexcept;
 
 /// One named-metric row in a registry dump.
 struct MetricRow {
@@ -158,6 +204,11 @@ class MetricsRegistry {
 
   /// All metrics, sorted by name (counters, then gauges, then histograms).
   std::vector<MetricRow> rows() const KF_EXCLUDES(mu_);
+
+  /// Name -> full bucket snapshot for every histogram, sorted by name —
+  /// what the Prometheus exporter renders as `_bucket`/`_sum`/`_count`.
+  std::vector<std::pair<std::string, HistogramSnapshot>> histogram_snapshots()
+      const KF_EXCLUDES(mu_);
 
  private:
   mutable Mutex mu_;

@@ -1,0 +1,126 @@
+#include "obs/monitor.h"
+
+#include <algorithm>
+
+#include "core/timing.h"
+
+namespace kf::obs {
+
+Monitor::Monitor(MonitorConfig cfg) : cfg_(cfg) {
+  cfg_.period_ms = std::max(cfg_.period_ms, 0.1);
+  cfg_.capacity = std::max<std::size_t>(1, cfg_.capacity);
+}
+
+Monitor::~Monitor() { stop(); }
+
+std::size_t Monitor::make_series_locked(std::string name) {
+  series_.emplace_back(std::move(name), TimeSeries(cfg_.capacity));
+  return series_.size() - 1;
+}
+
+void Monitor::add_probe(std::string name, Probe probe) {
+  LockGuard lock(mu_);
+  ProbeEntry entry;
+  entry.fn = std::move(probe);
+  entry.series_index = make_series_locked(name);
+  entry.name = std::move(name);
+  probes_.push_back(std::move(entry));
+}
+
+void Monitor::add_histogram_probe(std::string name, const Histogram& hist) {
+  LockGuard lock(mu_);
+  HistProbeEntry entry;
+  entry.hist = &hist;
+  entry.last = hist.full_snapshot();
+  entry.last_t = now_seconds();
+  entry.rate_index = make_series_locked(name + ".rate_per_s");
+  entry.p50_index = make_series_locked(name + ".window_p50_ms");
+  entry.p99_index = make_series_locked(name + ".window_p99_ms");
+  entry.name = std::move(name);
+  hist_probes_.push_back(std::move(entry));
+}
+
+void Monitor::start() {
+  {
+    LockGuard lock(mu_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+    if (epoch_seconds_ == 0.0) epoch_seconds_ = now_seconds();
+  }
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void Monitor::stop() {
+  {
+    LockGuard lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+    cv_.notify_all();
+  }
+  thread_.join();
+  LockGuard lock(mu_);
+  running_ = false;
+  stop_requested_ = false;
+}
+
+bool Monitor::running() const {
+  LockGuard lock(mu_);
+  return running_;
+}
+
+void Monitor::thread_main() {
+  mu_.lock();
+  while (!stop_requested_) {
+    poll_locked(now_seconds());
+    // Sleeps the poll period; stop() notifies it awake immediately.
+    cv_.wait_for(mu_, cfg_.period_ms * 1e-3);
+  }
+  mu_.unlock();
+}
+
+void Monitor::poll_once() {
+  LockGuard lock(mu_);
+  if (epoch_seconds_ == 0.0) epoch_seconds_ = now_seconds();
+  poll_locked(now_seconds());
+}
+
+void Monitor::poll_locked(double t_abs) {
+  const double t = t_abs - epoch_seconds_;
+  ++polls_;
+  for (ProbeEntry& probe : probes_) {
+    series_[probe.series_index].second.append(t, probe.fn());
+  }
+  for (HistProbeEntry& probe : hist_probes_) {
+    const HistogramSnapshot now = probe.hist->full_snapshot();
+    const HistogramSnapshot window = snapshot_diff(now, probe.last);
+    const double dt = t_abs - probe.last_t;
+    const double rate =
+        dt > 0.0 ? static_cast<double>(window.count) / dt : 0.0;
+    series_[probe.rate_index].second.append(t, rate);
+    series_[probe.p50_index].second.append(t, window.percentile(0.50) * 1e3);
+    series_[probe.p99_index].second.append(t, window.percentile(0.99) * 1e3);
+    probe.last = now;
+    probe.last_t = t_abs;
+  }
+}
+
+std::uint64_t Monitor::polls() const {
+  LockGuard lock(mu_);
+  return polls_;
+}
+
+TimeSeries Monitor::series(const std::string& name) const {
+  LockGuard lock(mu_);
+  for (const auto& [series_name, series] : series_) {
+    if (series_name == name) return series;
+  }
+  return TimeSeries(1);
+}
+
+std::vector<std::pair<std::string, TimeSeries>> Monitor::snapshot() const {
+  LockGuard lock(mu_);
+  return series_;
+}
+
+}  // namespace kf::obs

@@ -1,0 +1,138 @@
+// Live-telemetry monitor: a background thread that polls registered
+// probes on a wall-clock period into fixed-capacity TimeSeries rings —
+// the "how did this metric evolve over the run" half of observability
+// that the registry's cumulative counters cannot answer.
+//
+// Usage:
+//   obs::Monitor monitor({.period_ms = 5.0});
+//   monitor.add_probe("pool.used_blocks",
+//                     [&] { return double(pool.stats().used_blocks); });
+//   monitor.add_histogram_probe("step", engine.metrics()
+//                                            .histogram("serve.step_seconds"));
+//   monitor.start();
+//   ... engine.run(...) on another thread (or this one) ...
+//   monitor.stop();
+//   write_timeseries_json(monitor, "timeseries.json");
+//
+// Threading contract: every probe callback runs on the monitor thread
+// while the monitor's mutex is held, so probes must only touch state
+// that is safe to read from a foreign thread mid-run — exactly the
+// surfaces the PR 6 locking pass prepared (Engine::stats(),
+// BlockPool::stats(), PrefixIndex::stats(), registry histograms). A
+// probe must never call back into its own Monitor. Shutdown is an
+// annotated mutex/condvar handshake: stop() sets the flag, notifies the
+// sleeping thread out of its period wait, and joins.
+//
+// Histogram probes keep the previous full snapshot and report the
+// *window* between polls (snapshot_diff): a completions-per-second rate
+// series plus per-window p50/p99 latency series, so a latency regression
+// mid-run is visible at the poll where it happened instead of being
+// averaged into the run-cumulative percentiles.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/annotations.h"
+#include "core/mutex.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace kf::obs {
+
+struct MonitorConfig {
+  /// Poll period in wall-clock milliseconds (floored at 0.1 ms).
+  double period_ms = 10.0;
+  /// Retained samples per series; older samples drop (and are counted).
+  std::size_t capacity = 4096;
+};
+
+class Monitor {
+ public:
+  /// A scalar probe: called once per poll, returns the sample value.
+  using Probe = std::function<double()>;
+
+  explicit Monitor(MonitorConfig cfg = {});
+  ~Monitor();  ///< stops the thread if still running
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  /// Registers a scalar probe feeding the series `name`. Safe before or
+  /// during polling; the first sample lands on the next poll.
+  void add_probe(std::string name, Probe probe) KF_EXCLUDES(mu_);
+
+  /// Registers a histogram probe: per poll it diffs `hist` against the
+  /// previous poll's snapshot and feeds three series — `<name>.rate_per_s`
+  /// (window records per second), `<name>.window_p50_ms` and
+  /// `<name>.window_p99_ms` (window percentiles, 0 for an empty window).
+  /// `hist` must outlive the monitor.
+  void add_histogram_probe(std::string name, const Histogram& hist)
+      KF_EXCLUDES(mu_);
+
+  /// Starts the background thread (no-op when already running).
+  void start() KF_EXCLUDES(mu_);
+  /// Stops and joins the background thread (no-op when not running). The
+  /// collected series survive; start() may be called again.
+  void stop() KF_EXCLUDES(mu_);
+  bool running() const KF_EXCLUDES(mu_);
+
+  /// One synchronous poll of every probe — what the thread does each
+  /// period; callable without start() for deterministic tests.
+  void poll_once() KF_EXCLUDES(mu_);
+
+  /// Polls executed so far (thread ticks + manual poll_once calls).
+  std::uint64_t polls() const KF_EXCLUDES(mu_);
+
+  /// Copy of one series' retained window; empty series when `name` is
+  /// unknown. Sample timestamps are seconds since the first start()/poll.
+  TimeSeries series(const std::string& name) const KF_EXCLUDES(mu_);
+
+  /// Copies of every series (probe registration order; histogram probes
+  /// contribute their three derived series).
+  std::vector<std::pair<std::string, TimeSeries>> snapshot() const
+      KF_EXCLUDES(mu_);
+
+  const MonitorConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct ProbeEntry {
+    std::string name;
+    Probe fn;
+    std::size_t series_index;
+  };
+  struct HistProbeEntry {
+    std::string name;
+    const Histogram* hist;
+    HistogramSnapshot last;
+    double last_t = 0.0;
+    std::size_t rate_index;
+    std::size_t p50_index;
+    std::size_t p99_index;
+  };
+
+  void thread_main();
+  void poll_locked(double t_abs) KF_REQUIRES(mu_);
+  std::size_t make_series_locked(std::string name) KF_REQUIRES(mu_);
+
+  MonitorConfig cfg_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool running_ KF_GUARDED_BY(mu_) = false;
+  bool stop_requested_ KF_GUARDED_BY(mu_) = false;
+  /// Wall clock of the first start()/poll; sample timestamps are
+  /// relative to it (0 = not yet established).
+  double epoch_seconds_ KF_GUARDED_BY(mu_) = 0.0;
+  std::uint64_t polls_ KF_GUARDED_BY(mu_) = 0;
+  std::vector<ProbeEntry> probes_ KF_GUARDED_BY(mu_);
+  std::vector<HistProbeEntry> hist_probes_ KF_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, TimeSeries>> series_ KF_GUARDED_BY(mu_);
+  /// Touched only by start()/stop()/~Monitor, which the threading
+  /// contract already serializes (they are control-plane calls).
+  std::thread thread_;
+};
+
+}  // namespace kf::obs

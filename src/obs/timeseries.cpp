@@ -1,0 +1,61 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+
+namespace kf::obs {
+
+TimeSeries::TimeSeries(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.resize(capacity_);
+}
+
+void TimeSeries::append(double t, double value) {
+  if (size_ < capacity_) {
+    ring_[(head_ + size_) % capacity_] = TimeSample{t, value};
+    ++size_;
+    return;
+  }
+  ring_[head_] = TimeSample{t, value};
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+const TimeSample& TimeSeries::at(std::size_t i) const noexcept {
+  return ring_[(head_ + i) % capacity_];
+}
+
+std::vector<TimeSample> TimeSeries::samples() const {
+  std::vector<TimeSample> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(at(i));
+  }
+  return out;
+}
+
+double TimeSeries::last() const noexcept {
+  return size_ == 0 ? 0.0 : at(size_ - 1).value;
+}
+
+double TimeSeries::min() const noexcept {
+  if (size_ == 0) return 0.0;
+  double m = at(0).value;
+  for (std::size_t i = 1; i < size_; ++i) m = std::min(m, at(i).value);
+  return m;
+}
+
+double TimeSeries::max() const noexcept {
+  if (size_ == 0) return 0.0;
+  double m = at(0).value;
+  for (std::size_t i = 1; i < size_; ++i) m = std::max(m, at(i).value);
+  return m;
+}
+
+double TimeSeries::mean() const noexcept {
+  if (size_ == 0) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < size_; ++i) total += at(i).value;
+  return total / static_cast<double>(size_);
+}
+
+}  // namespace kf::obs

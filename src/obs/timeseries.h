@@ -1,0 +1,62 @@
+// Fixed-capacity time-series ring buffer: the storage unit behind the
+// Monitor's live polling. Each sample is a (timestamp, value) pair;
+// once the ring is full, append() overwrites the oldest sample and
+// counts the drop, so a long-running monitor keeps the most recent
+// window at a bounded memory cost. Reductions (last/min/max/mean) run
+// over the retained window only.
+//
+// NOT internally synchronized: the Monitor owns its rings and guards
+// every access with its own annotated mutex. Copyable on purpose —
+// snapshot() hands callers a value they can walk lock-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kf::obs {
+
+/// One monitored observation: seconds since the monitor started, value
+/// in whatever unit the probe reports (tokens, blocks, a rate, ...).
+struct TimeSample {
+  double t = 0.0;
+  double value = 0.0;
+};
+
+class TimeSeries {
+ public:
+  /// `capacity` is the retained-window size in samples (floored at 1).
+  explicit TimeSeries(std::size_t capacity);
+
+  /// Appends one sample; once full, the oldest sample is dropped (and
+  /// counted in dropped()).
+  void append(double t, double value);
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool empty() const noexcept { return size_ == 0; }
+  /// Samples overwritten since construction (total appended = size() +
+  /// dropped()).
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// The i-th retained sample, oldest first; i must be < size().
+  const TimeSample& at(std::size_t i) const noexcept;
+
+  /// Retained samples, oldest first.
+  std::vector<TimeSample> samples() const;
+
+  // Reductions over the retained window; 0 when empty.
+  double last() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+  double mean() const noexcept;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TimeSample> ring_;
+  std::size_t head_ = 0;  ///< ring index of the oldest retained sample
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace kf::obs

@@ -10,6 +10,7 @@
 #include "core/timing.h"
 #include "cpu/cpu_isa.h"
 #include "mem/paged_kv_cache.h"
+#include "obs/monitor.h"
 #include "obs/trace.h"
 
 namespace kf::serve {
@@ -101,6 +102,11 @@ std::size_t Engine::insertable_prefix_tokens(const Sequence& seq) const {
 EngineStats Engine::stats() const {
   const LockGuard lock(stats_mu_);
   return stats_;
+}
+
+kv::EvictionTelemetry Engine::eviction_report() const {
+  const LockGuard lock(stats_mu_);
+  return eviction_agg_;
 }
 
 void Engine::publish_stats(const EngineStats& stats) {
@@ -303,6 +309,12 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
     s.n_layers = model_.config().n_layers;
     s.budget = kv::make_budget(s.prompt.empty() ? 1 : s.prompt.size(),
                                s.gen.cache_ratio, s.gen.recent_ratio);
+    // Shape the eviction-decision sink once per sequence; its counters
+    // accumulate across preemption-resume replays (decisions executed,
+    // not unique tokens) and are distilled onto the Response at retire.
+    s.eviction.begin_sequence(model_.config().n_layers,
+                              model_.config().n_heads,
+                              s.prompt.size() + s.gen.max_new_tokens);
     if (req.policy != nullptr) {
       s.policy = req.policy;
     } else {
@@ -402,6 +414,26 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
     KF_TRACE_SCOPE("retire", "sched");
     seq.timeline.mark(TimelineEventKind::kFinished, now_seconds());
     if (tracing && seq.policy != nullptr) seq.policy->set_timing_sink(nullptr);
+    if (seq.policy != nullptr) seq.policy->set_eviction_sink(nullptr);
+    // Fold this sequence's eviction decisions into the run counters, the
+    // engine-lifetime aggregate, and the per-policy registry counters.
+    stats.eviction_decisions += seq.eviction.decisions();
+    stats.evicted_tokens += seq.eviction.tokens_evicted();
+    stats.kept_tokens += seq.eviction.tokens_kept();
+    if (seq.eviction.decisions() > 0) {
+      {
+        const LockGuard lock(stats_mu_);
+        eviction_agg_.merge(seq.eviction);
+      }
+      if (seq.policy != nullptr) {
+        const std::string base = "evict." + seq.policy->name();
+        metrics_.counter(base + ".decisions").add(seq.eviction.decisions());
+        metrics_.counter(base + ".tokens_evicted")
+            .add(seq.eviction.tokens_evicted());
+        metrics_.counter(base + ".tokens_kept")
+            .add(seq.eviction.tokens_kept());
+      }
+    }
     seq.final_cache_sizes.clear();
     if (seq.kv == nullptr) return;  // never started (queue-time timeout)
     for (std::size_t l = 0; l < seq.kv->n_layers(); ++l) {
@@ -488,12 +520,14 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
   // them, mirroring retire() — but keep its committed tokens and re-queue
   // it. Re-admission resumes it by recompute (see start_sequence).
   const auto park = [&](Sequence& seq) {
+    KF_TRACE_SCOPE("preempt.park", "sched");
     KF_TRACE_INSTANT("preempt", "sched");
     const double t_park = now_seconds();
     seq.timeline.mark(TimelineEventKind::kPreempted, t_park);
     // Re-queue waits measure from the park, not the original arrival.
     seq.queued_seconds = t_park;
     if (tracing && seq.policy != nullptr) seq.policy->set_timing_sink(nullptr);
+    if (seq.policy != nullptr) seq.policy->set_eviction_sink(nullptr);
     if (pool_ != nullptr && seq.kv != nullptr) {
       for (std::size_t l = 0; l < seq.kv->n_layers(); ++l) {
         const auto* paged =
@@ -643,6 +677,7 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
           hist_queue_wait_.record(t_admit - seq->queued_seconds);
         }
         if (tracing) seq->policy->set_timing_sink(&seq->policy_timings);
+        seq->policy->set_eviction_sink(&seq->eviction);
         if (pool_ != nullptr) {
           // Materialize the placement decision: layer caches drawing
           // blocks from the shard the scheduler just reserved on.
@@ -710,6 +745,11 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
     if (active.empty()) continue;  // everything admitted so far retired
 
     stats.max_batch = std::max(stats.max_batch, active.size());
+    // Per-batch occupancy, published with this step's snapshot — the
+    // live series a Monitor samples (the engine loop owns the scheduler,
+    // so reading waiting() here is within its threading contract).
+    stats.active_sequences = active.size();
+    stats.waiting_sequences = sched.waiting().size();
     stats.max_tokens_in_use =
         std::max(stats.max_tokens_in_use, sched.tokens_in_use());
     stats.max_blocks_in_use =
@@ -728,10 +768,11 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
       if (used_tokens > 0) {
         std::size_t live = 0;
         for (const Sequence* seq : active) live += seq->kv->total_tokens();
-        stats.max_fragmentation = std::max(
-            stats.max_fragmentation,
+        const double frag =
             std::max(0.0, 1.0 - static_cast<double>(live) /
-                                    static_cast<double>(used_tokens)));
+                                    static_cast<double>(used_tokens));
+        stats.cur_fragmentation = frag;
+        stats.max_fragmentation = std::max(stats.max_fragmentation, frag);
       }
     }
 
@@ -844,6 +885,8 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
     stats.pool_peak_used_blocks = pool_->stats().peak_used_blocks;
   }
   stats.reservation_retries = sched.reservation_retries();
+  stats.active_sequences = 0;  // run drained: occupancy series settles to 0
+  stats.waiting_sequences = 0;
   publish_stats(stats);
 
   std::vector<Response> responses;
@@ -868,9 +911,53 @@ std::vector<Response> Engine::run(std::span<const Request> requests) {
     r.ttft_seconds = r.timeline.ttft_seconds();
     r.queue_wait_seconds = r.timeline.queue_wait_seconds();
     r.inter_token = seq.inter_token;
+    r.eviction = seq.eviction.summary();
     responses.push_back(std::move(r));
   }
   return responses;
+}
+
+void add_engine_probes(obs::Monitor& monitor, Engine& engine) {
+  Engine* e = &engine;
+  monitor.add_probe("engine.steps", [e] {
+    return static_cast<double>(e->stats().steps);
+  });
+  monitor.add_probe("engine.decoded_tokens", [e] {
+    return static_cast<double>(e->stats().decoded_tokens);
+  });
+  monitor.add_probe("engine.prefilled_tokens", [e] {
+    return static_cast<double>(e->stats().prefilled_tokens);
+  });
+  monitor.add_probe("engine.active_sequences", [e] {
+    return static_cast<double>(e->stats().active_sequences);
+  });
+  monitor.add_probe("engine.waiting_sequences", [e] {
+    return static_cast<double>(e->stats().waiting_sequences);
+  });
+  monitor.add_probe("engine.evicted_tokens", [e] {
+    return static_cast<double>(e->stats().evicted_tokens);
+  });
+  if (engine.pool() != nullptr) {
+    const mem::BlockPool* pool = engine.pool();
+    monitor.add_probe("pool.used_blocks", [pool] {
+      return static_cast<double>(pool->stats().used_blocks);
+    });
+    monitor.add_probe("pool.reserved_blocks", [pool] {
+      return static_cast<double>(pool->stats().reserved_blocks);
+    });
+    monitor.add_probe("pool.fragmentation",
+                      [e] { return e->stats().cur_fragmentation; });
+  }
+  if (engine.prefix_index() != nullptr) {
+    monitor.add_probe("prefix.hit_rate",
+                      [e] { return e->stats().prefix_hit_rate(); });
+  }
+  // Per-window latency series (rate + window percentiles) for the two
+  // distributions that move every step.
+  monitor.add_histogram_probe("step",
+                              engine.metrics().histogram("serve.step_seconds"));
+  monitor.add_histogram_probe(
+      "itl", engine.metrics().histogram("serve.inter_token_seconds"));
 }
 
 }  // namespace kf::serve

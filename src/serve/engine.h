@@ -37,6 +37,10 @@
 #include "serve/scheduler.h"
 #include "serve/sequence.h"
 
+namespace kf::obs {
+class Monitor;
+}
+
 namespace kf::serve {
 
 /// Paged KV memory: the engine owns a sharded mem::BlockPool, sequences
@@ -146,6 +150,17 @@ struct EngineStats {
   /// Block allocations that fell back to emergency heap memory (the
   /// no-throw decode path); every one forces a park or retirement.
   std::size_t alloc_failures = 0;
+  // Live-occupancy fields (current values at the publish point, not
+  // peaks — what a Monitor's per-batch occupancy series samples):
+  std::size_t active_sequences = 0;   ///< batch size at the last step
+  std::size_t waiting_sequences = 0;  ///< queue depth at the last step
+  /// Internal fragmentation at the last step (see max_fragmentation).
+  double cur_fragmentation = 0.0;
+  // Eviction introspection, accumulated at retirement from each
+  // sequence's EvictionTelemetry (replayed resume decisions included):
+  std::size_t eviction_decisions = 0;  ///< compaction events executed
+  std::size_t evicted_tokens = 0;      ///< cache rows dropped
+  std::size_t kept_tokens = 0;         ///< cache rows retained at decisions
   double prefill_seconds = 0.0;
   double decode_seconds = 0.0;  ///< summed batch-step walls
   // Latency distributions (seconds), extracted from the engine's metrics
@@ -221,6 +236,13 @@ class Engine {
   /// they never throw, and the rest of the batch keeps decoding.
   std::vector<Response> run(std::span<const Request> requests);
 
+  /// Aggregate eviction telemetry over the engine's lifetime: every
+  /// retired sequence's per-(layer,head) eviction histograms merged into
+  /// one (see kvcache/eviction_telemetry.h). Copied under the stats
+  /// mutex — safe to call from a monitoring thread mid-run; sequences
+  /// still in flight contribute at their retirement.
+  kv::EvictionTelemetry eviction_report() const KF_EXCLUDES(stats_mu_);
+
   /// Installs (nullptr: clears) a fault injector on the engine-owned
   /// block pool — the chaos-testing hook (see serve/fault.h). No-op when
   /// paged memory is disabled. The injector must outlive its installation.
@@ -250,6 +272,8 @@ class Engine {
   /// accumulator and publishes here, so readers never see a torn update.
   mutable Mutex stats_mu_;
   EngineStats stats_ KF_GUARDED_BY(stats_mu_);
+  /// Engine-lifetime eviction aggregate (see eviction_report()).
+  kv::EvictionTelemetry eviction_agg_ KF_GUARDED_BY(stats_mu_);
   /// Declared before the pool/index so it outlives them on destruction
   /// (they hold counter pointers into it).
   obs::MetricsRegistry metrics_;
@@ -261,5 +285,15 @@ class Engine {
   std::unique_ptr<mem::BlockPool> pool_;
   std::unique_ptr<mem::PrefixIndex> prefix_index_;
 };
+
+/// Registers the standard serving probes on `monitor`: engine progress
+/// counters (steps, decoded/prefilled tokens, evicted tokens), per-batch
+/// occupancy (active/waiting sequences), pool used/reserved blocks and
+/// fragmentation, prefix-cache hit rate, plus per-window rate/percentile
+/// histogram probes for the step and inter-token latency distributions.
+/// Every probe reads a thread-safe surface (Engine::stats(),
+/// BlockPool::stats(), registry histograms), so the monitor may poll a
+/// run in flight. `engine` must outlive the polling.
+void add_engine_probes(obs::Monitor& monitor, Engine& engine);
 
 }  // namespace kf::serve

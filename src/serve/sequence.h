@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "kvcache/eviction_telemetry.h"
 #include "kvcache/kv_state.h"
 #include "kvcache/policy.h"
 #include "model/generator.h"
@@ -113,6 +114,13 @@ struct Response {
   /// Wall-clock gaps between consecutive committed decode tokens.
   obs::StreamStats inter_token;
 
+  /// Digest of the eviction decisions this request's policy executed:
+  /// tokens kept/evicted, the relative-position distribution of evicted
+  /// tokens (the serving-time fig-3 sketch), and score-at-eviction
+  /// percentiles. All zero for non-evicting policies. Includes decisions
+  /// re-executed by preemption-resume replays.
+  kv::EvictionSummary eviction;
+
   /// See model::decode_throughput() (same rule as GenerationResult).
   double decode_tokens_per_s() const;
 };
@@ -189,6 +197,11 @@ struct Sequence {
   /// (policy observe() runs per sequence inside the batched decode step's
   /// parallel_for, so sequences cannot share one sink).
   kv::PolicyTimings policy_timings;
+  /// Per-sequence eviction-decision sink (same single-writer contract as
+  /// policy_timings); shaped by the engine at sequence creation, merged
+  /// into the engine-lifetime aggregate and distilled onto the Response
+  /// at retirement.
+  kv::EvictionTelemetry eviction;
 
   /// Per-layer cache sizes captured at retirement. The engine records
   /// these the moment a sequence finishes because a paged sequence's

@@ -120,6 +120,67 @@ TEST(Histogram, ConcurrentRecordingLosesNothing) {
   EXPECT_LE(h.percentile(0.5), h.percentile(0.99));
 }
 
+// ------------------------------------------------------- snapshot windows
+
+TEST(HistogramSnapshot, FullSnapshotMatchesLiveReadings) {
+  Histogram h;
+  for (const double v : {1e-3, 2e-3, 4e-3, 8e-3}) h.record(v);
+  const HistogramSnapshot s = h.full_snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min(), h.min());
+  EXPECT_DOUBLE_EQ(s.max(), h.max());
+  EXPECT_DOUBLE_EQ(s.sum(), h.sum());
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), h.percentile(0.5));
+  const Percentiles p = s.percentiles();
+  EXPECT_EQ(p.count, 4u);
+  EXPECT_DOUBLE_EQ(p.max, h.max());
+}
+
+TEST(HistogramSnapshot, DiffIsolatesTheWindow) {
+  // Two polls of a cumulative histogram: the diff must describe only the
+  // records that landed between them — that is the whole point of
+  // per-window monitoring (a mid-run latency spike shows in its window
+  // instead of being averaged into lifetime percentiles).
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(1e-3);  // fast early phase
+  const HistogramSnapshot before = h.full_snapshot();
+  for (int i = 0; i < 10; ++i) h.record(100e-3);  // slow late phase
+  const HistogramSnapshot after = h.full_snapshot();
+
+  const HistogramSnapshot window = snapshot_diff(after, before);
+  EXPECT_EQ(window.count, 10u);
+  // All window samples are ~100 ms; the log buckets are within 12.5%.
+  EXPECT_GT(window.percentile(0.5), 80e-3);
+  EXPECT_GT(window.min(), 50e-3);  // window min, not the lifetime 1 ms min
+  EXPECT_GE(window.max(), window.min());
+  EXPECT_NEAR(window.sum(), 10 * 100e-3, 0.01);
+
+  // Cumulative percentiles, by contrast, still answer for the whole run.
+  EXPECT_LT(after.percentile(0.5), 10e-3);
+}
+
+TEST(HistogramSnapshot, EmptyWindowDiffsToZero) {
+  Histogram h;
+  for (int i = 0; i < 5; ++i) h.record(2e-3);
+  const HistogramSnapshot s = h.full_snapshot();
+  const HistogramSnapshot window = snapshot_diff(s, s);
+  EXPECT_EQ(window.count, 0u);
+  EXPECT_EQ(window.min(), 0.0);
+  EXPECT_EQ(window.max(), 0.0);
+  EXPECT_EQ(window.percentile(0.99), 0.0);
+}
+
+TEST(HistogramSnapshot, RegistryExposesAllHistograms) {
+  MetricsRegistry reg;
+  reg.histogram("b.lat").record(1e-3);
+  reg.histogram("a.lat").record(2e-3);
+  const auto snaps = reg.histogram_snapshots();
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_EQ(snaps[0].first, "a.lat");  // sorted by name
+  EXPECT_EQ(snaps[1].first, "b.lat");
+  EXPECT_EQ(snaps[0].second.count, 1u);
+}
+
 // ------------------------------------------------------------------ counter
 
 TEST(Counter, ConcurrentAddsSumExactly) {
